@@ -1,0 +1,329 @@
+// Package bcclique's root benchmark harness: one benchmark per experiment
+// table (E01–E14; see DESIGN.md §3 for the index). Each benchmark
+// regenerates the computation behind its experiment, so
+//
+//	go test -bench=. -benchmem
+//
+// re-measures every row of EXPERIMENTS.md at reduced sizes.
+package bcclique_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"bcclique/internal/algorithms"
+	"bcclique/internal/bcc"
+	"bcclique/internal/comm"
+	"bcclique/internal/core"
+	"bcclique/internal/crossing"
+	"bcclique/internal/graph"
+	"bcclique/internal/harness"
+	"bcclique/internal/indist"
+	"bcclique/internal/partition"
+	"bcclique/internal/pls"
+	"bcclique/internal/reduction"
+	"bcclique/internal/sketch"
+)
+
+// BenchmarkE01Crossing measures Lemma 3.4 verification: one full
+// crossing-plus-transcript-comparison cycle.
+func BenchmarkE01Crossing(b *testing.B) {
+	const n = 9
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	g, err := graph.FromCycle(n, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := bcc.NewKT0(bcc.SequentialIDs(n), g, bcc.RotationWiring(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo := algorithms.InputParity{T: 4}
+	e1, e2 := crossing.DirectedEdge{V: 0, U: 1}, crossing.DirectedEdge{V: 4, U: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := crossing.Lemma34Holds(in, e1, e2, algo, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE02WarmUp measures the Theorem 3.5 pigeonhole computation.
+func BenchmarkE02WarmUp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for t := 0; t <= 6; t++ {
+			_ = core.WarmupErrorBound(1<<20, t)
+		}
+	}
+}
+
+// BenchmarkE03DegreeProfile measures building G⁰ and checking Lemma 3.7
+// on every one-cycle instance at n=7.
+func BenchmarkE03DegreeProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := indist.New(7, indist.ZeroRoundLabeler, "", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < g.NumOne(); j++ {
+			if err := g.CheckLemma37(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE04HallMatching measures the Polygamous-Hall packing machinery
+// (maximum matching on G⁰ at n=7).
+func BenchmarkE04HallMatching(b *testing.B) {
+	g, err := indist.New(7, indist.ZeroRoundLabeler, "", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bp := g.Bipartite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, size := bp.MaxMatching(); size != g.NumTwo() {
+			b.Fatal("matching did not saturate V2")
+		}
+	}
+}
+
+// BenchmarkE05CycleCensus measures the exhaustive Lemma 3.9 census at
+// n=9.
+func BenchmarkE05CycleCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var v1, v2 int
+		if err := graph.EachOneCycle(9, func([]int) bool { v1++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		if err := graph.EachTwoCycle(9, 3, func(_, _ []int) bool { v2++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		if int64(v1) != graph.NumOneCycles(9).Int64() || int64(v2) != graph.NumTwoCycles(9).Int64() {
+			b.Fatal("census mismatch")
+		}
+	}
+}
+
+// BenchmarkE06KT0Bound measures a full KT-0 certificate (Theorem 3.1) at
+// n=7.
+func BenchmarkE06KT0Bound(b *testing.B) {
+	algo := algorithms.Silent{T: 2, Answer: bcc.VerdictYes}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CertifyKT0(7, 2, algo, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE07RankMn measures building and ranking M_6 (203×203).
+func BenchmarkE07RankMn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := comm.MatrixM(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Rank() != 203 {
+			b.Fatal("rank(M_6) != 203")
+		}
+	}
+}
+
+// BenchmarkE08RankEn measures building and ranking E_8 (105×105).
+func BenchmarkE08RankEn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := comm.MatrixE(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Rank() != 105 {
+			b.Fatal("rank(E_8) != 105")
+		}
+	}
+}
+
+// BenchmarkE09Reduction measures one Theorem 4.3 build-and-verify at
+// n=64.
+func BenchmarkE09Reduction(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pa := partition.Random(64, rng)
+	pb := partition.Random(64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, ly, err := reduction.BuildGeneral(pa, pb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reduction.VerifyTheorem43(g, ly, pa, pb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Simulation measures one Theorem 4.4 simulation (ground 16,
+// graph 32 vertices) including the direct-run cross-check.
+func BenchmarkE10Simulation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pa, _ := partition.RandomPairing(16, rng)
+	pb, _ := partition.RandomPairing(16, rng)
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := reduction.Simulate(algo, pa, pb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.MatchesDirect {
+			b.Fatal("simulation diverged")
+		}
+	}
+}
+
+// BenchmarkE11InfoBound measures one exact Theorem 4.5 certificate at
+// n=5.
+func BenchmarkE11InfoBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CertifyInfo(5, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12UpperBounds measures the O(log n) upper bound executing on
+// a 256-vertex cycle.
+func BenchmarkE12UpperBounds(b *testing.B) {
+	seq := make([]int, 256)
+	for i := range seq {
+		seq[i] = i
+	}
+	g, err := graph.FromCycle(256, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := bcc.NewKT1(bcc.SequentialIDs(256), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bcc.Run(in, algo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != bcc.VerdictYes {
+			b.Fatal("wrong verdict")
+		}
+	}
+}
+
+// BenchmarkE13Bell measures Bell-number growth accounting to n=200.
+func BenchmarkE13Bell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bells := partition.BellsUpTo(200)
+		_ = partition.Log2Big(bells[200])
+	}
+}
+
+// BenchmarkE14Simulator measures raw simulator throughput (64 vertices ×
+// 16 rounds of 1-bit broadcasts).
+func BenchmarkE14Simulator(b *testing.B) {
+	seq := make([]int, 64)
+	for i := range seq {
+		seq[i] = i
+	}
+	g, err := graph.FromCycle(64, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := bcc.NewKT1(bcc.SequentialIDs(64), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo := algorithms.CoinCast{T: 16}
+	coin := bcc.NewCoin(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bcc.Run(in, algo, bcc.WithCoin(coin)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE15PLS measures proving + verifying the transcript
+// proof-labeling scheme on a 32-vertex cycle.
+func BenchmarkE15PLS(b *testing.B) {
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := make([]int, 32)
+	for i := range seq {
+		seq[i] = i
+	}
+	g, err := graph.FromCycle(32, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := bcc.NewKT1(bcc.SequentialIDs(32), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := pls.Transcript{Algo: algo}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := pls.ProveAndAccept(in, scheme)
+		if err != nil || !ok {
+			b.Fatal("proof rejected")
+		}
+	}
+}
+
+// BenchmarkE16Sketch measures sketch connectivity on a 32-vertex star
+// (unbounded degree, arboricity 1).
+func BenchmarkE16Sketch(b *testing.B) {
+	g := graph.New(32)
+	for i := 1; i < 32; i++ {
+		g.MustAddEdge(0, i)
+	}
+	in, err := bcc.NewKT1(bcc.SequentialIDs(32), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo, err := sketch.NewConnectivity(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bcc.Run(in, algo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != bcc.VerdictYes {
+			b.Fatal("wrong verdict")
+		}
+	}
+}
+
+// BenchmarkFullQuickSuite runs the entire quick experiment suite — the
+// end-to-end cost of regenerating EXPERIMENTS.md in -quick mode.
+func BenchmarkFullQuickSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunAll(io.Discard, harness.Config{Quick: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Command bccsim runs one BCC(b) algorithm on one generated instance and
+// reports the outcome: verdict, component labels, rounds, and broadcast
+// bits.
+//
+// Usage:
+//
+//	bccsim -model kt1 -graph cycle -n 32 -algo neighborhood
+//	bccsim -model kt0 -graph twocycle -n 64 -algo kt0-exchange
+//	bccsim -model kt1 -graph random -n 24 -algo boruvka -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"bcclique/internal/algorithms"
+	"bcclique/internal/bcc"
+	"bcclique/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bccsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		model     = flag.String("model", "kt1", "knowledge variant: kt0 or kt1")
+		graphKind = flag.String("graph", "cycle", "input graph: cycle, twocycle, cover, or random")
+		n         = flag.Int("n", 16, "number of vertices")
+		algoName  = flag.String("algo", "neighborhood", "algorithm: neighborhood, kt0-exchange, boruvka, or flood")
+		bandwidth = flag.Int("b", 1, "bandwidth for flood")
+		seed      = flag.Int64("seed", 1, "seed for graph generation and wiring")
+		verbose   = flag.Bool("v", false, "print per-vertex labels")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := buildGraph(*graphKind, *n, rng)
+	if err != nil {
+		return err
+	}
+	in, err := buildInstance(*model, g, rng)
+	if err != nil {
+		return err
+	}
+	algo, err := buildAlgorithm(*algoName, *n, *bandwidth, g)
+	if err != nil {
+		return err
+	}
+
+	res, err := bcc.Run(in, algo, bcc.WithCoin(bcc.NewCoin(*seed)))
+	if err != nil {
+		return err
+	}
+
+	lengths, twoRegular := g.CycleLengths()
+	fmt.Printf("instance : %s, n=%d, %s, %d edges, %d components\n",
+		in.Knowledge(), *n, *graphKind, g.M(), g.NumComponents())
+	if twoRegular {
+		fmt.Printf("cycles   : %v\n", lengths)
+	}
+	fmt.Printf("algorithm: %s (b=%d)\n", algo.Name(), algo.Bandwidth())
+	fmt.Printf("rounds   : %d\n", res.Rounds)
+	fmt.Printf("bits     : %d broadcast in total\n", res.TotalBits)
+	if res.HasVerdict {
+		truth := "disconnected"
+		if g.IsConnected() {
+			truth = "connected"
+		}
+		fmt.Printf("verdict  : %v (ground truth: %s)\n", res.Verdict, truth)
+	}
+	if res.Labels != nil {
+		distinct := make(map[int]bool)
+		for _, l := range res.Labels {
+			distinct[l] = true
+		}
+		fmt.Printf("labels   : %d distinct component labels\n", len(distinct))
+		if *verbose {
+			for v, l := range res.Labels {
+				fmt.Printf("  vertex %3d (id %3d): component %d\n", v, in.ID(v), l)
+			}
+		}
+	}
+	return nil
+}
+
+func buildGraph(kind string, n int, rng *rand.Rand) (*graph.Graph, error) {
+	switch kind {
+	case "cycle":
+		return graph.RandomOneCycle(n, rng), nil
+	case "twocycle":
+		if n < 6 {
+			return nil, fmt.Errorf("twocycle needs n ≥ 6")
+		}
+		return graph.RandomTwoCycle(n, n/2, rng)
+	case "cover":
+		return graph.RandomCycleCover(n, rng), nil
+	case "random":
+		g := graph.New(n)
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func buildInstance(model string, g *graph.Graph, rng *rand.Rand) (*bcc.Instance, error) {
+	ids := bcc.SequentialIDs(g.N())
+	switch model {
+	case "kt0":
+		return bcc.NewKT0(ids, g, bcc.RandomWiring(g.N(), rng))
+	case "kt1":
+		return bcc.NewKT1(ids, g)
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func buildAlgorithm(name string, n, b int, g *graph.Graph) (bcc.Algorithm, error) {
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	idBits := 1
+	for (1 << uint(idBits)) < n {
+		idBits++
+	}
+	switch name {
+	case "neighborhood":
+		return algorithms.NewNeighborhoodBroadcast(maxDeg)
+	case "kt0-exchange":
+		return algorithms.NewKT0Exchange(maxDeg, idBits)
+	case "boruvka":
+		return algorithms.NewBoruvka(idBits)
+	case "flood":
+		return algorithms.NewFlood(b)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,82 @@
+// Command experiments regenerates every experiment table of the
+// reproduction (E01–E14; see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-out FILE] [-only E05,E07]
+//
+// With -out it writes the EXPERIMENTS.md-style report to FILE instead of
+// stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"bcclique/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick = flag.Bool("quick", false, "trim instance sizes for a fast pass")
+		seed  = flag.Int64("seed", 1, "seed for randomized workloads")
+		out   = flag.String("out", "", "write the report to this file instead of stdout")
+		only  = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if _, err := fmt.Fprintf(w, "# Experiments: paper vs. measured\n\n"+
+		"Reproduction of Pai & Pemmaraju, *Connectivity Lower Bounds in Broadcast\n"+
+		"Congested Clique* (PODC 2019). One experiment per theorem/lemma/figure;\n"+
+		"regenerate with `go run ./cmd/experiments`%s (seed %d, %s).\n\n",
+		flagSummary(*quick, *only), *seed, time.Now().UTC().Format("2006-01-02")); err != nil {
+		return err
+	}
+
+	var ids []string
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	results, err := harness.RunAll(w, cfg, ids...)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "---\n\n%d experiments completed.\n", len(results))
+	return err
+}
+
+func flagSummary(quick bool, only string) string {
+	var parts []string
+	if quick {
+		parts = append(parts, "-quick")
+	}
+	if only != "" {
+		parts = append(parts, "-only "+only)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " `" + strings.Join(parts, " ") + "`"
+}

@@ -1,0 +1,159 @@
+// Command partitions explores the set-partition lattice behind the
+// paper's KT-1 lower bounds: Bell numbers, joins, the communication
+// matrices M_n and E_n with their ranks, and uniform sampling.
+//
+// Usage:
+//
+//	partitions -bell 20
+//	partitions -join "0,1|2,3|4" -with "0,1,3|2|4"
+//	partitions -rank 5            (rank of M_n and E_n when n is even)
+//	partitions -sample 10 -count 3 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"bcclique/internal/comm"
+	"bcclique/internal/partition"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "partitions:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bell   = flag.Int("bell", 0, "print B_0..B_n")
+		joinA  = flag.String("join", "", "partition in block notation, e.g. \"0,1|2,3|4\"")
+		joinB  = flag.String("with", "", "second partition for -join")
+		rank   = flag.Int("rank", 0, "compute rank(M_n) (and rank(E_n) for even n)")
+		sample = flag.Int("sample", 0, "sample uniform partitions of [n]")
+		count  = flag.Int("count", 5, "number of samples for -sample")
+		seed   = flag.Int64("seed", 1, "sampling seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *bell > 0:
+		return printBell(*bell)
+	case *joinA != "":
+		return printJoin(*joinA, *joinB)
+	case *rank > 0:
+		return printRank(*rank)
+	case *sample > 0:
+		return printSamples(*sample, *count, *seed)
+	default:
+		flag.Usage()
+		return nil
+	}
+}
+
+func printBell(n int) error {
+	bells := partition.BellsUpTo(n)
+	for i, b := range bells {
+		fmt.Printf("B_%-3d = %v  (log₂ = %.2f)\n", i, b, partition.Log2Big(b))
+	}
+	return nil
+}
+
+// parsePartition reads block notation: blocks separated by '|', elements
+// by ','.
+func parsePartition(s string) (partition.Partition, int, error) {
+	var blocks [][]int
+	max := -1
+	for _, blockStr := range strings.Split(s, "|") {
+		var block []int
+		for _, el := range strings.Split(blockStr, ",") {
+			el = strings.TrimSpace(el)
+			if el == "" {
+				continue
+			}
+			x, err := strconv.Atoi(el)
+			if err != nil {
+				return partition.Partition{}, 0, fmt.Errorf("element %q: %w", el, err)
+			}
+			block = append(block, x)
+			if x > max {
+				max = x
+			}
+		}
+		if len(block) > 0 {
+			blocks = append(blocks, block)
+		}
+	}
+	p, err := partition.FromBlocks(max+1, blocks)
+	return p, max + 1, err
+}
+
+func printJoin(a, b string) error {
+	if b == "" {
+		return fmt.Errorf("-join requires -with")
+	}
+	pa, _, err := parsePartition(a)
+	if err != nil {
+		return fmt.Errorf("parsing -join: %w", err)
+	}
+	pb, _, err := parsePartition(b)
+	if err != nil {
+		return fmt.Errorf("parsing -with: %w", err)
+	}
+	join, err := pa.Join(pb)
+	if err != nil {
+		return err
+	}
+	meet, err := pa.Meet(pb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P_A       = %v\n", pa)
+	fmt.Printf("P_B       = %v\n", pb)
+	fmt.Printf("P_A ∨ P_B = %v (trivial: %v)\n", join, join.IsTrivial())
+	fmt.Printf("P_A ∧ P_B = %v\n", meet)
+	return nil
+}
+
+func printRank(n int) error {
+	m, err := comm.MatrixM(n)
+	if err != nil {
+		return err
+	}
+	bn := partition.Bell(n)
+	fmt.Printf("M_%d: %d×%d, rank %d (B_n = %v) — Theorem 2.3 %s\n",
+		n, m.Rows(), m.Cols(), m.Rank(), bn, verdict(int64(m.Rank()) == bn.Int64()))
+	if n%2 == 0 {
+		e, err := comm.MatrixE(n)
+		if err != nil {
+			return err
+		}
+		r := partition.NumPairings(n)
+		fmt.Printf("E_%d: %d×%d, rank %d ((n−1)!! = %v) — Lemma 4.1 %s\n",
+			n, e.Rows(), e.Cols(), e.Rank(), r, verdict(int64(e.Rank()) == r.Int64()))
+	}
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "verified"
+	}
+	return "VIOLATED"
+}
+
+func printSamples(n, count int, seed int64) error {
+	rng := newRng(seed)
+	for i := 0; i < count; i++ {
+		p := partition.Random(n, rng)
+		fmt.Printf("%v  (%d blocks)\n", p, p.NumBlocks())
+	}
+	return nil
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

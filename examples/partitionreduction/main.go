@@ -1,0 +1,107 @@
+// Partitionreduction: a walk-through of Figure 2 and Theorem 4.3 — the
+// reduction from the 2-party Partition problem to Connectivity that
+// powers the paper's KT-1 lower bounds.
+//
+// We rebuild both worked examples from the paper (shifted to a 0-based
+// ground set), verify that the connected components of G(P_A, P_B)
+// realize the join P_A ∨ P_B, and show the rank facts that make the
+// reduction bite.
+//
+// Run with: go run ./examples/partitionreduction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcclique/internal/comm"
+	"bcclique/internal/partition"
+	"bcclique/internal/reduction"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Figure 2, left: general partitions on [8].
+	pa, err := partition.FromBlocks(8, [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7}})
+	if err != nil {
+		return err
+	}
+	pb, err := partition.FromBlocks(8, [][]int{{0, 1, 5}, {2, 3, 6}, {4, 7}})
+	if err != nil {
+		return err
+	}
+	join, err := pa.Join(pb)
+	if err != nil {
+		return err
+	}
+	fmt.Println("— Figure 2, left (general construction) —")
+	fmt.Printf("P_A       = %v\n", pa)
+	fmt.Printf("P_B       = %v\n", pb)
+	fmt.Printf("P_A ∨ P_B = %v (trivial: %v)\n", join, join.IsTrivial())
+
+	g, ly, err := reduction.BuildGeneral(pa, pb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("G(P_A,P_B): %d vertices (A,L,R,B of %d each), %d edges, connected: %v\n",
+		g.N(), ly.N(), g.M(), g.IsConnected())
+	induced := reduction.InducedPartition(g, ly, ly.L)
+	fmt.Printf("components restricted to L: %v\n", induced)
+	fmt.Printf("Theorem 4.3 (components ≡ join): %v\n\n", induced.Equal(join))
+
+	// Figure 2, right: perfect pairings → a 2-regular MultiCycle input.
+	qa, err := partition.FromBlocks(8, [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+	if err != nil {
+		return err
+	}
+	qb, err := partition.FromBlocks(8, [][]int{{0, 2}, {1, 3}, {4, 6}, {5, 7}})
+	if err != nil {
+		return err
+	}
+	qJoin, err := qa.Join(qb)
+	if err != nil {
+		return err
+	}
+	fmt.Println("— Figure 2, right (pairing construction) —")
+	fmt.Printf("P_A       = %v\n", qa)
+	fmt.Printf("P_B       = %v\n", qb)
+	fmt.Printf("P_A ∨ P_B = %v (trivial: %v)\n", qJoin, qJoin.IsTrivial())
+
+	g2, ly2, err := reduction.BuildPairing(qa, qb)
+	if err != nil {
+		return err
+	}
+	lengths, _ := g2.CycleLengths()
+	fmt.Printf("G(P_A,P_B): %d vertices (L,R), 2-regular: %v, cycles %v, connected: %v\n",
+		g2.N(), g2.IsTwoRegular(), lengths, g2.IsConnected())
+	if err := reduction.VerifyTheorem43(g2, ly2, qa, qb); err != nil {
+		return err
+	}
+	fmt.Println("Theorem 4.3 verified on the pairing construction.")
+
+	// Why the reduction bites: the join matrices have full rank, so a
+	// deterministic protocol needs Ω(n log n) bits (Corollaries 2.4/4.2).
+	fmt.Println()
+	fmt.Println("— Rank lower bounds —")
+	for n := 2; n <= 6; n += 2 {
+		m, err := comm.MatrixM(n)
+		if err != nil {
+			return err
+		}
+		e, err := comm.MatrixE(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("n=%d: rank(M)=%d/B_n=%v   rank(E)=%d/(n−1)!!=%v\n",
+			n, m.Rank(), partition.Bell(n), e.Rank(), partition.NumPairings(n))
+	}
+	fmt.Println()
+	fmt.Println("Full rank ⇒ D(Partition) ≥ log₂ B_n = Ω(n log n) bits, and any")
+	fmt.Println("r-round KT-1 BCC(1) algorithm yields an O(rn)-bit protocol ⇒ r = Ω(log n).")
+	return nil
+}

@@ -1,0 +1,85 @@
+// Quickstart: build a BCC(1) instance, run an algorithm, inspect the
+// result.
+//
+// The paper's model (Section 1.2): n vertices on a clique network, each
+// broadcasting at most one bit per round. Here we put a Hamiltonian-cycle
+// input graph on a KT-1 instance, solve Connectivity with the
+// O(log n)-round neighbourhood-broadcast algorithm, and compare against a
+// two-cycle (disconnected) instance.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcclique/internal/algorithms"
+	"bcclique/internal/bcc"
+	"bcclique/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const n = 32
+
+	// A connected input: the cycle 0-1-...-31.
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	oneCycle, err := graph.FromCycle(n, seq)
+	if err != nil {
+		return err
+	}
+
+	// A disconnected input: two 16-cycles.
+	twoCycle, err := graph.FromCycles(n, seq[:16], seq[16:])
+	if err != nil {
+		return err
+	}
+
+	// The algorithm: every vertex announces its ≤ 2 neighbours bit by
+	// bit; 2⌈log₂ n⌉ = 10 rounds of 1 bit each.
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		return err
+	}
+
+	for _, tc := range []struct {
+		name  string
+		input *graph.Graph
+	}{
+		{name: "one cycle (connected)", input: oneCycle},
+		{name: "two cycles (disconnected)", input: twoCycle},
+	} {
+		in, err := bcc.NewKT1(bcc.SequentialIDs(n), tc.input)
+		if err != nil {
+			return err
+		}
+		res, err := bcc.Run(in, algo)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-26s → verdict %v after %d rounds (%d bits broadcast)\n",
+			tc.name, res.Verdict, res.Rounds, res.TotalBits)
+
+		// The same nodes also label components (ConnectedComponents).
+		distinct := make(map[int]bool)
+		for _, l := range res.Labels {
+			distinct[l] = true
+		}
+		fmt.Printf("%-26s → %d component label(s)\n", "", len(distinct))
+	}
+
+	fmt.Println()
+	fmt.Println("The paper proves no KT-1 BCC(1) algorithm can beat Ω(log n) rounds")
+	fmt.Printf("for this problem; this algorithm uses %d rounds at n=%d — tight.\n",
+		algo.Rounds(n), n)
+	return nil
+}

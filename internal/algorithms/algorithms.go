@@ -1,0 +1,105 @@
+// Package algorithms is the BCC(b) algorithm library accompanying the
+// lower bounds:
+//
+//   - NeighborhoodBroadcast — deterministic KT-1 BCC(1) connectivity (and
+//     ConnectedComponents) for degree-≤d graphs in d·⌈log₂ n⌉ rounds.
+//     For the paper's 2-regular instances this is 2⌈log₂ n⌉ = O(log n),
+//     matching the Ω(log n) lower bounds and realizing the Section 1.1
+//     tightness remark for uniformly sparse graphs.
+//   - KT0Exchange — the same guarantee in KT-0 at the cost of one extra
+//     ID-announcement phase (the paper's observation that KT-0 and KT-1
+//     coincide once b·rounds ≥ log n).
+//   - Flood — the naive KT-1 BCC(b) baseline: every vertex ships its full
+//     adjacency row, Θ(n/b) rounds.
+//   - Boruvka — deterministic component merging in BCC(Θ(log n)),
+//     O(log n) rounds on arbitrary input graphs.
+//   - Probe algorithms (Silent, CoinCast, InputParity) — wiring-
+//     insensitive KT-0 algorithms whose broadcast labels drive the
+//     indistinguishability-graph experiments of Section 3.
+package algorithms
+
+import (
+	"sort"
+
+	"bcclique/internal/bcc"
+	"bcclique/internal/graph"
+)
+
+// bitsFor returns ⌈log₂ m⌉ (0 for m ≤ 1).
+func bitsFor(m int) int {
+	w := 0
+	for (1 << uint(w)) < m {
+		w++
+	}
+	return w
+}
+
+// indexer maps IDs to their rank in the sorted ID list (the canonical
+// vertex indexing every KT-1 algorithm shares).
+type indexer struct {
+	sorted []int
+}
+
+func newIndexer(allIDs []int) *indexer {
+	s := append([]int(nil), allIDs...)
+	sort.Ints(s)
+	return &indexer{sorted: s}
+}
+
+func (ix *indexer) n() int { return len(ix.sorted) }
+
+// rank returns the index of id (-1 if absent).
+func (ix *indexer) rank(id int) int {
+	i := sort.SearchInts(ix.sorted, id)
+	if i < len(ix.sorted) && ix.sorted[i] == id {
+		return i
+	}
+	return -1
+}
+
+func (ix *indexer) id(rank int) int { return ix.sorted[rank] }
+
+// componentOutputs computes the decision and labelling outputs shared by
+// every full-reconstruction algorithm: the verdict is YES iff the claimed
+// graph is connected; the label of a vertex is the smallest ID in its
+// component.
+type componentOutputs struct {
+	verdict bcc.Verdict
+	label   int
+}
+
+func outputsFromGraph(g *graph.Graph, ix *indexer, selfRank int, broken bool) componentOutputs {
+	if broken {
+		return componentOutputs{verdict: bcc.VerdictNo, label: -1}
+	}
+	d := g.Components()
+	verdict := bcc.VerdictYes
+	if d.Sets() != 1 {
+		verdict = bcc.VerdictNo
+	}
+	minID := ix.id(selfRank)
+	for u := 0; u < g.N(); u++ {
+		if d.Same(selfRank, u) && ix.id(u) < minID {
+			minID = ix.id(u)
+		}
+	}
+	return componentOutputs{verdict: verdict, label: minID}
+}
+
+// claimGraph assembles a graph from per-vertex neighbour claims, ignoring
+// self-claims (the "no neighbour" filler) and deduplicating.
+func claimGraph(n int, claims [][]int) *graph.Graph {
+	g := graph.New(n)
+	for v, list := range claims {
+		for _, u := range list {
+			if u == v || u < 0 || u >= n {
+				continue
+			}
+			if !g.HasEdge(v, u) {
+				// Cannot fail after the guards above.
+				g.MustAddEdge(v, u)
+			}
+		}
+	}
+	return g
+}

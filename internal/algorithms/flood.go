@@ -1,0 +1,142 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"bcclique/internal/bcc"
+)
+
+// Flood is the naive KT-1 BCC(b) baseline: every vertex broadcasts its
+// full adjacency row — one bit per other vertex, in sorted-ID order —
+// packed b bits per round. After ⌈(n−1)/b⌉ rounds every vertex knows the
+// entire input graph. Θ(n/b) rounds: the curve the O(log n) algorithms
+// are measured against in experiment E12.
+type Flood struct {
+	// B is the per-round bandwidth.
+	B int
+}
+
+// NewFlood returns the baseline with bandwidth b.
+func NewFlood(b int) (*Flood, error) {
+	if b < 1 || b > bcc.MaxBandwidth {
+		return nil, fmt.Errorf("algorithms: bandwidth %d outside [1,%d]", b, bcc.MaxBandwidth)
+	}
+	return &Flood{B: b}, nil
+}
+
+// Name implements bcc.Algorithm.
+func (a *Flood) Name() string { return "flood" }
+
+// Bandwidth implements bcc.Algorithm.
+func (a *Flood) Bandwidth() int { return a.B }
+
+// Rounds implements bcc.Algorithm.
+func (a *Flood) Rounds(n int) int { return (n - 2 + a.B) / a.B } // ⌈(n−1)/B⌉
+
+// NewNode implements bcc.Algorithm.
+func (a *Flood) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
+	node := &floodNode{b: a.B}
+	if view.Knowledge != bcc.KT1 || view.AllIDs == nil {
+		node.broken = true
+		return node
+	}
+	node.ix = newIndexer(view.AllIDs)
+	node.self = node.ix.rank(view.ID)
+	// row[i] = 1 iff the vertex with sorted index i is an input
+	// neighbour. Our own position is skipped in the encoding (n−1 bits).
+	neighbours := make([]bool, node.ix.n())
+	for _, p := range view.InputPorts {
+		neighbours[node.ix.rank(view.PortIDs[p])] = true
+	}
+	for i, isNbr := range neighbours {
+		if i == node.self {
+			continue
+		}
+		node.row = append(node.row, isNbr)
+	}
+	node.portRank = make([]int, view.NumPorts)
+	for p := 0; p < view.NumPorts; p++ {
+		node.portRank[p] = node.ix.rank(view.PortIDs[p])
+	}
+	node.heard = make([][]bool, view.NumPorts)
+	return node
+}
+
+type floodNode struct {
+	b        int
+	ix       *indexer
+	self     int
+	row      []bool
+	portRank []int
+	heard    [][]bool
+	broken   bool
+}
+
+func (n *floodNode) Send(round int) bcc.Message {
+	if n.broken {
+		return bcc.Silence
+	}
+	start := (round - 1) * n.b
+	if start >= len(n.row) {
+		return bcc.Silence
+	}
+	var bits uint64
+	length := 0
+	for i := start; i < len(n.row) && length < n.b; i++ {
+		if n.row[i] {
+			bits |= 1 << uint(length)
+		}
+		length++
+	}
+	return bcc.Word(bits, length)
+}
+
+func (n *floodNode) Receive(_ int, inbox []bcc.Message) {
+	if n.broken {
+		return
+	}
+	for p, m := range inbox {
+		for i := 0; i < int(m.Len); i++ {
+			n.heard[p] = append(n.heard[p], m.BitAt(i) == 1)
+		}
+	}
+}
+
+func (n *floodNode) outputs() componentOutputs {
+	if n.broken {
+		return componentOutputs{verdict: bcc.VerdictNo, label: -1}
+	}
+	nn := n.ix.n()
+	claims := make([][]int, nn)
+	decode := func(v int, row []bool) {
+		// Positions skip v itself.
+		i := 0
+		for w := 0; w < nn; w++ {
+			if w == v {
+				continue
+			}
+			if i < len(row) && row[i] {
+				claims[v] = append(claims[v], w)
+			}
+			i++
+		}
+	}
+	decode(n.self, n.row)
+	for p, row := range n.heard {
+		decode(n.portRank[p], row)
+	}
+	g := claimGraph(nn, claims)
+	return outputsFromGraph(g, n.ix, n.self, false)
+}
+
+// Decide implements bcc.Decider.
+func (n *floodNode) Decide() bcc.Verdict { return n.outputs().verdict }
+
+// Label implements bcc.Labeler.
+func (n *floodNode) Label() int { return n.outputs().label }
+
+var (
+	_ bcc.Algorithm = (*Flood)(nil)
+	_ bcc.Decider   = (*floodNode)(nil)
+	_ bcc.Labeler   = (*floodNode)(nil)
+)

@@ -1,0 +1,148 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bcclique/internal/bcc"
+	"bcclique/internal/graph"
+)
+
+// The probe algorithms below are wiring-insensitive: a vertex's broadcast
+// in round t depends only on the round number, the public coin, and the
+// multiset of bits heard on its input ports — never on port numbers, IDs,
+// or non-input traffic. For such algorithms a vertex's transcript is
+// determined by the input graph alone, so by Lemma 3.4 the
+// indistinguishability-graph quotient over input graphs is exact, and the
+// forced-error experiments of Section 3.1 can charge them exactly.
+
+// Silent is the algorithm in which no vertex ever broadcasts and every
+// vertex answers the fixed verdict. For it, every G^t equals G⁰: the
+// strongest possible indistinguishability, hence maximal forced error.
+type Silent struct {
+	// T is the round budget.
+	T int
+	// Answer is the verdict every vertex outputs.
+	Answer bcc.Verdict
+}
+
+// Name implements bcc.Algorithm.
+func (a Silent) Name() string { return fmt.Sprintf("silent-%v", a.Answer) }
+
+// Bandwidth implements bcc.Algorithm.
+func (Silent) Bandwidth() int { return 1 }
+
+// Rounds implements bcc.Algorithm.
+func (a Silent) Rounds(int) int { return a.T }
+
+// NewNode implements bcc.Algorithm.
+func (a Silent) NewNode(bcc.View, *bcc.Coin) bcc.Node { return silentNode{answer: a.Answer} }
+
+type silentNode struct{ answer bcc.Verdict }
+
+func (silentNode) Send(int) bcc.Message       { return bcc.Silence }
+func (silentNode) Receive(int, []bcc.Message) {}
+func (n silentNode) Decide() bcc.Verdict      { return n.answer }
+
+// CoinCast broadcasts the shared public-coin bits. Every vertex sends the
+// identical sequence, so — like Silent — all edges stay active; the
+// experiment uses it to show randomness without input-dependence cannot
+// escape the crossing argument.
+type CoinCast struct {
+	// T is the round budget.
+	T int
+}
+
+// Name implements bcc.Algorithm.
+func (CoinCast) Name() string { return "coin-cast" }
+
+// Bandwidth implements bcc.Algorithm.
+func (CoinCast) Bandwidth() int { return 1 }
+
+// Rounds implements bcc.Algorithm.
+func (a CoinCast) Rounds(int) int { return a.T }
+
+// NewNode implements bcc.Algorithm.
+func (CoinCast) NewNode(_ bcc.View, coin *bcc.Coin) bcc.Node {
+	return &coinCastNode{rng: coin.Reader()}
+}
+
+type coinCastNode struct{ rng *rand.Rand }
+
+func (n *coinCastNode) Send(int) bcc.Message       { return bcc.Bit(uint8(n.rng.Int63() & 1)) }
+func (n *coinCastNode) Receive(int, []bcc.Message) {}
+func (n *coinCastNode) Decide() bcc.Verdict        { return bcc.VerdictYes }
+
+// InputParity broadcasts, in round 1, the public coin's first bit; in
+// round t > 1 it broadcasts the XOR of the bits heard on its input ports
+// in round t−1 (a wiring-insensitive multiset function). It propagates
+// input-local information around cycles, so labels genuinely fragment
+// over time — the richest probe in the family.
+type InputParity struct {
+	// T is the round budget.
+	T int
+}
+
+// Name implements bcc.Algorithm.
+func (InputParity) Name() string { return "input-parity" }
+
+// Bandwidth implements bcc.Algorithm.
+func (InputParity) Bandwidth() int { return 1 }
+
+// Rounds implements bcc.Algorithm.
+func (a InputParity) Rounds(int) int { return a.T }
+
+// NewNode implements bcc.Algorithm.
+func (InputParity) NewNode(view bcc.View, coin *bcc.Coin) bcc.Node {
+	return &inputParityNode{inputPorts: view.InputPorts, rng: coin.Reader()}
+}
+
+type inputParityNode struct {
+	inputPorts []int
+	rng        *rand.Rand
+	next       uint8
+}
+
+func (n *inputParityNode) Send(round int) bcc.Message {
+	if round == 1 {
+		return bcc.Bit(uint8(n.rng.Int63() & 1))
+	}
+	return bcc.Bit(n.next)
+}
+
+func (n *inputParityNode) Receive(_ int, inbox []bcc.Message) {
+	var x uint8
+	for _, p := range n.inputPorts {
+		x ^= inbox[p].BitAt(0)
+	}
+	n.next = x
+}
+
+func (n *inputParityNode) Decide() bcc.Verdict { return bcc.VerdictYes }
+
+var (
+	_ bcc.Algorithm = Silent{}
+	_ bcc.Algorithm = CoinCast{}
+	_ bcc.Algorithm = InputParity{}
+	_ bcc.Decider   = silentNode{}
+	_ bcc.Decider   = (*coinCastNode)(nil)
+	_ bcc.Decider   = (*inputParityNode)(nil)
+)
+
+// TritLabeler adapts a wiring-insensitive algorithm to the
+// indistinguishability-graph Labeler contract: given an input graph it
+// builds a canonical KT-0 instance, runs t rounds under the fixed coin,
+// and returns each vertex's {0,1,⊥}-broadcast string.
+func TritLabeler(algo bcc.Algorithm, t int, coin *bcc.Coin) func(*graph.Graph) ([]string, error) {
+	return func(g *graph.Graph) ([]string, error) {
+		in, err := bcc.NewKT0(bcc.SequentialIDs(g.N()), g, bcc.RotationWiring(g.N()))
+		if err != nil {
+			return nil, err
+		}
+		res, err := bcc.Run(in, algo, bcc.WithRounds(t), bcc.WithCoin(coin))
+		if err != nil {
+			return nil, err
+		}
+		return bcc.SentTritLabels(res)
+	}
+}

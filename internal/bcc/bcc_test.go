@@ -1,0 +1,570 @@
+package bcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"bcclique/internal/graph"
+)
+
+func TestMessageString(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  Message
+		want string
+	}{
+		{name: "silence", msg: Silence, want: "⊥"},
+		{name: "zero bit", msg: Bit(0), want: "0"},
+		{name: "one bit", msg: Bit(1), want: "1"},
+		{name: "word", msg: Word(0b1101, 4), want: "1011"}, // LSB first
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.msg.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWordTruncates(t *testing.T) {
+	m := Word(0xFF, 3)
+	if m.Bits != 0b111 || m.Len != 3 {
+		t.Errorf("Word(0xFF,3) = %+v, want bits=7 len=3", m)
+	}
+	if Word(5, 0) != Silence {
+		t.Error("Word(_, 0) should be Silence")
+	}
+	if Word(1, 100).Len != MaxBandwidth {
+		t.Error("Word should clamp length to MaxBandwidth")
+	}
+}
+
+func TestBitAt(t *testing.T) {
+	m := Word(0b101, 3)
+	wantBits := []uint8{1, 0, 1}
+	for i, want := range wantBits {
+		if got := m.BitAt(i); got != want {
+			t.Errorf("BitAt(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if m.BitAt(-1) != 0 || m.BitAt(3) != 0 {
+		t.Error("BitAt out of range should be 0")
+	}
+}
+
+func TestTritString(t *testing.T) {
+	s, err := TritString([]Message{Bit(1), Silence, Bit(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "1_0" {
+		t.Errorf("TritString = %q, want %q", s, "1_0")
+	}
+	if _, err := TritString([]Message{Word(3, 2)}); err == nil {
+		t.Error("TritString of 2-bit message succeeded, want error")
+	}
+}
+
+func TestCoinReadersIdentical(t *testing.T) {
+	c := NewCoin(42)
+	r1, r2 := c.Reader(), c.Reader()
+	for i := 0; i < 100; i++ {
+		if r1.Int63() != r2.Int63() {
+			t.Fatal("two readers of the same public coin diverged")
+		}
+	}
+}
+
+func TestNilCoinIsZeros(t *testing.T) {
+	var c *Coin
+	r := c.Reader()
+	for i := 0; i < 10; i++ {
+		if r.Int63()%2 != 0 {
+			t.Fatal("nil coin should behave as the all-zeros string")
+		}
+	}
+	if c.Seed() != 0 {
+		t.Error("nil coin seed should be 0")
+	}
+}
+
+func cycleInput(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	g, err := graph.FromCycle(n, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewKT1CanonicalWiring(t *testing.T) {
+	g := cycleInput(t, 5)
+	ids := []int{50, 10, 40, 20, 30}
+	in, err := NewKT1(ids, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 0 has ID 50; the others sorted by ID are 10,20,30,40 i.e.
+	// vertices 1,3,4,2.
+	wantPorts := []int{1, 3, 4, 2}
+	for p, want := range wantPorts {
+		if got := in.NeighborAt(0, p); got != want {
+			t.Errorf("NeighborAt(0,%d) = %d, want %d", p, got, want)
+		}
+	}
+	view := in.View(0)
+	if view.Knowledge != KT1 {
+		t.Errorf("view knowledge = %v, want KT-1", view.Knowledge)
+	}
+	wantPortIDs := []int{10, 20, 30, 40}
+	for p, want := range wantPortIDs {
+		if view.PortIDs[p] != want {
+			t.Errorf("PortIDs[%d] = %d, want %d", p, view.PortIDs[p], want)
+		}
+	}
+	wantAll := []int{10, 20, 30, 40, 50}
+	for i, want := range wantAll {
+		if view.AllIDs[i] != want {
+			t.Errorf("AllIDs[%d] = %d, want %d", i, view.AllIDs[i], want)
+		}
+	}
+}
+
+func TestKT0ViewHidesIdentity(t *testing.T) {
+	g := cycleInput(t, 6)
+	in, err := NewKT0(SequentialIDs(6), g, RotationWiring(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := in.View(2)
+	if view.AllIDs != nil || view.PortIDs != nil {
+		t.Error("KT-0 view leaks ID information")
+	}
+	if view.NumPorts != 5 {
+		t.Errorf("NumPorts = %d, want 5", view.NumPorts)
+	}
+	if len(view.InputPorts) != 2 {
+		t.Errorf("InputPorts = %v, want 2 ports (cycle input)", view.InputPorts)
+	}
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	g := cycleInput(t, 4)
+	tests := []struct {
+		name   string
+		ids    []int
+		wiring [][]int
+	}{
+		{name: "duplicate IDs", ids: []int{1, 1, 2, 3}, wiring: RotationWiring(4)},
+		{name: "wrong ID count", ids: []int{1, 2, 3}, wiring: RotationWiring(4)},
+		{name: "short wiring", ids: []int{0, 1, 2, 3}, wiring: [][]int{{1, 2, 3}, {0, 2, 3}, {0, 1, 3}}},
+		{name: "self port", ids: []int{0, 1, 2, 3}, wiring: [][]int{{0, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}}},
+		{name: "repeated target", ids: []int{0, 1, 2, 3}, wiring: [][]int{{1, 1, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewKT0(tt.ids, g, tt.wiring); err == nil {
+				t.Error("NewKT0 succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestPortOfRoundTrip(t *testing.T) {
+	g := cycleInput(t, 7)
+	rng := rand.New(rand.NewSource(11))
+	in, err := NewKT0(SequentialIDs(7), g, RandomWiring(7, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 7; v++ {
+		for p := 0; p < 6; p++ {
+			u := in.NeighborAt(v, p)
+			if in.PortOf(v, u) != p {
+				t.Fatalf("PortOf(%d, NeighborAt(%d,%d)) != %d", v, v, p, p)
+			}
+		}
+		if in.PortOf(v, v) != -1 {
+			t.Errorf("PortOf(%d,%d) = %d, want -1", v, v, in.PortOf(v, v))
+		}
+	}
+}
+
+func TestSwapPortTargets(t *testing.T) {
+	g := cycleInput(t, 5)
+	in, err := NewKT0(SequentialIDs(5), g, RotationWiring(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := in.NeighborAt(0, 1), in.NeighborAt(0, 3)
+	if err := in.SwapPortTargets(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if in.NeighborAt(0, 1) != b || in.NeighborAt(0, 3) != a {
+		t.Error("targets not swapped")
+	}
+	if in.PortOf(0, a) != 3 || in.PortOf(0, b) != 1 {
+		t.Error("portTo not updated after swap")
+	}
+	if err := in.SwapPortTargets(0, 0, 99); err == nil {
+		t.Error("SwapPortTargets out of range succeeded, want error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := cycleInput(t, 5)
+	in, err := NewKT0(SequentialIDs(5), g, RotationWiring(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := in.Clone()
+	if err := c.SwapPortTargets(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveInputEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if in.NeighborAt(0, 0) == c.NeighborAt(0, 0) {
+		t.Error("clone shares port state with original")
+	}
+	if !in.Input().HasEdge(0, 1) {
+		t.Error("clone shares input graph with original")
+	}
+}
+
+func TestViewEqual(t *testing.T) {
+	g := cycleInput(t, 5)
+	in, err := NewKT0(SequentialIDs(5), g, RotationWiring(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := in.View(0), in.View(0)
+	if !v1.Equal(v2) {
+		t.Error("identical views not Equal")
+	}
+	other := in.View(1)
+	if v1.Equal(other) {
+		t.Error("views of different vertices Equal")
+	}
+}
+
+// idBroadcastAlgo broadcasts each vertex's ID bit by bit (idBits rounds,
+// bandwidth 1) and collects what arrives on every port. It decides YES iff
+// the reconstructed multiset of IDs has the expected size.
+type idBroadcastAlgo struct {
+	idBits int
+}
+
+func (a idBroadcastAlgo) Name() string     { return "id-broadcast" }
+func (a idBroadcastAlgo) Bandwidth() int   { return 1 }
+func (a idBroadcastAlgo) Rounds(n int) int { return a.idBits }
+
+func (a idBroadcastAlgo) NewNode(view View, _ *Coin) Node {
+	return &idBroadcastNode{view: view, idBits: a.idBits, heard: make([]uint64, view.NumPorts)}
+}
+
+type idBroadcastNode struct {
+	view   View
+	idBits int
+	heard  []uint64
+}
+
+func (n *idBroadcastNode) Send(round int) Message {
+	return Bit(uint8(n.view.ID >> uint(round-1)))
+}
+
+func (n *idBroadcastNode) Receive(round int, inbox []Message) {
+	for p, m := range inbox {
+		n.heard[p] |= uint64(m.BitAt(0)) << uint(round-1)
+	}
+}
+
+func (n *idBroadcastNode) Decide() Verdict {
+	if len(n.heard) == n.view.NumPorts {
+		return VerdictYes
+	}
+	return VerdictNo
+}
+
+func (n *idBroadcastNode) portID(p int) int { return int(n.heard[p]) }
+
+func TestRunnerDeliversOnCorrectPorts(t *testing.T) {
+	g := cycleInput(t, 6)
+	rng := rand.New(rand.NewSource(5))
+	in, err := NewKT0(SequentialIDs(6), g, RandomWiring(6, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo := idBroadcastAlgo{idBits: 3}
+	// Re-run manually to inspect node state: use the public runner but
+	// reconstruct what each port should have heard from the wiring.
+	nodes := make([]*idBroadcastNode, 6)
+	wrapped := nodeCapturingAlgo{algo: algo, out: nodes}
+	res, err := Run(in, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasVerdict || res.Verdict != VerdictYes {
+		t.Fatalf("verdict = %v (has=%v), want YES", res.Verdict, res.HasVerdict)
+	}
+	for v := 0; v < 6; v++ {
+		for p := 0; p < 5; p++ {
+			wantID := in.ID(in.NeighborAt(v, p))
+			if got := nodes[v].portID(p); got != wantID {
+				t.Errorf("vertex %d port %d heard ID %d, want %d", v, p, got, wantID)
+			}
+		}
+	}
+	if res.TotalBits != 6*3 {
+		t.Errorf("TotalBits = %d, want %d", res.TotalBits, 18)
+	}
+}
+
+// nodeCapturingAlgo wraps idBroadcastAlgo to expose the created nodes.
+type nodeCapturingAlgo struct {
+	algo idBroadcastAlgo
+	out  []*idBroadcastNode
+	next int
+}
+
+func (a nodeCapturingAlgo) Name() string     { return a.algo.Name() }
+func (a nodeCapturingAlgo) Bandwidth() int   { return a.algo.Bandwidth() }
+func (a nodeCapturingAlgo) Rounds(n int) int { return a.algo.Rounds(n) }
+
+func (a nodeCapturingAlgo) NewNode(view View, coin *Coin) Node {
+	node, ok := a.algo.NewNode(view, coin).(*idBroadcastNode)
+	if !ok {
+		panic("unexpected node type")
+	}
+	for i := range a.out {
+		if a.out[i] == nil {
+			a.out[i] = node
+			break
+		}
+	}
+	return node
+}
+
+// vetoAlgo has every vertex answer YES except the one whose ID matches
+// vetoID, exercising the all-YES decision semantics.
+type vetoAlgo struct{ vetoID int }
+
+func (a vetoAlgo) Name() string   { return "veto" }
+func (a vetoAlgo) Bandwidth() int { return 1 }
+func (a vetoAlgo) Rounds(int) int { return 0 }
+func (a vetoAlgo) NewNode(view View, _ *Coin) Node {
+	return vetoNode{yes: view.ID != a.vetoID}
+}
+
+type vetoNode struct{ yes bool }
+
+func (vetoNode) Send(int) Message       { return Silence }
+func (vetoNode) Receive(int, []Message) {}
+func (n vetoNode) Decide() Verdict {
+	if n.yes {
+		return VerdictYes
+	}
+	return VerdictNo
+}
+
+func TestSystemVerdictIsConjunction(t *testing.T) {
+	g := cycleInput(t, 4)
+	in, err := NewKT1(SequentialIDs(4), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, vetoAlgo{vetoID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictNo {
+		t.Errorf("one NO vertex should force system NO, got %v", res.Verdict)
+	}
+	res, err = Run(in, vetoAlgo{vetoID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictYes {
+		t.Errorf("all-YES should give system YES, got %v", res.Verdict)
+	}
+}
+
+// greedyAlgo violates its declared bandwidth.
+type greedyAlgo struct{}
+
+func (greedyAlgo) Name() string             { return "greedy" }
+func (greedyAlgo) Bandwidth() int           { return 1 }
+func (greedyAlgo) Rounds(int) int           { return 1 }
+func (greedyAlgo) NewNode(View, *Coin) Node { return greedyNode{} }
+
+type greedyNode struct{}
+
+func (greedyNode) Send(int) Message       { return Word(0b11, 2) }
+func (greedyNode) Receive(int, []Message) {}
+
+func TestBandwidthEnforced(t *testing.T) {
+	g := cycleInput(t, 4)
+	in, err := NewKT1(SequentialIDs(4), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(in, greedyAlgo{}); err == nil {
+		t.Error("Run with over-budget message succeeded, want error")
+	}
+}
+
+func TestWithRoundsTruncates(t *testing.T) {
+	g := cycleInput(t, 4)
+	in, err := NewKT1(SequentialIDs(4), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, idBroadcastAlgo{idBits: 8}, WithRounds(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Errorf("Rounds = %d, want 3", res.Rounds)
+	}
+	if len(res.Transcripts[0].Sent) != 3 {
+		t.Errorf("transcript length = %d, want 3", len(res.Transcripts[0].Sent))
+	}
+}
+
+// coinAlgo broadcasts public-coin bits; all vertices should broadcast the
+// same bit every round since the coin is public.
+type coinAlgo struct{ rounds int }
+
+func (a coinAlgo) Name() string   { return "coin" }
+func (a coinAlgo) Bandwidth() int { return 1 }
+func (a coinAlgo) Rounds(int) int { return a.rounds }
+func (a coinAlgo) NewNode(_ View, coin *Coin) Node {
+	return &coinNode{rng: coin.Reader()}
+}
+
+type coinNode struct{ rng *rand.Rand }
+
+func (n *coinNode) Send(int) Message       { return Bit(uint8(n.rng.Int63() & 1)) }
+func (n *coinNode) Receive(int, []Message) {}
+
+func TestPublicCoinShared(t *testing.T) {
+	g := cycleInput(t, 5)
+	in, err := NewKT1(SequentialIDs(5), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, coinAlgo{rounds: 16}, WithCoin(NewCoin(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := 0; t2 < 16; t2++ {
+		for v := 1; v < 5; v++ {
+			if res.Transcripts[v].Sent[t2] != res.Transcripts[0].Sent[t2] {
+				t.Fatalf("round %d: vertex %d sent %v, vertex 0 sent %v — public coin not shared",
+					t2+1, v, res.Transcripts[v].Sent[t2], res.Transcripts[0].Sent[t2])
+			}
+		}
+	}
+}
+
+func TestRunDeterministicUnderFixedCoin(t *testing.T) {
+	g := cycleInput(t, 5)
+	in, err := NewKT1(SequentialIDs(5), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(in, coinAlgo{rounds: 8}, WithCoin(NewCoin(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(in, coinAlgo{rounds: 8}, WithCoin(NewCoin(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		s1, err := TritString(r1.Transcripts[v].Sent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := TritString(r2.Transcripts[v].Sent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1 != s2 {
+			t.Fatalf("vertex %d transcripts differ across identical runs: %q vs %q", v, s1, s2)
+		}
+	}
+}
+
+func TestEstimateError(t *testing.T) {
+	g := cycleInput(t, 4)
+	in, err := NewKT1(SequentialIDs(4), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vetoAlgo is deterministic: always NO when vetoID matches.
+	errRate, err := EstimateError(in, vetoAlgo{vetoID: 1}, VerdictYes, []int64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errRate != 1.0 {
+		t.Errorf("error rate = %v, want 1.0", errRate)
+	}
+	errRate, err = EstimateError(in, vetoAlgo{vetoID: -1}, VerdictYes, []int64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errRate != 0.0 {
+		t.Errorf("error rate = %v, want 0.0", errRate)
+	}
+}
+
+func TestSentTritLabels(t *testing.T) {
+	g := cycleInput(t, 4)
+	in, err := NewKT1(SequentialIDs(4), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, idBroadcastAlgo{idBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := SentTritLabels(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"00", "10", "01", "11"} // IDs 0..3, LSB first
+	for v, w := range want {
+		if labels[v] != w {
+			t.Errorf("vertex %d label = %q, want %q", v, labels[v], w)
+		}
+	}
+}
+
+func BenchmarkRunIDBroadcast(b *testing.B) {
+	n := 64
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	g, err := graph.FromCycle(n, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := NewKT1(SequentialIDs(n), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo := idBroadcastAlgo{idBits: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(in, algo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

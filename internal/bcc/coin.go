@@ -1,0 +1,45 @@
+package bcc
+
+import "math/rand"
+
+// Coin is the public-coin randomness source of Section 1.2: every vertex
+// observes the same arbitrarily long random string. Each call to Reader
+// returns an independent *rand.Rand positioned at the start of the same
+// deterministic stream, so distinct vertices reading the same prefix see
+// identical values — exactly the "all r_v are identical" public-coin model
+// in which the paper's lower bounds are proved (and which subsumes the
+// private-coin model for lower bounds).
+//
+// A nil *Coin behaves as the all-zeros string, making deterministic
+// algorithms runnable without a coin.
+type Coin struct {
+	seed int64
+}
+
+// NewCoin returns a public coin whose shared random string is derived from
+// seed.
+func NewCoin(seed int64) *Coin { return &Coin{seed: seed} }
+
+// Reader returns a reader of the shared public random string. Every reader
+// produced by the same Coin yields the identical sequence.
+func (c *Coin) Reader() *rand.Rand {
+	if c == nil {
+		return rand.New(zeroSource{})
+	}
+	return rand.New(rand.NewSource(c.seed))
+}
+
+// Seed returns the seed identifying the shared string (0 for a nil coin).
+func (c *Coin) Seed() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.seed
+}
+
+// zeroSource is the all-zeros random source used by nil coins.
+type zeroSource struct{}
+
+func (zeroSource) Int63() int64   { return 0 }
+func (zeroSource) Seed(int64)     {}
+func (zeroSource) Uint64() uint64 { return 0 }

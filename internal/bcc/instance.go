@@ -1,0 +1,344 @@
+package bcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bcclique/internal/graph"
+)
+
+// Knowledge selects the initial-knowledge variant of the model.
+type Knowledge int
+
+const (
+	// KT0 is "Knowledge Till 0 hops": ports are numbered arbitrarily and
+	// carry no information about the vertex at the other end.
+	KT0 Knowledge = iota + 1
+	// KT1 is "Knowledge Till 1 hop": every vertex knows all n IDs, and
+	// each port is labelled with the ID of the vertex behind it.
+	KT1
+)
+
+// String implements fmt.Stringer.
+func (k Knowledge) String() string {
+	switch k {
+	case KT0:
+		return "KT-0"
+	case KT1:
+		return "KT-1"
+	default:
+		return fmt.Sprintf("Knowledge(%d)", int(k))
+	}
+}
+
+// Instance is a size-n instance of the BCC(b) model: n vertices with unique
+// IDs, a clique network whose edges are attached to numbered ports, and an
+// input graph over the same vertices. Some clique edges are input edges;
+// the rest are pure network edges (Section 1.2).
+//
+// Vertices are indexed 0..n-1 for simulation bookkeeping; the index is not
+// part of any vertex's knowledge. Ports at each vertex are indexed
+// 0..n-2.
+type Instance struct {
+	knowledge Knowledge
+	ids       []int
+	ports     [][]int // ports[v][p] = vertex index reached from port p of v
+	portTo    [][]int // portTo[v][u] = port of v leading to u; -1 on diagonal
+	input     *graph.Graph
+}
+
+// NewKT1 builds a KT-1 instance over the given IDs and input graph. The
+// wiring is canonical: port p of a vertex leads to the vertex with the
+// (p+1)-th smallest ID among the other vertices, realizing the model's
+// "ports are labelled by IDs".
+func NewKT1(ids []int, input *graph.Graph) (*Instance, error) {
+	n := len(ids)
+	if err := validateIDs(ids, input); err != nil {
+		return nil, err
+	}
+	order := make([]int, n) // vertex indices sorted by ID
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ids[order[a]] < ids[order[b]] })
+	wiring := make([][]int, n)
+	for v := 0; v < n; v++ {
+		w := make([]int, 0, n-1)
+		for _, u := range order {
+			if u != v {
+				w = append(w, u)
+			}
+		}
+		wiring[v] = w
+	}
+	return newInstance(KT1, ids, input, wiring)
+}
+
+// NewKT0 builds a KT-0 instance with the given wiring: wiring[v] lists, for
+// each port p of v, the vertex index at the other end. Each wiring[v] must
+// be a permutation of the other n-1 vertices. Use RandomWiring or
+// RotationWiring to produce one.
+func NewKT0(ids []int, input *graph.Graph, wiring [][]int) (*Instance, error) {
+	if err := validateIDs(ids, input); err != nil {
+		return nil, err
+	}
+	return newInstance(KT0, ids, input, wiring)
+}
+
+// RandomWiring returns a uniformly random port wiring for n vertices.
+func RandomWiring(n int, rng *rand.Rand) [][]int {
+	wiring := make([][]int, n)
+	for v := 0; v < n; v++ {
+		others := make([]int, 0, n-1)
+		for u := 0; u < n; u++ {
+			if u != v {
+				others = append(others, u)
+			}
+		}
+		rng.Shuffle(len(others), func(i, j int) {
+			others[i], others[j] = others[j], others[i]
+		})
+		wiring[v] = others
+	}
+	return wiring
+}
+
+// RotationWiring returns the deterministic wiring where port p of vertex v
+// leads to vertex (v+p+1) mod n. Useful for reproducible KT-0 instances.
+func RotationWiring(n int) [][]int {
+	wiring := make([][]int, n)
+	for v := 0; v < n; v++ {
+		w := make([]int, n-1)
+		for p := 0; p < n-1; p++ {
+			w[p] = (v + p + 1) % n
+		}
+		wiring[v] = w
+	}
+	return wiring
+}
+
+func validateIDs(ids []int, input *graph.Graph) error {
+	if input == nil {
+		return fmt.Errorf("bcc: nil input graph")
+	}
+	if len(ids) != input.N() {
+		return fmt.Errorf("bcc: %d IDs for input graph on %d vertices", len(ids), input.N())
+	}
+	if len(ids) < 2 {
+		return fmt.Errorf("bcc: need at least 2 vertices, got %d", len(ids))
+	}
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return fmt.Errorf("bcc: duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+func newInstance(k Knowledge, ids []int, input *graph.Graph, wiring [][]int) (*Instance, error) {
+	n := len(ids)
+	if len(wiring) != n {
+		return nil, fmt.Errorf("bcc: wiring for %d vertices, want %d", len(wiring), n)
+	}
+	in := &Instance{
+		knowledge: k,
+		ids:       append([]int(nil), ids...),
+		ports:     make([][]int, n),
+		portTo:    make([][]int, n),
+		input:     input.Clone(),
+	}
+	for v := 0; v < n; v++ {
+		if len(wiring[v]) != n-1 {
+			return nil, fmt.Errorf("bcc: vertex %d has %d ports, want %d", v, len(wiring[v]), n-1)
+		}
+		in.ports[v] = append([]int(nil), wiring[v]...)
+		in.portTo[v] = make([]int, n)
+		for u := range in.portTo[v] {
+			in.portTo[v][u] = -1
+		}
+		for p, u := range wiring[v] {
+			if u < 0 || u >= n || u == v {
+				return nil, fmt.Errorf("bcc: vertex %d port %d targets invalid vertex %d", v, p, u)
+			}
+			if in.portTo[v][u] != -1 {
+				return nil, fmt.Errorf("bcc: vertex %d has two ports to vertex %d", v, u)
+			}
+			in.portTo[v][u] = p
+		}
+	}
+	return in, nil
+}
+
+// SequentialIDs returns the identity ID assignment 0..n-1, handy for
+// experiments where IDs are immaterial.
+func SequentialIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// N returns the number of vertices.
+func (in *Instance) N() int { return len(in.ids) }
+
+// Knowledge returns the instance's knowledge variant.
+func (in *Instance) Knowledge() Knowledge { return in.knowledge }
+
+// ID returns the ID of vertex v.
+func (in *Instance) ID(v int) int { return in.ids[v] }
+
+// IDs returns a copy of the ID assignment, indexed by vertex.
+func (in *Instance) IDs() []int { return append([]int(nil), in.ids...) }
+
+// VertexByID returns the vertex index carrying the given ID, or -1.
+func (in *Instance) VertexByID(id int) int {
+	for v, x := range in.ids {
+		if x == id {
+			return v
+		}
+	}
+	return -1
+}
+
+// Input returns the input graph. The returned graph is owned by the
+// instance and must not be mutated by callers; use AddInputEdge and
+// RemoveInputEdge to modify it.
+func (in *Instance) Input() *graph.Graph { return in.input }
+
+// NeighborAt returns the vertex index at the far end of port p of v.
+func (in *Instance) NeighborAt(v, p int) int { return in.ports[v][p] }
+
+// PortOf returns the port of v whose far end is u (-1 if u == v).
+func (in *Instance) PortOf(v, u int) int { return in.portTo[v][u] }
+
+// InputPorts returns the sorted port numbers of v that carry input edges.
+func (in *Instance) InputPorts(v int) []int {
+	var ports []int
+	for p, u := range in.ports[v] {
+		if in.input.HasEdge(v, u) {
+			ports = append(ports, p)
+		}
+	}
+	return ports
+}
+
+// SwapPortTargets exchanges the far endpoints of ports pA and pB at vertex
+// v, keeping port numbers fixed. This is the rewiring primitive underlying
+// port-preserving crossings (Definition 3.3).
+func (in *Instance) SwapPortTargets(v, pA, pB int) error {
+	if v < 0 || v >= in.N() {
+		return fmt.Errorf("bcc: vertex %d out of range", v)
+	}
+	if pA < 0 || pB < 0 || pA >= in.N()-1 || pB >= in.N()-1 {
+		return fmt.Errorf("bcc: ports %d,%d out of range at vertex %d", pA, pB, v)
+	}
+	a, b := in.ports[v][pA], in.ports[v][pB]
+	in.ports[v][pA], in.ports[v][pB] = b, a
+	in.portTo[v][a], in.portTo[v][b] = pB, pA
+	return nil
+}
+
+// AddInputEdge marks the clique edge {u, v} as an input edge.
+func (in *Instance) AddInputEdge(u, v int) error { return in.input.AddEdge(u, v) }
+
+// RemoveInputEdge unmarks the input edge {u, v}.
+func (in *Instance) RemoveInputEdge(u, v int) error { return in.input.RemoveEdge(u, v) }
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	n := in.N()
+	c := &Instance{
+		knowledge: in.knowledge,
+		ids:       append([]int(nil), in.ids...),
+		ports:     make([][]int, n),
+		portTo:    make([][]int, n),
+		input:     in.input.Clone(),
+	}
+	for v := 0; v < n; v++ {
+		c.ports[v] = append([]int(nil), in.ports[v]...)
+		c.portTo[v] = append([]int(nil), in.portTo[v]...)
+	}
+	return c
+}
+
+// Equal reports whether two instances are identical: same knowledge
+// variant, IDs, port wiring, and input graph. This is the instance
+// identity used when checking that crossing is an involution.
+func (in *Instance) Equal(other *Instance) bool {
+	if other == nil || in.knowledge != other.knowledge || in.N() != other.N() {
+		return false
+	}
+	for v := range in.ids {
+		if in.ids[v] != other.ids[v] {
+			return false
+		}
+		for p := range in.ports[v] {
+			if in.ports[v][p] != other.ports[v][p] {
+				return false
+			}
+		}
+	}
+	return in.input.Equal(other.input)
+}
+
+// View is the initial knowledge of one vertex (Section 1.2). KT-0 views
+// carry only the vertex's own ID, its port count, and which ports are input
+// edges. KT-1 views additionally carry all n IDs and the ID behind every
+// port.
+type View struct {
+	Knowledge  Knowledge
+	N          int   // number of vertices in the network
+	ID         int   // this vertex's ID
+	NumPorts   int   // always N-1
+	InputPorts []int // sorted ports carrying input edges
+	AllIDs     []int // KT-1 only: all n IDs, sorted ascending; nil in KT-0
+	PortIDs    []int // KT-1 only: PortIDs[p] = ID behind port p; nil in KT-0
+}
+
+// View returns the initial knowledge of vertex v.
+func (in *Instance) View(v int) View {
+	view := View{
+		Knowledge:  in.knowledge,
+		N:          in.N(),
+		ID:         in.ids[v],
+		NumPorts:   in.N() - 1,
+		InputPorts: in.InputPorts(v),
+	}
+	if in.knowledge == KT1 {
+		view.AllIDs = append([]int(nil), in.ids...)
+		sort.Ints(view.AllIDs)
+		view.PortIDs = make([]int, in.N()-1)
+		for p, u := range in.ports[v] {
+			view.PortIDs[p] = in.ids[u]
+		}
+	}
+	return view
+}
+
+// Equal reports whether two views represent identical initial knowledge.
+// Indistinguishability arguments (Lemma 3.4) require views to coincide at
+// round 0.
+func (v View) Equal(w View) bool {
+	if v.Knowledge != w.Knowledge || v.N != w.N || v.ID != w.ID || v.NumPorts != w.NumPorts {
+		return false
+	}
+	return intsEqual(v.InputPorts, w.InputPorts) &&
+		intsEqual(v.AllIDs, w.AllIDs) &&
+		intsEqual(v.PortIDs, w.PortIDs)
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+// Package bcc implements the b-bit Broadcast Congested Clique model,
+// BCC(b), exactly as defined in Section 1.2 of Pai & Pemmaraju (PODC 2019):
+// n vertices with unique IDs on a clique communication network, each vertex
+// broadcasting at most b bits per round (or remaining silent, ⊥), with two
+// initial-knowledge variants:
+//
+//   - KT-0: a vertex knows its own ID, its n-1 arbitrarily numbered ports,
+//     and which ports carry input-graph edges. Port labels say nothing
+//     about the identity of the vertex at the other end.
+//   - KT-1: ports are labelled with the IDs of the vertices behind them,
+//     and every vertex knows all n IDs in the network.
+//
+// The package provides instances (network wiring + input graph), per-vertex
+// views, the round-based runner with transcripts, decision semantics
+// (the system answers YES iff every vertex answers YES), and a public-coin
+// randomness source for Monte Carlo algorithms.
+package bcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxBandwidth is the largest supported per-round message size in bits.
+// Messages pack into a uint64; 64 bits is far beyond the b = 1 and
+// b = Θ(log n) regimes the paper studies.
+const MaxBandwidth = 64
+
+// Message is a broadcast payload: a bit string of length Len ≤ 64, or
+// silence (the paper's ⊥) when Len == 0. The zero value is silence.
+type Message struct {
+	Bits uint64 // bit i (LSB first) is the i-th bit of the payload
+	Len  uint8  // number of payload bits; 0 means silent (⊥)
+}
+
+// Silence is the ⊥ message.
+var Silence = Message{}
+
+// Bit returns a 1-bit message carrying b.
+func Bit(b uint8) Message {
+	return Message{Bits: uint64(b & 1), Len: 1}
+}
+
+// Word returns a message carrying the low length bits of bits.
+func Word(bits uint64, length int) Message {
+	if length <= 0 {
+		return Silence
+	}
+	if length > MaxBandwidth {
+		length = MaxBandwidth
+	}
+	if length < 64 {
+		bits &= (uint64(1) << uint(length)) - 1
+	}
+	return Message{Bits: bits, Len: uint8(length)}
+}
+
+// IsSilent reports whether the message is ⊥.
+func (m Message) IsSilent() bool { return m.Len == 0 }
+
+// BitAt returns bit i of the payload (0 if out of range).
+func (m Message) BitAt(i int) uint8 {
+	if i < 0 || i >= int(m.Len) {
+		return 0
+	}
+	return uint8(m.Bits>>uint(i)) & 1
+}
+
+// String renders the message as the paper's characters: "⊥" for silence,
+// otherwise the bit string LSB-first (e.g. "0", "1", "011").
+func (m Message) String() string {
+	if m.IsSilent() {
+		return "⊥"
+	}
+	var sb strings.Builder
+	for i := 0; i < int(m.Len); i++ {
+		sb.WriteByte('0' + m.BitAt(i))
+	}
+	return sb.String()
+}
+
+// Trit encodes a 1-bit-or-silent message as one character over the paper's
+// alphabet {0, 1, ⊥}: '0', '1', or '_'. It returns an error for longer
+// messages, which have no trit encoding.
+func (m Message) Trit() (byte, error) {
+	switch {
+	case m.IsSilent():
+		return '_', nil
+	case m.Len == 1 && m.Bits == 0:
+		return '0', nil
+	case m.Len == 1:
+		return '1', nil
+	default:
+		return 0, fmt.Errorf("bcc: message %q is not a single trit", m)
+	}
+}
+
+// TritString encodes a sequence of 1-bit-or-silent messages as a string
+// over {'0','1','_'}: the per-vertex broadcast sequences x, y ∈ {0,1,⊥}^t
+// used to label edges in the KT-0 lower bound (Section 3).
+func TritString(msgs []Message) (string, error) {
+	b := make([]byte, len(msgs))
+	for i, m := range msgs {
+		t, err := m.Trit()
+		if err != nil {
+			return "", err
+		}
+		b[i] = t
+	}
+	return string(b), nil
+}

@@ -1,0 +1,244 @@
+package bcc
+
+import (
+	"fmt"
+)
+
+// Verdict is a vertex's (or the system's) answer to a decision problem.
+type Verdict int
+
+const (
+	// VerdictNo rejects (e.g. "disconnected").
+	VerdictNo Verdict = iota + 1
+	// VerdictYes accepts (e.g. "connected").
+	VerdictYes
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictNo:
+		return "NO"
+	case VerdictYes:
+		return "YES"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Algorithm is a BCC(b) algorithm: a factory of per-vertex state machines
+// plus its bandwidth and round schedule.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Bandwidth returns the per-round bit budget b the algorithm needs.
+	Bandwidth() int
+	// Rounds returns the number of rounds the algorithm runs on size-n
+	// instances.
+	Rounds(n int) int
+	// NewNode creates the state machine for a vertex with the given
+	// initial knowledge. All vertices share the same public coin.
+	NewNode(view View, coin *Coin) Node
+}
+
+// Node is the per-vertex state machine. In each round t = 1, 2, ... the
+// runner first calls Send(t) on every node, then delivers all broadcasts
+// via Receive(t, inbox), where inbox[p] holds the message heard on port p.
+// The inbox slice is reused between rounds; nodes must copy anything they
+// retain.
+type Node interface {
+	Send(round int) Message
+	Receive(round int, inbox []Message)
+}
+
+// Decider is implemented by nodes solving decision problems such as
+// Connectivity, TwoCycle and MultiCycle. Per Section 1.2, the system
+// outputs YES iff every vertex outputs YES.
+type Decider interface {
+	Decide() Verdict
+}
+
+// Labeler is implemented by nodes solving ConnectedComponents: each vertex
+// outputs the label of the connected component it belongs to.
+type Labeler interface {
+	Label() int
+}
+
+// Transcript records what one vertex sent, and (optionally) received, over
+// the run. Together with the vertex's initial view this is the "state" used
+// in indistinguishability arguments.
+type Transcript struct {
+	Sent     []Message   // Sent[t-1] is the round-t broadcast
+	Received [][]Message // Received[t-1][p]; nil unless requested
+}
+
+// Result is the outcome of running an algorithm on an instance.
+type Result struct {
+	Rounds      int
+	HasVerdict  bool
+	Verdict     Verdict // meaningful only if HasVerdict
+	Labels      []int   // per-vertex labels; nil unless all nodes are Labelers
+	TotalBits   int     // total bits broadcast over the whole run
+	Transcripts []Transcript
+}
+
+// SentSequence returns the broadcast sequence of vertex v.
+func (r *Result) SentSequence(v int) []Message { return r.Transcripts[v].Sent }
+
+// options configures Run.
+type options struct {
+	coin           *Coin
+	rounds         int // -1: use the algorithm's schedule
+	recordReceived bool
+}
+
+// Option configures Run.
+type Option interface {
+	apply(*options)
+}
+
+type coinOption struct{ coin *Coin }
+
+func (o coinOption) apply(opts *options) { opts.coin = o.coin }
+
+// WithCoin runs the algorithm with the given public coin.
+func WithCoin(c *Coin) Option { return coinOption{coin: c} }
+
+type roundsOption int
+
+func (o roundsOption) apply(opts *options) { opts.rounds = int(o) }
+
+// WithRounds overrides the algorithm's round schedule, truncating or
+// extending the run to exactly r rounds. Lower-bound experiments use this
+// to observe the first t rounds of an algorithm.
+func WithRounds(r int) Option { return roundsOption(r) }
+
+type recordReceivedOption struct{}
+
+func (recordReceivedOption) apply(opts *options) { opts.recordReceived = true }
+
+// WithReceivedTranscripts records per-port received messages in the result
+// transcripts (O(n²·t) memory).
+func WithReceivedTranscripts() Option { return recordReceivedOption{} }
+
+// Run executes the algorithm on the instance and returns the result.
+// Sent transcripts are always recorded (they are the labels that drive the
+// crossing machinery); received transcripts only on request.
+func Run(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
+	o := options{rounds: -1}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	n := in.N()
+	b := algo.Bandwidth()
+	if b < 1 || b > MaxBandwidth {
+		return nil, fmt.Errorf("bcc: algorithm %q has bandwidth %d outside [1,%d]", algo.Name(), b, MaxBandwidth)
+	}
+	rounds := o.rounds
+	if rounds < 0 {
+		rounds = algo.Rounds(n)
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("bcc: algorithm %q returned negative round count %d", algo.Name(), rounds)
+	}
+
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = algo.NewNode(in.View(v), o.coin)
+	}
+
+	res := &Result{Rounds: rounds, Transcripts: make([]Transcript, n)}
+	sends := make([]Message, n)
+	inbox := make([]Message, n-1)
+	for t := 1; t <= rounds; t++ {
+		for v := 0; v < n; v++ {
+			m := nodes[v].Send(t)
+			if int(m.Len) > b {
+				return nil, fmt.Errorf("bcc: vertex %d broadcast %d bits in round %d, bandwidth is %d", v, m.Len, t, b)
+			}
+			sends[v] = m
+			res.TotalBits += int(m.Len)
+		}
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if u == v {
+					continue
+				}
+				inbox[in.PortOf(v, u)] = sends[u]
+			}
+			nodes[v].Receive(t, inbox)
+			if o.recordReceived {
+				res.Transcripts[v].Received = append(res.Transcripts[v].Received, append([]Message(nil), inbox...))
+			}
+		}
+		for v := 0; v < n; v++ {
+			res.Transcripts[v].Sent = append(res.Transcripts[v].Sent, sends[v])
+		}
+	}
+
+	res.HasVerdict = true
+	verdict := VerdictYes
+	labels := make([]int, n)
+	allLabelers := true
+	for v := 0; v < n; v++ {
+		if d, ok := nodes[v].(Decider); ok {
+			if d.Decide() == VerdictNo {
+				verdict = VerdictNo
+			}
+		} else {
+			res.HasVerdict = false
+		}
+		if l, ok := nodes[v].(Labeler); ok {
+			labels[v] = l.Label()
+		} else {
+			allLabelers = false
+		}
+	}
+	if res.HasVerdict {
+		res.Verdict = verdict
+	}
+	if allLabelers {
+		res.Labels = labels
+	}
+	return res, nil
+}
+
+// EstimateError runs a Monte Carlo algorithm once per coin seed and returns
+// the fraction of runs whose system verdict differs from want. This is the
+// empirical counterpart of the ε in the paper's ε-error Monte Carlo
+// definition (Section 1.2).
+func EstimateError(in *Instance, algo Algorithm, want Verdict, seeds []int64, opts ...Option) (float64, error) {
+	if len(seeds) == 0 {
+		return 0, fmt.Errorf("bcc: no seeds")
+	}
+	wrong := 0
+	for _, seed := range seeds {
+		res, err := Run(in, algo, append([]Option{WithCoin(NewCoin(seed))}, opts...)...)
+		if err != nil {
+			return 0, err
+		}
+		if !res.HasVerdict {
+			return 0, fmt.Errorf("bcc: algorithm %q produced no verdict", algo.Name())
+		}
+		if res.Verdict != want {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(seeds)), nil
+}
+
+// SentTritLabels returns, for every vertex, the {0,1,⊥}-string it broadcast
+// over the run — the per-vertex sequences x, y used to define edge labels
+// and active edges in the KT-0 lower bound (Section 3). It errors if any
+// message is longer than one bit.
+func SentTritLabels(res *Result) ([]string, error) {
+	labels := make([]string, len(res.Transcripts))
+	for v := range res.Transcripts {
+		s, err := TritString(res.Transcripts[v].Sent)
+		if err != nil {
+			return nil, fmt.Errorf("vertex %d: %w", v, err)
+		}
+		labels[v] = s
+	}
+	return labels, nil
+}

@@ -1,0 +1,56 @@
+package comm
+
+import (
+	"testing"
+
+	"bcclique/internal/linalg"
+	"bcclique/internal/partition"
+)
+
+// matrixMGF2 builds M_n over GF(2).
+func matrixMGF2(n int) *linalg.GF2Matrix {
+	parts := partition.All(n)
+	m := linalg.NewGF2Matrix(len(parts), len(parts))
+	for i, pi := range parts {
+		for j := i; j < len(parts); j++ {
+			join, err := pi.Join(parts[j])
+			if err != nil {
+				panic(err)
+			}
+			m.Set(i, j, join.IsTrivial())
+			m.Set(j, i, join.IsTrivial())
+		}
+	}
+	return m
+}
+
+// TestRankFieldAblation documents why the rank certificate uses a large
+// prime field: rank can only drop modulo a prime, and the drop is real —
+// over GF(2) the Dowling–Wilson matrix M_n loses rank at small n already,
+// so GF(2) elimination could not certify Theorem 2.3. Over GF(2³¹−1) the
+// rank is full at every tested n (TestMatrixMFullRank), which soundly
+// certifies full rank over ℚ.
+func TestRankFieldAblation(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		bn := int(partition.Bell(n).Int64())
+		gf2 := matrixMGF2(n).Rank()
+		if gf2 > bn {
+			t.Fatalf("n=%d: GF(2) rank %d exceeds B_n = %d — impossible", n, gf2, bn)
+		}
+		mp, err := MatrixM(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modp := mp.Rank()
+		if gf2 > modp {
+			t.Fatalf("n=%d: GF(2) rank %d exceeds GF(p) rank %d", n, gf2, modp)
+		}
+		t.Logf("n=%d: B_n=%d, rank over GF(p)=%d, rank over GF(2)=%d", n, bn, modp, gf2)
+		// Measured: the GF(2) rank collapses to exactly 2^{n−1} —
+		// exponentially below B_n = 2^{Θ(n log n)} — so a GF(2)
+		// certificate would be useless for Theorem 2.3 from n = 3 on.
+		if want := 1 << uint(n-1); gf2 != want {
+			t.Errorf("n=%d: GF(2) rank = %d, previously measured 2^{n−1} = %d", n, gf2, want)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package comm implements the 2-party communication-complexity substrate
+// of the paper's KT-1 lower bounds (Section 4): Alice/Bob protocols with
+// exact bit accounting, the Partition / TwoPartition / PartitionComp
+// problems, their communication matrices M_n and E_n, and the rank method
+// (Lemma 1.28 of Kushilevitz–Nisan) that turns rank(M_n) = B_n
+// (Theorem 2.3) and rank(E_n) full (Lemma 4.1) into Ω(n log n) bounds.
+package comm
+
+import (
+	"fmt"
+	"math/big"
+
+	"bcclique/internal/linalg"
+	"bcclique/internal/partition"
+)
+
+// Party identifies a protocol participant.
+type Party int
+
+const (
+	// Alice holds P_A.
+	Alice Party = iota + 1
+	// Bob holds P_B.
+	Bob
+)
+
+// String implements fmt.Stringer.
+func (p Party) String() string {
+	switch p {
+	case Alice:
+		return "Alice"
+	case Bob:
+		return "Bob"
+	default:
+		return fmt.Sprintf("Party(%d)", int(p))
+	}
+}
+
+// Message is one protocol message with its sender and exact bit length.
+type Message struct {
+	From Party
+	Bits []byte
+}
+
+// Execution records a protocol run: the full transcript and its cost.
+type Execution struct {
+	Messages  []Message
+	TotalBits int
+}
+
+func (e *Execution) record(from Party, bits []byte) {
+	e.Messages = append(e.Messages, Message{From: from, Bits: bits})
+	e.TotalBits += len(bits)
+}
+
+// TranscriptKey returns a canonical string for the whole transcript,
+// usable as a map key when computing transcript distributions (the Π of
+// Theorem 4.5).
+func (e *Execution) TranscriptKey() string {
+	key := make([]byte, 0, e.TotalBits+len(e.Messages)*2)
+	for _, m := range e.Messages {
+		key = append(key, byte('0'+int(m.From)), ':')
+		for _, b := range m.Bits {
+			key = append(key, '0'+b)
+		}
+	}
+	return string(key)
+}
+
+// DecisionProtocol solves the Partition decision problem: output 1 iff
+// P_A ∨ P_B is the trivial one-block partition.
+type DecisionProtocol interface {
+	Name() string
+	Decide(pa, pb partition.Partition) (bool, *Execution, error)
+}
+
+// JoinProtocol solves PartitionComp: both parties output P_A ∨ P_B.
+type JoinProtocol interface {
+	Name() string
+	Join(pa, pb partition.Partition) (partition.Partition, *Execution, error)
+}
+
+// EncodePartition writes a partition's restricted growth string with
+// ⌈log₂ n⌉ bits per element: the canonical O(n log n)-bit encoding of a
+// vertex's "connected components" message used by the upper-bound
+// protocol (and by Theorem 4.4's O(n log n) narrative).
+func EncodePartition(p partition.Partition) []byte {
+	w := &BitWriter{}
+	width := BitsFor(p.N())
+	for _, l := range p.Labels() {
+		w.WriteUint(uint64(l), width)
+	}
+	return w.Bits()
+}
+
+// DecodePartition inverts EncodePartition for ground size n.
+func DecodePartition(bits []byte, n int) (partition.Partition, error) {
+	r := NewBitReader(bits)
+	width := BitsFor(n)
+	labels := make([]int, n)
+	for i := range labels {
+		v, err := r.ReadUint(width)
+		if err != nil {
+			return partition.Partition{}, fmt.Errorf("comm: decoding element %d: %w", i, err)
+		}
+		labels[i] = int(v)
+	}
+	return partition.FromLabels(labels), nil
+}
+
+// ComponentsProtocol is the paper's Section 4 upper-bound protocol:
+// "Alice sends all the connected components induced by E_A to Bob, who can
+// determine if G is connected." Alice sends P_A in one O(n log n)-bit
+// message; Bob joins it with P_B and answers. For PartitionComp Bob sends
+// the join back so both parties can output it.
+type ComponentsProtocol struct{}
+
+// Name implements DecisionProtocol and JoinProtocol.
+func (ComponentsProtocol) Name() string { return "components" }
+
+// Decide implements DecisionProtocol.
+func (ComponentsProtocol) Decide(pa, pb partition.Partition) (bool, *Execution, error) {
+	exec := &Execution{}
+	msg := EncodePartition(pa)
+	exec.record(Alice, msg)
+	received, err := DecodePartition(msg, pb.N())
+	if err != nil {
+		return false, nil, err
+	}
+	join, err := received.Join(pb)
+	if err != nil {
+		return false, nil, err
+	}
+	answer := join.IsTrivial()
+	bit := byte(0)
+	if answer {
+		bit = 1
+	}
+	exec.record(Bob, []byte{bit})
+	return answer, exec, nil
+}
+
+// Join implements JoinProtocol.
+func (ComponentsProtocol) Join(pa, pb partition.Partition) (partition.Partition, *Execution, error) {
+	exec := &Execution{}
+	msg := EncodePartition(pa)
+	exec.record(Alice, msg)
+	received, err := DecodePartition(msg, pb.N())
+	if err != nil {
+		return partition.Partition{}, nil, err
+	}
+	join, err := received.Join(pb)
+	if err != nil {
+		return partition.Partition{}, nil, err
+	}
+	back := EncodePartition(join)
+	exec.record(Bob, back)
+	// Alice decodes Bob's message; both now hold the join.
+	out, err := DecodePartition(back, pa.N())
+	if err != nil {
+		return partition.Partition{}, nil, err
+	}
+	return out, exec, nil
+}
+
+// OptimalJoinProtocol sends the rank of P_A in the Bell-number ordering
+// (⌈log₂ B_n⌉ bits) instead of the RGS encoding — the information-
+// theoretically optimal one-way code, matching H(P_A) of Theorem 4.5.
+type OptimalJoinProtocol struct {
+	ranking *partition.Ranking
+}
+
+// NewOptimalJoinProtocol precomputes the ranking tables for ground size n.
+func NewOptimalJoinProtocol(n int) *OptimalJoinProtocol {
+	return &OptimalJoinProtocol{ranking: partition.NewRanking(n)}
+}
+
+// Name implements JoinProtocol.
+func (*OptimalJoinProtocol) Name() string { return "optimal-rank-code" }
+
+// Join implements JoinProtocol.
+func (p *OptimalJoinProtocol) Join(pa, pb partition.Partition) (partition.Partition, *Execution, error) {
+	exec := &Execution{}
+	idx, err := p.ranking.Rank(pa)
+	if err != nil {
+		return partition.Partition{}, nil, err
+	}
+	width := p.ranking.Count().BitLen() // ⌈log₂ B_n⌉ (B_n not a power of 2)
+	w := &BitWriter{}
+	for i := 0; i < width; i++ {
+		w.WriteBit(byte(idx.Bit(i)))
+	}
+	msg := w.Bits()
+	exec.record(Alice, msg)
+
+	// Bob decodes and joins.
+	r := NewBitReader(msg)
+	decoded := new(big.Int)
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return partition.Partition{}, nil, err
+		}
+		decoded.SetBit(decoded, i, uint(b))
+	}
+	received, err := p.ranking.Unrank(decoded)
+	if err != nil {
+		return partition.Partition{}, nil, err
+	}
+	join, err := received.Join(pb)
+	if err != nil {
+		return partition.Partition{}, nil, err
+	}
+	back := EncodePartition(join)
+	exec.record(Bob, back)
+	out, err := DecodePartition(back, pa.N())
+	if err != nil {
+		return partition.Partition{}, nil, err
+	}
+	return out, exec, nil
+}
+
+var (
+	_ DecisionProtocol = ComponentsProtocol{}
+	_ JoinProtocol     = ComponentsProtocol{}
+	_ JoinProtocol     = (*OptimalJoinProtocol)(nil)
+)
+
+// VerifyDecisionProtocol checks a decision protocol against the ground
+// truth on every pair of partitions of [n] (B_n² pairs; keep n small). It
+// returns the number of pairs checked.
+func VerifyDecisionProtocol(p DecisionProtocol, n int) (int, error) {
+	parts := partition.All(n)
+	checked := 0
+	for _, pa := range parts {
+		for _, pb := range parts {
+			got, _, err := p.Decide(pa, pb)
+			if err != nil {
+				return checked, err
+			}
+			join, err := pa.Join(pb)
+			if err != nil {
+				return checked, err
+			}
+			if got != join.IsTrivial() {
+				return checked, fmt.Errorf("comm: %s wrong on (%v, %v): got %v", p.Name(), pa, pb, got)
+			}
+			checked++
+		}
+	}
+	return checked, nil
+}
+
+// VerifyJoinProtocol checks a join protocol on every pair of partitions of
+// [n], returning the number of pairs checked and the maximum transcript
+// length observed.
+func VerifyJoinProtocol(p JoinProtocol, n int) (checked, maxBits int, err error) {
+	parts := partition.All(n)
+	for _, pa := range parts {
+		for _, pb := range parts {
+			got, exec, err := p.Join(pa, pb)
+			if err != nil {
+				return checked, maxBits, err
+			}
+			want, err := pa.Join(pb)
+			if err != nil {
+				return checked, maxBits, err
+			}
+			if !got.Equal(want) {
+				return checked, maxBits, fmt.Errorf("comm: %s wrong on (%v, %v): got %v, want %v",
+					p.Name(), pa, pb, got, want)
+			}
+			if exec.TotalBits > maxBits {
+				maxBits = exec.TotalBits
+			}
+			checked++
+		}
+	}
+	return checked, maxBits, nil
+}
+
+// MatrixM builds the communication matrix M_n of Theorem 2.3:
+// M_n[i][j] = 1 iff P_i ∨ P_j is trivial, over all B_n partitions in
+// ranking order, as a matrix over GF(p) with the package's default prime.
+func MatrixM(n int) (*linalg.ModMatrix, error) {
+	parts := partition.All(n)
+	return joinMatrix(parts)
+}
+
+// MatrixE builds the TwoPartition sub-matrix E_n of Lemma 4.1: rows and
+// columns are the (n−1)!! perfect pairings of [n] (n even).
+func MatrixE(n int) (*linalg.ModMatrix, error) {
+	if n <= 0 || n%2 != 0 {
+		return nil, fmt.Errorf("comm: E_n needs even n, got %d", n)
+	}
+	pairings := partition.AllPairings(n)
+	return joinMatrix(pairings)
+}
+
+func joinMatrix(parts []partition.Partition) (*linalg.ModMatrix, error) {
+	m, err := linalg.NewModMatrix(len(parts), len(parts), linalg.DefaultPrime)
+	if err != nil {
+		return nil, err
+	}
+	for i, pi := range parts {
+		for j := i; j < len(parts); j++ {
+			join, err := pi.Join(parts[j])
+			if err != nil {
+				return nil, err
+			}
+			triv := join.IsTrivial()
+			m.SetBit(i, j, triv)
+			m.SetBit(j, i, triv) // M is symmetric
+		}
+	}
+	return m, nil
+}
+
+// RankLowerBoundBits converts a matrix rank into the deterministic
+// communication lower bound of Lemma 1.28 of Kushilevitz–Nisan:
+// D(f) ≥ log₂ rank(M_f).
+func RankLowerBoundBits(rank *big.Int) float64 {
+	return partition.Log2Big(rank)
+}

@@ -1,0 +1,207 @@
+package comm
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bcclique/internal/partition"
+)
+
+func TestBitRoundTrip(t *testing.T) {
+	w := &BitWriter{}
+	w.WriteUint(0b1011, 4)
+	w.WriteBit(1)
+	w.WriteUint(7, 3)
+	if w.Len() != 8 {
+		t.Fatalf("Len() = %d, want 8", w.Len())
+	}
+	r := NewBitReader(w.Bits())
+	if v, err := r.ReadUint(4); err != nil || v != 0b1011 {
+		t.Errorf("ReadUint(4) = %d, %v; want 11", v, err)
+	}
+	if b, err := r.ReadBit(); err != nil || b != 1 {
+		t.Errorf("ReadBit() = %d, %v; want 1", b, err)
+	}
+	if v, err := r.ReadUint(3); err != nil || v != 7 {
+		t.Errorf("ReadUint(3) = %d, %v; want 7", v, err)
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Error("reading past end succeeded, want error")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	tests := []struct{ m, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, tt := range tests {
+		if got := BitsFor(tt.m); got != tt.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestEncodeDecodePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		p := partition.Random(n, rng)
+		bits := EncodePartition(p)
+		if len(bits) != n*BitsFor(n) {
+			t.Fatalf("encoding of n=%d partition has %d bits, want %d", n, len(bits), n*BitsFor(n))
+		}
+		back, err := DecodePartition(bits, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip failed: %v -> %v", p, back)
+		}
+	}
+}
+
+func TestComponentsProtocolDecide(t *testing.T) {
+	checked, err := VerifyDecisionProtocol(ComponentsProtocol{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := 52 * 52 // B_5²
+	if checked != wantPairs {
+		t.Errorf("checked %d pairs, want %d", checked, wantPairs)
+	}
+}
+
+func TestComponentsProtocolJoin(t *testing.T) {
+	checked, maxBits, err := VerifyJoinProtocol(ComponentsProtocol{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != 52*52 {
+		t.Errorf("checked %d pairs, want %d", checked, 52*52)
+	}
+	// Two messages of n·⌈log₂ n⌉ = 5·3 bits each.
+	if maxBits != 30 {
+		t.Errorf("max transcript = %d bits, want 30", maxBits)
+	}
+}
+
+func TestOptimalJoinProtocol(t *testing.T) {
+	p := NewOptimalJoinProtocol(5)
+	checked, maxBits, err := VerifyJoinProtocol(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != 52*52 {
+		t.Errorf("checked %d pairs, want %d", checked, 52*52)
+	}
+	// Alice's message is ⌈log₂ 52⌉ = 6 bits, Bob's reply 15 bits.
+	if maxBits != 6+15 {
+		t.Errorf("max transcript = %d bits, want 21", maxBits)
+	}
+}
+
+func TestTranscriptKeyDistinguishesInputs(t *testing.T) {
+	proto := ComponentsProtocol{}
+	keys := make(map[string]partition.Partition)
+	for _, pa := range partition.All(4) {
+		_, exec, err := proto.Join(pa, partition.Finest(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := exec.TranscriptKey()
+		if prev, ok := keys[k]; ok {
+			t.Fatalf("transcripts collide for %v and %v", prev, pa)
+		}
+		keys[k] = pa
+	}
+}
+
+// TestMatrixMFullRank is the executable Theorem 2.3 (Dowling–Wilson):
+// rank(M_n) = B_n. Full rank over GF(p) certifies full rank over ℚ.
+func TestMatrixMFullRank(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		m, err := MatrixM(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(partition.Bell(n).Int64())
+		if m.Rows() != want {
+			t.Fatalf("n=%d: M has %d rows, want B_n = %d", n, m.Rows(), want)
+		}
+		if got := m.Rank(); got != want {
+			t.Errorf("n=%d: rank(M) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestMatrixEFullRank is the executable Lemma 4.1: rank(E_n) = (n−1)!!.
+func TestMatrixEFullRank(t *testing.T) {
+	for n := 2; n <= 8; n += 2 {
+		m, err := MatrixE(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(partition.NumPairings(n).Int64())
+		if m.Rows() != want {
+			t.Fatalf("n=%d: E has %d rows, want (n−1)!! = %d", n, m.Rows(), want)
+		}
+		if got := m.Rank(); got != want {
+			t.Errorf("n=%d: rank(E) = %d, want %d", n, got, want)
+		}
+	}
+	if _, err := MatrixE(5); err == nil {
+		t.Error("MatrixE(5) succeeded on odd n, want error")
+	}
+}
+
+func TestRankLowerBoundBits(t *testing.T) {
+	// log₂ 877 ≈ 9.78 (B_7): the Corollary 2.4 bound at n=7.
+	got := RankLowerBoundBits(big.NewInt(877))
+	if got < 9.7 || got > 9.8 {
+		t.Errorf("RankLowerBoundBits(877) = %v, want ≈ 9.776", got)
+	}
+}
+
+// TestUpperLowerBoundSandwich verifies the paper's Section 4 story at
+// small n: the deterministic lower bound log₂ B_n is at most the honest
+// protocol's cost n⌈log₂ n⌉ (+ answer bit), and both are Θ(n log n).
+func TestUpperLowerBoundSandwich(t *testing.T) {
+	for n := 3; n <= 9; n++ {
+		lower := RankLowerBoundBits(partition.Bell(n))
+		upper := float64(n*BitsFor(n) + 1)
+		if lower > upper {
+			t.Errorf("n=%d: rank bound %v exceeds protocol cost %v", n, lower, upper)
+		}
+		if lower < float64(n) { // log₂ B_n ≥ n for n ≥ ... (loose sanity)
+			if n >= 6 {
+				t.Errorf("n=%d: lower bound %v suspiciously small", n, lower)
+			}
+		}
+	}
+}
+
+func BenchmarkMatrixM5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := MatrixM(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Rank() != 52 {
+			b.Fatal("rank != 52")
+		}
+	}
+}
+
+func BenchmarkComponentsJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pa := partition.Random(64, rng)
+	pb := partition.Random(64, rng)
+	proto := ComponentsProtocol{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := proto.Join(pa, pb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

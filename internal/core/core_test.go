@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bcclique/internal/algorithms"
+	"bcclique/internal/bcc"
+)
+
+func TestCertifyKT0Silent(t *testing.T) {
+	// The silent algorithm leaves every edge active forever: G^t = G⁰,
+	// so the optimal-rule error stays at the constant 1/2 of the smaller
+	// side's mass… exactly: every instance is connected to everything in
+	// its orbit; since V1∪V2 is one crossing-connected family, error =
+	// min(1/2, 1/2) = 1/2? Not quite: the component structure decides.
+	// What the theorem needs: error bounded below by a constant.
+	algo := algorithms.Silent{T: 4, Answer: bcc.VerdictYes}
+	cert, err := CertifyKT0(7, 4, algo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.ActiveEdges != 7 {
+		t.Errorf("active edges = %d, want 7 (all edges active under silence)", cert.ActiveEdges)
+	}
+	if cert.OptimalRuleError < 0.24 {
+		t.Errorf("optimal-rule error = %v, want ≥ 1/4 (constant forced error)", cert.OptimalRuleError)
+	}
+	if cert.StarPackingError > cert.OptimalRuleError+1e-12 {
+		t.Errorf("star bound %v exceeds optimal-rule error %v", cert.StarPackingError, cert.OptimalRuleError)
+	}
+	// Silent-YES answers YES everywhere: error = µ(V2) = 1/2 exactly.
+	if !cert.HasMeasured || math.Abs(cert.MeasuredError-0.5) > 1e-12 {
+		t.Errorf("measured error = %v (has=%v), want 0.5", cert.MeasuredError, cert.HasMeasured)
+	}
+	if cert.MeasuredError < cert.OptimalRuleError-1e-12 {
+		t.Errorf("measured error %v beats the optimal rule %v — impossible", cert.MeasuredError, cert.OptimalRuleError)
+	}
+}
+
+func TestCertifyKT0CoinCast(t *testing.T) {
+	// CoinCast labels are identical across vertices, so all edges stay
+	// active and the forced error remains constant despite randomness.
+	algo := algorithms.CoinCast{T: 3}
+	cert, err := CertifyKT0(7, 3, algo, bcc.NewCoin(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.ActiveEdges != 7 {
+		t.Errorf("active edges = %d, want 7", cert.ActiveEdges)
+	}
+	if cert.OptimalRuleError < 0.24 {
+		t.Errorf("optimal-rule error = %v, want ≥ 1/4", cert.OptimalRuleError)
+	}
+}
+
+func TestCertifyKT0InputParity(t *testing.T) {
+	// InputParity genuinely fragments labels; the certificate must still
+	// satisfy the structural inequalities.
+	algo := algorithms.InputParity{T: 3}
+	cert, err := CertifyKT0(7, 3, algo, bcc.NewCoin(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.ActiveEdges < 1 {
+		t.Fatal("dominant pair has no active edges")
+	}
+	if cert.StarPackingError > cert.OptimalRuleError+1e-12 {
+		t.Errorf("star bound %v exceeds optimal-rule error %v", cert.StarPackingError, cert.OptimalRuleError)
+	}
+	if cert.HasMeasured && cert.MeasuredError < cert.OptimalRuleError-1e-12 {
+		t.Errorf("measured error %v beats optimal rule %v", cert.MeasuredError, cert.OptimalRuleError)
+	}
+}
+
+func TestWarmupErrorBound(t *testing.T) {
+	// At t=0 the bound is C(s,2)/(2·C(s,2)) = 1/2 (all edges share the
+	// empty label).
+	if got := WarmupErrorBound(30, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("WarmupErrorBound(30,0) = %v, want 0.5", got)
+	}
+	// Decreasing in t, and 0 once 3^{2t} kills the class size.
+	prev := 1.0
+	for tt := 0; tt <= 4; tt++ {
+		b := WarmupErrorBound(3000, tt)
+		if b > prev {
+			t.Errorf("bound not decreasing at t=%d: %v > %v", tt, b, prev)
+		}
+		prev = b
+	}
+	if got := WarmupErrorBound(9, 3); got != 0 {
+		t.Errorf("tiny n, large t: bound = %v, want 0", got)
+	}
+	// Shape: bound ≈ 3^{-4t}/2 for large n (C(s',2)/(2·C(s,2)) with
+	// s' = s/3^{2t}).
+	n := 1 << 20
+	r := WarmupErrorBound(n, 2) / math.Pow(3, -8)
+	if r < 0.4 || r > 0.6 {
+		t.Errorf("bound/3^{-4t} = %v, want ≈ 1/2", r)
+	}
+}
+
+func TestKT0RoundLowerBoundGrows(t *testing.T) {
+	if KT0RoundLowerBound(81) <= KT0RoundLowerBound(9) {
+		t.Error("lower bound not increasing in n")
+	}
+	want := 0.1 * 4 // log₃ 81 = 4
+	if got := KT0RoundLowerBound(81); math.Abs(got-want) > 1e-9 {
+		t.Errorf("KT0RoundLowerBound(81) = %v, want %v", got, want)
+	}
+}
+
+func TestCertifyKT1Verified(t *testing.T) {
+	cert, err := CertifyKT1(6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.RankVerified {
+		t.Error("ranks not verified at n=6")
+	}
+	if cert.PairingRank.Int64() != 15 {
+		t.Errorf("pairing rank = %v, want 15", cert.PairingRank)
+	}
+	if cert.PartitionRank.Int64() != 203 {
+		t.Errorf("partition rank = %v, want B_6 = 203", cert.PartitionRank)
+	}
+	// Wire: 2 parties × 6 symbols × 2 bits.
+	if cert.WireBitsPerRound != 24 {
+		t.Errorf("wire bits per round = %d, want 24", cert.WireBitsPerRound)
+	}
+	if cert.RoundLowerBound <= 0 {
+		t.Error("round lower bound not positive")
+	}
+	// Upper bound (2⌈log₂ 12⌉ = 8 rounds) must beat the lower bound.
+	if float64(cert.UpperBoundRounds) < cert.RoundLowerBound {
+		t.Errorf("upper bound %d below lower bound %v", cert.UpperBoundRounds, cert.RoundLowerBound)
+	}
+}
+
+func TestCertifyKT1Errors(t *testing.T) {
+	if _, err := CertifyKT1(5, false); err == nil {
+		t.Error("odd n accepted")
+	}
+	if _, err := CertifyKT1(0, false); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestKT1AsymptoticShape(t *testing.T) {
+	// The bound divided by log₂ n must stay within a constant band:
+	// log₂((n−1)!!)/(4n) ≈ (log₂ n)/8.
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		b := KT1RoundLowerBoundAsymptotic(n)
+		ratio := b / (math.Log2(float64(n)) / 8)
+		if ratio < 0.5 || ratio > 1.2 {
+			t.Errorf("n=%d: bound/( (log₂ n)/8 ) = %v outside [0.5, 1.2]", n, ratio)
+		}
+	}
+}
+
+func TestCertifyInfoZeroError(t *testing.T) {
+	cert, err := CertifyInfo(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ε = 0 both channels are the identity: I = H(P_A) = log₂ 52.
+	want := math.Log2(52)
+	if math.Abs(cert.ErasureMI-want) > 1e-9 {
+		t.Errorf("erasure MI = %v, want %v", cert.ErasureMI, want)
+	}
+	if math.Abs(cert.ScrambleMI-want) > 1e-9 {
+		t.Errorf("scramble MI = %v, want %v", cert.ScrambleMI, want)
+	}
+	if math.Abs(cert.Bound-want) > 1e-9 {
+		t.Errorf("bound = %v, want %v", cert.Bound, want)
+	}
+	if cert.TranscriptBits < int(want) {
+		t.Errorf("transcript bits %d below entropy %v — impossible coding", cert.TranscriptBits, want)
+	}
+}
+
+func TestCertifyInfoWithError(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.1, 0.25} {
+		cert, err := CertifyInfo(5, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The erasure channel meets the paper's bound with equality:
+		// I = (1−ε)·H exactly.
+		if math.Abs(cert.ErasureMI-cert.Bound) > 1e-9 {
+			t.Errorf("ε=%v: erasure MI = %v, want bound %v (equality)", eps, cert.ErasureMI, cert.Bound)
+		}
+		// The scramble channel loses a bit more but obeys Fano.
+		if cert.ScrambleMI < cert.Fano-1e-9 {
+			t.Errorf("ε=%v: scramble MI = %v below Fano %v", eps, cert.ScrambleMI, cert.Fano)
+		}
+		if cert.ScrambleMI > cert.Bound+1e-9 {
+			t.Errorf("ε=%v: scramble MI = %v above the ε-error ceiling %v", eps, cert.ScrambleMI, cert.Bound)
+		}
+	}
+}
+
+func TestCertifyInfoValidation(t *testing.T) {
+	if _, err := CertifyInfo(0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := CertifyInfo(4, 1.5); err == nil {
+		t.Error("ε=1.5 accepted")
+	}
+}
+
+func TestInfoRoundLowerBoundGrows(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{8, 16, 32, 64} {
+		b := InfoRoundLowerBoundAsymptotic(n, 0.1)
+		if b <= prev {
+			t.Errorf("n=%d: bound %v did not grow (prev %v)", n, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestSampleJoinIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if err := SampleJoinIdentity(12, 50, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCertifyKT0(b *testing.B) {
+	algo := algorithms.InputParity{T: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := CertifyKT0(7, 2, algo, bcc.NewCoin(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCertifyInfo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := CertifyInfo(5, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bcclique/internal/comm"
+	"bcclique/internal/info"
+	"bcclique/internal/partition"
+)
+
+// InfoCertificate packages Theorem 4.5: under the hard distribution
+// (P_A uniform over all B_n partitions, P_B the finest partition, so the
+// join equals P_A), any ε-error PartitionComp protocol's transcript Π
+// satisfies I(P_A; Π) ≥ (1−ε)·H(P_A) = Ω(n log n); through the
+// Theorem 4.4 reduction this forces Ω(log n) rounds for KT-1 Monte Carlo
+// ConnectedComponents.
+type InfoCertificate struct {
+	N   int
+	Eps float64
+	// HPA = log₂ B_n: the entropy of Alice's input.
+	HPA float64
+	// ErasureMI is the exact I(P_A; Π) of the ε-erasure protocol (with
+	// probability ε the transcript is a garbage symbol carrying
+	// nothing). The paper's bound holds with equality for it.
+	ErasureMI float64
+	// ScrambleMI is the exact I(P_A; Π) of the ε-scramble protocol
+	// (with probability ε the transcript encodes a uniformly random
+	// other partition); it obeys the Fano bound.
+	ScrambleMI float64
+	// Bound = (1−ε)·H(P_A): the paper's Theorem 4.5 lower bound.
+	Bound float64
+	// Fano is the classical Fano lower bound for comparison.
+	Fano float64
+	// TranscriptBits is the honest protocol's cost (an upper bound on
+	// achievable |Π|, sandwiching the bound).
+	TranscriptBits int
+	// RoundLowerBound = Bound / (8n): rounds for ConnectedComponents in
+	// KT-1 BCC(1) via the 4n-vertex reduction (each party ships 2n
+	// 2-bit symbols per round).
+	RoundLowerBound float64
+}
+
+// CertifyInfo computes the certificate exactly by enumerating all B_n
+// partitions (n ≤ 8 is comfortable; the scramble channel squares the
+// support, so it is skipped above maxScrambleN).
+func CertifyInfo(n int, eps float64) (*InfoCertificate, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: info certificate needs n ≥ 1, got %d", n)
+	}
+	if eps < 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: error rate %v outside [0,1)", eps)
+	}
+	parts := partition.All(n)
+	bn := len(parts)
+	uniform := 1.0 / float64(bn)
+	proto := comm.ComponentsProtocol{}
+	finest := partition.Finest(n)
+
+	// Honest transcripts (PB = finest ⇒ join = PA, so the transcript
+	// determines PA).
+	transcripts := make([]string, bn)
+	maxBits := 0
+	for i, pa := range parts {
+		_, exec, err := proto.Join(pa, finest)
+		if err != nil {
+			return nil, err
+		}
+		transcripts[i] = exec.TranscriptKey()
+		if exec.TotalBits > maxBits {
+			maxBits = exec.TotalBits
+		}
+	}
+
+	cert := &InfoCertificate{
+		N:              n,
+		Eps:            eps,
+		HPA:            partition.Log2Big(partition.Bell(n)),
+		TranscriptBits: maxBits,
+	}
+	cert.Bound = info.Theorem45Bound(cert.HPA, eps)
+	cert.Fano = info.FanoBound(cert.HPA, eps, bn)
+	cert.RoundLowerBound = cert.Bound / float64(8*n)
+
+	// Erasure channel: with probability ε the transcript is ⊥.
+	erasure := info.NewJoint()
+	for i := range parts {
+		erasure.Add(transcripts[i], transcripts[i], (1-eps)*uniform)
+		if eps > 0 {
+			erasure.Add(transcripts[i], "⊥", eps*uniform)
+		}
+	}
+	if err := erasure.Validate(); err != nil {
+		return nil, fmt.Errorf("core: erasure joint: %w", err)
+	}
+	// X is PA (keyed by its honest transcript — a bijection), Y is Π.
+	cert.ErasureMI = erasure.MutualInformation()
+
+	// Scramble channel: with probability ε the transcript encodes a
+	// uniformly random other partition.
+	if bn > 1 && bn <= maxScrambleSupport {
+		scramble := info.NewJoint()
+		for i := range parts {
+			scramble.Add(transcripts[i], transcripts[i], (1-eps)*uniform)
+			if eps > 0 {
+				share := eps * uniform / float64(bn-1)
+				for j := range parts {
+					if j != i {
+						scramble.Add(transcripts[i], transcripts[j], share)
+					}
+				}
+			}
+		}
+		if err := scramble.Validate(); err != nil {
+			return nil, fmt.Errorf("core: scramble joint: %w", err)
+		}
+		cert.ScrambleMI = scramble.MutualInformation()
+	} else {
+		cert.ScrambleMI = -1 // not computed
+	}
+	return cert, nil
+}
+
+// maxScrambleSupport caps the B_n² joint of the scramble channel.
+const maxScrambleSupport = 5000
+
+// InfoRoundLowerBoundAsymptotic returns the Θ(log n) shape of the
+// Theorem 4.5 round bound at error ε: (1−ε)·log₂ B_n / (8n).
+func InfoRoundLowerBoundAsymptotic(n int, eps float64) float64 {
+	return info.Theorem45Bound(partition.Log2Big(partition.Bell(n)), eps) / float64(8*n)
+}
+
+// SampleJoinIdentity spot-checks the hard distribution's defining
+// property — P_A ∨ finest = P_A — on random partitions (used by tests
+// and the experiment harness as a sanity gate).
+func SampleJoinIdentity(n, trials int, rng *rand.Rand) error {
+	finest := partition.Finest(n)
+	for i := 0; i < trials; i++ {
+		pa := partition.Random(n, rng)
+		j, err := pa.Join(finest)
+		if err != nil {
+			return err
+		}
+		if !j.Equal(pa) {
+			return fmt.Errorf("core: P_A ∨ finest = %v ≠ P_A = %v", j, pa)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bcclique/internal/algorithms"
+	"bcclique/internal/bcc"
+	"bcclique/internal/comm"
+	"bcclique/internal/crossing"
+	"bcclique/internal/graph"
+	"bcclique/internal/indist"
+	"bcclique/internal/partition"
+	"bcclique/internal/reduction"
+)
+
+// TestQuotientMatchesInstanceLevel ties the indistinguishability-graph
+// quotient (package indist, input graphs as nodes) back to instance-level
+// ground truth: for edges {I1, I2} of G^t built from a wiring-insensitive
+// probe, the corresponding instances — I1 with canonical wiring and its
+// actual Definition 3.3 crossing — must be indistinguishable after t
+// rounds at the transcript level.
+func TestQuotientMatchesInstanceLevel(t *testing.T) {
+	const (
+		n = 7
+		T = 3
+	)
+	coin := bcc.NewCoin(5)
+	algo := algorithms.InputParity{T: T}
+	labeler := algorithms.TritLabeler(algo, T, coin)
+
+	// Dominant pair on the reference cycle.
+	ref := indistReferenceCycle(t, n)
+	labels, err := labeler(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, _, err := crossing.DominantLabelPair(ref, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := indist.New(n, labeler, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checked := 0
+	for i := 0; i < g.NumOne() && checked < 25; i++ {
+		if g.DegreeOne(i) == 0 {
+			continue
+		}
+		gg := g.OneCycle(i)
+		in, err := bcc.NewKT0(bcc.SequentialIDs(n), gg, bcc.RotationWiring(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		instLabels, err := labeler(gg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		active, err := crossing.ActiveEdges(gg, instLabels, x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a, e1 := range active {
+			for _, e2 := range active[a+1:] {
+				if !crossing.Independent(gg, e1, e2) {
+					continue
+				}
+				crossed, err := crossing.Cross(in, e1, e2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				same, err := crossing.VerifyIndistinguishable(in, crossed, algo, T, coin)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !same {
+					t.Fatalf("quotient edge not indistinguishable at instance level: one-cycle %d, %v × %v", i, e1, e2)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no quotient edges checked — test vacuous")
+	}
+}
+
+// indistReferenceCycle builds the canonical reference cycle 0-1-…-n-1,
+// matching the one CertifyKT0 uses for the pigeonhole step.
+func indistReferenceCycle(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	g, err := graph.FromCycle(n, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFullKT1Pipeline runs the complete deterministic KT-1 chain:
+// TwoPartition inputs → MultiCycle graph → BCC algorithm → Alice/Bob
+// simulation → cost vs the rank bound — and checks every link agrees.
+func TestFullKT1Pipeline(t *testing.T) {
+	const n = 8
+	rng := rand.New(rand.NewSource(12))
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccBound := comm.RankLowerBoundBits(partition.NumPairings(n))
+
+	for trial := 0; trial < 10; trial++ {
+		pa, _ := partition.RandomPairing(n, rng)
+		pb, _ := partition.RandomPairing(n, rng)
+		sim, err := reduction.Simulate(algo, pa, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sim.MatchesDirect {
+			t.Fatal("simulation diverged from direct run")
+		}
+		// The protocol the simulation realizes costs WireBits; it solves
+		// TwoPartition, so it cannot beat the rank bound.
+		if float64(sim.WireBits) < ccBound {
+			t.Fatalf("simulation used %d bits, below the rank bound %.1f — impossible", sim.WireBits, ccBound)
+		}
+		// And the verdict solves the decision problem.
+		join, err := pa.Join(pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bcc.VerdictNo
+		if join.IsTrivial() {
+			want = bcc.VerdictYes
+		}
+		if sim.Verdict != want {
+			t.Fatalf("PA=%v PB=%v: verdict %v, want %v", pa, pb, sim.Verdict, want)
+		}
+	}
+}
+
+// TestCertificatesAgreeAcrossSizes checks monotone structure across n:
+// KT-1 round lower bounds grow, and the measured upper bounds stay above
+// them at every size.
+func TestCertificatesAgreeAcrossSizes(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{6, 8, 10, 12} {
+		cert, err := CertifyKT1(n, n <= 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.RoundLowerBound <= prev {
+			t.Errorf("n=%d: lower bound %v did not grow (prev %v)", n, cert.RoundLowerBound, prev)
+		}
+		prev = cert.RoundLowerBound
+		if float64(cert.UpperBoundRounds) < cert.RoundLowerBound {
+			t.Errorf("n=%d: UB %d below LB %v", n, cert.UpperBoundRounds, cert.RoundLowerBound)
+		}
+	}
+}

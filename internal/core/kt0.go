@@ -1,0 +1,193 @@
+// Package core packages the paper's three lower bounds as computable
+// certificates — the library's primary deliverable:
+//
+//   - KT0Certificate (Theorems 3.1 and 3.5): for a concrete
+//     wiring-insensitive algorithm and round budget t, the
+//     indistinguishability graph G^t_{x,y} is built exactly and the
+//     error any decision rule must incur under the hard distribution µ
+//     is computed, together with the star-packing witness of
+//     Section 3.1 and the warm-up pigeonhole bound.
+//   - KT1Certificate (Theorem 4.4 with Corollaries 2.4 and 4.2): the
+//     rank of the Partition/TwoPartition communication matrices is
+//     certified over GF(p) and propagated through the Theorem 4.4
+//     simulation cost into a round lower bound, next to the measured
+//     O(log n) upper bound that makes it tight.
+//   - InfoCertificate (Theorem 4.5): the mutual information I(P_A; Π)
+//     of ε-error PartitionComp protocols is computed exactly under the
+//     hard distribution and compared to the paper's (1−ε)·H(P_A) bound.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"bcclique/internal/algorithms"
+	"bcclique/internal/bcc"
+	"bcclique/internal/crossing"
+	"bcclique/internal/graph"
+	"bcclique/internal/indist"
+)
+
+// KT0Certificate is the outcome of running the Section 3 machinery
+// against one algorithm and round budget.
+type KT0Certificate struct {
+	N         int
+	T         int
+	Algorithm string
+	// X, Y are the dominant label pair and ActiveEdges its count on a
+	// reference one-cycle instance (the pigeonhole step of Theorem 3.1's
+	// proof guarantees ActiveEdges ≥ n/3^{2t}).
+	X, Y        string
+	ActiveEdges int
+	// StarSize is the largest k with a saturating k-star packing of
+	// G^t_{x,y} (Theorem 2.1's witness; Θ(log n) in the proof).
+	StarSize int
+	// StarPackingError is the error forced by the best star packing
+	// found, and OptimalRuleError the exact distributional error of the
+	// best state-measurable rule — StarPackingError ≤ OptimalRuleError
+	// always.
+	StarPackingError float64
+	OptimalRuleError float64
+	// MeasuredError is the algorithm's own error under µ (only when the
+	// algorithm decides); it can never beat OptimalRuleError.
+	MeasuredError float64
+	HasMeasured   bool
+}
+
+// CertifyKT0 builds G^t_{x,y} for the dominant label pair of the given
+// wiring-insensitive algorithm and extracts the certificate. Feasible for
+// n ≤ 9.
+func CertifyKT0(n, t int, algo bcc.Algorithm, coin *bcc.Coin) (*KT0Certificate, error) {
+	labeler := algorithms.TritLabeler(algo, t, coin)
+
+	// Pigeonhole step on the canonical reference cycle.
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	ref, err := graph.FromCycle(n, seq)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := labeler(ref)
+	if err != nil {
+		return nil, err
+	}
+	x, y, count, err := crossing.DominantLabelPair(ref, labels)
+	if err != nil {
+		return nil, err
+	}
+
+	g, err := indist.New(n, labeler, x, y)
+	if err != nil {
+		return nil, err
+	}
+	cert := &KT0Certificate{
+		N:           n,
+		T:           t,
+		Algorithm:   algo.Name(),
+		X:           x,
+		Y:           y,
+		ActiveEdges: count,
+	}
+	cert.StarSize, err = g.MaxStarSize()
+	if err != nil {
+		return nil, err
+	}
+	k := cert.StarSize
+	if k < 1 {
+		// Fall back to a maximum (partial) matching: still a valid
+		// disjoint-star witness.
+		matchL, _ := g.Bipartite().MaxMatching()
+		stars := make([][]int, g.NumOne())
+		for i, j := range matchL {
+			if j != -1 {
+				stars[i] = []int{j}
+			}
+		}
+		cert.StarPackingError = g.ForcedError(stars)
+	} else {
+		stars, ok, err := g.StarPacking(k)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: saturating %d-star packing vanished", k)
+		}
+		cert.StarPackingError = g.ForcedError(stars)
+	}
+	cert.OptimalRuleError = g.OptimalRuleError()
+
+	// Measure the algorithm's own error under µ when it decides.
+	measured, ok, err := measureErrorUnderMu(g, algo, t, coin)
+	if err != nil {
+		return nil, err
+	}
+	cert.MeasuredError = measured
+	cert.HasMeasured = ok
+	return cert, nil
+}
+
+// measureErrorUnderMu runs the algorithm on every instance of V₁ ∪ V₂
+// (canonical wiring, t rounds) and evaluates its error under µ.
+func measureErrorUnderMu(g *indist.Graph, algo bcc.Algorithm, t int, coin *bcc.Coin) (float64, bool, error) {
+	run := func(gg *graph.Graph) (bcc.Verdict, bool, error) {
+		in, err := bcc.NewKT0(bcc.SequentialIDs(gg.N()), gg, bcc.RotationWiring(gg.N()))
+		if err != nil {
+			return 0, false, err
+		}
+		res, err := bcc.Run(in, algo, bcc.WithRounds(t), bcc.WithCoin(coin))
+		if err != nil {
+			return 0, false, err
+		}
+		return res.Verdict, res.HasVerdict, nil
+	}
+	muOne := 0.5 / float64(g.NumOne())
+	muTwo := 0.5 / float64(g.NumTwo())
+	errMass := 0.0
+	for i := 0; i < g.NumOne(); i++ {
+		v, ok, err := run(g.OneCycle(i))
+		if err != nil || !ok {
+			return 0, false, err
+		}
+		if v != bcc.VerdictYes {
+			errMass += muOne
+		}
+	}
+	for j := 0; j < g.NumTwo(); j++ {
+		v, ok, err := run(g.TwoCycle(j))
+		if err != nil || !ok {
+			return 0, false, err
+		}
+		if v != bcc.VerdictNo {
+			errMass += muTwo
+		}
+	}
+	return errMass, true, nil
+}
+
+// WarmupErrorBound is Theorem 3.5's pigeonhole bound: with S a set of
+// ⌊n/3⌋ independent edges and S' ⊆ S the ≥ |S|/3^{2t} edges sharing one
+// label, a t-round deterministic algorithm errs with probability at least
+// C(|S'|,2) / (2·C(|S|,2)) on the warm-up distribution. The returned
+// value is that bound (0 when |S'| < 2).
+func WarmupErrorBound(n, t int) float64 {
+	s := n / 3
+	if s < 2 {
+		return 0
+	}
+	pow := math.Pow(3, float64(2*t))
+	sPrime := math.Floor(float64(s) / pow)
+	if sPrime < 2 {
+		return 0
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	return choose2(sPrime) / (2 * choose2(float64(s)))
+}
+
+// KT0RoundLowerBound returns the Theorem 3.1 round bound with the proof's
+// constant: any constant-error Monte Carlo TwoCycle algorithm needs more
+// than 0.1·log₃(n) rounds.
+func KT0RoundLowerBound(n int) float64 {
+	return 0.1 * math.Log(float64(n)) / math.Log(3)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"bcclique/internal/algorithms"
+	"bcclique/internal/comm"
+	"bcclique/internal/partition"
+	"bcclique/internal/reduction"
+)
+
+// KT1Certificate packages Theorem 4.4: a deterministic KT-1 BCC(1)
+// algorithm for Connectivity (or MultiCycle) yields a 2-party protocol
+// whose cost is rounds × wire-bits-per-round, so the Ω(n log n)
+// communication bounds of Corollaries 2.4 (rank(M_n) = B_n) and 4.2
+// (rank(E_n) full) force Ω(log n) rounds.
+type KT1Certificate struct {
+	// N is the ground-set size of the Partition instance.
+	N int
+	// RankVerified reports whether the full-rank facts were certified by
+	// explicit GF(p) elimination at this n (feasible small n) rather
+	// than taken from the theorems.
+	RankVerified bool
+	// PartitionRank is B_n (rows of M_n); PairingRank is (n−1)!!.
+	PartitionRank *big.Int
+	PairingRank   *big.Int
+	// CCBoundPartitionBits = log₂ B_n and CCBoundPairingBits =
+	// log₂ (n−1)!!: the deterministic communication lower bounds.
+	CCBoundPartitionBits float64
+	CCBoundPairingBits   float64
+	// WireBitsPerRound is the exact per-round cost of the Theorem 4.4
+	// simulation on the MultiCycle construction (2 parties × n symbols ×
+	// 2 bits for b = 1).
+	WireBitsPerRound int
+	// RoundLowerBound = CCBoundPairingBits / WireBitsPerRound: rounds any
+	// deterministic KT-1 BCC(1) MultiCycle algorithm needs at this n.
+	RoundLowerBound float64
+	// UpperBoundRounds is the measured round count of the
+	// neighborhood-broadcast algorithm on the same instances, and
+	// UpperBoundWireBits its metered simulation cost — the tightness
+	// half of the story.
+	UpperBoundRounds   int
+	UpperBoundWireBits int
+}
+
+// CertifyKT1 builds the certificate for even ground size n. When verify
+// is true the rank facts are established by explicit elimination
+// (feasible for n ≤ 10 pairings / n ≤ 7 partitions); otherwise the
+// theorem values B_n and (n−1)!! are used directly.
+func CertifyKT1(n int, verify bool) (*KT1Certificate, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("core: KT-1 certificate needs even n ≥ 2, got %d", n)
+	}
+	cert := &KT1Certificate{
+		N:             n,
+		PartitionRank: partition.Bell(n),
+		PairingRank:   partition.NumPairings(n),
+	}
+	if verify {
+		me, err := comm.MatrixE(n)
+		if err != nil {
+			return nil, err
+		}
+		if got := me.Rank(); int64(got) != cert.PairingRank.Int64() {
+			return nil, fmt.Errorf("core: rank(E_%d) = %d, want %v — Lemma 4.1 violated", n, got, cert.PairingRank)
+		}
+		if n <= 7 {
+			mm, err := comm.MatrixM(n)
+			if err != nil {
+				return nil, err
+			}
+			if got := mm.Rank(); int64(got) != cert.PartitionRank.Int64() {
+				return nil, fmt.Errorf("core: rank(M_%d) = %d, want %v — Theorem 2.3 violated", n, got, cert.PartitionRank)
+			}
+		}
+		cert.RankVerified = true
+	}
+	cert.CCBoundPartitionBits = comm.RankLowerBoundBits(cert.PartitionRank)
+	cert.CCBoundPairingBits = comm.RankLowerBoundBits(cert.PairingRank)
+
+	// Reference simulation on one MultiCycle instance to meter the wire.
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		return nil, err
+	}
+	pa, pb, err := referencePairings(n)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := reduction.Simulate(algo, pa, pb)
+	if err != nil {
+		return nil, err
+	}
+	if !sim.MatchesDirect {
+		return nil, fmt.Errorf("core: Theorem 4.4 simulation diverged from direct run")
+	}
+	cert.WireBitsPerRound = 2 * sim.SymbolsPerRoundPerParty * sim.BitsPerSymbol
+	cert.RoundLowerBound = cert.CCBoundPairingBits / float64(cert.WireBitsPerRound)
+	cert.UpperBoundRounds = sim.Rounds
+	cert.UpperBoundWireBits = sim.WireBits
+	return cert, nil
+}
+
+// referencePairings returns a canonical TwoPartition instance whose join
+// is trivial: P_A pairs (0,1)(2,3)... and P_B pairs (1,2)(3,4)...(n−1,0).
+func referencePairings(n int) (pa, pb partition.Partition, err error) {
+	a := make([][]int, 0, n/2)
+	b := make([][]int, 0, n/2)
+	for i := 0; i < n; i += 2 {
+		a = append(a, []int{i, i + 1})
+		b = append(b, []int{(i + 1) % n, (i + 2) % n})
+	}
+	pa, err = partition.FromBlocks(n, a)
+	if err != nil {
+		return pa, pb, err
+	}
+	pb, err = partition.FromBlocks(n, b)
+	return pa, pb, err
+}
+
+// KT1RoundLowerBoundAsymptotic returns the Θ(log n) shape of the
+// Theorem 4.4 bound: log₂((n−1)!!) / (4n) using Stirling-free exact
+// counting. It grows like (log₂ n)/8.
+func KT1RoundLowerBoundAsymptotic(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return comm.RankLowerBoundBits(partition.NumPairings(n)) / float64(4*n)
+}
+
+// LogBase converts between logarithm bases; exposed because experiment
+// tables report both log₂ and log₃ scalings.
+func LogBase(x, base float64) float64 {
+	if x <= 0 || base <= 1 {
+		return 0
+	}
+	return math.Log(x) / math.Log(base)
+}

@@ -1,0 +1,117 @@
+// Package dsu implements a disjoint-set union (union-find) structure with
+// union by rank and path halving.
+//
+// It is the shared substrate for connected-component labelling in the graph
+// package, for computing joins of set partitions (the lattice operation
+// P_A ∨ P_B at the heart of the paper's KT-1 reductions), and for the
+// Borůvka-style component-merge algorithm in the algorithm library.
+package dsu
+
+// DSU is a disjoint-set union over the elements 0..n-1.
+// The zero value is an empty structure; use New to create a usable one.
+type DSU struct {
+	parent []int
+	rank   []byte
+	sets   int
+}
+
+// New returns a DSU with n singleton sets {0}, {1}, ..., {n-1}.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int, n),
+		rank:   make([]byte, n),
+		sets:   n,
+	}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+// Len returns the number of elements in the universe.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Find returns the canonical representative of x's set.
+// It uses path halving, so amortized cost is effectively constant.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y.
+// It reports whether a merge happened (false if they were already joined).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.sets--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Labels returns a slice l with l[x] = canonical representative of x's set.
+// Representatives are the minimum element of each set, so labels are stable
+// under element order and suitable for canonical encodings.
+func (d *DSU) Labels() []int {
+	n := len(d.parent)
+	minOf := make(map[int]int, d.sets)
+	for x := 0; x < n; x++ {
+		r := d.Find(x)
+		if m, ok := minOf[r]; !ok || x < m {
+			minOf[r] = x
+		}
+	}
+	labels := make([]int, n)
+	for x := 0; x < n; x++ {
+		labels[x] = minOf[d.Find(x)]
+	}
+	return labels
+}
+
+// Groups returns the sets as slices of sorted elements, ordered by their
+// minimum element.
+func (d *DSU) Groups() [][]int {
+	n := len(d.parent)
+	byRoot := make(map[int][]int, d.sets)
+	for x := 0; x < n; x++ {
+		r := d.Find(x)
+		byRoot[r] = append(byRoot[r], x)
+	}
+	groups := make([][]int, 0, len(byRoot))
+	for _, g := range byRoot {
+		groups = append(groups, g)
+	}
+	// Order groups by minimum element; each group is already sorted
+	// because elements were appended in increasing order of x.
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j][0] < groups[j-1][0]; j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+	return groups
+}
+
+// Reset returns the structure to n singleton sets without reallocating.
+func (d *DSU) Reset() {
+	for i := range d.parent {
+		d.parent[i] = i
+		d.rank[i] = 0
+	}
+	d.sets = len(d.parent)
+}

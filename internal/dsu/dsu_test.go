@@ -1,0 +1,194 @@
+package dsu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	d := New(5)
+	if got, want := d.Sets(), 5; got != want {
+		t.Fatalf("Sets() = %d, want %d", got, want)
+	}
+	for i := 0; i < 5; i++ {
+		if got := d.Find(i); got != i {
+			t.Errorf("Find(%d) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	tests := []struct {
+		name     string
+		n        int
+		unions   [][2]int
+		wantSets int
+		same     [][2]int
+		notSame  [][2]int
+	}{
+		{
+			name:     "chain",
+			n:        6,
+			unions:   [][2]int{{0, 1}, {1, 2}, {2, 3}},
+			wantSets: 3,
+			same:     [][2]int{{0, 3}, {1, 2}},
+			notSame:  [][2]int{{0, 4}, {4, 5}},
+		},
+		{
+			name:     "two components",
+			n:        4,
+			unions:   [][2]int{{0, 1}, {2, 3}},
+			wantSets: 2,
+			same:     [][2]int{{0, 1}, {2, 3}},
+			notSame:  [][2]int{{0, 2}, {1, 3}},
+		},
+		{
+			name:     "all merged",
+			n:        3,
+			unions:   [][2]int{{0, 1}, {1, 2}, {0, 2}},
+			wantSets: 1,
+			same:     [][2]int{{0, 2}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := New(tt.n)
+			for _, u := range tt.unions {
+				d.Union(u[0], u[1])
+			}
+			if got := d.Sets(); got != tt.wantSets {
+				t.Errorf("Sets() = %d, want %d", got, tt.wantSets)
+			}
+			for _, p := range tt.same {
+				if !d.Same(p[0], p[1]) {
+					t.Errorf("Same(%d,%d) = false, want true", p[0], p[1])
+				}
+			}
+			for _, p := range tt.notSame {
+				if d.Same(p[0], p[1]) {
+					t.Errorf("Same(%d,%d) = true, want false", p[0], p[1])
+				}
+			}
+		})
+	}
+}
+
+func TestUnionReportsMerge(t *testing.T) {
+	d := New(3)
+	if !d.Union(0, 1) {
+		t.Error("first Union(0,1) = false, want true")
+	}
+	if d.Union(0, 1) {
+		t.Error("second Union(0,1) = true, want false")
+	}
+	if d.Union(1, 0) {
+		t.Error("Union(1,0) after Union(0,1) = true, want false")
+	}
+}
+
+func TestLabelsAreMinima(t *testing.T) {
+	d := New(6)
+	d.Union(3, 5)
+	d.Union(1, 2)
+	d.Union(2, 5) // now {1,2,3,5}, {0}, {4}
+	want := []int{0, 1, 1, 1, 4, 1}
+	got := d.Labels()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Labels()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	d := New(5)
+	d.Union(4, 2)
+	d.Union(0, 3)
+	groups := d.Groups()
+	want := [][]int{{0, 3}, {1}, {2, 4}}
+	if len(groups) != len(want) {
+		t.Fatalf("len(Groups()) = %d, want %d", len(groups), len(want))
+	}
+	for i := range want {
+		if len(groups[i]) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v", i, groups[i], want[i])
+		}
+		for j := range want[i] {
+			if groups[i][j] != want[i][j] {
+				t.Errorf("group %d = %v, want %v", i, groups[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(4)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Reset()
+	if got := d.Sets(); got != 4 {
+		t.Fatalf("Sets() after Reset = %d, want 4", got)
+	}
+	if d.Same(0, 1) {
+		t.Error("Same(0,1) after Reset = true, want false")
+	}
+}
+
+// TestAgainstNaive compares DSU against a naive quadratic labelling under
+// random union sequences.
+func TestAgainstNaive(t *testing.T) {
+	const n = 40
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(n)
+		naive := make([]int, n)
+		for i := range naive {
+			naive[i] = i
+		}
+		for k := 0; k < 60; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			d.Union(a, b)
+			la, lb := naive[a], naive[b]
+			if la != lb {
+				for i := range naive {
+					if naive[i] == lb {
+						naive[i] = la
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d.Same(i, j) != (naive[i] == naive[j]) {
+					return false
+				}
+			}
+		}
+		// Set count must agree too.
+		distinct := make(map[int]bool)
+		for _, l := range naive {
+			distinct[l] = true
+		}
+		return d.Sets() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1024
+	pairs := make([][2]int, 4096)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for _, p := range pairs {
+			d.Union(p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+)
+
+// EachOneCycle calls fn once for every Hamiltonian cycle of K_n (i.e. every
+// one-cycle input graph of Section 3), passing the cycle as a vertex
+// sequence. Each undirected cycle is visited exactly once: sequences start
+// at vertex 0 and the second vertex is smaller than the last, which fixes
+// the starting point and the direction. Enumeration stops early if fn
+// returns false. The callback's slice is reused; callers must copy it if
+// they retain it.
+//
+// The number of cycles is (n-1)!/2, so this is feasible for n ≤ 11 or so.
+func EachOneCycle(n int, fn func(cycle []int) bool) error {
+	if n < 3 {
+		return fmt.Errorf("graph: no cycles on %d < 3 vertices", n)
+	}
+	seq := make([]int, n)
+	seq[0] = 0
+	rest := make([]int, n-1)
+	for i := range rest {
+		rest[i] = i + 1
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			if seq[1] > seq[n-1] {
+				return true // direction duplicate; skip but continue
+			}
+			return fn(seq)
+		}
+		for i := k - 1; i < n-1; i++ {
+			rest[k-1], rest[i] = rest[i], rest[k-1]
+			seq[k] = rest[k-1]
+			if !rec(k + 1) {
+				rest[k-1], rest[i] = rest[i], rest[k-1]
+				return false
+			}
+			rest[k-1], rest[i] = rest[i], rest[k-1]
+		}
+		return true
+	}
+	rec(1)
+	return nil
+}
+
+// EachTwoCycle calls fn once for every spanning subgraph of K_n consisting
+// of exactly two vertex-disjoint cycles, each of length at least minLen
+// (the paper uses minLen = 3 for TwoCycle, Section 3). fn receives the two
+// cycles as vertex sequences, the first one containing vertex 0.
+// Enumeration stops early if fn returns false. Slices are reused.
+func EachTwoCycle(n, minLen int, fn func(c1, c2 []int) bool) error {
+	if minLen < 3 {
+		return fmt.Errorf("graph: minLen %d < 3", minLen)
+	}
+	if n < 2*minLen {
+		return fmt.Errorf("graph: n=%d cannot hold two cycles of length ≥ %d", n, minLen)
+	}
+	// Choose the side S containing vertex 0, of size i with
+	// minLen ≤ i ≤ n-minLen. To count each unordered pair of cycles once:
+	// if i < n-i every split is unique since S is the side containing 0;
+	// if i == n-i the side containing 0 is still unique. So each subset S
+	// containing 0 with valid sizes gives each cover exactly once.
+	subset := make([]int, 0, n)
+	complement := make([]int, 0, n)
+	stopped := false
+	var choose func(next, need int) bool
+	choose = func(next, need int) bool {
+		if need == 0 {
+			complement = complement[:0]
+			inS := make(map[int]bool, len(subset))
+			for _, v := range subset {
+				inS[v] = true
+			}
+			for v := 0; v < n; v++ {
+				if !inS[v] {
+					complement = append(complement, v)
+				}
+			}
+			cont := true
+			eachCycleOn(subset, func(c1 []int) bool {
+				eachCycleOn(complement, func(c2 []int) bool {
+					if !fn(c1, c2) {
+						cont = false
+					}
+					return cont
+				})
+				return cont
+			})
+			return cont
+		}
+		for v := next; v <= n-need; v++ {
+			subset = append(subset, v)
+			if !choose(v+1, need-1) {
+				subset = subset[:len(subset)-1]
+				return false
+			}
+			subset = subset[:len(subset)-1]
+		}
+		return true
+	}
+	for i := minLen; i <= n-minLen; i++ {
+		if stopped {
+			break
+		}
+		subset = append(subset[:0], 0)
+		if !choose(1, i-1) {
+			stopped = true
+		}
+	}
+	return nil
+}
+
+// eachCycleOn enumerates every undirected cycle through all vertices of
+// verts (which must be sorted ascending), as sequences starting at verts[0]
+// with direction fixed by seq[1] < seq[last].
+func eachCycleOn(verts []int, fn func(cycle []int) bool) {
+	k := len(verts)
+	seq := make([]int, k)
+	seq[0] = verts[0]
+	rest := append([]int(nil), verts[1:]...)
+	var rec func(d int) bool
+	rec = func(d int) bool {
+		if d == k {
+			if k > 2 && seq[1] > seq[k-1] {
+				return true
+			}
+			return fn(seq)
+		}
+		for i := d - 1; i < k-1; i++ {
+			rest[d-1], rest[i] = rest[i], rest[d-1]
+			seq[d] = rest[d-1]
+			if !rec(d + 1) {
+				rest[d-1], rest[i] = rest[i], rest[d-1]
+				return false
+			}
+			rest[d-1], rest[i] = rest[i], rest[d-1]
+		}
+		return true
+	}
+	rec(1)
+}
+
+// NumOneCycles returns (n-1)!/2, the number of Hamiltonian cycles of K_n
+// (the size of V_1 in Lemma 3.9).
+func NumOneCycles(n int) *big.Int {
+	if n < 3 {
+		return big.NewInt(0)
+	}
+	f := factorial(n - 1)
+	return f.Div(f, big.NewInt(2))
+}
+
+// NumCyclesOn returns the number of distinct cycles through k labelled
+// vertices: (k-1)!/2 for k ≥ 3.
+func NumCyclesOn(k int) *big.Int {
+	if k < 3 {
+		return big.NewInt(0)
+	}
+	f := factorial(k - 1)
+	return f.Div(f, big.NewInt(2))
+}
+
+// NumTwoCyclesBySize returns |T_i|: the number of two-cycle covers of K_n
+// whose smaller cycle has exactly i vertices (Lemma 3.9's census),
+// 3 ≤ i ≤ n/2.
+func NumTwoCyclesBySize(n, i int) *big.Int {
+	if i < 3 || n-i < 3 || i > n-i {
+		return big.NewInt(0)
+	}
+	c := binomial(n, i)
+	c.Mul(c, NumCyclesOn(i))
+	c.Mul(c, NumCyclesOn(n-i))
+	if 2*i == n {
+		c.Div(c, big.NewInt(2))
+	}
+	return c
+}
+
+// NumTwoCycles returns |V_2| = Σ_i |T_i|, the number of spanning two-cycle
+// covers with cycle length ≥ 3.
+func NumTwoCycles(n int) *big.Int {
+	total := big.NewInt(0)
+	for i := 3; i <= n/2; i++ {
+		total.Add(total, NumTwoCyclesBySize(n, i))
+	}
+	return total
+}
+
+// RandomOneCycle returns a uniformly random Hamiltonian cycle of K_n as a
+// graph, using rng.
+func RandomOneCycle(n int, rng *rand.Rand) *Graph {
+	seq := rng.Perm(n)
+	g, err := FromCycle(n, seq)
+	if err != nil {
+		panic(err) // unreachable for n ≥ 3: a permutation is a valid cycle
+	}
+	return g
+}
+
+// RandomTwoCycle returns a random two-cycle cover of K_n whose first cycle
+// has k vertices (3 ≤ k ≤ n-3). The split and both cycles are chosen
+// uniformly given k.
+func RandomTwoCycle(n, k int, rng *rand.Rand) (*Graph, error) {
+	if k < 3 || n-k < 3 {
+		return nil, fmt.Errorf("graph: invalid two-cycle split %d/%d", k, n-k)
+	}
+	perm := rng.Perm(n)
+	g, err := FromCycles(n, perm[:k], perm[k:])
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// RandomCycleCover returns a uniformly random 2-regular spanning subgraph
+// with all cycles of length ≥ 3 obtained by rejection sampling random
+// permutations (cycles of a permutation with no fixed points or 2-cycles).
+func RandomCycleCover(n int, rng *rand.Rand) *Graph {
+	for {
+		perm := rng.Perm(n)
+		if g, ok := coverFromPerm(n, perm); ok {
+			return g
+		}
+	}
+}
+
+func coverFromPerm(n int, perm []int) (*Graph, bool) {
+	seen := make([]bool, n)
+	g := New(n)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		cycle := []int{s}
+		seen[s] = true
+		for v := perm[s]; v != s; v = perm[v] {
+			cycle = append(cycle, v)
+			seen[v] = true
+		}
+		if len(cycle) < 3 {
+			return nil, false
+		}
+		for i := range cycle {
+			u, v := cycle[i], cycle[(i+1)%len(cycle)]
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, false
+			}
+		}
+	}
+	return g, true
+}
+
+func factorial(n int) *big.Int {
+	f := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		f.Mul(f, big.NewInt(int64(i)))
+	}
+	return f
+}
+
+func binomial(n, k int) *big.Int {
+	return new(big.Int).Binomial(int64(n), int64(k))
+}

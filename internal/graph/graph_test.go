@@ -1,0 +1,338 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(4)
+	tests := []struct {
+		name    string
+		u, v    int
+		wantErr bool
+	}{
+		{name: "valid", u: 0, v: 1, wantErr: false},
+		{name: "duplicate", u: 0, v: 1, wantErr: true},
+		{name: "duplicate reversed", u: 1, v: 0, wantErr: true},
+		{name: "self loop", u: 2, v: 2, wantErr: true},
+		{name: "out of range", u: 0, v: 4, wantErr: true},
+		{name: "negative", u: -1, v: 2, wantErr: true},
+		{name: "valid second", u: 2, v: 3, wantErr: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := g.AddEdge(tt.u, tt.v)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("AddEdge(%d,%d) error = %v, wantErr %v", tt.u, tt.v, err, tt.wantErr)
+			}
+		})
+	}
+	if g.M() != 2 {
+		t.Errorf("M() = %d, want 2", g.M())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	if err := g.RemoveEdge(1, 0); err != nil {
+		t.Fatalf("RemoveEdge(1,0) = %v", err)
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("edge {0,1} still present after removal")
+	}
+	if g.M() != 1 {
+		t.Errorf("M() = %d, want 1", g.M())
+	}
+	if err := g.RemoveEdge(0, 1); err == nil {
+		t.Error("RemoveEdge of absent edge succeeded, want error")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	tests := []struct {
+		name      string
+		n         int
+		edges     [][2]int
+		wantComps int
+		connected bool
+	}{
+		{name: "empty", n: 5, wantComps: 5, connected: false},
+		{name: "path", n: 4, edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}, wantComps: 1, connected: true},
+		{name: "two triangles", n: 6, edges: [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}, wantComps: 2, connected: false},
+		{name: "single vertex", n: 1, wantComps: 1, connected: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := New(tt.n)
+			for _, e := range tt.edges {
+				g.MustAddEdge(e[0], e[1])
+			}
+			if got := g.NumComponents(); got != tt.wantComps {
+				t.Errorf("NumComponents() = %d, want %d", got, tt.wantComps)
+			}
+			if got := g.IsConnected(); got != tt.connected {
+				t.Errorf("IsConnected() = %v, want %v", got, tt.connected)
+			}
+		})
+	}
+}
+
+// TestComponentsMatchBFS cross-checks DSU labelling against BFS labelling
+// on random graphs.
+func TestComponentsMatchBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		dsuLabels := g.ComponentLabels()
+		bfsLabels := g.bfsLabels()
+		for i := range dsuLabels {
+			if dsuLabels[i] != bfsLabels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCycleDecomposition(t *testing.T) {
+	g, err := FromCycles(8, []int{0, 1, 2}, []int{3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsTwoRegular() {
+		t.Fatal("IsTwoRegular() = false, want true")
+	}
+	lengths, ok := g.CycleLengths()
+	if !ok {
+		t.Fatal("CycleLengths() not ok")
+	}
+	if len(lengths) != 2 || lengths[0] != 3 || lengths[1] != 5 {
+		t.Errorf("CycleLengths() = %v, want [3 5]", lengths)
+	}
+
+	cycles, _ := g.CycleDecomposition()
+	if len(cycles) != 2 {
+		t.Fatalf("got %d cycles, want 2", len(cycles))
+	}
+	if cycles[0][0] != 0 || cycles[1][0] != 3 {
+		t.Errorf("cycles should start at their minimum vertex, got %v", cycles)
+	}
+}
+
+func TestCycleDecompositionNotTwoRegular(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	if _, ok := g.CycleDecomposition(); ok {
+		t.Error("CycleDecomposition() ok for a non-2-regular graph")
+	}
+}
+
+func TestFromCycleErrors(t *testing.T) {
+	if _, err := FromCycle(5, []int{0, 1}); err == nil {
+		t.Error("FromCycle with 2 vertices succeeded, want error")
+	}
+	if _, err := FromCycle(5, []int{0, 1, 1}); err == nil {
+		t.Error("FromCycle with repeated vertex succeeded, want error")
+	}
+}
+
+func TestEachOneCycleCount(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int64
+	}{
+		{3, 1}, {4, 3}, {5, 12}, {6, 60}, {7, 360}, {8, 2520},
+	}
+	for _, tt := range tests {
+		var got int64
+		seen := make(map[string]bool)
+		err := EachOneCycle(tt.n, func(cycle []int) bool {
+			got++
+			g, err := FromCycle(tt.n, cycle)
+			if err != nil {
+				t.Fatalf("n=%d: invalid cycle %v: %v", tt.n, cycle, err)
+			}
+			if !g.IsConnected() || !g.IsTwoRegular() {
+				t.Fatalf("n=%d: %v is not a Hamiltonian cycle", tt.n, cycle)
+			}
+			key := g.Key()
+			if seen[key] {
+				t.Fatalf("n=%d: duplicate cycle %v", tt.n, cycle)
+			}
+			seen[key] = true
+			return true
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", tt.n, err)
+		}
+		if got != tt.want {
+			t.Errorf("n=%d: enumerated %d cycles, want %d", tt.n, got, tt.want)
+		}
+		if NumOneCycles(tt.n).Int64() != tt.want {
+			t.Errorf("NumOneCycles(%d) = %v, want %d", tt.n, NumOneCycles(tt.n), tt.want)
+		}
+	}
+}
+
+func TestEachTwoCycleCount(t *testing.T) {
+	// Enumerated counts must match the closed-form census used by
+	// Lemma 3.9: |T_i| = C(n,i)·(i-1)!/2·(n-i-1)!/2, halved when i = n/2.
+	for n := 6; n <= 9; n++ {
+		var got int64
+		seen := make(map[string]bool)
+		err := EachTwoCycle(n, 3, func(c1, c2 []int) bool {
+			got++
+			g, err := FromCycles(n, c1, c2)
+			if err != nil {
+				t.Fatalf("n=%d: invalid cover %v %v: %v", n, c1, c2, err)
+			}
+			lengths, ok := g.CycleLengths()
+			if !ok || len(lengths) != 2 || lengths[0] < 3 {
+				t.Fatalf("n=%d: bad cover %v %v (lengths %v)", n, c1, c2, lengths)
+			}
+			key := g.Key()
+			if seen[key] {
+				t.Fatalf("n=%d: duplicate cover %v %v", n, c1, c2)
+			}
+			seen[key] = true
+			return true
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := NumTwoCycles(n).Int64()
+		if got != want {
+			t.Errorf("n=%d: enumerated %d two-cycle covers, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNumTwoCyclesBySizeSmall(t *testing.T) {
+	// n=6: only i=3; C(6,3)/2 · 1 · 1 = 10.
+	if got := NumTwoCyclesBySize(6, 3).Int64(); got != 10 {
+		t.Errorf("NumTwoCyclesBySize(6,3) = %d, want 10", got)
+	}
+	// n=7: C(7,3)·1·3 = 105.
+	if got := NumTwoCyclesBySize(7, 3).Int64(); got != 105 {
+		t.Errorf("NumTwoCyclesBySize(7,3) = %d, want 105", got)
+	}
+	if got := NumTwoCyclesBySize(7, 4).Int64(); got != 0 {
+		t.Errorf("NumTwoCyclesBySize(7,4) = %d, want 0 (4 > 7-4)", got)
+	}
+}
+
+func TestEachOneCycleEarlyStop(t *testing.T) {
+	count := 0
+	if err := EachOneCycle(6, func([]int) bool {
+		count++
+		return count < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("enumerated %d cycles after early stop, want 5", count)
+	}
+}
+
+func TestRandomGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		g := RandomOneCycle(9, rng)
+		if !g.IsConnected() || !g.IsTwoRegular() {
+			t.Fatal("RandomOneCycle did not produce a Hamiltonian cycle")
+		}
+		h, err := RandomTwoCycle(9, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lengths, ok := h.CycleLengths()
+		if !ok || len(lengths) != 2 || lengths[0] != 4 {
+			t.Fatalf("RandomTwoCycle lengths = %v, ok=%v", lengths, ok)
+		}
+		c := RandomCycleCover(9, rng)
+		lengths, ok = c.CycleLengths()
+		if !ok {
+			t.Fatal("RandomCycleCover not 2-regular")
+		}
+		for _, l := range lengths {
+			if l < 3 {
+				t.Fatalf("RandomCycleCover has a cycle of length %d", l)
+			}
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := RandomOneCycle(8, rand.New(rand.NewSource(3)))
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.MustAddEdge(0, 4)
+	if g.Equal(c) {
+		t.Fatal("graphs equal after modifying clone")
+	}
+	if g.Key() == c.Key() {
+		t.Fatal("keys equal for different graphs")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(0, 4)
+	g.MustAddEdge(2, 0)
+	edges := g.Edges()
+	want := []Edge{{0, 2}, {0, 4}, {1, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges() = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("Edges()[%d] = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestNormEdge(t *testing.T) {
+	if NormEdge(5, 2) != (Edge{2, 5}) {
+		t.Error("NormEdge(5,2) not normalized")
+	}
+	if NormEdge(2, 5) != (Edge{2, 5}) {
+		t.Error("NormEdge(2,5) not normalized")
+	}
+}
+
+func BenchmarkEachOneCycle9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		count := 0
+		_ = EachOneCycle(9, func([]int) bool { count++; return true })
+		if count != 20160 {
+			b.Fatalf("count = %d", count)
+		}
+	}
+}
+
+func BenchmarkCycleDecomposition(b *testing.B) {
+	g := RandomOneCycle(1024, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.CycleDecomposition(); !ok {
+			b.Fatal("not 2-regular")
+		}
+	}
+}

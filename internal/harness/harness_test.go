@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	table := &Table{
+		Title:   "demo",
+		Caption: "a caption",
+		Headers: []string{"a", "b"},
+	}
+	table.AddRow(1, 2.5)
+	table.AddRow("x", true)
+	var buf bytes.Buffer
+	if err := table.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**demo**", "| a | b |", "|---|---|", "| 1 | 2.5 |", "| x | true |", "a caption"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{0.5, "0.5"},
+		{1234567, "1.23e+06"},
+		{0.19584, "0.1958"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.v); got != tt.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	exps := All()
+	if len(exps) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(exps))
+	}
+	seen := make(map[string]bool)
+	for i, e := range exps {
+		if e.ID == "" || e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+// TestRunAllQuick executes the whole quick suite and sanity-checks the
+// report structure. This doubles as the integration test of every
+// package in the repository.
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick suite still takes a few seconds")
+	}
+	var buf bytes.Buffer
+	results, err := RunAll(&buf, Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 16 {
+		t.Fatalf("ran %d experiments, want 16", len(results))
+	}
+	out := buf.String()
+	for _, r := range results {
+		if r.Finding == "" || r.Claim == "" {
+			t.Errorf("%s: empty claim or finding", r.ID)
+		}
+		if len(r.Tables) == 0 {
+			t.Errorf("%s: no tables", r.ID)
+		}
+		if !strings.Contains(out, "## "+r.ID) {
+			t.Errorf("report missing section %s", r.ID)
+		}
+	}
+	// Spot-check key findings.
+	if !strings.Contains(out, "0 violations") {
+		t.Error("E01/E09 should report 0 violations")
+	}
+}
+
+func TestRunAllFilter(t *testing.T) {
+	var buf bytes.Buffer
+	results, err := RunAll(&buf, Config{Quick: true, Seed: 1}, "E13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != "E13" {
+		t.Fatalf("filter returned %d results", len(results))
+	}
+}
+
+func TestYesNo(t *testing.T) {
+	if YesNo(true) != "yes" || YesNo(false) != "no" {
+		t.Error("YesNo misrenders")
+	}
+}

@@ -1,0 +1,219 @@
+package indist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bcclique/internal/graph"
+)
+
+func buildG0(t *testing.T, n int) *Graph {
+	t.Helper()
+	g, err := New(n, ZeroRoundLabeler, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidatesN(t *testing.T) {
+	if _, err := New(5, ZeroRoundLabeler, "", ""); err == nil {
+		t.Error("New(5) succeeded, want error (no two-cycle covers below n=6)")
+	}
+}
+
+func TestVertexCountsMatchClosedForm(t *testing.T) {
+	for n := 6; n <= 8; n++ {
+		g := buildG0(t, n)
+		if int64(g.NumOne()) != graph.NumOneCycles(n).Int64() {
+			t.Errorf("n=%d: |V1| = %d, want %v", n, g.NumOne(), graph.NumOneCycles(n))
+		}
+		if int64(g.NumTwo()) != graph.NumTwoCycles(n).Int64() {
+			t.Errorf("n=%d: |V2| = %d, want %v", n, g.NumTwo(), graph.NumTwoCycles(n))
+		}
+	}
+}
+
+// TestG0OneCycleDegrees pins down the exact one-cycle degree in G⁰:
+// n(n−5)/2. (The paper's Lemma 3.9 narration says n(n−3)/2 by counting
+// vertex-disjoint pairs, but its own Definition 3.2 also excludes the
+// 2n distance-2 pairs whose cross edge lies on the cycle; both counts are
+// Θ(n²), which is all the asymptotic argument uses.)
+func TestG0OneCycleDegrees(t *testing.T) {
+	for n := 6; n <= 8; n++ {
+		g := buildG0(t, n)
+		want := n * (n - 5) / 2
+		for i := 0; i < g.NumOne(); i++ {
+			if got := g.DegreeOne(i); got != want {
+				t.Fatalf("n=%d: one-cycle %d degree = %d, want n(n−5)/2 = %d", n, i, got, want)
+			}
+			if g.ActiveCount(i) != n {
+				t.Fatalf("n=%d: one-cycle %d has %d active edges at round 0, want n", n, i, g.ActiveCount(i))
+			}
+		}
+	}
+}
+
+// TestG0TwoCycleDegrees pins down the exact two-cycle degree in G⁰:
+// 2·i·(n−i) for cycle lengths (i, n−i). (The paper says i(n−i); the
+// factor 2 appears because an undirected cross pair merges into two
+// distinct Hamiltonian cycles, one per relative orientation. Again both
+// are Θ(i(n−i)).)
+func TestG0TwoCycleDegrees(t *testing.T) {
+	for n := 6; n <= 8; n++ {
+		g := buildG0(t, n)
+		for j := 0; j < g.NumTwo(); j++ {
+			lengths, ok := g.TwoCycle(j).CycleLengths()
+			if !ok || len(lengths) != 2 {
+				t.Fatalf("n=%d: two-cycle %d malformed", n, j)
+			}
+			want := 2 * lengths[0] * lengths[1]
+			if got := g.DegreeTwo(j); got != want {
+				t.Fatalf("n=%d: two-cycle %d (lengths %v) degree = %d, want %d", n, j, lengths, got, want)
+			}
+			// At round 0 the active split equals the cycle lengths.
+			if s := g.Split(j); s[0] != lengths[0] || s[1] != lengths[1] {
+				t.Fatalf("n=%d: two-cycle %d split = %v, want %v", n, j, s, lengths)
+			}
+		}
+	}
+}
+
+// TestEdgeCountBothSides double-counts edges from each side of the
+// bipartite graph.
+func TestEdgeCountBothSides(t *testing.T) {
+	g := buildG0(t, 7)
+	fromTwo := 0
+	for j := 0; j < g.NumTwo(); j++ {
+		fromTwo += g.DegreeTwo(j)
+	}
+	if g.TotalEdges() != fromTwo {
+		t.Errorf("edge count mismatch: %d from V1, %d from V2", g.TotalEdges(), fromTwo)
+	}
+}
+
+// TestLemma37AtG0 checks Lemma 3.7 exactly on every one-cycle instance of
+// G⁰ for n = 7, 8 (d = n ≥ 6 so the range 3 ≤ s ≤ d/2 is non-empty).
+func TestLemma37AtG0(t *testing.T) {
+	for n := 7; n <= 8; n++ {
+		g := buildG0(t, n)
+		for i := 0; i < g.NumOne(); i++ {
+			if err := g.CheckLemma37(i); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+	}
+}
+
+// TestLemma38Expansion samples subsets of V1 and verifies the expansion
+// |N(S)| ≥ |S| (the log-d factor is Θ(1) at these sizes; the structural
+// point is that neighbourhoods do not collapse).
+func TestLemma38Expansion(t *testing.T) {
+	g := buildG0(t, 7)
+	rng := rand.New(rand.NewSource(2))
+	min, err := g.ExpansionStats(10, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min < 1 {
+		t.Errorf("min expansion = %v, want ≥ 1", min)
+	}
+}
+
+// TestLemma39Ratio compares the measured |V2|/|V1| ratio against the
+// closed-form census and the harmonic-sum estimate it should track.
+func TestLemma39Ratio(t *testing.T) {
+	for n := 6; n <= 8; n++ {
+		g := buildG0(t, n)
+		c := NewCensus(n)
+		measured := float64(g.NumTwo()) / float64(g.NumOne())
+		if math.Abs(measured-c.Ratio) > 1e-9 {
+			t.Errorf("n=%d: measured ratio %v != census ratio %v", n, measured, c.Ratio)
+		}
+		// The exact closed form |T_i|/|V1| = n/(2i(n−i)) must match the
+		// measured ratio to floating-point precision.
+		if math.Abs(c.Ratio-c.Predicted) > 1e-9 {
+			t.Errorf("n=%d: ratio %v != predicted %v", n, c.Ratio, c.Predicted)
+		}
+		// And it sits within a constant of the paper's harmonic sum.
+		if c.Ratio > c.Harmonic || c.Ratio < c.Harmonic/4 {
+			t.Errorf("n=%d: ratio %v not within [harmonic/4, harmonic] = [%v, %v]",
+				n, c.Ratio, c.Harmonic/4, c.Harmonic)
+		}
+	}
+}
+
+// TestCensusGrowsLogarithmically checks that the ratio grows like Θ(log n)
+// over a wide range using closed-form counts only.
+func TestCensusGrowsLogarithmically(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{8, 16, 32, 64, 128, 256} {
+		c := NewCensus(n)
+		if c.Ratio <= prev {
+			t.Errorf("n=%d: ratio %v did not grow (prev %v)", n, c.Ratio, prev)
+		}
+		// Θ(log n): ratio / ln(n) stays within a constant band (the
+		// exact ratio is ≈ ln(n)/2 asymptotically, lower at small n
+		// where the i < 3 terms are missing).
+		band := c.Ratio / math.Log(float64(n))
+		if band < 0.15 || band > 0.75 {
+			t.Errorf("n=%d: ratio/ln(n) = %v outside [0.15, 0.75]", n, band)
+		}
+		prev = c.Ratio
+	}
+}
+
+// TestStarPacking constructs an actual k-star packing in G⁰ (Theorem 2.1's
+// conclusion) and validates disjointness.
+func TestStarPacking(t *testing.T) {
+	g := buildG0(t, 7)
+	// |V2|/|V1| at n=7: 105/360 < 1, so k = 1 is impossible to saturate…
+	// wait: saturation needs |V2| ≥ k|V1|. At n=7, |V2| = 105 < 360 = |V1|,
+	// so no saturating 1-matching exists. MaxStarSize must be 0.
+	k, err := g.MaxStarSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Errorf("n=7: MaxStarSize = %d, want 0 (|V2| < |V1|)", k)
+	}
+	// A maximum 1-matching still matches every two-cycle instance.
+	_, size := g.Bipartite().MaxMatching()
+	if size != g.NumTwo() {
+		t.Errorf("n=7: max matching %d, want |V2| = %d", size, g.NumTwo())
+	}
+}
+
+// TestForcedError checks the forced-error accounting on a maximum matching
+// of G⁰: with V2 fully matched, the forced error is |V2|·min(µ1,µ2)… i.e.
+// each matched pair loses min(µ(I1), µ(I2)).
+func TestForcedError(t *testing.T) {
+	g := buildG0(t, 7)
+	matchL, size := g.Bipartite().MaxMatching()
+	stars := make([][]int, g.NumOne())
+	for i, j := range matchL {
+		if j != -1 {
+			stars[i] = []int{j}
+		}
+	}
+	got := g.ForcedError(stars)
+	muOne := 0.5 / float64(g.NumOne())
+	want := float64(size) * muOne // µ1 < µ2 here, so min is µ1
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ForcedError = %v, want %v", got, want)
+	}
+	if got < 0.14 {
+		// 105 matched stars × µ1 = 105/720 ≈ 0.1458: a constant, which is
+		// the heart of Theorem 3.1 — constant error is forced.
+		t.Errorf("forced error %v unexpectedly small", got)
+	}
+}
+
+func BenchmarkBuildG0N8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(8, ZeroRoundLabeler, "", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package info provides exact information-theoretic computations on finite
+// distributions: entropy, conditional entropy, and mutual information.
+// It is the executable core of the paper's Theorem 4.5: for the hard
+// distribution where P_A is uniform and P_B is the finest partition, any
+// ε-error protocol transcript Π satisfies
+//
+//	|Π| ≥ I(P_A; Π) = H(P_A) − H(P_A | Π) ≥ (1 − ε)·H(P_A) = Ω(n log n).
+package info
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a probability distribution over string-labelled outcomes.
+type Dist map[string]float64
+
+// Entropy returns H(X) in bits.
+func (d Dist) Entropy() float64 {
+	h := 0.0
+	for _, p := range d {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// Total returns the probability mass (1 for a normalized distribution).
+func (d Dist) Total() float64 {
+	t := 0.0
+	for _, p := range d {
+		t += p
+	}
+	return t
+}
+
+// Uniform returns the uniform distribution over the given outcomes.
+func Uniform(outcomes []string) Dist {
+	d := make(Dist, len(outcomes))
+	p := 1.0 / float64(len(outcomes))
+	for _, o := range outcomes {
+		d[o] += p
+	}
+	return d
+}
+
+// Joint is a joint distribution over pairs (X, Y).
+type Joint struct {
+	p map[[2]string]float64
+}
+
+// NewJoint returns an empty joint distribution.
+func NewJoint() *Joint {
+	return &Joint{p: make(map[[2]string]float64)}
+}
+
+// Add accumulates probability mass on the pair (x, y).
+func (j *Joint) Add(x, y string, mass float64) {
+	if mass != 0 {
+		j.p[[2]string{x, y}] += mass
+	}
+}
+
+// Validate checks that the joint sums to 1 (within tolerance) and has no
+// negative mass.
+func (j *Joint) Validate() error {
+	total := 0.0
+	for k, p := range j.p {
+		if p < 0 {
+			return fmt.Errorf("info: negative mass %v at %v", p, k)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("info: joint sums to %v, want 1", total)
+	}
+	return nil
+}
+
+// MarginalX returns the distribution of X.
+func (j *Joint) MarginalX() Dist {
+	d := make(Dist)
+	for k, p := range j.p {
+		d[k[0]] += p
+	}
+	return d
+}
+
+// MarginalY returns the distribution of Y.
+func (j *Joint) MarginalY() Dist {
+	d := make(Dist)
+	for k, p := range j.p {
+		d[k[1]] += p
+	}
+	return d
+}
+
+// HXY returns the joint entropy H(X, Y) in bits.
+func (j *Joint) HXY() float64 {
+	h := 0.0
+	for _, p := range j.p {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// HX returns H(X).
+func (j *Joint) HX() float64 { return j.MarginalX().Entropy() }
+
+// HY returns H(Y).
+func (j *Joint) HY() float64 { return j.MarginalY().Entropy() }
+
+// HXGivenY returns the conditional entropy H(X | Y) = H(X,Y) − H(Y).
+func (j *Joint) HXGivenY() float64 { return j.HXY() - j.HY() }
+
+// HYGivenX returns H(Y | X) = H(X,Y) − H(X).
+func (j *Joint) HYGivenX() float64 { return j.HXY() - j.HX() }
+
+// MutualInformation returns I(X; Y) = H(X) + H(Y) − H(X,Y) in bits.
+func (j *Joint) MutualInformation() float64 {
+	return j.HX() + j.HY() - j.HXY()
+}
+
+// BinaryEntropy returns h(ε) = −ε log₂ ε − (1−ε) log₂(1−ε).
+func BinaryEntropy(eps float64) float64 {
+	if eps <= 0 || eps >= 1 {
+		return 0
+	}
+	return -eps*math.Log2(eps) - (1-eps)*math.Log2(1-eps)
+}
+
+// Theorem45Bound is the paper's information lower bound for an ε-error
+// PartitionComp protocol under the hard distribution: the transcript must
+// carry at least (1−ε)·H(P_A) bits of information about P_A. (The proof
+// bounds H(P_A | Π) ≤ ε·H(P_A): on the 1−ε mass of correct transcripts
+// the conditional entropy is zero, since the output determines P_A.)
+func Theorem45Bound(hpa, eps float64) float64 {
+	if eps < 0 {
+		eps = 0
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	return (1 - eps) * hpa
+}
+
+// FanoBound is the sharper classical bound I(X; Π) ≥ H(X) − h(ε) −
+// ε·log₂(|support| − 1) for an estimator with error probability ε.
+func FanoBound(hx, eps float64, support int) float64 {
+	if support < 2 {
+		return hx
+	}
+	b := hx - BinaryEntropy(eps) - eps*math.Log2(float64(support-1))
+	if b < 0 {
+		return 0
+	}
+	return b
+}

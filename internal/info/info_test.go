@@ -1,0 +1,220 @@
+package info
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func TestUniformEntropy(t *testing.T) {
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{1, 0}, {2, 1}, {4, 2}, {8, 3}, {3, math.Log2(3)},
+	}
+	for _, tt := range tests {
+		outcomes := make([]string, tt.k)
+		for i := range outcomes {
+			outcomes[i] = fmt.Sprintf("o%d", i)
+		}
+		got := Uniform(outcomes).Entropy()
+		if math.Abs(got-tt.want) > tol {
+			t.Errorf("H(uniform %d) = %v, want %v", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestJointValidate(t *testing.T) {
+	j := NewJoint()
+	j.Add("a", "x", 0.5)
+	if err := j.Validate(); err == nil {
+		t.Error("Validate of sub-normalized joint succeeded, want error")
+	}
+	j.Add("b", "y", 0.5)
+	if err := j.Validate(); err != nil {
+		t.Errorf("Validate = %v, want nil", err)
+	}
+	j2 := NewJoint()
+	j2.Add("a", "x", -0.5)
+	j2.Add("b", "y", 1.5)
+	if err := j2.Validate(); err == nil {
+		t.Error("Validate with negative mass succeeded, want error")
+	}
+}
+
+func TestIndependentVariables(t *testing.T) {
+	j := NewJoint()
+	for _, x := range []string{"0", "1"} {
+		for _, y := range []string{"a", "b", "c", "d"} {
+			j.Add(x, y, 0.5*0.25)
+		}
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.MutualInformation(); math.Abs(got) > tol {
+		t.Errorf("I(X;Y) = %v for independent variables, want 0", got)
+	}
+	if got := j.HX(); math.Abs(got-1) > tol {
+		t.Errorf("H(X) = %v, want 1", got)
+	}
+	if got := j.HY(); math.Abs(got-2) > tol {
+		t.Errorf("H(Y) = %v, want 2", got)
+	}
+	if got := j.HXY(); math.Abs(got-3) > tol {
+		t.Errorf("H(X,Y) = %v, want 3", got)
+	}
+}
+
+func TestDeterministicInjectiveChannel(t *testing.T) {
+	// Y = f(X) injective: I(X;Y) = H(X), H(X|Y) = 0.
+	j := NewJoint()
+	for i := 0; i < 8; i++ {
+		j.Add(fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i), 1.0/8)
+	}
+	if got := j.MutualInformation(); math.Abs(got-3) > tol {
+		t.Errorf("I = %v, want 3", got)
+	}
+	if got := j.HXGivenY(); math.Abs(got) > tol {
+		t.Errorf("H(X|Y) = %v, want 0", got)
+	}
+}
+
+func TestChainRule(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		j := NewJoint()
+		total := 0.0
+		masses := make([]float64, 12)
+		for i := range masses {
+			masses[i] = rng.Float64()
+			total += masses[i]
+		}
+		for i, m := range masses {
+			j.Add(fmt.Sprintf("x%d", i%4), fmt.Sprintf("y%d", i%3), m/total)
+		}
+		// H(X,Y) = H(Y) + H(X|Y) = H(X) + H(Y|X).
+		lhs := j.HXY()
+		if math.Abs(lhs-(j.HY()+j.HXGivenY())) > 1e-9 {
+			return false
+		}
+		if math.Abs(lhs-(j.HX()+j.HYGivenX())) > 1e-9 {
+			return false
+		}
+		// I ≥ 0 and I ≤ min(H(X), H(Y)).
+		i := j.MutualInformation()
+		if i < -1e-9 {
+			return false
+		}
+		return i <= j.HX()+1e-9 && i <= j.HY()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConditioningReducesEntropy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		j := NewJoint()
+		total := 0.0
+		type cell struct {
+			x, y string
+			m    float64
+		}
+		var cells []cell
+		for i := 0; i < 10; i++ {
+			c := cell{
+				x: fmt.Sprintf("x%d", rng.Intn(4)),
+				y: fmt.Sprintf("y%d", rng.Intn(4)),
+				m: rng.Float64(),
+			}
+			cells = append(cells, c)
+			total += c.m
+		}
+		for _, c := range cells {
+			j.Add(c.x, c.y, c.m/total)
+		}
+		return j.HXGivenY() <= j.HX()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if got := BinaryEntropy(0.5); math.Abs(got-1) > tol {
+		t.Errorf("h(1/2) = %v, want 1", got)
+	}
+	if got := BinaryEntropy(0); got != 0 {
+		t.Errorf("h(0) = %v, want 0", got)
+	}
+	if got := BinaryEntropy(1); got != 0 {
+		t.Errorf("h(1) = %v, want 0", got)
+	}
+	// Symmetry.
+	if math.Abs(BinaryEntropy(0.1)-BinaryEntropy(0.9)) > tol {
+		t.Error("h not symmetric")
+	}
+}
+
+func TestTheorem45Bound(t *testing.T) {
+	if got := Theorem45Bound(100, 0); got != 100 {
+		t.Errorf("bound at ε=0: %v, want 100", got)
+	}
+	if got := Theorem45Bound(100, 0.25); math.Abs(got-75) > tol {
+		t.Errorf("bound at ε=0.25: %v, want 75", got)
+	}
+	if got := Theorem45Bound(100, 2); got != 0 {
+		t.Errorf("bound at ε≥1: %v, want 0", got)
+	}
+}
+
+func TestFanoBound(t *testing.T) {
+	// Exact: noisy injective channel over k symbols. X uniform over k
+	// outcomes; with prob 1−ε, Y = X; with prob ε, Y uniform over the
+	// other k−1. Fano must hold: I ≥ H(X) − h(ε) − ε·log₂(k−1), with
+	// equality for this symmetric channel.
+	const k = 8
+	const eps = 0.2
+	j := NewJoint()
+	for i := 0; i < k; i++ {
+		x := fmt.Sprintf("s%d", i)
+		for o := 0; o < k; o++ {
+			y := fmt.Sprintf("s%d", o)
+			p := eps / (k - 1)
+			if o == i {
+				p = 1 - eps
+			}
+			j.Add(x, y, p/k)
+		}
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mi := j.MutualInformation()
+	bound := FanoBound(j.HX(), eps, k)
+	if mi < bound-tol {
+		t.Errorf("I = %v below Fano bound %v", mi, bound)
+	}
+	if math.Abs(mi-bound) > 1e-6 {
+		t.Errorf("symmetric channel should meet Fano with equality: I = %v, bound = %v", mi, bound)
+	}
+}
+
+func BenchmarkMutualInformation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	j := NewJoint()
+	for i := 0; i < 4096; i++ {
+		j.Add(fmt.Sprintf("x%d", rng.Intn(64)), fmt.Sprintf("y%d", rng.Intn(64)), 1.0/4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = j.MutualInformation()
+	}
+}

@@ -1,0 +1,75 @@
+package linalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFieldValidation(t *testing.T) {
+	if _, err := NewField(9); err == nil {
+		t.Error("composite modulus accepted")
+	}
+	if _, err := NewField(1 << 33); err == nil {
+		t.Error("oversized modulus accepted")
+	}
+	if _, err := NewField(7); err != nil {
+		t.Errorf("NewField(7) = %v", err)
+	}
+}
+
+func TestFieldOps(t *testing.T) {
+	f := DefaultField()
+	p := f.P()
+	if got := f.Add(p-1, 1); got != 0 {
+		t.Errorf("(p-1)+1 = %d, want 0", got)
+	}
+	if got := f.Sub(0, 1); got != p-1 {
+		t.Errorf("0-1 = %d, want p-1", got)
+	}
+	if got := f.Mul(p-1, p-1); got != 1 {
+		t.Errorf("(-1)·(-1) = %d, want 1", got)
+	}
+	if got := f.Neg(0); got != 0 {
+		t.Errorf("-0 = %d, want 0", got)
+	}
+	if got := f.Reduce(-3); got != p-3 {
+		t.Errorf("Reduce(-3) = %d, want p-3", got)
+	}
+	if got := f.Pow(2, 10); got != 1024 {
+		t.Errorf("2^10 = %d, want 1024", got)
+	}
+	if _, err := f.Inv(0); err == nil {
+		t.Error("Inv(0) succeeded")
+	}
+}
+
+func TestFieldInverseProperty(t *testing.T) {
+	f := DefaultField()
+	g := func(x uint64) bool {
+		a := x % f.P()
+		if a == 0 {
+			return true
+		}
+		inv, err := f.Inv(a)
+		if err != nil {
+			return false
+		}
+		return f.Mul(a, inv) == 1
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldDistributive(t *testing.T) {
+	f := DefaultField()
+	g := func(xa, xb, xc uint64) bool {
+		a, b, c := xa%f.P(), xb%f.P(), xc%f.P()
+		lhs := f.Mul(a, f.Add(b, c))
+		rhs := f.Add(f.Mul(a, b), f.Mul(a, c))
+		return lhs == rhs
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package matching implements maximum bipartite matching (Hopcroft–Karp)
+// and the k-matchings of the paper's Polygamous Hall Theorem (Theorem 2.1):
+// a k-matching assigns to each left vertex k private right vertices, with
+// the right sets pairwise disjoint. The theorem — proved by making k
+// copies of every left vertex and applying Hall's marriage theorem — is
+// used in Section 3.1 to pack the indistinguishability graph with
+// Θ(log n)-stars; this package is the executable version of that proof.
+package matching
+
+import "fmt"
+
+// Bipartite is a bipartite graph with nLeft left and nRight right vertices.
+type Bipartite struct {
+	nLeft  int
+	nRight int
+	adj    [][]int // adj[l] lists right neighbours of left vertex l
+}
+
+// NewBipartite returns an empty bipartite graph.
+func NewBipartite(nLeft, nRight int) *Bipartite {
+	return &Bipartite{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
+}
+
+// NLeft returns the number of left vertices.
+func (b *Bipartite) NLeft() int { return b.nLeft }
+
+// NRight returns the number of right vertices.
+func (b *Bipartite) NRight() int { return b.nRight }
+
+// AddEdge inserts the edge (l, r). Duplicate edges are allowed but useless.
+func (b *Bipartite) AddEdge(l, r int) error {
+	if l < 0 || l >= b.nLeft || r < 0 || r >= b.nRight {
+		return fmt.Errorf("matching: edge (%d,%d) out of range %d×%d", l, r, b.nLeft, b.nRight)
+	}
+	b.adj[l] = append(b.adj[l], r)
+	return nil
+}
+
+// Degree returns the degree of left vertex l.
+func (b *Bipartite) Degree(l int) int { return len(b.adj[l]) }
+
+// Neighborhood returns the union of the right-neighbourhoods of the given
+// left vertices — the |N(S)| of Hall-type conditions.
+func (b *Bipartite) Neighborhood(lefts []int) map[int]bool {
+	nbr := make(map[int]bool)
+	for _, l := range lefts {
+		for _, r := range b.adj[l] {
+			nbr[r] = true
+		}
+	}
+	return nbr
+}
+
+// MaxMatching computes a maximum matching with the Hopcroft–Karp algorithm.
+// It returns matchL (matchL[l] = matched right vertex or -1) and the
+// matching size. Runs in O(E·√V).
+func (b *Bipartite) MaxMatching() (matchL []int, size int) {
+	const inf = int(^uint(0) >> 1)
+	matchL = make([]int, b.nLeft)
+	matchR := make([]int, b.nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, b.nLeft)
+	queue := make([]int, 0, b.nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < b.nLeft; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range b.adj[l] {
+				nl := matchR[r]
+				if nl == -1 {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range b.adj[l] {
+			nl := matchR[r]
+			if nl == -1 || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	for bfs() {
+		for l := 0; l < b.nLeft; l++ {
+			if matchL[l] == -1 && dfs(l) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}
+
+// KMatching attempts to find a k-matching saturating every left vertex:
+// an assignment stars[l] of k distinct right vertices to each left vertex
+// l, all sets pairwise disjoint (Theorem 2.1's conclusion with size |L|).
+// It reports ok = false (with the partial assignment) when no such
+// k-matching exists. Implemented exactly as the theorem's proof: k copies
+// of each left vertex, then maximum matching.
+func (b *Bipartite) KMatching(k int) (stars [][]int, ok bool, err error) {
+	if k < 1 {
+		return nil, false, fmt.Errorf("matching: k = %d < 1", k)
+	}
+	expanded := NewBipartite(b.nLeft*k, b.nRight)
+	for l := 0; l < b.nLeft; l++ {
+		for c := 0; c < k; c++ {
+			for _, r := range b.adj[l] {
+				if err := expanded.AddEdge(l*k+c, r); err != nil {
+					return nil, false, err
+				}
+			}
+		}
+	}
+	matchL, size := expanded.MaxMatching()
+	stars = make([][]int, b.nLeft)
+	for l := 0; l < b.nLeft; l++ {
+		for c := 0; c < k; c++ {
+			if r := matchL[l*k+c]; r != -1 {
+				stars[l] = append(stars[l], r)
+			}
+		}
+	}
+	return stars, size == b.nLeft*k, nil
+}
+
+// MaxSaturatingK returns the largest k for which a k-matching saturating
+// all left vertices exists (0 if even a 1-matching fails), by binary search
+// over KMatching. The value is the experiment E04/E06 statistic: how many
+// leaves per star the indistinguishability graph supports.
+func (b *Bipartite) MaxSaturatingK(kMax int) (int, error) {
+	lo, hi := 0, kMax
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		_, ok, err := b.KMatching(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// VerifyHallCondition checks |N(S)| ≥ k·|S| for every subset S of the given
+// left vertices (exponential; intended for small slices in tests and
+// experiments). It returns a violating subset, or nil if the condition
+// holds.
+func (b *Bipartite) VerifyHallCondition(lefts []int, k int) []int {
+	n := len(lefts)
+	if n > 25 {
+		n = 25 // cap the exponential scan
+	}
+	subset := make([]int, 0, n)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		subset = subset[:0]
+		for i := 0; i < n; i++ {
+			if mask>>uint(i)&1 == 1 {
+				subset = append(subset, lefts[i])
+			}
+		}
+		if len(b.Neighborhood(subset)) < k*len(subset) {
+			return append([]int(nil), subset...)
+		}
+	}
+	return nil
+}

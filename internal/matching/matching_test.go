@@ -1,0 +1,259 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func build(t *testing.T, nl, nr int, edges [][2]int) *Bipartite {
+	t.Helper()
+	b := NewBipartite(nl, nr)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestMaxMatchingBasics(t *testing.T) {
+	tests := []struct {
+		name  string
+		nl    int
+		nr    int
+		edges [][2]int
+		want  int
+	}{
+		{name: "empty", nl: 3, nr: 3, want: 0},
+		{name: "perfect", nl: 2, nr: 2, edges: [][2]int{{0, 0}, {1, 1}}, want: 2},
+		{
+			name: "needs augmenting path",
+			nl:   2, nr: 2,
+			edges: [][2]int{{0, 0}, {0, 1}, {1, 0}},
+			want:  2,
+		},
+		{
+			name: "star contention",
+			nl:   3, nr: 1,
+			edges: [][2]int{{0, 0}, {1, 0}, {2, 0}},
+			want:  1,
+		},
+		{
+			name: "classic 4x4",
+			nl:   4, nr: 4,
+			edges: [][2]int{{0, 0}, {0, 1}, {1, 0}, {2, 1}, {2, 2}, {3, 2}, {3, 3}},
+			want:  4,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := build(t, tt.nl, tt.nr, tt.edges)
+			matchL, size := b.MaxMatching()
+			if size != tt.want {
+				t.Errorf("size = %d, want %d", size, tt.want)
+			}
+			validateMatching(t, b, matchL, size)
+		})
+	}
+}
+
+func validateMatching(t *testing.T, b *Bipartite, matchL []int, size int) {
+	t.Helper()
+	usedR := make(map[int]bool)
+	count := 0
+	for l, r := range matchL {
+		if r == -1 {
+			continue
+		}
+		count++
+		if usedR[r] {
+			t.Fatalf("right vertex %d matched twice", r)
+		}
+		usedR[r] = true
+		found := false
+		for _, rr := range b.adj[l] {
+			if rr == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("matched pair (%d,%d) is not an edge", l, r)
+		}
+	}
+	if count != size {
+		t.Fatalf("reported size %d but %d matched pairs", size, count)
+	}
+}
+
+// bruteMaxMatching computes the maximum matching size by exhaustive search,
+// for cross-checking on small graphs.
+func bruteMaxMatching(b *Bipartite) int {
+	usedR := make([]bool, b.nRight)
+	var rec func(l int) int
+	rec = func(l int) int {
+		if l == b.nLeft {
+			return 0
+		}
+		best := rec(l + 1) // leave l unmatched
+		for _, r := range b.adj[l] {
+			if !usedR[r] {
+				usedR[r] = true
+				if got := 1 + rec(l+1); got > best {
+					best = got
+				}
+				usedR[r] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestMaxMatchingAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(7), 1+rng.Intn(7)
+		b := NewBipartite(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Intn(3) == 0 {
+					if err := b.AddEdge(l, r); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		_, size := b.MaxMatching()
+		return size == bruteMaxMatching(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddEdgeRange(t *testing.T) {
+	b := NewBipartite(2, 2)
+	if err := b.AddEdge(2, 0); err == nil {
+		t.Error("out-of-range left accepted")
+	}
+	if err := b.AddEdge(0, -1); err == nil {
+		t.Error("out-of-range right accepted")
+	}
+}
+
+func TestKMatching(t *testing.T) {
+	// Two left vertices, six right vertices, complete: a 3-matching
+	// saturating both exists; a 4-matching cannot (needs 8 rights).
+	b := NewBipartite(2, 6)
+	for l := 0; l < 2; l++ {
+		for r := 0; r < 6; r++ {
+			if err := b.AddEdge(l, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stars, ok, err := b.KMatching(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("3-matching should exist")
+	}
+	seen := make(map[int]bool)
+	for l, star := range stars {
+		if len(star) != 3 {
+			t.Fatalf("star %d has %d leaves, want 3", l, len(star))
+		}
+		for _, r := range star {
+			if seen[r] {
+				t.Fatalf("right vertex %d reused across stars", r)
+			}
+			seen[r] = true
+		}
+	}
+	if _, ok, err := b.KMatching(4); err != nil || ok {
+		t.Errorf("4-matching: ok=%v err=%v, want false,nil", ok, err)
+	}
+	if _, _, err := b.KMatching(0); err == nil {
+		t.Error("KMatching(0) succeeded, want error")
+	}
+}
+
+func TestMaxSaturatingK(t *testing.T) {
+	// Left vertex 0 sees rights {0,1}; left vertex 1 sees {1,2,3}.
+	// k=2 works (0→{0,1}, 1→{2,3}); k=3 fails since deg(0) = 2.
+	b := build(t, 2, 4, [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 2}, {1, 3}})
+	k, err := b.MaxSaturatingK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Errorf("MaxSaturatingK = %d, want 2", k)
+	}
+}
+
+// TestPolygamousHall verifies Theorem 2.1 on random bipartite graphs: if
+// |N(S)| ≥ k|S| for all S ⊆ L, then a k-matching of size |L| exists.
+// (The theorem is an iff in the saturating direction we use: the converse
+// — a k-matching implies the condition — also holds and is checked.)
+func TestPolygamousHall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := 1 + rng.Intn(4)
+		nr := 1 + rng.Intn(10)
+		k := 1 + rng.Intn(3)
+		b := NewBipartite(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Intn(2) == 0 {
+					if err := b.AddEdge(l, r); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		lefts := make([]int, nl)
+		for i := range lefts {
+			lefts[i] = i
+		}
+		violation := b.VerifyHallCondition(lefts, k)
+		_, ok, err := b.KMatching(k)
+		if err != nil {
+			return false
+		}
+		if violation == nil && !ok {
+			return false // Hall condition holds but no k-matching: contradicts Theorem 2.1
+		}
+		if violation != nil && ok {
+			return false // k-matching exists but some S has |N(S)| < k|S|: impossible
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	b := build(t, 3, 5, [][2]int{{0, 0}, {0, 1}, {1, 1}, {2, 4}})
+	nbr := b.Neighborhood([]int{0, 1})
+	if len(nbr) != 2 || !nbr[0] || !nbr[1] {
+		t.Errorf("Neighborhood({0,1}) = %v, want {0,1}", nbr)
+	}
+}
+
+func BenchmarkMaxMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bip := NewBipartite(500, 500)
+	for l := 0; l < 500; l++ {
+		for c := 0; c < 10; c++ {
+			_ = bip.AddEdge(l, rng.Intn(500))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = bip.MaxMatching()
+	}
+}

@@ -1,0 +1,417 @@
+package partition
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustBlocks(t *testing.T, n int, blocks [][]int) Partition {
+	t.Helper()
+	p, err := FromBlocks(n, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFromBlocksErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		n      int
+		blocks [][]int
+	}{
+		{name: "uncovered element", n: 3, blocks: [][]int{{0, 1}}},
+		{name: "element twice", n: 3, blocks: [][]int{{0, 1}, {1, 2}}},
+		{name: "out of range", n: 3, blocks: [][]int{{0, 1}, {2, 3}}},
+		{name: "empty block", n: 2, blocks: [][]int{{0, 1}, {}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := FromBlocks(tt.n, tt.blocks); err == nil {
+				t.Error("FromBlocks succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestCanonicalForm(t *testing.T) {
+	// Labels {5,5,2,2,9} must canonicalize to {0,0,1,1,2}.
+	p := FromLabels([]int{5, 5, 2, 2, 9})
+	want := []int{0, 0, 1, 1, 2}
+	got := p.Labels()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels() = %v, want %v", got, want)
+		}
+	}
+	q := mustBlocks(t, 5, [][]int{{4}, {2, 3}, {0, 1}})
+	if !p.Equal(q) {
+		t.Errorf("%v != %v, want equal after canonicalization", p, q)
+	}
+}
+
+func TestString(t *testing.T) {
+	p := mustBlocks(t, 5, [][]int{{0, 1}, {2, 3}, {4}})
+	if got, want := p.String(), "(0,1)(2,3)(4)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestJoinPaperExample reproduces the paper's Section 1.1 example
+// (shifted to 0-based): PA = (1,2)(3,4)(5), PB = (1,2,4)(3)(5),
+// PC = (1,2,4)(3,5); PA ∨ PB = (1,2,3,4)(5), PA ∨ PC = everything.
+func TestJoinPaperExample(t *testing.T) {
+	pa := mustBlocks(t, 5, [][]int{{0, 1}, {2, 3}, {4}})
+	pb := mustBlocks(t, 5, [][]int{{0, 1, 3}, {2}, {4}})
+	pc := mustBlocks(t, 5, [][]int{{0, 1, 3}, {2, 4}})
+
+	ab, err := pa.Join(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAB := mustBlocks(t, 5, [][]int{{0, 1, 2, 3}, {4}})
+	if !ab.Equal(wantAB) {
+		t.Errorf("PA∨PB = %v, want %v", ab, wantAB)
+	}
+	if ab.IsTrivial() {
+		t.Error("PA∨PB should not be trivial")
+	}
+
+	ac, err := pa.Join(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ac.IsTrivial() {
+		t.Errorf("PA∨PC = %v, want the trivial partition", ac)
+	}
+}
+
+func TestJoinSizeMismatch(t *testing.T) {
+	if _, err := Finest(3).Join(Finest(4)); err == nil {
+		t.Error("join of different sizes succeeded, want error")
+	}
+}
+
+func TestRefines(t *testing.T) {
+	fine := mustBlocks(t, 5, [][]int{{0, 1}, {2, 3}, {4}})
+	coarse := mustBlocks(t, 5, [][]int{{0, 1}, {2, 3, 4}})
+	if !fine.Refines(coarse) {
+		t.Error("(0,1)(2,3)(4) should refine (0,1)(2,3,4)")
+	}
+	if coarse.Refines(fine) {
+		t.Error("(0,1)(2,3,4) should not refine (0,1)(2,3)(4)")
+	}
+	if !fine.Refines(fine) {
+		t.Error("a partition should refine itself")
+	}
+	if !Finest(5).Refines(coarse) || !coarse.Refines(Coarsest(5)) {
+		t.Error("finest refines everything; everything refines coarsest")
+	}
+}
+
+// TestJoinIsLeastUpperBound checks the defining property of the join on
+// the full lattice of partitions of [5]: P and Q both refine P∨Q, and P∨Q
+// refines any R refined by both.
+func TestJoinIsLeastUpperBound(t *testing.T) {
+	parts := All(5)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		p := parts[rng.Intn(len(parts))]
+		q := parts[rng.Intn(len(parts))]
+		j, err := p.Join(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Refines(j) || !q.Refines(j) {
+			t.Fatalf("inputs do not refine join: %v ∨ %v = %v", p, q, j)
+		}
+		for _, r := range parts {
+			if p.Refines(r) && q.Refines(r) && !j.Refines(r) {
+				t.Fatalf("join %v not minimal: %v is a smaller upper bound of %v, %v", j, r, p, q)
+			}
+		}
+	}
+}
+
+func TestJoinAlgebra(t *testing.T) {
+	parts := All(4)
+	// Commutative, associative, idempotent; finest is identity.
+	for _, p := range parts {
+		for _, q := range parts {
+			pq, _ := p.Join(q)
+			qp, _ := q.Join(p)
+			if !pq.Equal(qp) {
+				t.Fatalf("join not commutative: %v, %v", p, q)
+			}
+		}
+		pp, _ := p.Join(p)
+		if !pp.Equal(p) {
+			t.Fatalf("join not idempotent at %v", p)
+		}
+		pf, _ := p.Join(Finest(4))
+		if !pf.Equal(p) {
+			t.Fatalf("finest not identity at %v", p)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		p, q, r := parts[rng.Intn(len(parts))], parts[rng.Intn(len(parts))], parts[rng.Intn(len(parts))]
+		pq, _ := p.Join(q)
+		pqr1, _ := pq.Join(r)
+		qr, _ := q.Join(r)
+		pqr2, _ := p.Join(qr)
+		if !pqr1.Equal(pqr2) {
+			t.Fatalf("join not associative: %v, %v, %v", p, q, r)
+		}
+	}
+}
+
+func TestMeet(t *testing.T) {
+	p := mustBlocks(t, 4, [][]int{{0, 1, 2}, {3}})
+	q := mustBlocks(t, 4, [][]int{{0, 1}, {2, 3}})
+	m, err := p.Meet(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustBlocks(t, 4, [][]int{{0, 1}, {2}, {3}})
+	if !m.Equal(want) {
+		t.Errorf("meet = %v, want %v", m, want)
+	}
+	// Meet is the greatest lower bound: refines both inputs.
+	if !m.Refines(p) || !m.Refines(q) {
+		t.Error("meet does not refine both inputs")
+	}
+}
+
+func TestBellNumbers(t *testing.T) {
+	// OEIS A000110.
+	want := []int64{1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975, 678570, 4213597}
+	for n, w := range want {
+		if got := Bell(n).Int64(); got != w {
+			t.Errorf("Bell(%d) = %d, want %d", n, got, w)
+		}
+	}
+	bells := BellsUpTo(12)
+	for n, w := range want {
+		if bells[n].Int64() != w {
+			t.Errorf("BellsUpTo[%d] = %v, want %d", n, bells[n], w)
+		}
+	}
+}
+
+func TestEachMatchesBell(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		count := 0
+		seen := make(map[string]bool)
+		Each(n, func(p Partition) bool {
+			count++
+			if p.N() != n {
+				t.Fatalf("partition of wrong size: %v", p)
+			}
+			if seen[p.Key()] {
+				t.Fatalf("duplicate partition %v", p)
+			}
+			seen[p.Key()] = true
+			return true
+		})
+		if want := Bell(n).Int64(); int64(count) != want {
+			t.Errorf("Each(%d) yielded %d partitions, want %d", n, count, want)
+		}
+	}
+}
+
+func TestNumPairings(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int64
+	}{
+		{2, 1}, {4, 3}, {6, 15}, {8, 105}, {10, 945}, {12, 10395},
+		{3, 0}, {0, 0},
+	}
+	for _, tt := range tests {
+		if got := NumPairings(tt.n).Int64(); got != tt.want {
+			t.Errorf("NumPairings(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestEachPairingMatchesCount(t *testing.T) {
+	for n := 2; n <= 10; n += 2 {
+		count := 0
+		seen := make(map[string]bool)
+		EachPairing(n, func(p Partition) bool {
+			count++
+			if !p.IsPairing() {
+				t.Fatalf("EachPairing produced a non-pairing %v", p)
+			}
+			if seen[p.Key()] {
+				t.Fatalf("duplicate pairing %v", p)
+			}
+			seen[p.Key()] = true
+			return true
+		})
+		if want := NumPairings(n).Int64(); int64(count) != want {
+			t.Errorf("EachPairing(%d) yielded %d, want %d", n, count, want)
+		}
+	}
+}
+
+func TestIsPairing(t *testing.T) {
+	if !mustBlocks(t, 4, [][]int{{0, 2}, {1, 3}}).IsPairing() {
+		t.Error("pairing not recognized")
+	}
+	if mustBlocks(t, 4, [][]int{{0, 1, 2}, {3}}).IsPairing() {
+		t.Error("non-pairing accepted")
+	}
+	if Finest(3).IsPairing() {
+		t.Error("odd-size partition accepted as pairing")
+	}
+}
+
+// TestRandomIsUniform draws many partitions of [4] (B_4 = 15) and checks
+// every partition appears with frequency close to 1/15.
+func TestRandomIsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 15000
+	counts := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		p := Random(4, rng)
+		counts[p.Key()]++
+	}
+	if len(counts) != 15 {
+		t.Fatalf("saw %d distinct partitions of [4], want 15", len(counts))
+	}
+	want := float64(trials) / 15
+	for k, c := range counts {
+		if float64(c) < 0.8*want || float64(c) > 1.2*want {
+			t.Errorf("partition %q frequency %d, want ≈ %.0f", k, c, want)
+		}
+	}
+}
+
+func TestRandomPairingUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const trials = 6000
+	counts := make(map[string]int)
+	for i := 0; i < trials; i++ {
+		p, ok := RandomPairing(4, rng)
+		if !ok {
+			t.Fatal("RandomPairing(4) failed")
+		}
+		counts[p.Key()]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("saw %d pairings of [4], want 3", len(counts))
+	}
+	for k, c := range counts {
+		if c < trials/3-300 || c > trials/3+300 {
+			t.Errorf("pairing %q frequency %d, want ≈ %d", k, c, trials/3)
+		}
+	}
+	if _, ok := RandomPairing(5, rng); ok {
+		t.Error("RandomPairing(5) succeeded on odd n")
+	}
+}
+
+func TestLog2Big(t *testing.T) {
+	tests := []struct {
+		x    int64
+		want float64
+	}{
+		{1, 0}, {2, 1}, {1024, 10}, {3, 1.584962500721156},
+	}
+	for _, tt := range tests {
+		got := Log2Big(bigInt(tt.x))
+		if diff := got - tt.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("Log2Big(%d) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	// Large value: log2(2^100) = 100.
+	big100 := bigInt(1)
+	big100.Lsh(big100, 100)
+	if got := Log2Big(big100); got < 99.999 || got > 100.001 {
+		t.Errorf("Log2Big(2^100) = %v, want 100", got)
+	}
+}
+
+// TestJoinViaReachability cross-checks Join against the reachability
+// definition in the proof of Theorem 4.3: a and b are in the same part of
+// P∨Q iff a chain of alternating P/Q blocks connects them.
+func TestJoinViaReachability(t *testing.T) {
+	f := func(seedRaw int64) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		n := 2 + rng.Intn(8)
+		p := Random(n, rng)
+		q := Random(n, rng)
+		j, err := p.Join(q)
+		if err != nil {
+			return false
+		}
+		// BFS over the "same block in P or Q" relation.
+		for s := 0; s < n; s++ {
+			reach := make([]bool, n)
+			reach[s] = true
+			queue := []int{s}
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for v := 0; v < n; v++ {
+					if !reach[v] && (p.Same(u, v) || q.Same(u, v)) {
+						reach[v] = true
+						queue = append(queue, v)
+					}
+				}
+			}
+			for v := 0; v < n; v++ {
+				if reach[v] != j.Same(s, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockSizes(t *testing.T) {
+	p := mustBlocks(t, 6, [][]int{{0, 3, 5}, {1}, {2, 4}})
+	got := p.BlockSizes()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BlockSizes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func bigInt(x int64) *big.Int { return big.NewInt(x) }
+
+func BenchmarkJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := Random(64, rng)
+	q := Random(64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Join(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBell100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Bell(100)
+	}
+}
+
+func BenchmarkRandomPartition(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Random(32, rng)
+	}
+}

@@ -1,0 +1,93 @@
+package partition
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestRankingCount(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		r := NewRanking(n)
+		if r.Count().Cmp(Bell(n)) != 0 {
+			t.Errorf("n=%d: Count() = %v, want B_n = %v", n, r.Count(), Bell(n))
+		}
+	}
+}
+
+// TestRankingBijection checks Rank∘Unrank = id and that Rank enumerates
+// partitions in the same order as Each (RGS lexicographic).
+func TestRankingBijection(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		r := NewRanking(n)
+		idx := int64(0)
+		Each(n, func(p Partition) bool {
+			got, err := r.Rank(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Int64() != idx {
+				t.Fatalf("n=%d: Rank(%v) = %v, want %d", n, p, got, idx)
+			}
+			back, err := r.Unrank(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(p) {
+				t.Fatalf("n=%d: Unrank(Rank(%v)) = %v", n, p, back)
+			}
+			idx++
+			return true
+		})
+		if idx != Bell(n).Int64() {
+			t.Fatalf("n=%d: enumerated %d, want %v", n, idx, Bell(n))
+		}
+	}
+}
+
+func TestRankingErrors(t *testing.T) {
+	r := NewRanking(4)
+	if _, err := r.Rank(Finest(5)); err == nil {
+		t.Error("Rank of wrong-size partition succeeded, want error")
+	}
+	if _, err := r.Unrank(big.NewInt(-1)); err == nil {
+		t.Error("Unrank(-1) succeeded, want error")
+	}
+	if _, err := r.Unrank(Bell(4)); err == nil {
+		t.Error("Unrank(B_n) succeeded, want error")
+	}
+}
+
+// TestRankingLargeRoundTrip round-trips random partitions of a larger
+// ground set where enumeration is infeasible.
+func TestRankingLargeRoundTrip(t *testing.T) {
+	const n = 40
+	r := NewRanking(n)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 50; i++ {
+		p := Random(n, rng)
+		idx, err := r.Rank(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := r.Unrank(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip failed for %v", p)
+		}
+	}
+}
+
+func BenchmarkRank64(b *testing.B) {
+	r := NewRanking(64)
+	rng := rand.New(rand.NewSource(1))
+	p := Random(64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Rank(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package pls implements broadcast proof-labeling schemes, the Section 1.3
+// related-work machinery the paper builds its deterministic KT-0 story on
+// (Korman–Kutten–Peleg; Patt-Shamir–Perry): a prover assigns every vertex
+// a label, every vertex broadcasts its label once, and each vertex then
+// verifies a predicate locally. The scheme is correct when (i) on YES
+// configurations the prover's labels make everyone accept, and (ii) on NO
+// configurations every possible labeling is rejected by some vertex.
+//
+// Two schemes are provided:
+//
+//   - SpanningTree — the classical O(log n)-bit scheme for Connectivity
+//     (root ID + BFS distance), whose Ω(log n) broadcast verification
+//     bound [PP17] yields the deterministic KT-0 round bound the paper
+//     strengthens to Monte Carlo algorithms.
+//   - Transcript — the reduction sketched in Section 1.3: the transcript
+//     of any t-round deterministic BCC(1) Connectivity algorithm, used
+//     as a t-bit label, is a proof-labeling scheme; hence a fast
+//     algorithm would imply a short scheme.
+package pls
+
+import (
+	"fmt"
+
+	"bcclique/internal/bcc"
+	"bcclique/internal/comm"
+)
+
+// Scheme is a broadcast proof-labeling scheme for the Connectivity
+// predicate on BCC instances.
+type Scheme interface {
+	// Name identifies the scheme.
+	Name() string
+	// Prove produces per-vertex labels for a YES instance. It fails on
+	// NO instances (a correct prover cannot certify a false statement).
+	Prove(in *bcc.Instance) (labels [][]byte, err error)
+	// VerifyAt runs vertex v's verifier given every vertex's broadcast
+	// label (labels[u] is the label of vertex u; in the broadcast model
+	// v hears each label through the corresponding port).
+	VerifyAt(in *bcc.Instance, v int, labels [][]byte) (bool, error)
+}
+
+// Accept reports whether all vertices accept the given labels.
+func Accept(in *bcc.Instance, s Scheme, labels [][]byte) (bool, error) {
+	if len(labels) != in.N() {
+		return false, fmt.Errorf("pls: %d labels for %d vertices", len(labels), in.N())
+	}
+	for v := 0; v < in.N(); v++ {
+		ok, err := s.VerifyAt(in, v, labels)
+		if err != nil {
+			return false, fmt.Errorf("pls: verifier at %d: %w", v, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ProveAndAccept is the completeness check: prove, then verify.
+func ProveAndAccept(in *bcc.Instance, s Scheme) (bool, error) {
+	labels, err := s.Prove(in)
+	if err != nil {
+		return false, err
+	}
+	return Accept(in, s, labels)
+}
+
+// MaxLabelBits returns the verification complexity of a concrete label
+// assignment: the largest label length in bits.
+func MaxLabelBits(labels [][]byte) int {
+	max := 0
+	for _, l := range labels {
+		if 8*len(l) > max {
+			max = 8 * len(l)
+		}
+	}
+	return max
+}
+
+// SpanningTree is the classical Connectivity scheme: the prover roots a
+// BFS tree at the minimum-ID vertex and labels every vertex with
+// (root ID, BFS distance). Each verifier checks that all neighbours agree
+// on the root, that it claims distance 0 iff its own ID is the root ID,
+// and that some input neighbour is one step closer to the root.
+type SpanningTree struct{}
+
+// Name implements Scheme.
+func (SpanningTree) Name() string { return "spanning-tree" }
+
+// Prove implements Scheme.
+func (SpanningTree) Prove(in *bcc.Instance) ([][]byte, error) {
+	g := in.Input()
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("pls: cannot prove connectivity of a disconnected input")
+	}
+	root := 0
+	for v := 1; v < in.N(); v++ {
+		if in.ID(v) < in.ID(root) {
+			root = v
+		}
+	}
+	dist := make([]int, in.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if dist[w] == -1 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	labels := make([][]byte, in.N())
+	for v := 0; v < in.N(); v++ {
+		labels[v] = encodePair(in.ID(root), dist[v])
+	}
+	return labels, nil
+}
+
+// VerifyAt implements Scheme. The verifier runs in the broadcast model:
+// every vertex hears every label, so root agreement is checked globally —
+// without this, two components could each certify themselves around their
+// own root and a disconnected instance would pass.
+func (SpanningTree) VerifyAt(in *bcc.Instance, v int, labels [][]byte) (bool, error) {
+	rootID, dist, err := decodePair(labels[v])
+	if err != nil {
+		return false, nil // malformed label: reject
+	}
+	if (dist == 0) != (in.ID(v) == rootID) {
+		return false, nil
+	}
+	// Global agreement on the root (all labels are broadcast).
+	for _, l := range labels {
+		r2, _, err := decodePair(l)
+		if err != nil || r2 != rootID {
+			return false, nil
+		}
+	}
+	// Local tree check: some input neighbour is one step closer.
+	hasCloser := dist == 0
+	for _, u := range in.Input().Neighbors(v) {
+		_, d2, err := decodePair(labels[u])
+		if err != nil {
+			return false, nil
+		}
+		if d2 == dist-1 {
+			hasCloser = true
+		}
+	}
+	return hasCloser, nil
+}
+
+func encodePair(a, b int) []byte {
+	w := &comm.BitWriter{}
+	w.WriteUint(uint64(a), 32)
+	w.WriteUint(uint64(b), 32)
+	bits := w.Bits()
+	// Pack one bit per byte is wasteful for labels; repack 8 per byte.
+	out := make([]byte, (len(bits)+7)/8)
+	for i, bit := range bits {
+		out[i/8] |= (bit & 1) << uint(i%8)
+	}
+	return out
+}
+
+func decodePair(label []byte) (a, b int, err error) {
+	if len(label) != 8 {
+		return 0, 0, fmt.Errorf("pls: label has %d bytes, want 8", len(label))
+	}
+	bits := make([]byte, 64)
+	for i := range bits {
+		bits[i] = label[i/8] >> uint(i%8) & 1
+	}
+	r := comm.NewBitReader(bits)
+	av, err := r.ReadUint(32)
+	if err != nil {
+		return 0, 0, err
+	}
+	bv, err := r.ReadUint(32)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(av), int(bv), nil
+}
+
+var _ Scheme = SpanningTree{}

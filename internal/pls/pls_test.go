@@ -1,0 +1,279 @@
+package pls
+
+import (
+	"math/rand"
+	"testing"
+
+	"bcclique/internal/algorithms"
+	"bcclique/internal/bcc"
+	"bcclique/internal/graph"
+)
+
+func kt1Instance(t *testing.T, g *graph.Graph) *bcc.Instance {
+	t.Helper()
+	in, err := bcc.NewKT1(bcc.SequentialIDs(g.N()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func connectedGraphs(t *testing.T) []*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	cycle := graph.RandomOneCycle(10, rng)
+	path := graph.New(9)
+	for i := 0; i < 8; i++ {
+		path.MustAddEdge(i, i+1)
+	}
+	star := graph.New(8)
+	for i := 1; i < 8; i++ {
+		star.MustAddEdge(0, i)
+	}
+	return []*graph.Graph{cycle, path, star}
+}
+
+func TestSpanningTreeCompleteness(t *testing.T) {
+	for _, g := range connectedGraphs(t) {
+		in := kt1Instance(t, g)
+		ok, err := ProveAndAccept(in, SpanningTree{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Error("honest proof rejected on a connected instance")
+		}
+	}
+}
+
+func TestSpanningTreeProverRefusesNoInstances(t *testing.T) {
+	g, err := graph.FromCycles(10, []int{0, 1, 2, 3, 4}, []int{5, 6, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := kt1Instance(t, g)
+	if _, err := (SpanningTree{}).Prove(in); err == nil {
+		t.Error("prover produced a proof for a disconnected instance")
+	}
+}
+
+// TestSpanningTreeSoundness: on a disconnected instance, every labeling in
+// a large random sample (plus adversarial ones) must be rejected.
+func TestSpanningTreeSoundness(t *testing.T) {
+	g, err := graph.FromCycles(8, []int{0, 1, 2, 3}, []int{4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := kt1Instance(t, g)
+	rng := rand.New(rand.NewSource(7))
+
+	// Adversarial 1: label both components as if rooted at vertex 0.
+	adversarial := make([][]byte, 8)
+	dists := []int{0, 1, 2, 1, 1, 2, 3, 2} // component 2 pretends to hang off the root
+	for v := range adversarial {
+		adversarial[v] = encodePair(0, dists[v])
+	}
+	if ok, err := Accept(in, SpanningTree{}, adversarial); err != nil || ok {
+		t.Errorf("adversarial labeling accepted (ok=%v, err=%v)", ok, err)
+	}
+
+	// Adversarial 2: each component self-certifies around its own root —
+	// the forgery that local-only verification would miss; the broadcast
+	// verifier's global root-agreement check must catch it.
+	twoRoots := [][]byte{
+		encodePair(0, 0), encodePair(0, 1), encodePair(0, 2), encodePair(0, 1),
+		encodePair(4, 0), encodePair(4, 1), encodePair(4, 2), encodePair(4, 1),
+	}
+	if ok, err := Accept(in, SpanningTree{}, twoRoots); err != nil || ok {
+		t.Errorf("per-component-root forgery accepted (ok=%v, err=%v)", ok, err)
+	}
+
+	for trial := 0; trial < 300; trial++ {
+		labels := make([][]byte, 8)
+		root := rng.Intn(8)
+		for v := range labels {
+			labels[v] = encodePair(root, rng.Intn(9))
+		}
+		ok, err := Accept(in, SpanningTree{}, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("random labeling %v accepted on a disconnected instance", labels)
+		}
+	}
+}
+
+func TestSpanningTreeLabelSize(t *testing.T) {
+	in := kt1Instance(t, connectedGraphs(t)[0])
+	labels, err := (SpanningTree{}).Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxLabelBits(labels); got != 64 {
+		t.Errorf("label size = %d bits, want 64 (two 32-bit words)", got)
+	}
+}
+
+func TestTranscriptCompleteness(t *testing.T) {
+	algo, err := algorithms.NewNeighborhoodBroadcast(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range connectedGraphs(t) {
+		in := kt1Instance(t, g)
+		scheme := Transcript{Algo: algo}
+		ok, err := ProveAndAccept(in, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Error("honest transcript labels rejected on a connected instance")
+		}
+	}
+}
+
+func TestTranscriptProverRefusesNoInstances(t *testing.T) {
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromCycles(10, []int{0, 1, 2, 3, 4}, []int{5, 6, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := kt1Instance(t, g)
+	if _, err := (Transcript{Algo: algo}).Prove(in); err == nil {
+		t.Error("prover produced transcript labels for a NO instance")
+	}
+}
+
+// TestTranscriptSoundness: forging transcripts on a disconnected instance
+// cannot convince every vertex, because each vertex replays its own state
+// machine against the claims.
+func TestTranscriptSoundness(t *testing.T) {
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := graph.FromCycles(10, []int{0, 1, 2, 3, 4}, []int{5, 6, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inNo := kt1Instance(t, two)
+
+	// Forgery 1: take the genuine transcripts of a YES instance (a
+	// 10-cycle) and present them on the disconnected instance.
+	one, err := graph.FromCycle(10, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inYes := kt1Instance(t, one)
+	stolen, err := (Transcript{Algo: algo}).Prove(inYes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Accept(inNo, Transcript{Algo: algo}, stolen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("stolen YES-instance transcripts accepted on a NO instance")
+	}
+
+	// Forgery 2: random trit labels.
+	rng := rand.New(rand.NewSource(3))
+	tr := algo.Rounds(10)
+	for trial := 0; trial < 100; trial++ {
+		labels := make([][]byte, 10)
+		for v := range labels {
+			msgs := make([]bcc.Message, tr)
+			for i := range msgs {
+				switch rng.Intn(3) {
+				case 0:
+					msgs[i] = bcc.Silence
+				case 1:
+					msgs[i] = bcc.Bit(0)
+				default:
+					msgs[i] = bcc.Bit(1)
+				}
+			}
+			labels[v] = encodeTrits(msgs)
+		}
+		ok, err := Accept(inNo, Transcript{Algo: algo}, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("random forged transcripts accepted on a NO instance")
+		}
+	}
+}
+
+// TestTranscriptLabelSizeMatchesRounds: a t-round algorithm gives a
+// 2t-bit label — the quantitative heart of the Section 1.3 connection.
+func TestTranscriptLabelSizeMatchesRounds(t *testing.T) {
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := connectedGraphs(t)[0] // 10-cycle
+	in := kt1Instance(t, g)
+	labels, err := (Transcript{Algo: algo}).Prove(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := algo.Rounds(10)
+	wantBits := 8 * ((2*tr + 7) / 8)
+	if got := MaxLabelBits(labels); got != wantBits {
+		t.Errorf("label size = %d bits, want %d (2 bits × %d rounds)", got, wantBits, tr)
+	}
+}
+
+func TestTritRoundTrip(t *testing.T) {
+	msgs := []bcc.Message{bcc.Silence, bcc.Bit(1), bcc.Bit(0), bcc.Silence, bcc.Bit(1)}
+	enc := encodeTrits(msgs)
+	dec, err := decodeTrits(enc, len(msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if dec[i] != msgs[i] {
+			t.Fatalf("trit %d: got %v, want %v", i, dec[i], msgs[i])
+		}
+	}
+	if _, err := decodeTrits(enc, len(msgs)+8); err == nil {
+		t.Error("decodeTrits with wrong length succeeded")
+	}
+}
+
+func BenchmarkTranscriptVerify(b *testing.B) {
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := make([]int, 32)
+	for i := range seq {
+		seq[i] = i
+	}
+	g, err := graph.FromCycle(32, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := bcc.NewKT1(bcc.SequentialIDs(32), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := Transcript{Algo: algo}
+	labels, err := scheme.Prove(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := Accept(in, scheme, labels)
+		if err != nil || !ok {
+			b.Fatal("verification failed")
+		}
+	}
+}

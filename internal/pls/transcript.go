@@ -1,0 +1,135 @@
+package pls
+
+import (
+	"fmt"
+
+	"bcclique/internal/bcc"
+)
+
+// Transcript turns any t-round deterministic BCC(1) Connectivity
+// algorithm into a t-bit proof-labeling scheme — the Section 1.3
+// construction: "the prover could use the transcript of the algorithm at
+// each vertex v as the label at v; the verifier could then broadcast
+// these transcripts and locally simulate the algorithm."
+//
+// Each vertex's label is its own broadcast sequence. The verifier at v
+// replays v's state machine against the claimed broadcasts of everyone
+// else: it accepts iff its own replayed broadcasts match its label and
+// its replayed decision is YES. If every vertex accepts, the claimed
+// broadcasts form the genuine (unique, deterministic) run of the
+// algorithm, whose all-YES outcome certifies connectivity — so a t-round
+// algorithm gives a t-bit scheme, and the [PP17] Ω(log n) verification
+// bound transfers to deterministic KT-0 BCC(1) round complexity.
+type Transcript struct {
+	// Algo is the deterministic BCC(1) Connectivity algorithm.
+	Algo bcc.Algorithm
+	// T is the number of rounds to replay (the algorithm's schedule if 0).
+	T int
+}
+
+// Name implements Scheme.
+func (s Transcript) Name() string { return "transcript(" + s.Algo.Name() + ")" }
+
+func (s Transcript) rounds(n int) int {
+	if s.T > 0 {
+		return s.T
+	}
+	return s.Algo.Rounds(n)
+}
+
+// Prove implements Scheme: run the algorithm and label each vertex with
+// its broadcast sequence (2 bits per round: a {0,1,⊥} trit).
+func (s Transcript) Prove(in *bcc.Instance) ([][]byte, error) {
+	if s.Algo.Bandwidth() != 1 {
+		return nil, fmt.Errorf("pls: transcript scheme needs a BCC(1) algorithm, got b=%d", s.Algo.Bandwidth())
+	}
+	t := s.rounds(in.N())
+	res, err := bcc.Run(in, s.Algo, bcc.WithRounds(t))
+	if err != nil {
+		return nil, err
+	}
+	if !res.HasVerdict {
+		return nil, fmt.Errorf("pls: algorithm %q is not a decider", s.Algo.Name())
+	}
+	if res.Verdict != bcc.VerdictYes {
+		return nil, fmt.Errorf("pls: cannot prove a NO instance")
+	}
+	labels := make([][]byte, in.N())
+	for v := range labels {
+		labels[v] = encodeTrits(res.Transcripts[v].Sent)
+	}
+	return labels, nil
+}
+
+// VerifyAt implements Scheme.
+func (s Transcript) VerifyAt(in *bcc.Instance, v int, labels [][]byte) (bool, error) {
+	t := s.rounds(in.N())
+	claimed := make([][]bcc.Message, in.N())
+	for u := range labels {
+		msgs, err := decodeTrits(labels[u], t)
+		if err != nil {
+			return false, nil // malformed label: reject
+		}
+		claimed[u] = msgs
+	}
+	node := s.Algo.NewNode(in.View(v), nil)
+	inbox := make([]bcc.Message, in.N()-1)
+	for round := 1; round <= t; round++ {
+		m := node.Send(round)
+		if m != claimed[v][round-1] {
+			return false, nil // my own label lies about me
+		}
+		for u := 0; u < in.N(); u++ {
+			if u == v {
+				continue
+			}
+			inbox[in.PortOf(v, u)] = claimed[u][round-1]
+		}
+		node.Receive(round, inbox)
+	}
+	d, ok := node.(bcc.Decider)
+	if !ok {
+		return false, fmt.Errorf("pls: algorithm %q is not a decider", s.Algo.Name())
+	}
+	return d.Decide() == bcc.VerdictYes, nil
+}
+
+// encodeTrits packs {0,1,⊥} messages two bits each: 00=⊥, 10=0, 11=1.
+func encodeTrits(msgs []bcc.Message) []byte {
+	out := make([]byte, (2*len(msgs)+7)/8)
+	for i, m := range msgs {
+		var code byte
+		if !m.IsSilent() {
+			code = 2 | m.BitAt(0)
+		}
+		pos := 2 * i
+		out[pos/8] |= (code & 1) << uint(pos%8)
+		pos++
+		out[pos/8] |= (code >> 1 & 1) << uint(pos%8)
+	}
+	return out
+}
+
+func decodeTrits(label []byte, t int) ([]bcc.Message, error) {
+	if len(label) != (2*t+7)/8 {
+		return nil, fmt.Errorf("pls: label has %d bytes, want %d", len(label), (2*t+7)/8)
+	}
+	msgs := make([]bcc.Message, t)
+	for i := 0; i < t; i++ {
+		pos := 2 * i
+		lo := label[pos/8] >> uint(pos%8) & 1
+		pos++
+		hi := label[pos/8] >> uint(pos%8) & 1
+		switch {
+		case hi == 0 && lo == 0:
+			msgs[i] = bcc.Silence
+		case hi == 1:
+			msgs[i] = bcc.Bit(lo)
+		default:
+			return nil, fmt.Errorf("pls: invalid trit code at position %d", i)
+		}
+	}
+	return msgs, nil
+}
+
+var _ Scheme = Transcript{}

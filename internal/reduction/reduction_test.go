@@ -1,0 +1,291 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bcclique/internal/algorithms"
+	"bcclique/internal/bcc"
+	"bcclique/internal/partition"
+)
+
+func mustBlocks(t *testing.T, n int, blocks [][]int) partition.Partition {
+	t.Helper()
+	p, err := partition.FromBlocks(n, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPaperFigure2Left reproduces the left example of Figure 2 (shifted
+// 0-based): PA = (1,2,3)(4,5,6)(7,8), PB = (1,2,6)(3,4,7)(5,8).
+// PA ∨ PB joins everything: 1~2~3 via PA, 3~4 via PB, 4~5~6 via PA,
+// 5~8 via PB, 7~8 via PA — the graph must be connected.
+func TestPaperFigure2Left(t *testing.T) {
+	pa := mustBlocks(t, 8, [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7}})
+	pb := mustBlocks(t, 8, [][]int{{0, 1, 5}, {2, 3, 6}, {4, 7}})
+	g, ly, err := BuildGeneral(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTheorem43(g, ly, pa, pb); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("Figure 2 (left) graph should be connected")
+	}
+	if g.N() != 32 {
+		t.Errorf("graph has %d vertices, want 4n = 32", g.N())
+	}
+}
+
+// TestPaperFigure2Right reproduces the right example of Figure 2:
+// PA = (1,2)(3,4)(5,6)(7,8), PB = (1,3)(2,4)(5,7)(6,8). The join is
+// (1,2,3,4)(5,6,7,8) ≠ 1, so the 2-regular graph must be disconnected.
+func TestPaperFigure2Right(t *testing.T) {
+	pa := mustBlocks(t, 8, [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+	pb := mustBlocks(t, 8, [][]int{{0, 2}, {1, 3}, {4, 6}, {5, 7}})
+	g, ly, err := BuildPairing(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTheorem43(g, ly, pa, pb); err != nil {
+		t.Fatal(err)
+	}
+	if g.IsConnected() {
+		t.Error("Figure 2 (right) graph should be disconnected")
+	}
+	if !g.IsTwoRegular() {
+		t.Error("pairing construction must be 2-regular")
+	}
+	lengths, ok := g.CycleLengths()
+	if !ok {
+		t.Fatal("not a cycle cover")
+	}
+	for _, l := range lengths {
+		if l < 4 {
+			t.Errorf("cycle of length %d < 4 (MultiCycle promise violated)", l)
+		}
+	}
+}
+
+// TestTheorem43ExhaustiveGeneral checks Theorem 4.3 over every pair of
+// partitions of [4] (15² pairs).
+func TestTheorem43ExhaustiveGeneral(t *testing.T) {
+	parts := partition.All(4)
+	for _, pa := range parts {
+		for _, pb := range parts {
+			g, ly, err := BuildGeneral(pa, pb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyTheorem43(g, ly, pa, pb); err != nil {
+				t.Fatalf("PA=%v PB=%v: %v", pa, pb, err)
+			}
+		}
+	}
+}
+
+// TestTheorem43ExhaustivePairing checks the 2-regular construction over
+// every pair of pairings of [6] (15² pairs).
+func TestTheorem43ExhaustivePairing(t *testing.T) {
+	pairings := partition.AllPairings(6)
+	for _, pa := range pairings {
+		for _, pb := range pairings {
+			g, ly, err := BuildPairing(pa, pb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyTheorem43(g, ly, pa, pb); err != nil {
+				t.Fatalf("PA=%v PB=%v: %v", pa, pb, err)
+			}
+			if !g.IsTwoRegular() {
+				t.Fatalf("PA=%v PB=%v: not 2-regular", pa, pb)
+			}
+		}
+	}
+}
+
+// TestTheorem43Random property-tests larger ground sets.
+func TestTheorem43Random(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		pa := partition.Random(n, rng)
+		pb := partition.Random(n, rng)
+		g, ly, err := BuildGeneral(pa, pb)
+		if err != nil {
+			return false
+		}
+		if err := VerifyTheorem43(g, ly, pa, pb); err != nil {
+			return false
+		}
+		// Pairing variant on even ground sets.
+		if n%2 == 0 {
+			qa, _ := partition.RandomPairing(n, rng)
+			qb, _ := partition.RandomPairing(n, rng)
+			g2, ly2, err := BuildPairing(qa, qb)
+			if err != nil {
+				return false
+			}
+			if err := VerifyTheorem43(g2, ly2, qa, qb); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, _, err := BuildGeneral(partition.Finest(3), partition.Finest(4)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, _, err := BuildPairing(partition.Finest(4), partition.Finest(4)); err == nil {
+		t.Error("non-pairing accepted by BuildPairing")
+	}
+}
+
+// TestSimulateMatchesDirect runs the Theorem 4.4 simulation with the
+// neighborhood-broadcast algorithm on pairing instances and checks (a)
+// the simulation reproduces the direct run exactly, (b) the verdict
+// equals the MultiCycle ground truth, and (c) the wire cost is exactly
+// rounds × 2 parties × n symbols × 2 bits.
+func TestSimulateMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		const n = 8
+		pa, _ := partition.RandomPairing(n, rng)
+		pb, _ := partition.RandomPairing(n, rng)
+		res, err := Simulate(algo, pa, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.MatchesDirect {
+			t.Fatal("simulated run diverged from direct run")
+		}
+		join, err := pa.Join(pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVerdict := bcc.VerdictNo
+		if join.IsTrivial() {
+			wantVerdict = bcc.VerdictYes
+		}
+		if !res.HasVerdict || res.Verdict != wantVerdict {
+			t.Errorf("PA=%v PB=%v: verdict %v, want %v", pa, pb, res.Verdict, wantVerdict)
+		}
+		// 2n graph vertices, n per party; b=1 so 2 bits per symbol.
+		wantBits := res.Rounds * 2 * n * 2
+		if res.WireBits != wantBits {
+			t.Errorf("wire bits = %d, want %d", res.WireBits, wantBits)
+		}
+		if res.SymbolsPerRoundPerParty != n {
+			t.Errorf("symbols per round = %d, want n = %d", res.SymbolsPerRoundPerParty, n)
+		}
+	}
+}
+
+// TestSimulateGeneralConstruction exercises the 4n-vertex construction
+// with the Borůvka algorithm (bandwidth Θ(log n)) on arbitrary
+// partitions.
+func TestSimulateGeneralConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	algo, err := algorithms.NewBoruvka(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		const n = 6
+		pa := partition.Random(n, rng)
+		pb := partition.Random(n, rng)
+		res, err := Simulate(algo, pa, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.MatchesDirect {
+			t.Fatal("simulated run diverged from direct run")
+		}
+		join, err := pa.Join(pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVerdict := bcc.VerdictNo
+		if join.IsTrivial() {
+			wantVerdict = bcc.VerdictYes
+		}
+		if res.Verdict != wantVerdict {
+			t.Errorf("PA=%v PB=%v: verdict %v, want %v", pa, pb, res.Verdict, wantVerdict)
+		}
+	}
+}
+
+// TestSimulationLabelsSolveComponents: ConnectedComponents through the
+// reduction — labels on L vertices must induce the join (Theorem 4.5's
+// reduction step: a CC algorithm lets Bob learn P_A ∨ P_B).
+func TestSimulationLabelsSolveComponents(t *testing.T) {
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	const n = 8
+	pa, _ := partition.RandomPairing(n, rng)
+	pb, _ := partition.RandomPairing(n, rng)
+	res, err := Simulate(algo, pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels == nil {
+		t.Fatal("no labels from a Labeler algorithm")
+	}
+	ly := Layout{n: n, full: false}
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = res.Labels[ly.L(i)]
+	}
+	induced := partition.FromLabels(labels)
+	join, err := pa.Join(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !induced.Equal(join) {
+		t.Errorf("component labels induce %v on L, want join %v", induced, join)
+	}
+}
+
+func BenchmarkBuildGeneral(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pa := partition.Random(128, rng)
+	pb := partition.Random(128, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BuildGeneral(pa, pb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pa, _ := partition.RandomPairing(16, rng)
+	pb, _ := partition.RandomPairing(16, rng)
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(algo, pa, pb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

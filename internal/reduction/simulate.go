@@ -1,0 +1,203 @@
+package reduction
+
+import (
+	"fmt"
+
+	"bcclique/internal/bcc"
+	"bcclique/internal/partition"
+)
+
+// SimResult reports a Theorem 4.4 simulation: an r-round KT-1 BCC(b)
+// algorithm executed jointly by Alice (hosting A ∪ L) and Bob (hosting
+// R ∪ B), with every cross-party bit metered.
+type SimResult struct {
+	// Rounds is the number of BCC rounds simulated.
+	Rounds int
+	// WireBits is the total number of bits exchanged between Alice and
+	// Bob: per round, each party encodes each hosted vertex's broadcast
+	// (payload plus a length field so ⊥ and short messages are
+	// self-delimiting).
+	WireBits int
+	// SymbolsPerRoundPerParty is the paper's 2n: broadcast symbols each
+	// party ships per round.
+	SymbolsPerRoundPerParty int
+	// BitsPerSymbol is the wire width of one symbol (2 for b = 1,
+	// matching {0,1,⊥}).
+	BitsPerSymbol int
+	// HasVerdict/Verdict and Labels mirror bcc.Result.
+	HasVerdict bool
+	Verdict    bcc.Verdict
+	Labels     []int
+	// MatchesDirect reports whether the simulated transcripts and
+	// outputs coincide with a direct (single-machine) run — the
+	// correctness claim of the Section 4.3 simulation argument.
+	MatchesDirect bool
+}
+
+// Simulate builds the reduction graph for (pa, pb), hosts its vertices on
+// Alice and Bob per Section 4.3, and simulates the KT-1 algorithm,
+// metering every bit that crosses the Alice/Bob cut. With pairing inputs
+// it uses the 2-regular MultiCycle construction; otherwise the general
+// one.
+func Simulate(algo bcc.Algorithm, pa, pb partition.Partition) (*SimResult, error) {
+	build := BuildGeneral
+	if pa.IsPairing() && pb.IsPairing() {
+		build = BuildPairing
+	}
+	g, ly, err := build(pa, pb)
+	if err != nil {
+		return nil, err
+	}
+	in, err := bcc.NewKT1(ly.IDs(), g)
+	if err != nil {
+		return nil, err
+	}
+	return simulateSplit(algo, in, ly)
+}
+
+// simulateSplit runs the algorithm with nodes partitioned across the
+// Alice/Bob cut defined by the layout, exchanging per-round broadcast
+// vectors, and cross-checks against a direct run.
+func simulateSplit(algo bcc.Algorithm, in *bcc.Instance, ly Layout) (*SimResult, error) {
+	b := algo.Bandwidth()
+	if b < 1 || b > bcc.MaxBandwidth {
+		return nil, fmt.Errorf("reduction: bandwidth %d unsupported", b)
+	}
+	n := in.N()
+	rounds := algo.Rounds(n)
+	lenBits := bitsFor(b + 1)
+	perSymbol := b + lenBits
+
+	// Each party instantiates only its hosted vertices.
+	nodes := make([]bcc.Node, n)
+	hostAlice := make([]bool, n)
+	var aliceOrder, bobOrder []int // hosted vertices in increasing ID
+	for v := 0; v < n; v++ {
+		nodes[v] = algo.NewNode(in.View(v), nil)
+		hostAlice[v] = ly.AliceHosts(v)
+	}
+	// "In increasing order of ID" (Section 4.3) so the receiver knows the
+	// sender of each symbol by position.
+	for _, v := range verticesByID(in) {
+		if hostAlice[v] {
+			aliceOrder = append(aliceOrder, v)
+		} else {
+			bobOrder = append(bobOrder, v)
+		}
+	}
+
+	res := &SimResult{
+		Rounds:                  rounds,
+		SymbolsPerRoundPerParty: len(aliceOrder),
+		BitsPerSymbol:           perSymbol,
+	}
+	if len(bobOrder) > res.SymbolsPerRoundPerParty {
+		res.SymbolsPerRoundPerParty = len(bobOrder)
+	}
+
+	sends := make([]bcc.Message, n)
+	sent := make([][]bcc.Message, n)
+	inbox := make([]bcc.Message, n-1)
+	for t := 1; t <= rounds; t++ {
+		// Each party gathers its hosted vertices' broadcasts and ships
+		// them across the wire.
+		for v := 0; v < n; v++ {
+			m := nodes[v].Send(t)
+			if int(m.Len) > b {
+				return nil, fmt.Errorf("reduction: vertex %d over budget in round %d", v, t)
+			}
+			sends[v] = m
+			sent[v] = append(sent[v], m)
+		}
+		// Wire accounting: Alice ships her vector, Bob his.
+		res.WireBits += len(aliceOrder) * perSymbol
+		res.WireBits += len(bobOrder) * perSymbol
+		// Both parties now hold all broadcasts and deliver them to their
+		// hosted vertices through the KT-1 port map (IDs are public, so
+		// the port of every sender is known to both parties).
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if u == v {
+					continue
+				}
+				inbox[in.PortOf(v, u)] = sends[u]
+			}
+			nodes[v].Receive(t, inbox)
+		}
+	}
+
+	res.HasVerdict = true
+	verdict := bcc.VerdictYes
+	labels := make([]int, n)
+	allLabelers := true
+	for v := 0; v < n; v++ {
+		if d, ok := nodes[v].(bcc.Decider); ok {
+			if d.Decide() == bcc.VerdictNo {
+				verdict = bcc.VerdictNo
+			}
+		} else {
+			res.HasVerdict = false
+		}
+		if l, ok := nodes[v].(bcc.Labeler); ok {
+			labels[v] = l.Label()
+		} else {
+			allLabelers = false
+		}
+	}
+	if res.HasVerdict {
+		res.Verdict = verdict
+	}
+	if allLabelers {
+		res.Labels = labels
+	}
+
+	// Cross-check against a direct run.
+	direct, err := bcc.Run(in, algo)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: direct run: %w", err)
+	}
+	res.MatchesDirect = direct.Rounds == rounds &&
+		direct.HasVerdict == res.HasVerdict &&
+		(!res.HasVerdict || direct.Verdict == res.Verdict)
+	if res.MatchesDirect {
+		for v := 0; v < n && res.MatchesDirect; v++ {
+			for t := 0; t < rounds; t++ {
+				if direct.Transcripts[v].Sent[t] != sent[v][t] {
+					res.MatchesDirect = false
+					break
+				}
+			}
+		}
+	}
+	if res.MatchesDirect && res.Labels != nil && direct.Labels != nil {
+		for v := range labels {
+			if labels[v] != direct.Labels[v] {
+				res.MatchesDirect = false
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+func verticesByID(in *bcc.Instance) []int {
+	ids := in.IDs()
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && ids[order[j]] < ids[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+func bitsFor(m int) int {
+	w := 0
+	for (1 << uint(w)) < m {
+		w++
+	}
+	return w
+}

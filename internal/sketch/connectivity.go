@@ -1,0 +1,260 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"bcclique/internal/bcc"
+	"bcclique/internal/dsu"
+)
+
+// Connectivity is the peeling-based deterministic connectivity algorithm
+// for graphs of arboricity ≤ Arboricity in the KT-1 BCC model, the
+// executable form of the paper's Section 1.1 tightness remark:
+//
+//	Every subgraph of an arboricity-a graph has ≤ a(m−1) edges on m
+//	vertices, so fewer than half of the still-active vertices can have
+//	more than 4a live neighbours. In each phase exactly the ≤ 4a-degree
+//	vertices broadcast the (8a+1)-element power-sum sketch of their live
+//	neighbourhood, retire, and have their edges entered into every
+//	vertex's replica of a global union-find. Active vertex count at
+//	least halves per phase, so ⌈log₂ n⌉+1 phases reveal the whole graph.
+//
+// One field element (31 bits) is shipped per round, so the algorithm runs
+// in (⌈log₂ n⌉+1)·(8a+1) rounds of BCC(31) — O(a·log n) rounds, against
+// the paper's Ω(log n) lower bound. Spread bit-by-bit over BCC(1) it is
+// O(a·log² n); the paper's [MT16] citation reaches O(log n) in BCC(1)
+// with heavier machinery, so this is documented as the simplified
+// substitution (DESIGN.md §1).
+//
+// The algorithm is a promise algorithm: on inputs of arboricity greater
+// than Arboricity some vertices may never retire, in which case every
+// node answers NO / label −1 (detectably, never silently wrong).
+type Connectivity struct {
+	// Arboricity is the promised arboricity bound a.
+	Arboricity int
+}
+
+// NewConnectivity returns the algorithm for arboricity ≤ a.
+func NewConnectivity(a int) (*Connectivity, error) {
+	if a < 1 {
+		return nil, fmt.Errorf("sketch: arboricity %d < 1", a)
+	}
+	if _, err := NewRecoverer(4 * a); err != nil {
+		return nil, err
+	}
+	return &Connectivity{Arboricity: a}, nil
+}
+
+// Name implements bcc.Algorithm.
+func (c *Connectivity) Name() string { return "sketch-connectivity" }
+
+// Bandwidth implements bcc.Algorithm: one 31-bit field element per round.
+func (c *Connectivity) Bandwidth() int { return 31 }
+
+// phases returns the peeling schedule length for n vertices.
+func phases(n int) int {
+	p := 1
+	for (1 << uint(p)) < n {
+		p++
+	}
+	return p + 1
+}
+
+// Rounds implements bcc.Algorithm: phases × sketch length.
+func (c *Connectivity) Rounds(n int) int {
+	return phases(n) * (2*(4*c.Arboricity) + 1)
+}
+
+// NewNode implements bcc.Algorithm.
+func (c *Connectivity) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
+	node := &sketchNode{a: c.Arboricity}
+	rec, err := NewRecoverer(4 * c.Arboricity)
+	if err != nil {
+		node.broken = true
+		return node
+	}
+	node.rec = rec
+	if view.Knowledge != bcc.KT1 || view.AllIDs == nil {
+		node.broken = true
+		return node
+	}
+	node.id = view.ID
+	node.universe = append([]int(nil), view.AllIDs...)
+	sort.Ints(node.universe)
+	node.rank = make(map[int]int, len(node.universe))
+	for i, id := range node.universe {
+		node.rank[id] = i
+	}
+	for _, p := range view.InputPorts {
+		node.liveNbrs = append(node.liveNbrs, view.PortIDs[p])
+	}
+	node.portID = make([]int, view.NumPorts)
+	for p := 0; p < view.NumPorts; p++ {
+		node.portID[p] = view.PortIDs[p]
+	}
+	node.retired = make([]bool, len(node.universe))
+	node.comp = dsu.New(len(node.universe))
+	node.phaseBuf = make([][]uint64, view.NumPorts)
+	node.phaseSilent = make([]bool, view.NumPorts)
+	return node
+}
+
+type sketchNode struct {
+	a        int
+	rec      *Recoverer
+	id       int
+	universe []int
+	rank     map[int]int
+	liveNbrs []int // IDs of not-yet-retired input neighbours
+	portID   []int
+
+	retired     []bool // by universe rank; replicated identically everywhere
+	selfRetired bool
+	comp        *dsu.DSU
+
+	sketch      []uint64   // this phase's own transmission (nil if silent)
+	phaseBuf    [][]uint64 // per-port accumulated field elements this phase
+	phaseSilent []bool     // per-port: sender silent at any point this phase
+	broken      bool
+}
+
+func (n *sketchNode) sketchLen() int { return 2*(4*n.a) + 1 }
+
+func (n *sketchNode) Send(round int) bcc.Message {
+	if n.broken {
+		return bcc.Silence
+	}
+	pos := (round - 1) % n.sketchLen()
+	if pos == 0 {
+		// Phase start: decide whether to transmit this phase.
+		n.sketch = nil
+		if !n.selfRetired && len(n.liveNbrs) <= 4*n.a {
+			s, err := n.rec.Encode(n.liveNbrs)
+			if err == nil {
+				n.sketch = s
+			}
+		}
+	}
+	if n.sketch == nil {
+		return bcc.Silence
+	}
+	return bcc.Word(n.sketch[pos], 31)
+}
+
+func (n *sketchNode) Receive(round int, inbox []bcc.Message) {
+	if n.broken {
+		return
+	}
+	pos := (round - 1) % n.sketchLen()
+	if pos == 0 {
+		for p := range n.phaseBuf {
+			n.phaseBuf[p] = n.phaseBuf[p][:0]
+			n.phaseSilent[p] = false
+		}
+	}
+	for p, m := range inbox {
+		if m.IsSilent() {
+			n.phaseSilent[p] = true
+			continue
+		}
+		n.phaseBuf[p] = append(n.phaseBuf[p], m.Bits)
+	}
+	if pos == n.sketchLen()-1 {
+		n.endPhase()
+	}
+}
+
+// endPhase decodes every completed sketch and updates the replicated
+// global state. All replicas process identical broadcasts, so they stay
+// in lockstep.
+func (n *sketchNode) endPhase() {
+	type retirement struct {
+		sender int
+		nbrs   []int
+	}
+	var retirements []retirement
+	// Our own transmission retires us.
+	if n.sketch != nil {
+		retirements = append(retirements, retirement{sender: n.id, nbrs: append([]int(nil), n.liveNbrs...)})
+	}
+	for p, buf := range n.phaseBuf {
+		if n.phaseSilent[p] || len(buf) != n.sketchLen() {
+			continue
+		}
+		nbrs, ok := n.rec.Decode(buf, n.universe)
+		if !ok {
+			continue
+		}
+		retirements = append(retirements, retirement{sender: n.portID[p], nbrs: nbrs})
+	}
+	for _, r := range retirements {
+		sr, ok := n.rank[r.sender]
+		if !ok {
+			continue
+		}
+		n.retired[sr] = true
+		if r.sender == n.id {
+			n.selfRetired = true
+		}
+		for _, w := range r.nbrs {
+			wr, ok := n.rank[w]
+			if !ok {
+				continue
+			}
+			n.comp.Union(sr, wr)
+		}
+	}
+	// Drop retired neighbours from the live set.
+	live := n.liveNbrs[:0]
+	for _, w := range n.liveNbrs {
+		if wr, ok := n.rank[w]; ok && !n.retired[wr] {
+			live = append(live, w)
+		}
+	}
+	n.liveNbrs = live
+}
+
+// done reports whether every vertex retired (all edges recovered).
+func (n *sketchNode) done() bool {
+	for _, r := range n.retired {
+		if !r {
+			return false
+		}
+	}
+	return true
+}
+
+// Decide implements bcc.Decider: YES iff all vertices retired and the
+// recovered graph is connected.
+func (n *sketchNode) Decide() bcc.Verdict {
+	if n.broken || !n.done() {
+		return bcc.VerdictNo
+	}
+	if n.comp.Sets() == 1 {
+		return bcc.VerdictYes
+	}
+	return bcc.VerdictNo
+}
+
+// Label implements bcc.Labeler: smallest ID in this vertex's component,
+// or −1 if the arboricity promise was violated.
+func (n *sketchNode) Label() int {
+	if n.broken || !n.done() {
+		return -1
+	}
+	self := n.rank[n.id]
+	min := n.id
+	for i, id := range n.universe {
+		if n.comp.Same(self, i) && id < min {
+			min = id
+		}
+	}
+	return min
+}
+
+var (
+	_ bcc.Algorithm = (*Connectivity)(nil)
+	_ bcc.Decider   = (*sketchNode)(nil)
+	_ bcc.Labeler   = (*sketchNode)(nil)
+)

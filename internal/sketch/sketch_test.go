@@ -1,0 +1,331 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bcclique/internal/bcc"
+	"bcclique/internal/graph"
+)
+
+func TestRecovererRoundTrip(t *testing.T) {
+	rec, err := NewRecoverer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := []int{0, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	tests := [][]int{
+		nil,
+		{0},
+		{5},
+		{1, 2},
+		{0, 13, 55},
+		{3, 5, 8, 21},
+	}
+	for _, set := range tests {
+		t.Run(fmt.Sprint(set), func(t *testing.T) {
+			sums, err := rec.Encode(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := rec.Decode(sums, universe)
+			if !ok {
+				t.Fatalf("Decode failed for %v", set)
+			}
+			if len(got) != len(set) {
+				t.Fatalf("Decode(%v) = %v", set, got)
+			}
+			want := make(map[int]bool)
+			for _, x := range set {
+				want[x] = true
+			}
+			for _, x := range got {
+				if !want[x] {
+					t.Fatalf("Decode(%v) = %v", set, got)
+				}
+			}
+		})
+	}
+}
+
+func TestRecovererRejectsOversized(t *testing.T) {
+	rec, err := NewRecoverer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := []int{1, 2, 3, 4, 5, 6}
+	sums, err := rec.Encode([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec.Decode(sums, universe); ok {
+		t.Error("decoded a 3-set with a 2-sparse recoverer")
+	}
+}
+
+func TestRecovererRejectsCorruption(t *testing.T) {
+	rec, err := NewRecoverer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := []int{1, 2, 3, 4, 5}
+	sums, err := rec.Encode([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums[3] = (sums[3] + 1) % (1<<31 - 1)
+	if _, ok := rec.Decode(sums, universe); ok {
+		t.Error("decoded a corrupted sketch")
+	}
+}
+
+func TestRecovererRejectsOutsideUniverse(t *testing.T) {
+	rec, err := NewRecoverer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := rec.Encode([]int{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec.Decode(sums, []int{1, 2, 3}); ok {
+		t.Error("decoded an element missing from the universe")
+	}
+}
+
+func TestRecovererLinearity(t *testing.T) {
+	rec, err := NewRecoverer(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := []int{10, 20, 30, 40, 50, 60}
+	a, err := rec.Encode([]int{10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rec.Encode([]int{20, 50, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := rec.Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rec.Decode(sum, universe)
+	if !ok || len(got) != 5 {
+		t.Fatalf("Decode(union) = %v, ok=%v; want 5 elements", got, ok)
+	}
+}
+
+func TestRecovererRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(6)
+		rec, err := NewRecoverer(k)
+		if err != nil {
+			return false
+		}
+		universe := rng.Perm(200)[:50]
+		size := rng.Intn(k + 1)
+		set := append([]int(nil), universe[:size]...)
+		sums, err := rec.Encode(set)
+		if err != nil {
+			return false
+		}
+		got, ok := rec.Decode(sums, universe)
+		if !ok || len(got) != len(set) {
+			return false
+		}
+		want := make(map[int]bool, len(set))
+		for _, x := range set {
+			want[x] = true
+		}
+		for _, x := range got {
+			if !want[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecovererValidation(t *testing.T) {
+	if _, err := NewRecoverer(0); err == nil {
+		t.Error("NewRecoverer(0) succeeded")
+	}
+	rec, err := NewRecoverer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Encode([]int{-1}); err == nil {
+		t.Error("Encode of negative element succeeded")
+	}
+	if _, err := rec.Add([]uint64{1}, []uint64{1}); err == nil {
+		t.Error("Add with wrong lengths succeeded")
+	}
+}
+
+// runSketch executes the sketch-connectivity algorithm on g and compares
+// against ground truth.
+func runSketch(t *testing.T, g *graph.Graph, a int, wantDone bool) {
+	t.Helper()
+	algo, err := NewConnectivity(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := bcc.NewKT1(bcc.SequentialIDs(g.N()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bcc.Run(in, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wantDone {
+		if res.Verdict != bcc.VerdictNo {
+			t.Error("promise violation should force NO")
+		}
+		for _, l := range res.Labels {
+			if l != -1 {
+				t.Fatal("promise violation should force label −1")
+			}
+		}
+		return
+	}
+	wantVerdict := bcc.VerdictNo
+	if g.IsConnected() {
+		wantVerdict = bcc.VerdictYes
+	}
+	if res.Verdict != wantVerdict {
+		t.Errorf("verdict = %v, want %v", res.Verdict, wantVerdict)
+	}
+	wantLabels := g.ComponentLabels()
+	for v := range wantLabels {
+		if res.Labels[v] != wantLabels[v] {
+			t.Errorf("label[%d] = %d, want %d", v, res.Labels[v], wantLabels[v])
+		}
+	}
+}
+
+func TestConnectivityOnStars(t *testing.T) {
+	// The star is the motivating case: the centre has degree n−1, far
+	// above any constant bound, yet arboricity is 1 — leaves peel first,
+	// then the centre's live degree collapses to 0.
+	for _, n := range []int{5, 12, 24} {
+		star := graph.New(n)
+		for i := 1; i < n; i++ {
+			star.MustAddEdge(0, i)
+		}
+		runSketch(t, star, 1, true)
+	}
+}
+
+func TestConnectivityOnTreesAndForests(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(20)
+		g := graph.New(n)
+		// Random forest: each vertex ≥ 1 attaches to a random earlier
+		// vertex with probability 3/4.
+		for v := 1; v < n; v++ {
+			if rng.Intn(4) > 0 {
+				g.MustAddEdge(v, rng.Intn(v))
+			}
+		}
+		runSketch(t, g, 1, true)
+	}
+}
+
+func TestConnectivityOnCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 8; trial++ {
+		n := 6 + rng.Intn(14)
+		runSketch(t, graph.RandomOneCycle(n, rng), 2, true)
+		cover := graph.RandomCycleCover(n, rng)
+		runSketch(t, cover, 2, true)
+	}
+}
+
+func TestConnectivityPromiseViolationDetected(t *testing.T) {
+	// K9 has arboricity 5 > 1; with every degree 8 > 4·1 nobody ever
+	// transmits, and the failure must be detected, not mis-answered.
+	n := 9
+	k := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			k.MustAddEdge(u, v)
+		}
+	}
+	runSketch(t, k, 1, false)
+	// With the right arboricity promise the same clique decodes fine.
+	runSketch(t, k, 5, true)
+}
+
+func TestConnectivityRoundsFormula(t *testing.T) {
+	algo, err := NewConnectivity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// phases(64) = 7, sketch length = 17.
+	if got := algo.Rounds(64); got != 7*17 {
+		t.Errorf("Rounds(64) = %d, want %d", got, 7*17)
+	}
+	if algo.Bandwidth() != 31 {
+		t.Errorf("Bandwidth = %d, want 31", algo.Bandwidth())
+	}
+}
+
+func TestConnectivityValidation(t *testing.T) {
+	if _, err := NewConnectivity(0); err == nil {
+		t.Error("NewConnectivity(0) succeeded")
+	}
+}
+
+func BenchmarkRecovererDecode(b *testing.B) {
+	rec, err := NewRecoverer(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	universe := make([]int, 256)
+	for i := range universe {
+		universe[i] = i
+	}
+	sums, err := rec.Encode([]int{3, 77, 150, 201, 255})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := rec.Decode(sums, universe); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkSketchConnectivity64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomOneCycle(48, rng)
+	in, err := bcc.NewKT1(bcc.SequentialIDs(48), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo, err := NewConnectivity(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bcc.Run(in, algo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != bcc.VerdictYes {
+			b.Fatal("wrong verdict")
+		}
+	}
+}

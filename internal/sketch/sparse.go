@@ -1,0 +1,165 @@
+// Package sketch implements the deterministic-sketching substrate behind
+// the paper's tightness remark (Section 1.1, citing Montealegre & Todinca
+// [MT16a/MT16b]): deterministic k-sparse set recovery over GF(p) via
+// power sums and Newton's identities, and on top of it a
+// peeling-based connectivity algorithm for graphs of bounded arboricity
+// in the BCC model. Unlike the degree-bounded neighbourhood broadcast
+// (package algorithms), the sketching algorithm tolerates individual
+// high-degree vertices as long as the graph is uniformly sparse — the
+// class for which the paper says its Ω(log n) bounds are tight.
+package sketch
+
+import (
+	"fmt"
+
+	"bcclique/internal/linalg"
+)
+
+// Recoverer encodes subsets of a universe of non-negative integers
+// (IDs < p) into 2k+1 field elements — the power sums Σ x^j for
+// j = 0..2k — and decodes any subset of size ≤ k exactly. Encoding is
+// linear, deterministic, and verifiable: Decode re-checks the recovered
+// set against every sum, so oversized or corrupted sketches are rejected
+// rather than mis-decoded.
+type Recoverer struct {
+	field linalg.Field
+	k     int
+}
+
+// NewRecoverer returns a k-sparse recoverer over GF(2³¹−1).
+func NewRecoverer(k int) (*Recoverer, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sketch: sparsity %d < 1", k)
+	}
+	f := linalg.DefaultField()
+	if uint64(k) >= f.P() {
+		return nil, fmt.Errorf("sketch: sparsity %d too large for the field", k)
+	}
+	return &Recoverer{field: f, k: k}, nil
+}
+
+// K returns the sparsity bound.
+func (r *Recoverer) K() int { return r.k }
+
+// Len returns the sketch length in field elements (2k+1).
+func (r *Recoverer) Len() int { return 2*r.k + 1 }
+
+// Encode returns the sketch of the given set. Elements must be distinct,
+// non-negative, and smaller than the field modulus; the set may exceed k
+// (the sketch is still well defined — Decode will reject it).
+func (r *Recoverer) Encode(set []int) ([]uint64, error) {
+	f := r.field
+	sums := make([]uint64, r.Len())
+	sums[0] = uint64(len(set)) % f.P()
+	for _, x := range set {
+		if x < 0 || uint64(x) >= f.P() {
+			return nil, fmt.Errorf("sketch: element %d outside [0, p)", x)
+		}
+		xr := uint64(x)
+		pow := xr
+		for j := 1; j < r.Len(); j++ {
+			sums[j] = f.Add(sums[j], pow)
+			pow = f.Mul(pow, xr)
+		}
+	}
+	return sums, nil
+}
+
+// Add combines two sketches: the sketch of a disjoint union is the
+// element-wise sum (linearity — the property streaming connectivity
+// sketches rely on).
+func (r *Recoverer) Add(a, b []uint64) ([]uint64, error) {
+	if len(a) != r.Len() || len(b) != r.Len() {
+		return nil, fmt.Errorf("sketch: length mismatch %d/%d, want %d", len(a), len(b), r.Len())
+	}
+	out := make([]uint64, r.Len())
+	for i := range out {
+		out[i] = r.field.Add(a[i], b[i])
+	}
+	return out, nil
+}
+
+// Decode recovers the encoded set from a sketch, trying candidates from
+// the given universe as polynomial roots. It reports ok = false when the
+// sketch does not correspond to a ≤ k-subset of the universe (too many
+// elements, elements outside the universe, or corruption).
+func (r *Recoverer) Decode(sums []uint64, universe []int) (set []int, ok bool) {
+	if len(sums) != r.Len() {
+		return nil, false
+	}
+	f := r.field
+	c := int(sums[0])
+	if c == 0 {
+		// Empty set: all power sums must vanish.
+		for _, s := range sums {
+			if s != 0 {
+				return nil, false
+			}
+		}
+		return nil, true
+	}
+	if c > r.k {
+		return nil, false
+	}
+	// Newton's identities: m·e_m = Σ_{i=1..m} (−1)^{i−1} e_{m−i} p_i.
+	e := make([]uint64, c+1)
+	e[0] = 1
+	for m := 1; m <= c; m++ {
+		var acc uint64
+		for i := 1; i <= m; i++ {
+			term := f.Mul(e[m-i], sums[i])
+			if i%2 == 1 {
+				acc = f.Add(acc, term)
+			} else {
+				acc = f.Sub(acc, term)
+			}
+		}
+		inv, err := f.Inv(uint64(m) % f.P())
+		if err != nil {
+			return nil, false
+		}
+		e[m] = f.Mul(acc, inv)
+	}
+	// The set is the root multiset of z^c − e1·z^{c−1} + e2·z^{c−2} − …
+	// Try every universe candidate.
+	for _, x := range universe {
+		if x < 0 || uint64(x) >= f.P() {
+			continue
+		}
+		if r.evalPoly(e, c, uint64(x)) == 0 {
+			set = append(set, x)
+			if len(set) > c {
+				return nil, false
+			}
+		}
+	}
+	if len(set) != c {
+		return nil, false
+	}
+	// Verify against every power sum (guards against |set| > k aliasing).
+	check, err := r.Encode(set)
+	if err != nil {
+		return nil, false
+	}
+	for i := range sums {
+		if check[i] != sums[i] {
+			return nil, false
+		}
+	}
+	return set, true
+}
+
+// evalPoly evaluates z^c + Σ_{m=1..c} (−1)^m e_m z^{c−m} at z = x.
+func (r *Recoverer) evalPoly(e []uint64, c int, x uint64) uint64 {
+	f := r.field
+	// Horner over coefficients [1, −e1, +e2, −e3, ...].
+	acc := uint64(1)
+	for m := 1; m <= c; m++ {
+		coeff := e[m]
+		if m%2 == 1 {
+			coeff = f.Neg(coeff)
+		}
+		acc = f.Add(f.Mul(acc, x), coeff)
+	}
+	return acc
+}
