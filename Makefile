@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: build test check bench bench-json report fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build test
+
+# Full benchmark pass over the E-series suite.
+bench:
+	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 20x -run '^$$' .
+
+# Record the perf baseline consumed by future PRs.
+bench-json:
+	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 20x -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_parallel.json
+
+# Regenerate the full experiment report.
+report:
+	$(GO) run ./cmd/experiments -out EXPERIMENTS.md

@@ -7,6 +7,14 @@
 //	bccsim -model kt1 -graph cycle -n 32 -algo neighborhood
 //	bccsim -model kt0 -graph twocycle -n 64 -algo kt0-exchange
 //	bccsim -model kt1 -graph random -n 24 -algo boruvka -seed 7
+//	bccsim -model kt1 -graph twocycle -n 64 -algo flood -trials 500 -parallel 4
+//
+// With -trials N the simulator additionally estimates the algorithm's
+// Monte Carlo error over N coin seeds (run in parallel on -parallel
+// workers; the estimate is bit-identical at any worker count). The
+// built-in algorithms are all deterministic — they ignore the public
+// coin, so their estimate is exactly 0 or 1; the sweep becomes
+// informative for coin-using algorithms wired in here.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"bcclique/internal/algorithms"
 	"bcclique/internal/bcc"
 	"bcclique/internal/graph"
+	"bcclique/internal/parallel"
 )
 
 func main() {
@@ -36,8 +45,11 @@ func run() error {
 		bandwidth = flag.Int("b", 1, "bandwidth for flood")
 		seed      = flag.Int64("seed", 1, "seed for graph generation and wiring")
 		verbose   = flag.Bool("v", false, "print per-vertex labels")
+		trials    = flag.Int("trials", 0, "estimate Monte Carlo error over this many coin seeds (0 = off)")
+		par       = flag.Int("parallel", 0, "worker count for seed sweeps (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
+	parallel.SetLimit(*par)
 
 	rng := rand.New(rand.NewSource(*seed))
 	g, err := buildGraph(*graphKind, *n, rng)
@@ -48,7 +60,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	algo, err := buildAlgorithm(*algoName, *n, *bandwidth, g)
+	algo, deterministic, err := buildAlgorithm(*algoName, *n, *bandwidth, g)
 	if err != nil {
 		return err
 	}
@@ -85,6 +97,29 @@ func run() error {
 				fmt.Printf("  vertex %3d (id %3d): component %d\n", v, in.ID(v), l)
 			}
 		}
+	}
+	if *trials > 0 {
+		if !res.HasVerdict {
+			fmt.Printf("error    : -trials skipped (%s produces no verdict)\n", algo.Name())
+			return nil
+		}
+		want := bcc.VerdictNo
+		if g.IsConnected() {
+			want = bcc.VerdictYes
+		}
+		seeds := make([]int64, *trials)
+		for i := range seeds {
+			seeds[i] = parallel.DeriveSeed(*seed, i)
+		}
+		eps, err := bcc.EstimateError(in, algo, want, seeds)
+		if err != nil {
+			return err
+		}
+		note := ""
+		if deterministic {
+			note = fmt.Sprintf("; note: %s is deterministic, so all seeds agree", algo.Name())
+		}
+		fmt.Printf("error    : %.4g over %d seeds (%d workers%s)\n", eps, *trials, parallel.Limit(), note)
 	}
 	return nil
 }
@@ -126,7 +161,10 @@ func buildInstance(model string, g *graph.Graph, rng *rand.Rand) (*bcc.Instance,
 	}
 }
 
-func buildAlgorithm(name string, n, b int, g *graph.Graph) (bcc.Algorithm, error) {
+// buildAlgorithm returns the selected algorithm and whether it is
+// deterministic (ignores the public coin). Keep the flag in sync when
+// wiring in a coin-using algorithm: it qualifies the -trials report.
+func buildAlgorithm(name string, n, b int, g *graph.Graph) (algo bcc.Algorithm, deterministic bool, err error) {
 	maxDeg := 0
 	for v := 0; v < g.N(); v++ {
 		if d := g.Degree(v); d > maxDeg {
@@ -139,14 +177,15 @@ func buildAlgorithm(name string, n, b int, g *graph.Graph) (bcc.Algorithm, error
 	}
 	switch name {
 	case "neighborhood":
-		return algorithms.NewNeighborhoodBroadcast(maxDeg)
+		algo, err = algorithms.NewNeighborhoodBroadcast(maxDeg)
 	case "kt0-exchange":
-		return algorithms.NewKT0Exchange(maxDeg, idBits)
+		algo, err = algorithms.NewKT0Exchange(maxDeg, idBits)
 	case "boruvka":
-		return algorithms.NewBoruvka(idBits)
+		algo, err = algorithms.NewBoruvka(idBits)
 	case "flood":
-		return algorithms.NewFlood(b)
+		algo, err = algorithms.NewFlood(b)
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
+		return nil, false, fmt.Errorf("unknown algorithm %q", name)
 	}
+	return algo, true, err
 }

@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a machine-readable JSON perf baseline, so successive PRs can
+// compare ns/op and allocs/op per E-series benchmark.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkE' -benchmem -benchtime 20x -run '^$' . | benchjson -out BENCH_parallel.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted baseline file.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkE01Crossing-8   20   40222 ns/op   24636 B/op   424 allocs/op
+//
+// (the -8 CPU suffix and the two -benchmem columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		report.Benchmarks = append(report.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output)")
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}

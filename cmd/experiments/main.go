@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-out FILE] [-only E05,E07]
+//	experiments [-quick] [-seed N] [-out FILE] [-only E05,E07] [-parallel N]
 //
 // With -out it writes the EXPERIMENTS.md-style report to FILE instead of
-// stdout.
+// stdout. -parallel sets the worker count of the experiment engine
+// (0 = all CPUs); every table is bit-identical at any worker count.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"bcclique/internal/harness"
+	"bcclique/internal/parallel"
 )
 
 func main() {
@@ -33,8 +35,10 @@ func run() error {
 		seed  = flag.Int64("seed", 1, "seed for randomized workloads")
 		out   = flag.String("out", "", "write the report to this file instead of stdout")
 		only  = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		par   = flag.Int("parallel", 0, "worker count for the experiment engine (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
+	parallel.SetLimit(*par)
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

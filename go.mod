@@ -1,0 +1,3 @@
+module bcclique
+
+go 1.24

@@ -2,6 +2,8 @@ package bcc
 
 import (
 	"fmt"
+
+	"bcclique/internal/parallel"
 )
 
 // Verdict is a vertex's (or the system's) answer to a decision problem.
@@ -150,6 +152,19 @@ func Run(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
 	res := &Result{Rounds: rounds, Transcripts: make([]Transcript, n)}
 	sends := make([]Message, n)
 	inbox := make([]Message, n-1)
+	// One flat arena backs every vertex's Sent transcript: n slices into a
+	// single allocation instead of n append-grown ones.
+	sentArena := make([]Message, n*rounds)
+	for v := 0; v < n; v++ {
+		res.Transcripts[v].Sent = sentArena[v*rounds : (v+1)*rounds : (v+1)*rounds]
+		if o.recordReceived {
+			res.Transcripts[v].Received = make([][]Message, 0, rounds)
+		}
+	}
+	// delivery[v][p] is the vertex whose broadcast lands on port p of v —
+	// the instance's precomputed port table, so delivery needs one linear
+	// pass per vertex instead of a PortOf(v, u) lookup per (v, u) pair.
+	delivery := in.ports
 	for t := 1; t <= rounds; t++ {
 		for v := 0; v < n; v++ {
 			m := nodes[v].Send(t)
@@ -158,21 +173,22 @@ func Run(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
 			}
 			sends[v] = m
 			res.TotalBits += int(m.Len)
+			res.Transcripts[v].Sent[t-1] = m
+		}
+		var recvArena []Message
+		if o.recordReceived {
+			recvArena = make([]Message, n*(n-1))
 		}
 		for v := 0; v < n; v++ {
-			for u := 0; u < n; u++ {
-				if u == v {
-					continue
-				}
-				inbox[in.PortOf(v, u)] = sends[u]
+			for p, u := range delivery[v] {
+				inbox[p] = sends[u]
 			}
 			nodes[v].Receive(t, inbox)
 			if o.recordReceived {
-				res.Transcripts[v].Received = append(res.Transcripts[v].Received, append([]Message(nil), inbox...))
+				row := recvArena[v*(n-1) : (v+1)*(n-1) : (v+1)*(n-1)]
+				copy(row, inbox)
+				res.Transcripts[v].Received = append(res.Transcripts[v].Received, row)
 			}
-		}
-		for v := 0; v < n; v++ {
-			res.Transcripts[v].Sent = append(res.Transcripts[v].Sent, sends[v])
 		}
 	}
 
@@ -207,24 +223,48 @@ func Run(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
 // the fraction of runs whose system verdict differs from want. This is the
 // empirical counterpart of the ε in the paper's ε-error Monte Carlo
 // definition (Section 1.2).
+//
+// Seeded runs execute in parallel on the process-wide worker pool (see
+// internal/parallel); the estimate is bit-identical at every worker count
+// because each seed's run is independent. A WithCoin option in opts is
+// rejected: it would conflict with — and previously silently overrode —
+// the per-seed coins, collapsing every run onto one coin.
 func EstimateError(in *Instance, algo Algorithm, want Verdict, seeds []int64, opts ...Option) (float64, error) {
 	if len(seeds) == 0 {
 		return 0, fmt.Errorf("bcc: no seeds")
 	}
-	wrong := 0
-	for _, seed := range seeds {
-		res, err := Run(in, algo, append([]Option{WithCoin(NewCoin(seed))}, opts...)...)
+	probe := options{rounds: -1}
+	for _, opt := range opts {
+		opt.apply(&probe)
+	}
+	if probe.coin != nil {
+		return 0, fmt.Errorf("bcc: EstimateError: WithCoin conflicts with per-seed coins; pass seeds instead")
+	}
+	wrong := make([]bool, len(seeds))
+	err := parallel.ForEach(len(seeds), func(i int) error {
+		runOpts := make([]Option, 0, len(opts)+1)
+		runOpts = append(runOpts, opts...)
+		runOpts = append(runOpts, WithCoin(NewCoin(seeds[i])))
+		res, err := Run(in, algo, runOpts...)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		if !res.HasVerdict {
-			return 0, fmt.Errorf("bcc: algorithm %q produced no verdict", algo.Name())
+			return fmt.Errorf("bcc: algorithm %q produced no verdict", algo.Name())
 		}
-		if res.Verdict != want {
-			wrong++
+		wrong[i] = res.Verdict != want
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, w := range wrong {
+		if w {
+			count++
 		}
 	}
-	return float64(wrong) / float64(len(seeds)), nil
+	return float64(count) / float64(len(seeds)), nil
 }
 
 // SentTritLabels returns, for every vertex, the {0,1,⊥}-string it broadcast

@@ -1,0 +1,142 @@
+package bcc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bcclique/internal/parallel"
+)
+
+// TestDeliveryTableMatchesPortOf checks the invariant the runner's
+// delivery loop relies on: the instance's port table is exactly the
+// inverse of PortOf, including after crossings rewire ports.
+func TestDeliveryTableMatchesPortOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := cycleInput(t, 8)
+	in, err := NewKT0(SequentialIDs(8), g, RandomWiring(8, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func() {
+		t.Helper()
+		for v := 0; v < in.N(); v++ {
+			for p, u := range in.ports[v] {
+				if got := in.PortOf(v, u); got != p {
+					t.Fatalf("delivery table says port %d of %d reaches %d, PortOf says %d", p, v, u, got)
+				}
+				if got := in.NeighborAt(v, p); got != u {
+					t.Fatalf("NeighborAt(%d,%d) = %d, table says %d", v, p, got, u)
+				}
+			}
+		}
+	}
+	check()
+	if err := in.SwapPortTargets(2, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}
+
+// TestRunRecordedTranscriptShapes checks the arena-backed transcripts:
+// Sent has exactly `rounds` entries and Received rows are per-round
+// snapshots that later rounds must not alias.
+func TestRunRecordedTranscriptShapes(t *testing.T) {
+	g := cycleInput(t, 6)
+	in, err := NewKT1(SequentialIDs(6), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 4
+	res, err := Run(in, mixAlgo{rounds: rounds}, WithReceivedTranscripts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 6; v++ {
+		if len(res.Transcripts[v].Sent) != rounds {
+			t.Fatalf("vertex %d: %d sent entries, want %d", v, len(res.Transcripts[v].Sent), rounds)
+		}
+		if len(res.Transcripts[v].Received) != rounds {
+			t.Fatalf("vertex %d: %d received rounds, want %d", v, len(res.Transcripts[v].Received), rounds)
+		}
+		for r := 0; r < rounds; r++ {
+			for p := 0; p < 5; p++ {
+				u := in.NeighborAt(v, p)
+				want := res.Transcripts[u].Sent[r]
+				if got := res.Transcripts[v].Received[r][p]; got != want {
+					t.Fatalf("vertex %d round %d port %d: received %v, want %v (round snapshot aliased?)",
+						v, r+1, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateErrorRejectsCallerCoin(t *testing.T) {
+	g := cycleInput(t, 4)
+	in, err := NewKT1(SequentialIDs(4), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = EstimateError(in, coinAlgo{rounds: 1}, VerdictYes, []int64{1, 2, 3}, WithCoin(NewCoin(9)))
+	if err == nil {
+		t.Fatal("EstimateError accepted a caller WithCoin, which silently overrides per-seed coins")
+	}
+	if !strings.Contains(err.Error(), "WithCoin") {
+		t.Errorf("error %q should name the conflicting option", err)
+	}
+}
+
+// flipDecider answers YES iff the first public-coin bit is 1, so its
+// empirical error depends on every individual seed — any cross-seed coin
+// mixup shifts the estimate.
+type flipDecider struct{}
+
+func (flipDecider) Name() string   { return "flip" }
+func (flipDecider) Bandwidth() int { return 1 }
+func (flipDecider) Rounds(int) int { return 0 }
+func (flipDecider) NewNode(_ View, coin *Coin) Node {
+	return flipNode{yes: coin.Reader().Int63()&1 == 1}
+}
+
+type flipNode struct{ yes bool }
+
+func (flipNode) Send(int) Message       { return Silence }
+func (flipNode) Receive(int, []Message) {}
+func (n flipNode) Decide() Verdict {
+	if n.yes {
+		return VerdictYes
+	}
+	return VerdictNo
+}
+
+func TestEstimateErrorParallelMatchesSequential(t *testing.T) {
+	defer parallel.SetLimit(0)
+	g := cycleInput(t, 5)
+	in, err := NewKT1(SequentialIDs(5), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]int64, 64)
+	for i := range seeds {
+		seeds[i] = int64(i) * 7
+	}
+	parallel.SetLimit(1)
+	seq, err := EstimateError(in, flipDecider{}, VerdictYes, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		parallel.SetLimit(workers)
+		par, err := EstimateError(in, flipDecider{}, VerdictYes, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != seq {
+			t.Fatalf("workers=%d: estimate %v != sequential %v", workers, par, seq)
+		}
+	}
+	if seq == 0 || seq == 1 {
+		t.Errorf("flip decider error = %v over 64 seeds; want a seed-dependent mix", seq)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"bcclique/internal/crossing"
 	"bcclique/internal/graph"
 	"bcclique/internal/indist"
+	"bcclique/internal/parallel"
 )
 
 // KT0Certificate is the outcome of running the Section 3 machinery
@@ -56,7 +57,8 @@ type KT0Certificate struct {
 
 // CertifyKT0 builds G^t_{x,y} for the dominant label pair of the given
 // wiring-insensitive algorithm and extracts the certificate. Feasible for
-// n ≤ 9.
+// n ≤ 9, and t is capped at bcc.MaxKeyRounds (64) by the packed
+// transcript keys the construction buckets on.
 func CertifyKT0(n, t int, algo bcc.Algorithm, coin *bcc.Coin) (*KT0Certificate, error) {
 	labeler := algorithms.TritLabeler(algo, t, coin)
 
@@ -129,37 +131,60 @@ func CertifyKT0(n, t int, algo bcc.Algorithm, coin *bcc.Coin) (*KT0Certificate, 
 }
 
 // measureErrorUnderMu runs the algorithm on every instance of V₁ ∪ V₂
-// (canonical wiring, t rounds) and evaluates its error under µ.
+// (canonical wiring, t rounds) and evaluates its error under µ. The
+// instance sweep fans out onto the process-wide worker pool; summing the
+// per-instance error masses in index order afterwards keeps the result
+// bit-identical at every worker count.
 func measureErrorUnderMu(g *indist.Graph, algo bcc.Algorithm, t int, coin *bcc.Coin) (float64, bool, error) {
-	run := func(gg *graph.Graph) (bcc.Verdict, bool, error) {
+	run := func(gg *graph.Graph, want bcc.Verdict) (wrong, decided bool, err error) {
 		in, err := bcc.NewKT0(bcc.SequentialIDs(gg.N()), gg, bcc.RotationWiring(gg.N()))
 		if err != nil {
-			return 0, false, err
+			return false, false, err
 		}
 		res, err := bcc.Run(in, algo, bcc.WithRounds(t), bcc.WithCoin(coin))
 		if err != nil {
-			return 0, false, err
+			return false, false, err
 		}
-		return res.Verdict, res.HasVerdict, nil
+		return res.Verdict != want, res.HasVerdict, nil
 	}
-	muOne := 0.5 / float64(g.NumOne())
-	muTwo := 0.5 / float64(g.NumTwo())
+	nOne, nTwo := g.NumOne(), g.NumTwo()
+	// Probe one instance first: an algorithm with no Decider is undecided
+	// on every instance, so bail before fanning out the full sweep.
+	if _, decided, err := run(g.OneCycle(0), bcc.VerdictYes); err != nil || !decided {
+		return 0, false, err
+	}
+	wrong := make([]bool, nOne+nTwo)
+	undecided := make([]bool, nOne+nTwo)
+	err := parallel.ForEach(nOne+nTwo, func(i int) error {
+		var w, decided bool
+		var err error
+		if i < nOne {
+			w, decided, err = run(g.OneCycle(i), bcc.VerdictYes)
+		} else {
+			w, decided, err = run(g.TwoCycle(i-nOne), bcc.VerdictNo)
+		}
+		if err != nil {
+			return err
+		}
+		wrong[i], undecided[i] = w, !decided
+		return nil
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	muOne := 0.5 / float64(nOne)
+	muTwo := 0.5 / float64(nTwo)
 	errMass := 0.0
-	for i := 0; i < g.NumOne(); i++ {
-		v, ok, err := run(g.OneCycle(i))
-		if err != nil || !ok {
-			return 0, false, err
+	for i, w := range wrong {
+		if undecided[i] {
+			return 0, false, nil
 		}
-		if v != bcc.VerdictYes {
+		if !w {
+			continue
+		}
+		if i < nOne {
 			errMass += muOne
-		}
-	}
-	for j := 0; j < g.NumTwo(); j++ {
-		v, ok, err := run(g.TwoCycle(j))
-		if err != nil || !ok {
-			return 0, false, err
-		}
-		if v != bcc.VerdictNo {
+		} else {
 			errMass += muTwo
 		}
 	}

@@ -150,28 +150,53 @@ func OrientCycles(g *graph.Graph) ([]DirectedEdge, error) {
 	return edges, nil
 }
 
-// EdgeLabel returns the 2t-character label of a directed edge (v, u):
-// the concatenation of v's and u's broadcast sequences over the first t
-// rounds, each a string over {'0','1','_'} (Section 3's labelling).
-func EdgeLabel(e DirectedEdge, sentLabels []string) string {
-	return sentLabels[e.V] + sentLabels[e.U]
+// ActiveEdges returns the consistently oriented input edges (v, u) whose
+// endpoints broadcast exactly the trit sequences x and y. It is the
+// string-label convenience form of ActiveEdgesKeys.
+func ActiveEdges(g *graph.Graph, sentLabels []string, x, y string) ([]DirectedEdge, error) {
+	keys, err := bcc.ParseKeys(sentLabels)
+	if err != nil {
+		return nil, err
+	}
+	xKey, err := bcc.ParseKey(x)
+	if err != nil {
+		return nil, err
+	}
+	yKey, err := bcc.ParseKey(y)
+	if err != nil {
+		return nil, err
+	}
+	return ActiveEdgesKeys(g, keys, xKey, yKey)
 }
 
-// ActiveEdges returns the consistently oriented input edges (v, u) whose
-// endpoints broadcast exactly the sequences x and y: v's label equals x
-// and u's label equals y. These are the "active" edges of Definition 3.6.
-func ActiveEdges(g *graph.Graph, sentLabels []string, x, y string) ([]DirectedEdge, error) {
+// ActiveEdgesKeys returns the consistently oriented input edges (v, u)
+// whose endpoints broadcast exactly the packed sequences x and y: v's
+// transcript equals x and u's equals y. These are the "active" edges of
+// Definition 3.6, compared key-by-key as word compares on the
+// indistinguishability-graph hot path.
+func ActiveEdgesKeys(g *graph.Graph, keys []bcc.TranscriptKey, x, y bcc.TranscriptKey) ([]DirectedEdge, error) {
 	oriented, err := OrientCycles(g)
 	if err != nil {
 		return nil, err
 	}
 	var active []DirectedEdge
 	for _, e := range oriented {
-		if sentLabels[e.V] == x && sentLabels[e.U] == y {
+		if keys[e.V] == x && keys[e.U] == y {
 			active = append(active, e)
 		}
 	}
 	return active, nil
+}
+
+// EdgeKey is the packed (x, y) transcript pair of a directed edge as a
+// comparable value, usable as a map key when bucketing edges by label
+// without building concatenated strings.
+type EdgeKey [2]bcc.TranscriptKey
+
+// EdgeKeyOf returns the packed label pair of edge e under the per-vertex
+// transcript keys.
+func EdgeKeyOf(e DirectedEdge, keys []bcc.TranscriptKey) EdgeKey {
+	return EdgeKey{keys[e.V], keys[e.U]}
 }
 
 // DominantLabelPair returns the pair (x, y) maximizing the number of

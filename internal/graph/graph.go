@@ -144,6 +144,45 @@ func (g *Graph) Equal(h *Graph) bool {
 	return true
 }
 
+// MaxPackedKeyN is the largest vertex count whose edge set fits a
+// PackedKey: C(11,2) = 55 possible edges, one bit each.
+const MaxPackedKeyN = 11
+
+// PackedKey returns the canonical edge set as a single-word bitmask —
+// the allocation-free counterpart of Key for the enumeration hot paths
+// that deduplicate millions of small instances. Bit e is set when edge
+// number e (in the U < V lexicographic order, e = U·n − U(U+3)/2 + V − 1)
+// is present. ok is false when n exceeds MaxPackedKeyN; callers fall back
+// to Key.
+func (g *Graph) PackedKey() (key uint64, ok bool) {
+	if g.n > MaxPackedKeyN {
+		return 0, false
+	}
+	for u := 0; u < g.n; u++ {
+		base := u*g.n - u*(u+3)/2 - 1
+		for _, v := range g.adj[u] {
+			if u < v {
+				key |= 1 << uint(base+v)
+			}
+		}
+	}
+	return key, true
+}
+
+// EdgeBit returns the PackedKey bit of edge {u, v} on n vertices, so
+// callers can derive the key of an edge-modified graph by XOR instead of
+// cloning (crossings flip exactly four bits). ok is false when the edge
+// or n is out of packed range.
+func EdgeBit(n, u, v int) (bit uint64, ok bool) {
+	if n > MaxPackedKeyN || u == v || u < 0 || v < 0 || u >= n || v >= n {
+		return 0, false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return 1 << uint(u*n-u*(u+3)/2+v-1), true
+}
+
 // Key returns a canonical string key for the edge set, suitable for use as
 // a map key when deduplicating instances (e.g. vertices of the
 // indistinguishability graph).

@@ -336,3 +336,69 @@ func BenchmarkCycleDecomposition(b *testing.B) {
 		}
 	}
 }
+
+func TestPackedKeyMatchesKey(t *testing.T) {
+	// Two graphs collide on PackedKey iff they collide on Key.
+	rng := rand.New(rand.NewSource(4))
+	byPacked := make(map[uint64]string)
+	for trial := 0; trial < 200; trial++ {
+		n := 6 + rng.Intn(4)
+		g := RandomCycleCover(n, rng)
+		pk, ok := g.PackedKey()
+		if !ok {
+			t.Fatalf("PackedKey failed at n=%d", n)
+		}
+		// Namespace by n: the bit layout is n-dependent.
+		pk |= uint64(n) << 56
+		sk := g.Key()
+		if prev, seen := byPacked[pk]; seen && prev != sk {
+			t.Fatalf("packed key collision: %q vs %q", prev, sk)
+		}
+		byPacked[pk] = sk
+	}
+}
+
+func TestPackedKeyRange(t *testing.T) {
+	if _, ok := New(MaxPackedKeyN).PackedKey(); !ok {
+		t.Errorf("PackedKey must handle n = %d", MaxPackedKeyN)
+	}
+	if _, ok := New(MaxPackedKeyN + 1).PackedKey(); ok {
+		t.Errorf("PackedKey must refuse n = %d", MaxPackedKeyN+1)
+	}
+}
+
+func TestEdgeBitMatchesPackedKey(t *testing.T) {
+	for _, n := range []int{2, 6, 11} {
+		seenBits := make(map[uint64]bool)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				bit, ok := EdgeBit(n, u, v)
+				if !ok {
+					t.Fatalf("EdgeBit(%d,%d,%d) refused a valid edge", n, u, v)
+				}
+				if bit == 0 || bit&(bit-1) != 0 {
+					t.Fatalf("EdgeBit(%d,%d,%d) = %b is not a single bit", n, u, v, bit)
+				}
+				if seenBits[bit] {
+					t.Fatalf("EdgeBit(%d,%d,%d) reuses bit %b", n, u, v, bit)
+				}
+				seenBits[bit] = true
+				if rev, _ := EdgeBit(n, v, u); rev != bit {
+					t.Fatalf("EdgeBit not symmetric at (%d,%d)", u, v)
+				}
+				g := New(n)
+				g.MustAddEdge(u, v)
+				pk, _ := g.PackedKey()
+				if pk != bit {
+					t.Fatalf("single-edge graph {%d,%d} packs to %b, EdgeBit says %b", u, v, pk, bit)
+				}
+			}
+		}
+	}
+	if _, ok := EdgeBit(6, 2, 2); ok {
+		t.Error("EdgeBit must refuse self loops")
+	}
+	if _, ok := EdgeBit(MaxPackedKeyN+1, 0, 1); ok {
+		t.Error("EdgeBit must refuse n beyond packed range")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"bcclique/internal/crossing"
 	"bcclique/internal/graph"
 	"bcclique/internal/indist"
+	"bcclique/internal/parallel"
 )
 
 // probeAlgorithms returns the wiring-insensitive probe family with a
@@ -27,53 +28,73 @@ func probeAlgorithms(t int) []bcc.Algorithm {
 // oriented pair of every Hamiltonian cycle at size n, whenever the
 // endpoints broadcast matching sequences the crossed instance is
 // indistinguishable after t rounds.
+//
+// Each (algorithm, trial) pair is an independent task with its own
+// derived RNG, so the trial sweep fans out onto the worker pool with
+// bit-identical counts at every worker count.
 func runE01(cfg Config) (*Result, error) {
 	n := 8
 	if cfg.Quick {
 		n = 7
 	}
 	const t = 4
+	const trials = 20
 	coin := bcc.NewCoin(cfg.Seed)
 	table := &Table{
-		Title:   fmt.Sprintf("Lemma 3.4 over all independent crossings of 20 random n=%d one-cycle instances, t=%d", n, t),
+		Title:   fmt.Sprintf("Lemma 3.4 over all independent crossings of %d random n=%d one-cycle instances, t=%d", trials, n, t),
 		Headers: []string{"algorithm", "crossings", "hypothesis held", "conclusion held", "violations"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	totalViolations := 0
-	for _, algo := range probeAlgorithms(t) {
-		crossings, hyp, concl := 0, 0, 0
-		for trial := 0; trial < 20; trial++ {
-			g := graph.RandomOneCycle(n, rng)
-			in, err := bcc.NewKT0(bcc.SequentialIDs(n), g, bcc.RandomWiring(n, rng))
-			if err != nil {
-				return nil, err
-			}
-			oriented, err := crossing.OrientCycles(g)
-			if err != nil {
-				return nil, err
-			}
-			for i, e1 := range oriented {
-				for _, e2 := range oriented[i+1:] {
-					if !crossing.Independent(g, e1, e2) {
-						continue
-					}
-					crossings++
-					h, c, err := crossing.Lemma34Holds(in, e1, e2, algo, t, coin)
-					if err != nil {
-						return nil, err
-					}
-					if h {
-						hyp++
-						if c {
-							concl++
-						}
+	algos := probeAlgorithms(t)
+	type tally struct{ crossings, hyp, concl int }
+	tallies := make([]tally, len(algos)*trials)
+	err := parallel.ForEach(len(tallies), func(task int) error {
+		algo := algos[task/trials]
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, task)))
+		g := graph.RandomOneCycle(n, rng)
+		in, err := bcc.NewKT0(bcc.SequentialIDs(n), g, bcc.RandomWiring(n, rng))
+		if err != nil {
+			return err
+		}
+		oriented, err := crossing.OrientCycles(g)
+		if err != nil {
+			return err
+		}
+		var tl tally
+		for i, e1 := range oriented {
+			for _, e2 := range oriented[i+1:] {
+				if !crossing.Independent(g, e1, e2) {
+					continue
+				}
+				tl.crossings++
+				h, c, err := crossing.Lemma34Holds(in, e1, e2, algo, t, coin)
+				if err != nil {
+					return err
+				}
+				if h {
+					tl.hyp++
+					if c {
+						tl.concl++
 					}
 				}
 			}
 		}
-		violations := hyp - concl
+		tallies[task] = tl
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	totalViolations := 0
+	for a, algo := range algos {
+		var sum tally
+		for _, tl := range tallies[a*trials : (a+1)*trials] {
+			sum.crossings += tl.crossings
+			sum.hyp += tl.hyp
+			sum.concl += tl.concl
+		}
+		violations := sum.hyp - sum.concl
 		totalViolations += violations
-		table.AddRow(algo.Name(), crossings, hyp, concl, violations)
+		table.AddRow(algo.Name(), sum.crossings, sum.hyp, sum.concl, violations)
 	}
 	return &Result{
 		Claim:   "If the crossed endpoints broadcast identical sequences over t rounds, I and I(e1,e2) are indistinguishable after t rounds.",
@@ -125,9 +146,13 @@ func runE02(cfg Config) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				classes := make(map[string]int)
+				keys, err := bcc.ParseKeys(labels)
+				if err != nil {
+					return nil, err
+				}
+				classes := make(map[crossing.EdgeKey]int)
 				for _, e := range s {
-					classes[crossing.EdgeLabel(e, labels)]++
+					classes[crossing.EdgeKeyOf(e, keys)]++
 				}
 				max := 0
 				for _, c := range classes {

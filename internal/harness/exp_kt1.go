@@ -9,9 +9,18 @@ import (
 	"bcclique/internal/bcc"
 	"bcclique/internal/comm"
 	"bcclique/internal/core"
+	"bcclique/internal/parallel"
 	"bcclique/internal/partition"
 	"bcclique/internal/reduction"
 )
+
+func sumInts(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
 
 // runE07 certifies rank(M_n) = B_n over GF(2³¹−1) and cross-checks tiny
 // cases with exact Bareiss elimination.
@@ -85,56 +94,76 @@ func runE09(cfg Config) (*Result, error) {
 		Title:   "Theorem 4.3 checks (components of G(P_A,P_B) on L and R equal P_A ∨ P_B; connectivity ⟺ trivial join)",
 		Headers: []string{"construction", "ground n", "pairs checked", "failures"},
 	}
+	// The partition walks fan out one task per left partition (and one per
+	// random trial below); per-task failure counts merge in index order.
 	parts := partition.All(exhaustiveN)
-	fails := 0
-	for _, pa := range parts {
+	genFails := make([]int, len(parts))
+	err := parallel.ForEach(len(parts), func(i int) error {
+		pa := parts[i]
 		for _, pb := range parts {
 			g, ly, err := reduction.BuildGeneral(pa, pb)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if err := reduction.VerifyTheorem43(g, ly, pa, pb); err != nil {
-				fails++
+				genFails[i]++
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	fails := sumInts(genFails)
 	counts.AddRow("general (A,L,R,B)", exhaustiveN, len(parts)*len(parts), fails)
 
 	pairings := partition.AllPairings(pairingN)
-	fails2 := 0
-	for _, pa := range pairings {
+	pairFails := make([]int, len(pairings))
+	err = parallel.ForEach(len(pairings), func(i int) error {
+		pa := pairings[i]
 		for _, pb := range pairings {
 			g, ly, err := reduction.BuildPairing(pa, pb)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if err := reduction.VerifyTheorem43(g, ly, pa, pb); err != nil {
-				fails2++
+				pairFails[i]++
 			}
 			if !g.IsTwoRegular() {
-				fails2++
+				pairFails[i]++
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	fails2 := sumInts(pairFails)
 	counts.AddRow("pairing (L,R; 2-regular)", pairingN, len(pairings)*len(pairings), fails2)
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	randFails, trials := 0, 200
+	trials := 200
 	if cfg.Quick {
 		trials = 50
 	}
-	for i := 0; i < trials; i++ {
+	trialFails := make([]int, trials)
+	err = parallel.ForEach(trials, func(i int) error {
+		rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, i)))
 		n := 2 + rng.Intn(40)
 		pa := partition.Random(n, rng)
 		pb := partition.Random(n, rng)
 		g, ly, err := reduction.BuildGeneral(pa, pb)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := reduction.VerifyTheorem43(g, ly, pa, pb); err != nil {
-			randFails++
+			trialFails[i]++
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	randFails := sumInts(trialFails)
 	counts.AddRow("general, random", "2..41", trials, randFails)
 
 	// The two worked examples of Figure 2.

@@ -9,7 +9,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"bcclique/internal/parallel"
 )
 
 // Config tunes experiment sizes.
@@ -139,29 +142,76 @@ func All() []Experiment {
 
 // RunAll executes every experiment (or the subset whose IDs are listed)
 // and streams markdown to w.
+//
+// Experiments run concurrently on the process-wide worker pool (see
+// internal/parallel; parallel.SetLimit(1) forces a sequential run), but
+// each section is written as soon as it and all its predecessors have
+// finished, always in registry ID order, and every experiment's
+// measurements are bit-identical at any worker count — each experiment
+// derives its randomness from cfg.Seed alone. Only the per-section
+// elapsed times vary between runs. A failure stops experiments that have
+// not started yet; the completed prefix of the report is still written.
 func RunAll(w io.Writer, cfg Config, only ...string) ([]*Result, error) {
 	allowed := make(map[string]bool, len(only))
 	for _, id := range only {
 		allowed[id] = true
 	}
-	var results []*Result
+	var selected []Experiment
 	for _, exp := range All() {
 		if len(allowed) > 0 && !allowed[exp.ID] {
 			continue
 		}
+		selected = append(selected, exp)
+	}
+	done := make([]chan struct{}, len(selected))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	results := make([]*Result, len(selected))
+	runErrs := make([]error, len(selected))
+	var stop atomic.Bool
+	go parallel.ForEach(len(selected), func(i int) error {
+		defer close(done[i])
+		if stop.Load() {
+			return nil
+		}
+		exp := selected[i]
 		start := time.Now()
 		res, err := exp.Run(cfg)
 		if err != nil {
-			return results, fmt.Errorf("harness: %s: %w", exp.ID, err)
+			stop.Store(true)
+			runErrs[i] = fmt.Errorf("harness: %s: %w", exp.ID, err)
+			return nil
 		}
 		res.ID, res.Title, res.PaperRef = exp.ID, exp.Title, exp.PaperRef
 		res.Elapsed = time.Since(start)
-		if err := res.WriteMarkdown(w); err != nil {
-			return results, err
+		results[i] = res
+		return nil
+	})
+	var written []*Result
+	for i := range selected {
+		<-done[i]
+		if runErrs[i] != nil {
+			return written, runErrs[i]
 		}
-		results = append(results, res)
+		if results[i] == nil {
+			// Skipped because a later-indexed experiment failed first;
+			// surface that error instead.
+			for j := i + 1; j < len(selected); j++ {
+				<-done[j]
+				if runErrs[j] != nil {
+					return written, runErrs[j]
+				}
+			}
+			return written, fmt.Errorf("harness: experiment %s did not run", selected[i].ID)
+		}
+		if err := results[i].WriteMarkdown(w); err != nil {
+			stop.Store(true)
+			return written, err
+		}
+		written = append(written, results[i])
 	}
-	return results, nil
+	return written, nil
 }
 
 // FormatFloat renders floats compactly for tables.

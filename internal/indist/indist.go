@@ -24,15 +24,20 @@ import (
 	"math/big"
 	"math/rand"
 
+	"bcclique/internal/bcc"
 	"bcclique/internal/crossing"
 	"bcclique/internal/dsu"
 	"bcclique/internal/graph"
 	"bcclique/internal/matching"
+	"bcclique/internal/parallel"
 )
 
 // Labeler assigns each vertex of an input graph its t-round broadcast
 // sequence over {'0','1','_'}. It must be deterministic in the input
-// graph.
+// graph, and safe to call from concurrent goroutines on distinct graphs —
+// New fans labeling out onto the worker pool. (Closures over immutable
+// state, like those from algorithms.TritLabeler, qualify; a labeler
+// sharing a *rand.Rand or memoization map does not.)
 type Labeler func(g *graph.Graph) ([]string, error)
 
 // ZeroRoundLabeler labels every vertex with the empty sequence: the
@@ -54,24 +59,86 @@ type Graph struct {
 	twoSplit  [][2]int // active edges per cycle of each two-cycle instance, sorted
 }
 
+// twoCycleIndex maps a two-cycle instance's canonical edge set to its
+// index. For n ≤ graph.MaxPackedKeyN (every enumerable size) the key is a
+// single-word bitmask and crossed instances are looked up by XOR-flipping
+// four edge bits; larger n falls back to string keys and graph cloning.
+type twoCycleIndex struct {
+	packed  map[uint64]int
+	strings map[string]int
+}
+
+func newTwoCycleIndex(n int) *twoCycleIndex {
+	if n <= graph.MaxPackedKeyN {
+		return &twoCycleIndex{packed: make(map[uint64]int)}
+	}
+	return &twoCycleIndex{strings: make(map[string]int)}
+}
+
+func (ix *twoCycleIndex) add(gg *graph.Graph, j int) {
+	if ix.packed != nil {
+		k, _ := gg.PackedKey()
+		ix.packed[k] = j
+		return
+	}
+	ix.strings[gg.Key()] = j
+}
+
+// lookupCrossed returns the index of the instance obtained from gg by
+// crossing e1 and e2. The packed path never materializes the crossed
+// graph: a crossing removes (v1,u1), (v2,u2) and adds (v1,u2), (v2,u1),
+// so its key is the source key with four bits flipped.
+func (ix *twoCycleIndex) lookupCrossed(gg *graph.Graph, ggKey uint64, e1, e2 crossing.DirectedEdge) (int, bool, error) {
+	if ix.packed != nil {
+		n := gg.N()
+		b1, _ := graph.EdgeBit(n, e1.V, e1.U)
+		b2, _ := graph.EdgeBit(n, e2.V, e2.U)
+		b3, _ := graph.EdgeBit(n, e1.V, e2.U)
+		b4, _ := graph.EdgeBit(n, e2.V, e1.U)
+		j, ok := ix.packed[ggKey^b1^b2^b3^b4]
+		return j, ok, nil
+	}
+	cg, err := crossing.CrossGraph(gg, e1, e2)
+	if err != nil {
+		return 0, false, err
+	}
+	j, ok := ix.strings[cg.Key()]
+	return j, ok, nil
+}
+
 // New builds G^t_{x,y} for ground size n: it enumerates every one-cycle
 // and two-cycle input graph, labels them with the Labeler, and inserts an
 // edge {I₁, I₂} whenever I₂ arises from I₁ by crossing two active
 // independent consistently-oriented edges. Feasible for n ≤ 9 (|V₁| =
-// (n−1)!/2).
+// (n−1)!/2). Labels are packed into bcc.TranscriptKeys, so sequences are
+// limited to bcc.MaxKeyRounds (64) rounds — far beyond the t = O(log n)
+// regime the construction is feasible for.
+//
+// Labeling and crossing enumeration fan out per instance onto the
+// process-wide worker pool (see internal/parallel); the construction is
+// bit-identical at every worker count because instances are enumerated
+// sequentially and each parallel task writes only its own index.
 func New(n int, labeler Labeler, x, y string) (*Graph, error) {
 	if n < 6 {
 		return nil, fmt.Errorf("indist: need n ≥ 6 for two-cycle instances, got %d", n)
 	}
 	g := &Graph{n: n, x: x, y: y}
+	xKey, err := bcc.ParseKey(x)
+	if err != nil {
+		return nil, fmt.Errorf("indist: x label: %w", err)
+	}
+	yKey, err := bcc.ParseKey(y)
+	if err != nil {
+		return nil, fmt.Errorf("indist: y label: %w", err)
+	}
 
-	twoIndex := make(map[string]int)
-	err := graph.EachTwoCycle(n, 3, func(c1, c2 []int) bool {
+	twoIndex := newTwoCycleIndex(n)
+	err = graph.EachTwoCycle(n, 3, func(c1, c2 []int) bool {
 		gg, err := graph.FromCycles(n, c1, c2)
 		if err != nil {
 			return false
 		}
-		twoIndex[gg.Key()] = len(g.twoCycles)
+		twoIndex.add(gg, len(g.twoCycles))
 		g.twoCycles = append(g.twoCycles, gg)
 		return true
 	})
@@ -80,16 +147,25 @@ func New(n int, labeler Labeler, x, y string) (*Graph, error) {
 	}
 	g.twoDeg = make([]int, len(g.twoCycles))
 	g.twoSplit = make([][2]int, len(g.twoCycles))
-	for j, gg := range g.twoCycles {
+	err = parallel.ForEach(len(g.twoCycles), func(j int) error {
+		gg := g.twoCycles[j]
 		labels, err := labeler(gg)
 		if err != nil {
-			return nil, fmt.Errorf("indist: labeling two-cycle %d: %w", j, err)
+			return fmt.Errorf("indist: labeling two-cycle %d: %w", j, err)
 		}
-		split, err := activeSplit(gg, labels, x, y)
+		keys, err := bcc.ParseKeys(labels)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("indist: two-cycle %d: %w", j, err)
+		}
+		split, err := activeSplit(gg, keys, xKey, yKey)
+		if err != nil {
+			return err
 		}
 		g.twoSplit[j] = split
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	err = graph.EachOneCycle(n, func(cycle []int) bool {
@@ -106,41 +182,56 @@ func New(n int, labeler Labeler, x, y string) (*Graph, error) {
 
 	g.active = make([]int, len(g.oneCycles))
 	g.adj = make([][]int, len(g.oneCycles))
-	for i, gg := range g.oneCycles {
+	err = parallel.ForEach(len(g.oneCycles), func(i int) error {
+		gg := g.oneCycles[i]
 		labels, err := labeler(gg)
 		if err != nil {
-			return nil, fmt.Errorf("indist: labeling one-cycle %d: %w", i, err)
+			return fmt.Errorf("indist: labeling one-cycle %d: %w", i, err)
 		}
 		if len(labels) != n {
-			return nil, fmt.Errorf("indist: labeler returned %d labels for n=%d", len(labels), n)
+			return fmt.Errorf("indist: labeler returned %d labels for n=%d", len(labels), n)
 		}
-		activeEdges, err := crossing.ActiveEdges(gg, labels, g.x, g.y)
+		keys, err := bcc.ParseKeys(labels)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("indist: one-cycle %d: %w", i, err)
+		}
+		activeEdges, err := crossing.ActiveEdgesKeys(gg, keys, xKey, yKey)
+		if err != nil {
+			return err
 		}
 		g.active[i] = len(activeEdges)
+		ggKey, _ := gg.PackedKey()
 		seen := make(map[int]bool)
 		for a, e1 := range activeEdges {
 			for _, e2 := range activeEdges[a+1:] {
 				if !crossing.Independent(gg, e1, e2) {
 					continue
 				}
-				cg, err := crossing.CrossGraph(gg, e1, e2)
+				j, ok, err := twoIndex.lookupCrossed(gg, ggKey, e1, e2)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				j, ok := twoIndex[cg.Key()]
 				if !ok {
-					return nil, fmt.Errorf("indist: crossing of one-cycle %d is not a two-cycle cover", i)
+					return fmt.Errorf("indist: crossing of one-cycle %d is not a two-cycle cover", i)
 				}
 				if !seen[j] {
 					seen[j] = true
 					g.adj[i] = append(g.adj[i], j)
-					g.twoDeg[j]++
 				}
 			}
 		}
 		sortInts(g.adj[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Two-cycle degrees accumulate after the parallel sweep so no two
+	// tasks ever write the same counter.
+	for _, adj := range g.adj {
+		for _, j := range adj {
+			g.twoDeg[j]++
+		}
 	}
 	return g, nil
 }
@@ -214,7 +305,7 @@ func (g *Graph) CheckLemma37(i int) error {
 func (g *Graph) Split(j int) [2]int { return g.twoSplit[j] }
 
 // activeSplit counts active edges in each cycle of a two-cycle cover.
-func activeSplit(g2 *graph.Graph, labels []string, x, y string) ([2]int, error) {
+func activeSplit(g2 *graph.Graph, keys []bcc.TranscriptKey, x, y bcc.TranscriptKey) ([2]int, error) {
 	cycles, ok := g2.CycleDecomposition()
 	if !ok || len(cycles) != 2 {
 		return [2]int{}, fmt.Errorf("indist: graph is not a two-cycle cover")
@@ -227,10 +318,10 @@ func activeSplit(g2 *graph.Graph, labels []string, x, y string) ([2]int, error) 
 		fwd, bwd := 0, 0
 		for i := range c {
 			v, u := c[i], c[(i+1)%len(c)]
-			if labels[v] == x && labels[u] == y {
+			if keys[v] == x && keys[u] == y {
 				fwd++
 			}
-			if labels[u] == x && labels[v] == y {
+			if keys[u] == x && keys[v] == y {
 				bwd++
 			}
 		}

@@ -1,0 +1,85 @@
+package indist
+
+import (
+	"testing"
+
+	"bcclique/internal/algorithms"
+	"bcclique/internal/bcc"
+	"bcclique/internal/crossing"
+	"bcclique/internal/graph"
+	"bcclique/internal/parallel"
+)
+
+// TestNewParallelMatchesSequential pins the construction's determinism
+// contract: G^t_{x,y} is identical at every worker count, including
+// under an input-dependent labeler.
+func TestNewParallelMatchesSequential(t *testing.T) {
+	defer parallel.SetLimit(0)
+	const n = 7
+	coin := bcc.NewCoin(3)
+	labeler := algorithms.TritLabeler(algorithms.InputParity{T: 2}, 2, coin)
+	ref, err := graph.FromCycle(n, []int{0, 1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := labeler(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, _, err := crossing.DominantLabelPair(ref, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel.SetLimit(1)
+	seq, err := New(n, labeler, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetLimit(8)
+	par, err := New(n, labeler, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seq.NumOne() != par.NumOne() || seq.NumTwo() != par.NumTwo() {
+		t.Fatalf("vertex counts diverge: (%d,%d) vs (%d,%d)", seq.NumOne(), seq.NumTwo(), par.NumOne(), par.NumTwo())
+	}
+	for i := 0; i < seq.NumOne(); i++ {
+		if seq.ActiveCount(i) != par.ActiveCount(i) {
+			t.Fatalf("one-cycle %d: active %d vs %d", i, seq.ActiveCount(i), par.ActiveCount(i))
+		}
+		sn, pn := seq.Neighbors(i), par.Neighbors(i)
+		if len(sn) != len(pn) {
+			t.Fatalf("one-cycle %d: degree %d vs %d", i, len(sn), len(pn))
+		}
+		for k := range sn {
+			if sn[k] != pn[k] {
+				t.Fatalf("one-cycle %d: neighbour %d is %d vs %d", i, k, sn[k], pn[k])
+			}
+		}
+	}
+	for j := 0; j < seq.NumTwo(); j++ {
+		if seq.DegreeTwo(j) != par.DegreeTwo(j) {
+			t.Fatalf("two-cycle %d: degree %d vs %d", j, seq.DegreeTwo(j), par.DegreeTwo(j))
+		}
+		if seq.Split(j) != par.Split(j) {
+			t.Fatalf("two-cycle %d: split %v vs %v", j, seq.Split(j), par.Split(j))
+		}
+	}
+}
+
+// TestNewRejectsBadLabels checks that label strings outside the trit
+// alphabet are reported instead of packed silently.
+func TestNewRejectsBadLabels(t *testing.T) {
+	bad := func(g *graph.Graph) ([]string, error) {
+		labels := make([]string, g.N())
+		for i := range labels {
+			labels[i] = "abc"
+		}
+		return labels, nil
+	}
+	if _, err := New(6, bad, "abc", "abc"); err == nil {
+		t.Fatal("New accepted labels outside the {0,1,_} alphabet")
+	}
+}

@@ -1,0 +1,145 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		SetLimit(workers)
+		var count atomic.Int64
+		hit := make([]atomic.Bool, 100)
+		err := ForEach(100, func(i int) error {
+			count.Add(1)
+			hit[i].Store(true)
+			return nil
+		})
+		SetLimit(0)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if count.Load() != 100 {
+			t.Fatalf("workers=%d: ran %d tasks, want 100", workers, count.Load())
+		}
+		for i := range hit {
+			if !hit[i].Load() {
+				t.Fatalf("workers=%d: task %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	if err := ForEach(0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, func(int) error { return errors.New("boom") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		SetLimit(workers)
+		err := ForEach(50, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("task %d", i)
+			}
+			return nil
+		})
+		SetLimit(0)
+		if err == nil || err.Error() != "task 3" {
+			t.Fatalf("workers=%d: got %v, want task 3", workers, err)
+		}
+	}
+}
+
+func TestForEachOrderedSlots(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		SetLimit(workers)
+		got := make([]int, 200)
+		err := ForEach(200, func(i int) error {
+			got[i] = i * i
+			return nil
+		})
+		SetLimit(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestSetLimitResolution(t *testing.T) {
+	defer SetLimit(0)
+	SetLimit(5)
+	if Limit() != 5 {
+		t.Errorf("Limit() = %d, want 5", Limit())
+	}
+	SetLimit(-1)
+	if Limit() < 1 {
+		t.Errorf("Limit() after SetLimit(-1) = %d, want >= 1", Limit())
+	}
+}
+
+// TestNestedForEachRespectsGlobalBudget pins the concurrency contract:
+// even with sweeps nested two deep, the number of goroutines running
+// tasks at once never exceeds the process-wide Limit.
+func TestNestedForEachRespectsGlobalBudget(t *testing.T) {
+	const cap = 3
+	SetLimit(cap)
+	defer SetLimit(0)
+	var active, peak atomic.Int64
+	enter := func() {
+		a := active.Add(1)
+		for {
+			p := peak.Load()
+			if a <= p || peak.CompareAndSwap(p, a) {
+				break
+			}
+		}
+	}
+	err := ForEach(8, func(int) error {
+		return ForEach(8, func(int) error {
+			enter()
+			defer active.Add(-1)
+			for i := 0; i < 2000; i++ {
+				_ = DeriveSeed(1, i)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > cap {
+		t.Errorf("peak concurrent tasks = %d, want <= %d (global budget leaked across nesting)", p, cap)
+	}
+	if helpers.Load() != 0 {
+		t.Errorf("helper budget not fully released: %d", helpers.Load())
+	}
+}
+
+func TestDeriveSeedDeterministicAndSpread(t *testing.T) {
+	seen := make(map[int64]int)
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if s != DeriveSeed(42, i) {
+			t.Fatalf("DeriveSeed not deterministic at %d", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("DeriveSeed collision: tasks %d and %d both map to %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("different bases should derive different seeds")
+	}
+}
