@@ -2,13 +2,16 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-json report fmt vet
+.PHONY: build test race check bench bench-json report serve smoke-examples fmt vet
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -18,14 +21,28 @@ vet:
 
 check: fmt vet build test
 
-# Full benchmark pass over the E-series suite.
+# Build and run every example binary; examples must not silently rot.
+smoke-examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run "./$$d" >/dev/null; \
+	done
+
+# Full benchmark pass over the E-series suite (plus engine cache benchmarks).
 bench:
 	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 20x -run '^$$' .
 
-# Record the perf baseline consumed by future PRs.
+# Record the perf baseline consumed by future PRs. BENCH_engine.json is
+# the current baseline (E-series + engine cold/warm cache);
+# BENCH_parallel.json is the pre-cache historical baseline kept for the
+# perf trajectory.
 bench-json:
-	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 20x -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_parallel.json
+	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 20x -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_engine.json
 
 # Regenerate the full experiment report.
 report:
 	$(GO) run ./cmd/experiments -out EXPERIMENTS.md
+
+# Run the bccd experiment job server on :8371.
+serve:
+	$(GO) run ./cmd/bccd

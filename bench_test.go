@@ -1,6 +1,8 @@
 // Package bcclique's root benchmark harness: one benchmark per experiment
-// table (E01–E14; see DESIGN.md §3 for the index). Each benchmark
-// regenerates the computation behind its experiment, so
+// table (E01–E16; see DESIGN.md §3 for the index), plus engine-level
+// benchmarks measuring the result cache's cold-run overhead and warm-run
+// serving speed. Each experiment benchmark regenerates the computation
+// behind its experiment, so
 //
 //	go test -bench=. -benchmem
 //
@@ -11,6 +13,10 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+
+	"bcclique/internal/engine"
+	"bcclique/internal/report"
+	"bcclique/internal/results"
 
 	"bcclique/internal/algorithms"
 	"bcclique/internal/bcc"
@@ -325,5 +331,52 @@ func BenchmarkFullQuickSuite(b *testing.B) {
 		if _, err := harness.RunAll(io.Discard, harness.Config{Quick: true, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// engineBenchIDs are cheap experiments, so the engine benchmarks measure
+// the cache layer rather than the underlying mathematics.
+var engineBenchIDs = []string{"E07", "E13"}
+
+// BenchmarkEngineColdCache measures a cold cached run (compute + encode
+// + atomic write): the cache layer's overhead over an uncached run of
+// the same specs.
+func BenchmarkEngineColdCache(b *testing.B) {
+	cfg := engine.Config{Quick: true, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store, err := results.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := harness.NewEngine(engine.WithStore(store))
+		b.StartTimer()
+		if _, err := eng.Stream(io.Discard, report.Markdown{}, report.Meta{}, cfg, engineBenchIDs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineWarmCache measures serving a report entirely from the
+// warm cache — the bccd hot path: key derivation, disk read, decode,
+// render, zero experiment executions.
+func BenchmarkEngineWarmCache(b *testing.B) {
+	cfg := engine.Config{Quick: true, Seed: 1}
+	store, err := results.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := harness.NewEngine(engine.WithStore(store))
+	if _, err := warm.Stream(io.Discard, report.Markdown{}, report.Meta{}, cfg, engineBenchIDs, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := warm.Stream(io.Discard, report.Markdown{}, report.Meta{}, cfg, engineBenchIDs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if warm.Executions() != int64(len(engineBenchIDs)) {
+		b.Fatalf("warm runs re-executed experiments (%d executions)", warm.Executions())
 	}
 }

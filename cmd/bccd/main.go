@@ -1,0 +1,66 @@
+// Command bccd is the experiment job server: an HTTP frontend over the
+// experiment engine and the shared content-addressed result cache, so
+// many concurrent clients can request experiment results and pay for
+// each (spec, config, build) computation exactly once.
+//
+// Usage:
+//
+//	bccd [-addr :8371] [-cache-dir DIR|none] [-parallel N]
+//
+// Endpoints:
+//
+//	POST /v1/jobs          submit a spec set: {"only":["E05"],"quick":true,"seed":1}
+//	GET  /v1/jobs          list submitted jobs (newest first)
+//	GET  /v1/jobs/{id}     job status, progress events, and results as JSON
+//	GET  /v1/report        render a report: ?only=E05,E07&format=md|json|jsonl&quick=1&seed=1
+//	GET  /v1/specs         the experiment registry
+//	GET  /healthz          liveness plus cache statistics
+//
+// Identical concurrent requests share one computation (single-flight)
+// and repeated requests are served hot from the cache with zero
+// re-executed experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"bcclique/internal/engine"
+	"bcclique/internal/harness"
+	"bcclique/internal/parallel"
+	"bcclique/internal/results"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bccd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8371", "listen address")
+		cacheDir = flag.String("cache-dir", "", "result cache directory (default: <user cache dir>/bcclique, \"none\" disables caching)")
+		par      = flag.Int("parallel", 0, "worker count for the experiment engine (0 = all CPUs)")
+	)
+	flag.Parse()
+	parallel.SetLimit(*par)
+
+	store, err := results.OpenFlag(*cacheDir)
+	if err != nil {
+		return err
+	}
+	var opts []engine.Option
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "bccd: result cache at %s\n", store.Dir())
+		opts = append(opts, engine.WithStore(store))
+	} else {
+		fmt.Fprintln(os.Stderr, "bccd: running uncached")
+	}
+	srv := newServer(harness.NewEngine(opts...))
+	fmt.Fprintf(os.Stderr, "bccd: listening on %s\n", *addr)
+	return http.ListenAndServe(*addr, srv.routes())
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"bcclique/internal/engine"
+	"bcclique/internal/report"
+	"bcclique/internal/results"
+)
+
+// server is the HTTP layer over one engine. All state lives in the
+// engine (jobs) and its store (results); handlers are stateless.
+type server struct {
+	eng *engine.Engine
+}
+
+func newServer(eng *engine.Engine) *server { return &server{eng: eng} }
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("GET /v1/report", s.report)
+	mux.HandleFunc("GET /v1/specs", s.specs)
+	mux.HandleFunc("GET /healthz", s.health)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// validateOnly rejects unknown spec IDs up front so a typo is a 400, not
+// a silently empty report.
+func (s *server) validateOnly(only []string) error {
+	for _, id := range only {
+		if _, ok := s.eng.Lookup(id); !ok {
+			return fmt.Errorf("unknown experiment ID %q", id)
+		}
+	}
+	return nil
+}
+
+type jobRequest struct {
+	Only  []string `json:"only,omitempty"`
+	Quick bool     `json:"quick"`
+	// Seed is a pointer so an explicit 0 is distinguishable from an
+	// omitted field (which defaults to 1, like GET /v1/report and the
+	// CLIs).
+	Seed *int64 `json:"seed"`
+}
+
+func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	seed := int64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	if err := s.validateOnly(req.Only); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job := s.eng.Submit(engine.Config{Quick: req.Quick, Seed: seed}, req.Only)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Jobs())
+}
+
+func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.eng.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// report renders a spec set synchronously, straight off the cache when
+// warm, streaming sections in registry ID order as they complete.
+func (s *server) report(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cfg := engine.Config{Seed: 1}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+		cfg.Seed = seed
+	}
+	if v := q.Get("quick"); v != "" {
+		quick, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad quick %q", v)
+			return
+		}
+		cfg.Quick = quick
+	}
+	var only []string
+	if v := q.Get("only"); v != "" {
+		only = strings.Split(v, ",")
+	}
+	if err := s.validateOnly(only); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	var (
+		renderer    report.Renderer
+		contentType string
+	)
+	switch format := q.Get("format"); format {
+	case "", "md":
+		renderer = report.Markdown{Trailer: true}
+		contentType = "text/markdown; charset=utf-8"
+	case "json":
+		renderer = report.JSON{}
+		contentType = "application/json"
+	case "jsonl":
+		renderer = report.JSONL{}
+		contentType = "application/x-ndjson"
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want md, json, or jsonl)", format)
+		return
+	}
+
+	meta := report.Meta{
+		Title: "Experiments: paper vs. measured",
+		Intro: fmt.Sprintf("Served by bccd from the shared result cache (config %s).", cfg.Canonical()),
+	}
+	w.Header().Set("Content-Type", contentType)
+	if _, err := s.eng.Stream(w, renderer, meta, cfg, only, nil); err != nil {
+		// Headers are gone; the truncated body plus this trailer line is
+		// all we can signal mid-stream.
+		fmt.Fprintf(w, "\nerror: %v\n", err)
+	}
+}
+
+func (s *server) specs(w http.ResponseWriter, r *http.Request) {
+	type specInfo struct {
+		ID       string `json:"id"`
+		Title    string `json:"title"`
+		PaperRef string `json:"paper_ref"`
+		Key      string `json:"key"`
+	}
+	var out []specInfo
+	for _, sp := range s.eng.Specs() {
+		out = append(out, specInfo{ID: sp.ID, Title: sp.Title, PaperRef: sp.PaperRef, Key: sp.Key()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		Status     string         `json:"status"`
+		Executions int64          `json:"executions"`
+		Cache      *results.Stats `json:"cache,omitempty"`
+		CacheDir   string         `json:"cache_dir,omitempty"`
+	}{Status: "ok", Executions: s.eng.Executions()}
+	if st := s.eng.Store(); st != nil {
+		stats := st.Stats()
+		resp.Cache = &stats
+		resp.CacheDir = st.Dir()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bcclique/internal/engine"
+	"bcclique/internal/harness"
+	"bcclique/internal/results"
+)
+
+// testServer builds a server over a store in a temp dir. Fast tests use
+// the cheap experiments (E13) so the suite stays quick.
+func testServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := harness.NewEngine(engine.WithStore(store))
+	ts := httptest.NewServer(newServer(eng).routes())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestReportServedFromCache is the serving acceptance test: a repeated
+// GET /v1/report is served hot from the cache with zero re-executed
+// experiments, byte-identical to the first response.
+func TestReportServedFromCache(t *testing.T) {
+	ts, eng := testServer(t)
+	url := ts.URL + "/v1/report?only=E13&quick=1&seed=1&format=md"
+
+	fetch := func() string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/markdown") {
+			t.Errorf("content type %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	first := fetch()
+	if !strings.Contains(first, "## E13") || !strings.Contains(first, "1 experiments completed.") {
+		t.Fatalf("report malformed:\n%s", first)
+	}
+	execsAfterFirst := eng.Executions()
+	if execsAfterFirst != 1 {
+		t.Fatalf("first request executed %d experiments, want 1", execsAfterFirst)
+	}
+
+	second := fetch()
+	if got := eng.Executions(); got != execsAfterFirst {
+		t.Errorf("repeated request re-executed experiments: %d -> %d", execsAfterFirst, got)
+	}
+	if first != second {
+		t.Error("cached report is not byte-identical to the first response")
+	}
+
+	// JSON format is served from the same cache entries.
+	var doc struct {
+		Results []struct {
+			ID string `json:"id"`
+		} `json:"results"`
+		Count int `json:"count"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/report?only=E13&quick=1&seed=1&format=json", &doc); code != http.StatusOK {
+		t.Fatalf("json status %d", code)
+	}
+	if doc.Count != 1 || len(doc.Results) != 1 || doc.Results[0].ID != "E13" {
+		t.Errorf("json doc = %+v", doc)
+	}
+	if got := eng.Executions(); got != execsAfterFirst {
+		t.Errorf("json request re-executed experiments: %d -> %d", execsAfterFirst, got)
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	ts, _ := testServer(t)
+	for query, wantCode := range map[string]int{
+		"only=E99":            http.StatusBadRequest,
+		"format=yaml":         http.StatusBadRequest,
+		"seed=abc":            http.StatusBadRequest,
+		"quick=maybe":         http.StatusBadRequest,
+		"only=E13&quick=true": http.StatusOK,
+	} {
+		var out map[string]interface{}
+		code := getJSON(t, ts.URL+"/v1/report?"+query, nil)
+		if code != wantCode {
+			t.Errorf("GET /v1/report?%s = %d, want %d (%v)", query, code, wantCode, out)
+		}
+	}
+}
+
+func TestJobEndpoints(t *testing.T) {
+	ts, _ := testServer(t)
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"only":["E13"],"quick":true,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job engine.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("submit: status %d job %+v", resp.StatusCode, job)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+job.ID, &job); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+		if job.Status == engine.JobDone || job.Status == engine.JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if job.Status != engine.JobDone || len(job.Results) != 1 || job.Results[0].ID != "E13" {
+		t.Fatalf("job = %+v", job)
+	}
+
+	var jobs []engine.Job
+	if code := getJSON(t, ts.URL+"/v1/jobs", &jobs); code != http.StatusOK || len(jobs) != 1 {
+		t.Errorf("list: %d jobs, code %d", len(jobs), code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job code %d", code)
+	}
+
+	// Unknown IDs and bad bodies are rejected up front.
+	for _, body := range []string{`{"only":["E99"]}`, `{"bogus":1}`, `not json`} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestSpecsAndHealth(t *testing.T) {
+	ts, _ := testServer(t)
+	var specs []struct {
+		ID  string `json:"id"`
+		Key string `json:"key"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/specs", &specs); code != http.StatusOK {
+		t.Fatalf("specs status %d", code)
+	}
+	if len(specs) != 16 || specs[0].ID != "E01" || specs[15].ID != "E16" {
+		t.Errorf("specs = %d entries", len(specs))
+	}
+	for _, s := range specs {
+		if s.Key == "" {
+			t.Errorf("spec %s missing canonical key", s.ID)
+		}
+	}
+	var health struct {
+		Status   string `json:"status"`
+		CacheDir string `json:"cache_dir"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Errorf("health = %+v, code %d", health, code)
+	}
+	if health.CacheDir == "" {
+		t.Error("health should report the cache dir")
+	}
+}

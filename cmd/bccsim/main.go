@@ -15,6 +15,11 @@
 // built-in algorithms are all deterministic — they ignore the public
 // coin, so their estimate is exactly 0 or 1; the sweep becomes
 // informative for coin-using algorithms wired in here.
+//
+// The -trials sweep runs as a spec on the shared experiment engine, so
+// its estimate lands in the same content-addressed result cache used by
+// cmd/experiments and the bccd server: repeating an identical sweep is a
+// cache hit, not a recomputation (-cache-dir none forces a recompute).
 package main
 
 import (
@@ -22,11 +27,15 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync/atomic"
 
 	"bcclique/internal/algorithms"
 	"bcclique/internal/bcc"
+	"bcclique/internal/engine"
 	"bcclique/internal/graph"
 	"bcclique/internal/parallel"
+	"bcclique/internal/report"
+	"bcclique/internal/results"
 )
 
 func main() {
@@ -47,6 +56,7 @@ func run() error {
 		verbose   = flag.Bool("v", false, "print per-vertex labels")
 		trials    = flag.Int("trials", 0, "estimate Monte Carlo error over this many coin seeds (0 = off)")
 		par       = flag.Int("parallel", 0, "worker count for seed sweeps (0 = all CPUs, 1 = sequential)")
+		cacheDir  = flag.String("cache-dir", "", "result cache for -trials sweeps (default: <user cache dir>/bcclique, \"none\" disables caching)")
 	)
 	flag.Parse()
 	parallel.SetLimit(*par)
@@ -107,11 +117,10 @@ func run() error {
 		if g.IsConnected() {
 			want = bcc.VerdictYes
 		}
-		seeds := make([]int64, *trials)
-		for i := range seeds {
-			seeds[i] = parallel.DeriveSeed(*seed, i)
-		}
-		eps, err := bcc.EstimateError(in, algo, want, seeds)
+		sweep, cached, err := runSweep(in, algo, want, sweepSpec{
+			model: *model, graphKind: *graphKind, n: *n, algo: *algoName,
+			b: *bandwidth, seed: *seed, trials: *trials, cacheDir: *cacheDir,
+		})
 		if err != nil {
 			return err
 		}
@@ -119,9 +128,77 @@ func run() error {
 		if deterministic {
 			note = fmt.Sprintf("; note: %s is deterministic, so all seeds agree", algo.Name())
 		}
-		fmt.Printf("error    : %.4g over %d seeds (%d workers%s)\n", eps, *trials, parallel.Limit(), note)
+		src := fmt.Sprintf("%d workers", parallel.Limit())
+		if cached {
+			src = "cached"
+		}
+		fmt.Printf("error    : %s over %d seeds (%s%s)\n", sweep.Finding, *trials, src, note)
 	}
 	return nil
+}
+
+// sweepSpec is the declarative identity of one Monte Carlo sweep: every
+// field that determines the estimate, canonically encoded into the
+// engine spec so identical sweeps share one cache entry.
+type sweepSpec struct {
+	model, graphKind, algo string
+	n, b, trials           int
+	seed                   int64
+	cacheDir               string
+}
+
+// runSweep estimates the Monte Carlo error through the shared experiment
+// engine, so repeated identical sweeps are served from the result cache.
+func runSweep(in *bcc.Instance, algo bcc.Algorithm, want bcc.Verdict, ss sweepSpec) (*report.Result, bool, error) {
+	spec := engine.Spec{
+		ID:       "bccsim",
+		Title:    fmt.Sprintf("Monte Carlo error of %s on %s (n=%d)", ss.algo, ss.graphKind, ss.n),
+		PaperRef: "Section 1.2 (Monte Carlo error accounting)",
+		Params: engine.Params{
+			Trials: ss.trials,
+			Extra: fmt.Sprintf("model=%s;graph=%s;n=%d;algo=%s;b=%d;want=%v",
+				ss.model, ss.graphKind, ss.n, ss.algo, ss.b, want),
+		},
+		Run: func(cfg engine.Config, p engine.Params) (*report.Result, error) {
+			seeds := make([]int64, p.Trials)
+			for i := range seeds {
+				seeds[i] = parallel.DeriveSeed(cfg.Seed, i)
+			}
+			eps, err := bcc.EstimateError(in, algo, want, seeds)
+			if err != nil {
+				return nil, err
+			}
+			table := &report.Table{
+				Title:   "Monte Carlo error estimate",
+				Headers: []string{"seeds", "target verdict", "error"},
+			}
+			table.AddRow(p.Trials, want, eps)
+			return &report.Result{
+				Claim:   "The public-coin Monte Carlo error is the fraction of coin seeds on which the algorithm misdecides.",
+				Finding: report.FormatFloat(eps),
+				Tables:  []*report.Table{table},
+			}, nil
+		},
+	}
+	store, err := results.OpenFlag(ss.cacheDir)
+	if err != nil {
+		return nil, false, err
+	}
+	var opts []engine.Option
+	if store != nil {
+		opts = append(opts, engine.WithStore(store))
+	}
+	eng := engine.New([]engine.Spec{spec}, opts...)
+	var hits atomic.Int64
+	out, err := eng.Run(engine.Config{Seed: ss.seed}, nil, func(ev engine.Event) {
+		if ev.Kind == engine.EventCached {
+			hits.Add(1)
+		}
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return out[0], hits.Load() > 0, nil
 }
 
 func buildGraph(kind string, n int, rng *rand.Rand) (*graph.Graph, error) {

@@ -1,13 +1,21 @@
 // Command experiments regenerates every experiment table of the
-// reproduction (E01–E14; see DESIGN.md for the per-experiment index).
+// reproduction (E01–E16; see DESIGN.md §3 for the per-experiment index).
 //
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-out FILE] [-only E05,E07] [-parallel N]
+//	            [-date D|none] [-format md|json|jsonl] [-cache-dir DIR|none]
 //
 // With -out it writes the EXPERIMENTS.md-style report to FILE instead of
 // stdout. -parallel sets the worker count of the experiment engine
 // (0 = all CPUs); every table is bit-identical at any worker count.
+//
+// Reports are byte-reproducible: the header records the full flag set
+// needed to regenerate the report, and -date pins the date stamp
+// (default today UTC, "none" omits it). Results flow through the shared
+// content-addressed cache (see internal/results), so a rerun with an
+// unchanged configuration re-renders stored results instead of
+// recomputing; -cache-dir none forces a cold computation.
 package main
 
 import (
@@ -18,8 +26,11 @@ import (
 	"strings"
 	"time"
 
+	"bcclique/internal/engine"
 	"bcclique/internal/harness"
 	"bcclique/internal/parallel"
+	"bcclique/internal/report"
+	"bcclique/internal/results"
 )
 
 func main() {
@@ -31,14 +42,44 @@ func main() {
 
 func run() error {
 	var (
-		quick = flag.Bool("quick", false, "trim instance sizes for a fast pass")
-		seed  = flag.Int64("seed", 1, "seed for randomized workloads")
-		out   = flag.String("out", "", "write the report to this file instead of stdout")
-		only  = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
-		par   = flag.Int("parallel", 0, "worker count for the experiment engine (0 = all CPUs, 1 = sequential)")
+		quick    = flag.Bool("quick", false, "trim instance sizes for a fast pass")
+		seed     = flag.Int64("seed", 1, "seed for randomized workloads")
+		out      = flag.String("out", "", "write the report to this file instead of stdout")
+		only     = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		par      = flag.Int("parallel", 0, "worker count for the experiment engine (0 = all CPUs, 1 = sequential)")
+		date     = flag.String("date", "", "date stamp for the report header (YYYY-MM-DD; default today UTC, \"none\" omits it)")
+		format   = flag.String("format", "md", "report format: md, json, or jsonl")
+		cacheDir = flag.String("cache-dir", "", "result cache directory (default: <user cache dir>/bcclique, \"none\" disables caching)")
 	)
 	flag.Parse()
 	parallel.SetLimit(*par)
+
+	resolvedDate := *date
+	if resolvedDate == "" {
+		resolvedDate = time.Now().UTC().Format("2006-01-02")
+	}
+
+	var renderer report.Renderer
+	switch *format {
+	case "md":
+		renderer = report.Markdown{Trailer: true}
+	case "json":
+		renderer = report.JSON{}
+	case "jsonl":
+		renderer = report.JSONL{}
+	default:
+		return fmt.Errorf("unknown -format %q (want md, json, or jsonl)", *format)
+	}
+
+	store, err := results.OpenFlag(*cacheDir)
+	if err != nil {
+		return err
+	}
+	var opts []engine.Option
+	if store != nil {
+		opts = append(opts, engine.WithStore(store))
+	}
+	eng := harness.NewEngine(opts...)
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -50,12 +91,12 @@ func run() error {
 		w = f
 	}
 
-	if _, err := fmt.Fprintf(w, "# Experiments: paper vs. measured\n\n"+
-		"Reproduction of Pai & Pemmaraju, *Connectivity Lower Bounds in Broadcast\n"+
-		"Congested Clique* (PODC 2019). One experiment per theorem/lemma/figure;\n"+
-		"regenerate with `go run ./cmd/experiments`%s (seed %d, %s).\n\n",
-		flagSummary(*quick, *only), *seed, time.Now().UTC().Format("2006-01-02")); err != nil {
-		return err
+	meta := report.Meta{
+		Title: "Experiments: paper vs. measured",
+		Intro: fmt.Sprintf("Reproduction of Pai & Pemmaraju, *Connectivity Lower Bounds in Broadcast\n"+
+			"Congested Clique* (PODC 2019). One experiment per theorem/lemma/figure;\n"+
+			"regenerate with `go run ./cmd/experiments%s`%s.",
+			flagSummary(*quick, *only, *seed, resolvedDate), dateSuffix(resolvedDate)),
 	}
 
 	var ids []string
@@ -63,24 +104,37 @@ func run() error {
 		ids = strings.Split(*only, ",")
 	}
 	cfg := harness.Config{Quick: *quick, Seed: *seed}
-	results, err := harness.RunAll(w, cfg, ids...)
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(w, "---\n\n%d experiments completed.\n", len(results))
+	_, err = eng.Stream(w, renderer, meta, cfg, ids, nil)
 	return err
 }
 
-func flagSummary(quick bool, only string) string {
+// flagSummary renders the exact flag set that regenerates this report.
+// -parallel is recorded only when it was set explicitly: every table is
+// bit-identical at any worker count, so it never affects the content and
+// recording a machine-dependent default would break reproducibility of
+// the header itself.
+func flagSummary(quick bool, only string, seed int64, date string) string {
 	var parts []string
 	if quick {
 		parts = append(parts, "-quick")
 	}
+	parts = append(parts, fmt.Sprintf("-seed %d", seed))
 	if only != "" {
 		parts = append(parts, "-only "+only)
 	}
-	if len(parts) == 0 {
+	parts = append(parts, "-date "+date)
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			parts = append(parts, "-parallel "+f.Value.String())
+		}
+	})
+	return " " + strings.Join(parts, " ")
+}
+
+// dateSuffix renders the header's date stamp (omitted with -date none).
+func dateSuffix(date string) string {
+	if date == "none" {
 		return ""
 	}
-	return " `" + strings.Join(parts, " ") + "`"
+	return fmt.Sprintf(" (%s)", date)
 }

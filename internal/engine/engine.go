@@ -1,0 +1,276 @@
+// Package engine is the execution layer of the experiment pipeline. It
+// takes declarative Specs (see spec.go), fans them out on the
+// deterministic worker pool of internal/parallel, consults the
+// content-addressed result cache of internal/results before computing
+// anything, and streams finished sections in registry ID order to any
+// report.Renderer. Frontends — the experiments CLI, the bccd HTTP
+// server, bccsim's Monte Carlo sweeps — all sit on this one engine and
+// therefore share one cache: a result computed once for a
+// (spec, config, build) triple is never recomputed.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bcclique/internal/parallel"
+	"bcclique/internal/report"
+	"bcclique/internal/results"
+)
+
+// Result re-exports the report result type: engine callers produce and
+// consume report.Result values.
+type Result = report.Result
+
+// EventKind labels an Event.
+type EventKind string
+
+// The event kinds emitted while a spec set runs.
+const (
+	EventStarted EventKind = "started" // spec began executing
+	EventCached  EventKind = "cached"  // spec served from the result cache
+	EventDone    EventKind = "done"    // spec finished executing
+	EventFailed  EventKind = "failed"  // spec returned an error
+)
+
+// Event is one progress notification. Events are emitted from worker
+// goroutines; the observer must be safe for concurrent calls.
+type Event struct {
+	Kind    EventKind     `json:"kind"`
+	SpecID  string        `json:"spec_id"`
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+	Err     string        `json:"error,omitempty"`
+}
+
+// Engine executes a fixed spec registry, optionally through a result
+// store. An Engine is safe for concurrent use; every Run call shares the
+// process-wide worker budget and the store's single-flight table.
+type Engine struct {
+	specs []Spec
+	store *results.Store
+	build string
+
+	executions atomic.Int64
+
+	jobs jobTable
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithStore routes every execution through the given result cache.
+// Without it the engine always computes.
+func WithStore(s *results.Store) Option {
+	return func(e *Engine) { e.store = s }
+}
+
+// New builds an engine over the given registry.
+func New(specs []Spec, opts ...Option) *Engine {
+	e := &Engine{specs: specs, build: buildVersion()}
+	e.jobs.init()
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// buildVersion identifies the running build; it is folded into every
+// cache key so results from a different build never collide. Released
+// module builds are identified by module version+checksum (shared across
+// all binaries of that build). Development builds ((devel), empty
+// checksum — `go run`, `go test`) fall back to the SHA-256 of the
+// running executable: identical rebuilds hash identically, any code
+// change rehashes, so a dev cache can never serve results computed by
+// different logic.
+var buildVersion = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if ok && bi.Main.Sum != "" {
+		return bi.Main.Version + "+" + bi.Main.Sum
+	}
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return "exe-" + hex.EncodeToString(h.Sum(nil))
+			}
+		}
+	}
+	return "unknown"
+})
+
+// Specs returns the registry in ID order.
+func (e *Engine) Specs() []Spec { return e.specs }
+
+// Lookup finds a spec by ID.
+func (e *Engine) Lookup(id string) (Spec, bool) {
+	for _, s := range e.specs {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Store returns the engine's result store (nil when uncached).
+func (e *Engine) Store() *results.Store { return e.store }
+
+// Executions returns how many spec executions this engine has actually
+// performed (cache hits excluded) — the counter cache tests assert on.
+func (e *Engine) Executions() int64 { return e.executions.Load() }
+
+// CacheKey is the content address of (spec, cfg) under the current
+// build: schema version, build version, canonical spec encoding and
+// canonical config, hashed with per-part length prefixes.
+func (e *Engine) CacheKey(spec Spec, cfg Config) string {
+	return results.Key(
+		fmt.Sprintf("schema=%d", results.SchemaVersion),
+		"build="+e.build,
+		"spec="+spec.Key(),
+		"cfg="+cfg.Canonical(),
+	)
+}
+
+// selectSpecs filters the registry to the listed IDs (all when empty),
+// preserving registry order. Unknown IDs are ignored, matching the
+// historical harness.RunAll contract; frontends that want a hard error
+// validate with Lookup first.
+func (e *Engine) selectSpecs(only []string) []Spec {
+	allowed := make(map[string]bool, len(only))
+	for _, id := range only {
+		allowed[id] = true
+	}
+	var selected []Spec
+	for _, s := range e.specs {
+		if len(allowed) > 0 && !allowed[s.ID] {
+			continue
+		}
+		selected = append(selected, s)
+	}
+	return selected
+}
+
+// runOne executes (or serves from cache) a single spec.
+func (e *Engine) runOne(spec Spec, cfg Config, emit func(Event)) (*Result, error) {
+	compute := func() (*Result, error) {
+		emit(Event{Kind: EventStarted, SpecID: spec.ID})
+		e.executions.Add(1)
+		start := time.Now()
+		res, err := spec.Run(cfg, spec.Params)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		res.ID, res.Title, res.PaperRef = spec.ID, spec.Title, spec.PaperRef
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	if e.store == nil {
+		res, err := compute()
+		if err != nil {
+			emit(Event{Kind: EventFailed, SpecID: spec.ID, Err: err.Error()})
+			return nil, err
+		}
+		emit(Event{Kind: EventDone, SpecID: spec.ID, Elapsed: res.Elapsed})
+		return res, nil
+	}
+	res, cached, err := e.store.Do(e.CacheKey(spec, cfg), compute)
+	switch {
+	case err != nil:
+		emit(Event{Kind: EventFailed, SpecID: spec.ID, Err: err.Error()})
+		return nil, err
+	case cached:
+		emit(Event{Kind: EventCached, SpecID: spec.ID, Elapsed: res.Elapsed})
+	default:
+		emit(Event{Kind: EventDone, SpecID: spec.ID, Elapsed: res.Elapsed})
+	}
+	return res, nil
+}
+
+// Run executes the selected specs concurrently on the process-wide
+// worker pool and returns their results in registry ID order. onEvent
+// (optional) observes progress and may be called from worker goroutines.
+// Semantics match the historical harness.RunAll: a failure stops specs
+// that have not started yet, the completed prefix is returned, and the
+// reported error is scheduling-independent.
+func (e *Engine) Run(cfg Config, only []string, onEvent func(Event)) ([]*Result, error) {
+	return e.run(cfg, only, onEvent, nil)
+}
+
+// Stream is Run plus ordered rendering: each section is handed to r as
+// soon as it and all its predecessors have finished, always in registry
+// ID order, so a slow suite still delivers early sections incrementally.
+func (e *Engine) Stream(w io.Writer, r report.Renderer, m report.Meta, cfg Config, only []string, onEvent func(Event)) ([]*Result, error) {
+	if err := r.Begin(w, m); err != nil {
+		return nil, err
+	}
+	written, err := e.run(cfg, only, onEvent, func(i int, res *Result) error {
+		return r.Section(w, i, res)
+	})
+	if err != nil {
+		return written, err
+	}
+	return written, r.End(w, written)
+}
+
+func (e *Engine) run(cfg Config, only []string, onEvent func(Event), sink func(i int, res *Result) error) ([]*Result, error) {
+	emit := func(Event) {}
+	if onEvent != nil {
+		emit = onEvent
+	}
+	selected := e.selectSpecs(only)
+	done := make([]chan struct{}, len(selected))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	resSlots := make([]*Result, len(selected))
+	runErrs := make([]error, len(selected))
+	var stop atomic.Bool
+	go parallel.ForEach(len(selected), func(i int) error {
+		defer close(done[i])
+		if stop.Load() {
+			return nil
+		}
+		res, err := e.runOne(selected[i], cfg, emit)
+		if err != nil {
+			stop.Store(true)
+			runErrs[i] = err
+			return nil
+		}
+		resSlots[i] = res
+		return nil
+	})
+	var delivered []*Result
+	for i := range selected {
+		<-done[i]
+		if runErrs[i] != nil {
+			return delivered, runErrs[i]
+		}
+		if resSlots[i] == nil {
+			// Skipped because a later-indexed spec failed first; surface
+			// that error instead.
+			for j := i + 1; j < len(selected); j++ {
+				<-done[j]
+				if runErrs[j] != nil {
+					return delivered, runErrs[j]
+				}
+			}
+			return delivered, fmt.Errorf("engine: spec %s did not run", selected[i].ID)
+		}
+		if sink != nil {
+			if err := sink(i, resSlots[i]); err != nil {
+				stop.Store(true)
+				return delivered, err
+			}
+		}
+		delivered = append(delivered, resSlots[i])
+	}
+	return delivered, nil
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobStatus is the lifecycle state of a submitted job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Job is a point-in-time snapshot of one submitted spec-set run. Results
+// is populated once Status is done (and holds the completed prefix on
+// failure).
+type Job struct {
+	ID       string    `json:"id"`
+	Status   JobStatus `json:"status"`
+	Config   Config    `json:"config"`
+	Only     []string  `json:"only,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	Events   []Event   `json:"events,omitempty"`
+	Results  []*Result `json:"results,omitempty"`
+	Error    string    `json:"error,omitempty"`
+
+	// seq is the submission order, used for newest-first listings and
+	// oldest-first eviction; unlike the zero-padded ID prefix it never
+	// wraps or mis-sorts.
+	seq int
+}
+
+// maxRetainedJobs bounds the in-memory job table: results live in the
+// content-addressed store anyway, so the table only needs enough history
+// for clients to poll recent submissions. Oldest finished jobs are
+// evicted first; running jobs are never evicted.
+const maxRetainedJobs = 256
+
+// jobTable is the engine's in-memory job registry.
+type jobTable struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int
+}
+
+func (t *jobTable) init() { t.jobs = make(map[string]*Job) }
+
+// evictLocked drops jobs in strict submission order until the table is
+// within maxRetainedJobs, so the table always holds the most recent
+// submissions. A still-running oldest job pauses eviction (temporary
+// overshoot) rather than letting a newer job be evicted out from under
+// a polling client; completions re-trigger eviction. Callers hold t.mu.
+func (t *jobTable) evictLocked() {
+	for len(t.jobs) > maxRetainedJobs {
+		var oldest *Job
+		for _, j := range t.jobs {
+			if oldest == nil || j.seq < oldest.seq {
+				oldest = j
+			}
+		}
+		if oldest.Status != JobDone && oldest.Status != JobFailed {
+			return
+		}
+		delete(t.jobs, oldest.ID)
+	}
+}
+
+func (t *jobTable) newID() string {
+	var raw [4]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		// Sequence numbers alone still make IDs unique per process.
+		copy(raw[:], "0000")
+	}
+	t.seq++
+	return fmt.Sprintf("job-%04d-%s", t.seq, hex.EncodeToString(raw[:]))
+}
+
+// snapshot deep-copies the mutable slices so callers can read a Job
+// without racing the runner goroutine.
+func snapshot(j *Job) Job {
+	cp := *j
+	cp.Only = append([]string(nil), j.Only...)
+	cp.Events = append([]Event(nil), j.Events...)
+	cp.Results = append([]*Result(nil), j.Results...)
+	return cp
+}
+
+// Submit enqueues a spec-set run and returns its snapshot immediately;
+// the run proceeds on the process-wide worker pool in the background and
+// its progress is observable through Job. Submitted runs share the
+// engine's result cache with every other entry point.
+func (e *Engine) Submit(cfg Config, only []string) Job {
+	t := &e.jobs
+	t.mu.Lock()
+	j := &Job{
+		ID:      t.newID(),
+		Status:  JobQueued,
+		Config:  cfg,
+		Only:    append([]string(nil), only...),
+		Created: time.Now(),
+		seq:     t.seq,
+	}
+	t.jobs[j.ID] = j
+	t.evictLocked()
+	snap := snapshot(j)
+	t.mu.Unlock()
+
+	go func() {
+		t.mu.Lock()
+		j.Status = JobRunning
+		j.Started = time.Now()
+		t.mu.Unlock()
+
+		onEvent := func(ev Event) {
+			t.mu.Lock()
+			j.Events = append(j.Events, ev)
+			t.mu.Unlock()
+		}
+		res, err := e.Run(cfg, only, onEvent)
+
+		t.mu.Lock()
+		j.Finished = time.Now()
+		j.Results = res
+		if err != nil {
+			j.Status = JobFailed
+			j.Error = err.Error()
+		} else {
+			j.Status = JobDone
+		}
+		// Jobs that were unevictable while running may now be over the
+		// retention cap.
+		t.evictLocked()
+		t.mu.Unlock()
+	}()
+	return snap
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (e *Engine) Job(id string) (Job, bool) {
+	t := &e.jobs
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return snapshot(j), true
+}
+
+// Jobs returns a snapshot of every submitted job, newest first.
+func (e *Engine) Jobs() []Job {
+	t := &e.jobs
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		out = append(out, snapshot(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].seq > out[k].seq }) // newest first
+	return out
+}

@@ -1,0 +1,87 @@
+package engine_test
+
+import (
+	"testing"
+	"time"
+
+	"bcclique/internal/engine"
+)
+
+func waitJob(t *testing.T, eng *engine.Engine, id string) engine.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		job, ok := eng.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if job.Status == engine.JobDone || job.Status == engine.JobFailed {
+			return job
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return engine.Job{}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	ran := make(chan struct{}, 1)
+	spec := engine.Spec{ID: "J01", Title: "job spec", PaperRef: "-",
+		Run: func(engine.Config, engine.Params) (*engine.Result, error) {
+			ran <- struct{}{}
+			return &engine.Result{Claim: "c", Finding: "f"}, nil
+		}}
+	eng := engine.New([]engine.Spec{spec})
+
+	job := eng.Submit(engine.Config{Seed: 3}, []string{"J01"})
+	if job.ID == "" || job.Config.Seed != 3 {
+		t.Fatalf("bad submit snapshot: %+v", job)
+	}
+	final := waitJob(t, eng, job.ID)
+	if final.Status != engine.JobDone {
+		t.Fatalf("job failed: %+v", final)
+	}
+	<-ran
+	if len(final.Results) != 1 || final.Results[0].ID != "J01" {
+		t.Errorf("job results = %+v", final.Results)
+	}
+	if final.Started.IsZero() || final.Finished.IsZero() {
+		t.Error("job timestamps not set")
+	}
+	sawDone := false
+	for _, ev := range final.Events {
+		if ev.Kind == engine.EventDone && ev.SpecID == "J01" {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Errorf("job events missing done: %+v", final.Events)
+	}
+
+	if _, ok := eng.Job("no-such-job"); ok {
+		t.Error("unknown job ID should not resolve")
+	}
+	jobs := eng.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != job.ID {
+		t.Errorf("Jobs() = %+v", jobs)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	spec := engine.Spec{ID: "J02", Title: "failing spec", PaperRef: "-",
+		Run: func(engine.Config, engine.Params) (*engine.Result, error) {
+			return nil, errTest
+		}}
+	eng := engine.New([]engine.Spec{spec})
+	job := eng.Submit(engine.Config{}, nil)
+	final := waitJob(t, eng, job.ID)
+	if final.Status != engine.JobFailed || final.Error == "" {
+		t.Errorf("want failed job with error, got %+v", final)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config tunes experiment sizes. It is part of every cache key, so two
+// runs with equal Config (and equal specs and build) share results.
+type Config struct {
+	// Quick trims instance sizes so the full suite runs in seconds.
+	Quick bool `json:"quick"`
+	// Seed drives every randomized workload.
+	Seed int64 `json:"seed"`
+}
+
+// Canonical returns the deterministic encoding of the config used in
+// cache keys.
+func (c Config) Canonical() string {
+	return fmt.Sprintf("quick=%t;seed=%d", c.Quick, c.Seed)
+}
+
+// Params are the declared headline size parameters of a Spec: the knobs
+// that determine how much work the experiment does in full and -quick
+// mode. They feed the spec's canonical encoding, so changing any
+// parameter changes the cache key and invalidates stored results.
+//
+// Not every experiment uses every field; the zero value of a field means
+// "not applicable" and the Quick* fields fall back to their full-mode
+// counterparts when zero.
+type Params struct {
+	N           int    // primary instance size
+	QuickN      int    // instance size under Config.Quick (0 = N)
+	T           int    // round budget
+	Trials      int    // randomized trial count
+	QuickTrials int    // trial count under Config.Quick (0 = Trials)
+	Sizes       []int  // sweep sizes
+	QuickSizes  []int  // sweep sizes under Config.Quick (nil = Sizes)
+	Extra       string // free-form canonical extras ("k=v k=v")
+}
+
+// Size resolves the instance size for cfg.
+func (p Params) Size(cfg Config) int {
+	if cfg.Quick && p.QuickN != 0 {
+		return p.QuickN
+	}
+	return p.N
+}
+
+// TrialCount resolves the trial count for cfg.
+func (p Params) TrialCount(cfg Config) int {
+	if cfg.Quick && p.QuickTrials != 0 {
+		return p.QuickTrials
+	}
+	return p.Trials
+}
+
+// Sweep resolves the size sweep for cfg.
+func (p Params) Sweep(cfg Config) []int {
+	if cfg.Quick && p.QuickSizes != nil {
+		return p.QuickSizes
+	}
+	return p.Sizes
+}
+
+// Canonical returns the deterministic encoding of the parameters used in
+// cache keys.
+func (p Params) Canonical() string {
+	ints := func(xs []int) string {
+		parts := make([]string, len(xs))
+		for i, x := range xs {
+			parts[i] = fmt.Sprint(x)
+		}
+		return strings.Join(parts, ",")
+	}
+	return fmt.Sprintf("n=%d;qn=%d;t=%d;trials=%d;qtrials=%d;sizes=%s;qsizes=%s;extra=%s",
+		p.N, p.QuickN, p.T, p.Trials, p.QuickTrials, ints(p.Sizes), ints(p.QuickSizes), p.Extra)
+}
+
+// Spec is one declarative registry entry: the identity of an experiment
+// (ID, title, paper reference), its declared size parameters, and the
+// function that computes it. Everything but Run is data, and Key()
+// canonically encodes that data, so a Spec doubles as the cache identity
+// of its results.
+type Spec struct {
+	ID       string
+	Title    string
+	PaperRef string
+	// Version invalidates cached results when the experiment's logic
+	// changes without any declared parameter changing. Bump it in the
+	// same commit as the logic change.
+	Version int
+	Params  Params
+	Run     func(cfg Config, p Params) (*Result, error)
+}
+
+// Key is the canonical encoding of the spec's declarative surface. It
+// deliberately excludes Run: logic changes are versioned explicitly via
+// Version (and implicitly via the build version folded in by the
+// engine's cache key).
+func (s Spec) Key() string {
+	return fmt.Sprintf("id=%s;v=%d;title=%s;ref=%s;params{%s}",
+		s.ID, s.Version, s.Title, s.PaperRef, s.Params.Canonical())
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParamsResolution(t *testing.T) {
+	p := Params{N: 8, QuickN: 7, Trials: 200, QuickTrials: 50,
+		Sizes: []int{1, 2, 4}, QuickSizes: []int{1, 2}}
+	full, quick := Config{}, Config{Quick: true}
+	if p.Size(full) != 8 || p.Size(quick) != 7 {
+		t.Errorf("Size: full=%d quick=%d", p.Size(full), p.Size(quick))
+	}
+	if p.TrialCount(full) != 200 || p.TrialCount(quick) != 50 {
+		t.Errorf("TrialCount: full=%d quick=%d", p.TrialCount(full), p.TrialCount(quick))
+	}
+	if got := p.Sweep(quick); len(got) != 2 || got[1] != 2 {
+		t.Errorf("Sweep quick = %v", got)
+	}
+
+	// Zero quick overrides fall back to the full-mode values.
+	bare := Params{N: 5, Trials: 9, Sizes: []int{3}}
+	if bare.Size(quick) != 5 || bare.TrialCount(quick) != 9 || len(bare.Sweep(quick)) != 1 {
+		t.Errorf("quick fallback broken: %d %d %v", bare.Size(quick), bare.TrialCount(quick), bare.Sweep(quick))
+	}
+}
+
+func TestCanonicalEncodings(t *testing.T) {
+	p := Params{N: 8, QuickN: 7, T: 4, Trials: 20, Sizes: []int{9, 15, 30}}
+	if p.Canonical() != p.Canonical() {
+		t.Error("Params.Canonical must be deterministic")
+	}
+	q := p
+	q.Trials = 21
+	if p.Canonical() == q.Canonical() {
+		t.Error("changing a parameter must change the canonical encoding")
+	}
+	if (Config{Quick: true, Seed: 3}).Canonical() == (Config{Quick: false, Seed: 3}).Canonical() {
+		t.Error("Config.Canonical must encode Quick")
+	}
+	if (Config{Seed: 3}).Canonical() == (Config{Seed: 4}).Canonical() {
+		t.Error("Config.Canonical must encode Seed")
+	}
+}
+
+// TestCacheKeySensitivity pins the cache-invalidation contract: the key
+// changes whenever the run config, a declared spec parameter, or the
+// spec version changes — and only collides for identical inputs.
+func TestCacheKeySensitivity(t *testing.T) {
+	spec := Spec{ID: "E01", Title: "t", PaperRef: "r",
+		Params: Params{N: 8, QuickN: 7, T: 4, Trials: 20}}
+	e := New([]Spec{spec})
+	base := e.CacheKey(spec, Config{Seed: 1})
+
+	if got := e.CacheKey(spec, Config{Seed: 1}); got != base {
+		t.Error("identical inputs must produce identical keys")
+	}
+	if got := e.CacheKey(spec, Config{Seed: 2}); got == base {
+		t.Error("changing Config.Seed must change the key")
+	}
+	if got := e.CacheKey(spec, Config{Quick: true, Seed: 1}); got == base {
+		t.Error("changing Config.Quick must change the key")
+	}
+
+	mutated := spec
+	mutated.Params.N = 9
+	if got := e.CacheKey(mutated, Config{Seed: 1}); got == base {
+		t.Error("changing a spec parameter must change the key")
+	}
+	mutated = spec
+	mutated.Params.Extra = "variant=a"
+	if got := e.CacheKey(mutated, Config{Seed: 1}); got == base {
+		t.Error("changing Params.Extra must change the key")
+	}
+	mutated = spec
+	mutated.Version = 1
+	if got := e.CacheKey(mutated, Config{Seed: 1}); got == base {
+		t.Error("bumping Spec.Version must change the key")
+	}
+	mutated = spec
+	mutated.ID = "E02"
+	if got := e.CacheKey(mutated, Config{Seed: 1}); got == base {
+		t.Error("changing the spec ID must change the key")
+	}
+}
+
+// TestJobTableEviction bounds the server's memory: finished jobs beyond
+// maxRetainedJobs are evicted oldest-first, and listings stay newest
+// first by submission order.
+func TestJobTableEviction(t *testing.T) {
+	spec := Spec{ID: "J01", Title: "t", PaperRef: "r",
+		Run: func(Config, Params) (*Result, error) {
+			return &Result{Claim: "c", Finding: "f"}, nil
+		}}
+	e := New([]Spec{spec})
+	const extra = 10
+	var last string
+	for i := 0; i < maxRetainedJobs+extra; i++ {
+		last = e.Submit(Config{Seed: int64(i)}, nil).ID
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jobs := e.Jobs()
+		running := 0
+		for _, j := range jobs {
+			if j.Status != JobDone && j.Status != JobFailed {
+				running++
+			}
+		}
+		if running == 0 && len(jobs) <= maxRetainedJobs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("table not drained: %d jobs, %d running", len(jobs), running)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	jobs := e.Jobs()
+	if _, ok := e.Job(last); !ok {
+		t.Error("the newest job must survive eviction")
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i-1].seq <= jobs[i].seq {
+			t.Fatalf("Jobs() not newest-first at %d", i)
+		}
+	}
+	// The oldest submissions are the evicted ones.
+	for _, j := range jobs {
+		if j.seq <= extra {
+			t.Errorf("job seq %d should have been evicted first", j.seq)
+		}
+	}
+}
+
+func TestLookupAndSelect(t *testing.T) {
+	specs := []Spec{{ID: "E01"}, {ID: "E02"}, {ID: "E03"}}
+	e := New(specs)
+	if _, ok := e.Lookup("E02"); !ok {
+		t.Error("Lookup should find E02")
+	}
+	if _, ok := e.Lookup("E99"); ok {
+		t.Error("Lookup should not find E99")
+	}
+	sel := e.selectSpecs([]string{"E03", "E01"})
+	if len(sel) != 2 || sel[0].ID != "E01" || sel[1].ID != "E03" {
+		t.Errorf("selectSpecs must preserve registry order, got %v", sel)
+	}
+	if len(e.selectSpecs(nil)) != 3 {
+		t.Error("empty selection must mean all specs")
+	}
+}

@@ -14,13 +14,10 @@ import (
 // runE15 exercises the Section 1.3 proof-labeling-scheme connection: the
 // classical spanning-tree scheme, and transcripts of a fast BCC(1)
 // algorithm used as labels.
-func runE15(cfg Config) (*Result, error) {
+func runE15(cfg Config, p Params) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	n := 12
-	trials := 200
-	if cfg.Quick {
-		trials = 60
-	}
+	n := p.Size(cfg)
+	trials := p.TrialCount(cfg)
 
 	nb, err := algorithms.NewNeighborhoodBroadcast(2)
 	if err != nil {
@@ -116,17 +113,14 @@ func forgeLabels(scheme pls.Scheme, n int, rng *rand.Rand) [][]byte {
 // recovery and connectivity on bounded-arboricity (not bounded-degree)
 // inputs — the class for which the paper's Section 1.1 declares the
 // Ω(log n) bounds tight.
-func runE16(cfg Config) (*Result, error) {
+func runE16(cfg Config, p Params) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	recovery := &Table{
 		Title:   "Deterministic k-sparse recovery over GF(2³¹−1) (power sums + Newton's identities)",
 		Headers: []string{"k", "universe", "trials", "exact recoveries", "oversize rejected"},
 	}
-	trials := 300
-	if cfg.Quick {
-		trials = 80
-	}
+	trials := p.TrialCount(cfg)
 	for _, k := range []int{2, 4, 8} {
 		rec, err := sketch.NewRecoverer(k)
 		if err != nil {
@@ -208,10 +202,7 @@ func runE16(cfg Config) (*Result, error) {
 			return g, nil
 		}},
 	}
-	sizes := []int{16, 32}
-	if !cfg.Quick {
-		sizes = append(sizes, 48)
-	}
+	sizes := p.Sweep(cfg)
 	for _, fam := range families {
 		for _, n := range sizes {
 			g, err := fam.build(n)

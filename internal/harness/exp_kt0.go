@@ -32,13 +32,10 @@ func probeAlgorithms(t int) []bcc.Algorithm {
 // Each (algorithm, trial) pair is an independent task with its own
 // derived RNG, so the trial sweep fans out onto the worker pool with
 // bit-identical counts at every worker count.
-func runE01(cfg Config) (*Result, error) {
-	n := 8
-	if cfg.Quick {
-		n = 7
-	}
-	const t = 4
-	const trials = 20
+func runE01(cfg Config, p Params) (*Result, error) {
+	n := p.Size(cfg)
+	t := p.T
+	trials := p.Trials
 	coin := bcc.NewCoin(cfg.Seed)
 	table := &Table{
 		Title:   fmt.Sprintf("Lemma 3.4 over all independent crossings of %d random n=%d one-cycle instances, t=%d", trials, n, t),
@@ -105,7 +102,7 @@ func runE01(cfg Config) (*Result, error) {
 
 // runE02 evaluates Theorem 3.5's warm-up bound: the formula curve and an
 // empirical pigeonhole on concrete label assignments.
-func runE02(cfg Config) (*Result, error) {
+func runE02(cfg Config, p Params) (*Result, error) {
 	formula := &Table{
 		Title:   "Warm-up bound C(⌊s/3^{2t}⌋,2)/(2·C(s,2)), s = ⌊n/3⌋ (Theorem 3.5)",
 		Headers: []string{"n", "t", "bound", "3^{-4t}/2"},
@@ -121,11 +118,7 @@ func runE02(cfg Config) (*Result, error) {
 		Headers: []string{"n", "t", "algorithm", "|S|", "max |S'|", "forced error"},
 	}
 	coin := bcc.NewCoin(cfg.Seed)
-	sizes := []int{9, 15, 30}
-	if cfg.Quick {
-		sizes = []int{9, 15}
-	}
-	for _, n := range sizes {
+	for _, n := range p.Sweep(cfg) {
 		seq := make([]int, n)
 		for i := range seq {
 			seq[i] = i
@@ -178,11 +171,8 @@ func runE02(cfg Config) (*Result, error) {
 
 // runE03 verifies Lemma 3.7 exactly at G⁰ and reports the degree/split
 // profile under an input-dependent labeler.
-func runE03(cfg Config) (*Result, error) {
-	n := 8
-	if cfg.Quick {
-		n = 7
-	}
+func runE03(cfg Config, p Params) (*Result, error) {
+	n := p.Size(cfg)
 	g0, err := indist.New(n, indist.ZeroRoundLabeler, "", "")
 	if err != nil {
 		return nil, err
@@ -253,11 +243,8 @@ func runE03(cfg Config) (*Result, error) {
 
 // runE04 measures Lemma 3.8 expansion and constructs the Theorem 2.1
 // star packings.
-func runE04(cfg Config) (*Result, error) {
-	sizes := []int{7, 8}
-	if cfg.Quick {
-		sizes = []int{7}
-	}
+func runE04(cfg Config, p Params) (*Result, error) {
+	sizes := p.Sweep(cfg)
 	table := &Table{
 		Title:   "Expansion and saturating star packings in G⁰",
 		Headers: []string{"n", "|V1|", "|V2|", "min |N(S)|/|S| (sampled)", "max saturating k", "max-matching size"},
@@ -289,11 +276,8 @@ func runE04(cfg Config) (*Result, error) {
 
 // runE05 is the Lemma 3.9 census: exact enumeration at small n plus
 // closed-form counting at large n.
-func runE05(cfg Config) (*Result, error) {
-	enumMax := 10
-	if cfg.Quick {
-		enumMax = 8
-	}
+func runE05(cfg Config, p Params) (*Result, error) {
+	enumMax := p.Size(cfg)
 	enumerated := &Table{
 		Title:   "Enumerated census (exact)",
 		Headers: []string{"n", "|V1| enumerated", "|V2| enumerated", "closed-form |V1|", "closed-form |V2|", "agree"},
@@ -326,21 +310,15 @@ func runE05(cfg Config) (*Result, error) {
 }
 
 // runE06 is the Theorem 3.1 forced-error experiment.
-func runE06(cfg Config) (*Result, error) {
-	n := 8
-	if cfg.Quick {
-		n = 7
-	}
+func runE06(cfg Config, p Params) (*Result, error) {
+	n := p.Size(cfg)
 	coin := bcc.NewCoin(cfg.Seed)
 	table := &Table{
 		Title:   fmt.Sprintf("Forced error under µ at n=%d (mass 1/2 on V1, 1/2 on V2)", n),
 		Headers: []string{"algorithm", "t", "(x,y)", "active d", "star k", "star-packing error", "optimal-rule error", "algorithm's own error"},
 		Caption: "Any state-measurable decision rule errs at least the optimal-rule column; Theorem 3.1 says this stays constant for t = O(log n). The probe algorithms' own errors can only be worse.",
 	}
-	rounds := []int{1, 2, 4}
-	if cfg.Quick {
-		rounds = []int{1, 2}
-	}
+	rounds := p.Sweep(cfg)
 	minOptimal := 1.0
 	for _, t := range rounds {
 		for _, algo := range probeAlgorithms(t) {

@@ -24,11 +24,8 @@ func sumInts(xs []int) int {
 
 // runE07 certifies rank(M_n) = B_n over GF(2³¹−1) and cross-checks tiny
 // cases with exact Bareiss elimination.
-func runE07(cfg Config) (*Result, error) {
-	max := 7
-	if cfg.Quick {
-		max = 6
-	}
+func runE07(cfg Config, p Params) (*Result, error) {
+	max := p.Size(cfg)
 	table := &Table{
 		Title:   "rank(M_n) over GF(2³¹−1) (full rank mod p certifies full rank over ℚ)",
 		Headers: []string{"n", "B_n", "rank", "full", "CC bound log₂ B_n (bits)", "protocol cost n⌈log₂ n⌉+1 (bits)"},
@@ -54,11 +51,8 @@ func runE07(cfg Config) (*Result, error) {
 }
 
 // runE08 certifies rank(E_n) = (n−1)!! for the TwoPartition sub-matrix.
-func runE08(cfg Config) (*Result, error) {
-	max := 10
-	if cfg.Quick {
-		max = 8
-	}
+func runE08(cfg Config, p Params) (*Result, error) {
+	max := p.Size(cfg)
 	table := &Table{
 		Title:   "rank(E_n) over GF(2³¹−1)",
 		Headers: []string{"n", "(n−1)!!", "rank", "full", "CC bound log₂ (n−1)!! (bits)"},
@@ -84,12 +78,9 @@ func runE08(cfg Config) (*Result, error) {
 
 // runE09 verifies Theorem 4.3 exhaustively at small n and statistically
 // at larger n, reproducing both Figure 2 constructions.
-func runE09(cfg Config) (*Result, error) {
-	exhaustiveN := 5
-	pairingN := 6
-	if cfg.Quick {
-		exhaustiveN = 4
-	}
+func runE09(cfg Config, p Params) (*Result, error) {
+	exhaustiveN := p.Size(cfg)
+	pairingN := 6 // declared as Extra "pairing-n=6" in the spec
 	counts := &Table{
 		Title:   "Theorem 4.3 checks (components of G(P_A,P_B) on L and R equal P_A ∨ P_B; connectivity ⟺ trivial join)",
 		Headers: []string{"construction", "ground n", "pairs checked", "failures"},
@@ -141,10 +132,7 @@ func runE09(cfg Config) (*Result, error) {
 	fails2 := sumInts(pairFails)
 	counts.AddRow("pairing (L,R; 2-regular)", pairingN, len(pairings)*len(pairings), fails2)
 
-	trials := 200
-	if cfg.Quick {
-		trials = 50
-	}
+	trials := p.TrialCount(cfg)
 	trialFails := make([]int, trials)
 	err = parallel.ForEach(trials, func(i int) error {
 		rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, i)))
@@ -197,12 +185,9 @@ func runE09(cfg Config) (*Result, error) {
 
 // runE10 runs the Theorem 4.4 simulation across sizes and assembles the
 // lower-vs-upper round table.
-func runE10(cfg Config) (*Result, error) {
-	sizes := []int{6, 8, 10}
-	extra := []int{16, 32, 64, 128}
-	if cfg.Quick {
-		extra = []int{16, 32}
-	}
+func runE10(cfg Config, p Params) (*Result, error) {
+	sizes := []int{6, 8, 10} // declared as Extra "exhaustive-sizes" in the spec
+	extra := p.Sweep(cfg)
 	table := &Table{
 		Title:   "Theorem 4.4: simulation cost and implied round bounds (MultiCycle, ground size n, graph size 2n)",
 		Headers: []string{"n", "rank verified", "CC bound (bits)", "wire bits/round", "round LB", "measured UB rounds", "UB wire bits", "UB/LB"},
@@ -287,11 +272,8 @@ func runE10(cfg Config) (*Result, error) {
 }
 
 // runE11 evaluates the Theorem 4.5 information bound exactly.
-func runE11(cfg Config) (*Result, error) {
-	sizes := []int{4, 5, 6, 7}
-	if cfg.Quick {
-		sizes = []int{4, 5}
-	}
+func runE11(cfg Config, p Params) (*Result, error) {
+	sizes := p.Sweep(cfg)
 	table := &Table{
 		Title:   "I(P_A; Π) under the hard distribution (P_A uniform, P_B finest), exact enumeration",
 		Headers: []string{"n", "ε", "H(P_A)=log₂B_n", "erasure I", "bound (1−ε)H", "meets bound", "scramble I", "Fano", "honest |Π| bits", "round LB (CC)"},

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"math"
 
 	"bcclique/internal/algorithms"
@@ -14,13 +15,9 @@ import (
 // runE12 measures the upper bounds that make the lower bounds tight: the
 // rounds-vs-n curves of the four algorithms against the two lower-bound
 // curves, with correctness verified by real executions at feasible sizes.
-func runE12(cfg Config) (*Result, error) {
-	verifyMax := 128
-	curveSizes := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
-	if cfg.Quick {
-		verifyMax = 64
-		curveSizes = []int{8, 16, 32, 64, 128, 256}
-	}
+func runE12(cfg Config, p Params) (*Result, error) {
+	verifyMax := p.Size(cfg)
+	curveSizes := p.Sweep(cfg)
 
 	nb, err := algorithms.NewNeighborhoodBroadcast(2)
 	if err != nil {
@@ -146,11 +143,8 @@ func bitsFor(m int) int {
 }
 
 // runE13 tabulates Bell-number growth.
-func runE13(cfg Config) (*Result, error) {
-	max := 400
-	if cfg.Quick {
-		max = 100
-	}
+func runE13(cfg Config, p Params) (*Result, error) {
+	max := p.Size(cfg)
 	table := &Table{
 		Title:   "B_n = 2^{Θ(n log n)} and pairing counts",
 		Headers: []string{"n", "log₂ B_n", "log₂ (n−1)!!", "n·log₂ n", "log₂B_n / (n log₂ n)"},
@@ -172,12 +166,12 @@ func runE13(cfg Config) (*Result, error) {
 }
 
 // runE14 re-runs the model's semantic self-checks as an experiment.
-func runE14(cfg Config) (*Result, error) {
+func runE14(cfg Config, p Params) (*Result, error) {
 	table := &Table{
 		Title:   "Section 1.2 semantics checks",
 		Headers: []string{"check", "result"},
 	}
-	n := 8
+	n := p.Size(cfg)
 	seq := make([]int, n)
 	for i := range seq {
 		seq[i] = i
@@ -233,7 +227,7 @@ func runE14(cfg Config) (*Result, error) {
 	table.AddRow("public coin shared by all vertices", YesNo(shared))
 
 	// Monte Carlo accounting: a coin-flip decider errs ≈ 1/2.
-	seeds := make([]int64, 200)
+	seeds := make([]int64, p.Trials)
 	for i := range seeds {
 		seeds[i] = cfg.Seed + int64(i)
 	}
@@ -241,7 +235,7 @@ func runE14(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	table.AddRow("coin-flip decider error ≈ 1/2 over 200 seeds", FormatFloat(errRate))
+	table.AddRow(fmt.Sprintf("coin-flip decider error ≈ 1/2 over %d seeds", len(seeds)), FormatFloat(errRate))
 
 	return &Result{
 		Claim:   "The simulator realizes Section 1.2: views per knowledge level, broadcast delivery via ports, YES-iff-all-YES decisions, public-coin Monte Carlo error.",

@@ -1,147 +1,88 @@
-// Package harness is the experiment framework that regenerates, as
+// Package harness is the experiment registry that regenerates, as
 // tables, every theorem, lemma and figure of the paper (the paper has no
 // numeric evaluation section; its "results" are proofs, so each
-// experiment is the executable form of one statement — see DESIGN.md's
-// per-experiment index E01–E14).
+// experiment is the executable form of one statement — see DESIGN.md §3
+// for the per-experiment index E01–E16).
+//
+// The harness is the top of a four-layer pipeline: it declares the specs
+// (this package), internal/engine executes them with cache lookups and
+// deterministic parallelism, internal/results stores content-addressed
+// results, and internal/report renders them. RunAll remains as a thin
+// compatibility shim over the engine.
 package harness
 
 import (
-	"fmt"
 	"io"
-	"strings"
-	"sync/atomic"
-	"time"
 
-	"bcclique/internal/parallel"
+	"bcclique/internal/engine"
+	"bcclique/internal/report"
 )
 
-// Config tunes experiment sizes.
-type Config struct {
-	// Quick trims instance sizes so the full suite runs in seconds.
-	Quick bool
-	// Seed drives every randomized workload.
-	Seed int64
+// Config tunes experiment sizes. It is the engine's config type; see
+// internal/engine.
+type Config = engine.Config
+
+// Params are a spec's declared size parameters; see internal/engine.
+type Params = engine.Params
+
+// Table is one rendered result table; see internal/report.
+type Table = report.Table
+
+// Result is the outcome of one experiment; see internal/report.
+type Result = report.Result
+
+// All returns the registry in ID order. Each entry is a declarative
+// spec: its Params are the headline size knobs the experiment body reads
+// (so the canonical spec encoding — and with it the result-cache key —
+// changes whenever an experiment's parameters change).
+func All() []engine.Spec {
+	return []engine.Spec{
+		{ID: "E01", Title: "Port-preserving crossings preserve transcripts", PaperRef: "Figure 1, Definition 3.3, Lemma 3.4",
+			Params: Params{N: 8, QuickN: 7, T: 4, Trials: 20}, Run: runE01},
+		{ID: "E02", Title: "Warm-up star argument", PaperRef: "Theorem 3.5",
+			Params: Params{Sizes: []int{9, 15, 30}, QuickSizes: []int{9, 15}}, Run: runE02},
+		{ID: "E03", Title: "Neighbourhood degree profile", PaperRef: "Lemma 3.7",
+			Params: Params{N: 8, QuickN: 7}, Run: runE03},
+		{ID: "E04", Title: "Expansion and Polygamous Hall packings", PaperRef: "Lemma 3.8, Theorem 2.1",
+			Params: Params{Sizes: []int{7, 8}, QuickSizes: []int{7}}, Run: runE04},
+		{ID: "E05", Title: "Two-cycle census |V2|/|V1| = Θ(log n)", PaperRef: "Lemma 3.9",
+			Params: Params{N: 10, QuickN: 8}, Run: runE05},
+		{ID: "E06", Title: "KT-0 constant-error forced error", PaperRef: "Theorem 3.1",
+			Params: Params{N: 8, QuickN: 7, Sizes: []int{1, 2, 4}, QuickSizes: []int{1, 2}}, Run: runE06},
+		{ID: "E07", Title: "rank(M_n) = B_n", PaperRef: "Theorem 2.3, Corollary 2.4",
+			Params: Params{N: 7, QuickN: 6}, Run: runE07},
+		{ID: "E08", Title: "rank(E_n) full", PaperRef: "Lemma 4.1, Corollary 4.2",
+			Params: Params{N: 10, QuickN: 8}, Run: runE08},
+		{ID: "E09", Title: "Reduction graphs realize the join", PaperRef: "Figure 2, Theorem 4.3",
+			Params: Params{N: 5, QuickN: 4, Trials: 200, QuickTrials: 50, Extra: "pairing-n=6"}, Run: runE09},
+		{ID: "E10", Title: "2-party simulation of KT-1 algorithms", PaperRef: "Theorem 4.4",
+			Params: Params{Sizes: []int{16, 32, 64, 128}, QuickSizes: []int{16, 32}, Extra: "exhaustive-sizes=6,8,10"}, Run: runE10},
+		{ID: "E11", Title: "Information bound for PartitionComp", PaperRef: "Theorem 4.5",
+			Params: Params{Sizes: []int{4, 5, 6, 7}, QuickSizes: []int{4, 5}}, Run: runE11},
+		{ID: "E12", Title: "Matching upper bounds (tightness)", PaperRef: "Section 1.1, [MT16]",
+			Params: Params{N: 128, QuickN: 64, Sizes: []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}, QuickSizes: []int{8, 16, 32, 64, 128, 256}}, Run: runE12},
+		{ID: "E13", Title: "Bell-number growth 2^{Θ(n log n)}", PaperRef: "Section 2",
+			Params: Params{N: 400, QuickN: 100}, Run: runE13},
+		{ID: "E14", Title: "Model semantics self-checks", PaperRef: "Section 1.2",
+			Params: Params{N: 8, Trials: 200}, Run: runE14},
+		{ID: "E15", Title: "Proof-labeling schemes from transcripts", PaperRef: "Section 1.3, [KKP10; PP17]",
+			Params: Params{N: 12, Trials: 200, QuickTrials: 60}, Run: runE15},
+		{ID: "E16", Title: "Deterministic sketching beyond bounded degree", PaperRef: "Section 1.1, [MT16]",
+			Params: Params{Trials: 300, QuickTrials: 80, Sizes: []int{16, 32, 48}, QuickSizes: []int{16, 32}}, Run: runE16},
+	}
 }
 
-// Table is one rendered result table.
-type Table struct {
-	Title   string
-	Caption string
-	Headers []string
-	Rows    [][]string
-}
-
-// AddRow appends a row; cells are Sprint-ed.
-func (t *Table) AddRow(cells ...interface{}) {
-	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = FormatFloat(v)
-		default:
-			row[i] = fmt.Sprint(c)
-		}
-	}
-	t.Rows = append(t.Rows, row)
-}
-
-// WriteMarkdown renders the table as GitHub-flavoured markdown.
-func (t *Table) WriteMarkdown(w io.Writer) error {
-	if t.Title != "" {
-		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
-			return err
-		}
-	}
-	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | ")); err != nil {
-		return err
-	}
-	sep := make([]string, len(t.Headers))
-	for i := range sep {
-		sep[i] = "---"
-	}
-	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(sep, "|")); err != nil {
-		return err
-	}
-	for _, row := range t.Rows {
-		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
-			return err
-		}
-	}
-	if t.Caption != "" {
-		if _, err := fmt.Fprintf(w, "\n%s\n", t.Caption); err != nil {
-			return err
-		}
-	}
-	_, err := fmt.Fprintln(w)
-	return err
-}
-
-// Result is the outcome of one experiment.
-type Result struct {
-	ID       string
-	Title    string
-	PaperRef string
-	Claim    string // what the paper asserts
-	Finding  string // what the reproduction measured
-	Tables   []*Table
-	Elapsed  time.Duration
-}
-
-// WriteMarkdown renders the result section.
-func (r *Result) WriteMarkdown(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "*Paper*: %s\n\n", r.PaperRef); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "*Claim*: %s\n\n", r.Claim); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "*Measured*: %s\n\n", r.Finding); err != nil {
-		return err
-	}
-	for _, t := range r.Tables {
-		if err := t.WriteMarkdown(w); err != nil {
-			return err
-		}
-	}
-	_, err := fmt.Fprintf(w, "(elapsed: %v)\n\n", r.Elapsed.Round(time.Millisecond))
-	return err
-}
-
-// Experiment is a registered experiment.
-type Experiment struct {
-	ID       string
-	Title    string
-	PaperRef string
-	Run      func(cfg Config) (*Result, error)
-}
-
-// All returns the registry in ID order.
-func All() []Experiment {
-	return []Experiment{
-		{ID: "E01", Title: "Port-preserving crossings preserve transcripts", PaperRef: "Figure 1, Definition 3.3, Lemma 3.4", Run: runE01},
-		{ID: "E02", Title: "Warm-up star argument", PaperRef: "Theorem 3.5", Run: runE02},
-		{ID: "E03", Title: "Neighbourhood degree profile", PaperRef: "Lemma 3.7", Run: runE03},
-		{ID: "E04", Title: "Expansion and Polygamous Hall packings", PaperRef: "Lemma 3.8, Theorem 2.1", Run: runE04},
-		{ID: "E05", Title: "Two-cycle census |V2|/|V1| = Θ(log n)", PaperRef: "Lemma 3.9", Run: runE05},
-		{ID: "E06", Title: "KT-0 constant-error forced error", PaperRef: "Theorem 3.1", Run: runE06},
-		{ID: "E07", Title: "rank(M_n) = B_n", PaperRef: "Theorem 2.3, Corollary 2.4", Run: runE07},
-		{ID: "E08", Title: "rank(E_n) full", PaperRef: "Lemma 4.1, Corollary 4.2", Run: runE08},
-		{ID: "E09", Title: "Reduction graphs realize the join", PaperRef: "Figure 2, Theorem 4.3", Run: runE09},
-		{ID: "E10", Title: "2-party simulation of KT-1 algorithms", PaperRef: "Theorem 4.4", Run: runE10},
-		{ID: "E11", Title: "Information bound for PartitionComp", PaperRef: "Theorem 4.5", Run: runE11},
-		{ID: "E12", Title: "Matching upper bounds (tightness)", PaperRef: "Section 1.1, [MT16]", Run: runE12},
-		{ID: "E13", Title: "Bell-number growth 2^{Θ(n log n)}", PaperRef: "Section 2", Run: runE13},
-		{ID: "E14", Title: "Model semantics self-checks", PaperRef: "Section 1.2", Run: runE14},
-		{ID: "E15", Title: "Proof-labeling schemes from transcripts", PaperRef: "Section 1.3, [KKP10; PP17]", Run: runE15},
-		{ID: "E16", Title: "Deterministic sketching beyond bounded degree", PaperRef: "Section 1.1, [MT16]", Run: runE16},
-	}
+// NewEngine builds an execution engine over the full registry. Pass
+// engine.WithStore to share the content-addressed result cache with the
+// other entry points.
+func NewEngine(opts ...engine.Option) *engine.Engine {
+	return engine.New(All(), opts...)
 }
 
 // RunAll executes every experiment (or the subset whose IDs are listed)
-// and streams markdown to w.
+// and streams markdown to w. It is a thin compatibility shim over the
+// engine: an uncached engine run with the Markdown renderer, whose
+// output is byte-identical to the historical harness.RunAll.
 //
 // Experiments run concurrently on the process-wide worker pool (see
 // internal/parallel; parallel.SetLimit(1) forces a sequential run), but
@@ -152,84 +93,11 @@ func All() []Experiment {
 // elapsed times vary between runs. A failure stops experiments that have
 // not started yet; the completed prefix of the report is still written.
 func RunAll(w io.Writer, cfg Config, only ...string) ([]*Result, error) {
-	allowed := make(map[string]bool, len(only))
-	for _, id := range only {
-		allowed[id] = true
-	}
-	var selected []Experiment
-	for _, exp := range All() {
-		if len(allowed) > 0 && !allowed[exp.ID] {
-			continue
-		}
-		selected = append(selected, exp)
-	}
-	done := make([]chan struct{}, len(selected))
-	for i := range done {
-		done[i] = make(chan struct{})
-	}
-	results := make([]*Result, len(selected))
-	runErrs := make([]error, len(selected))
-	var stop atomic.Bool
-	go parallel.ForEach(len(selected), func(i int) error {
-		defer close(done[i])
-		if stop.Load() {
-			return nil
-		}
-		exp := selected[i]
-		start := time.Now()
-		res, err := exp.Run(cfg)
-		if err != nil {
-			stop.Store(true)
-			runErrs[i] = fmt.Errorf("harness: %s: %w", exp.ID, err)
-			return nil
-		}
-		res.ID, res.Title, res.PaperRef = exp.ID, exp.Title, exp.PaperRef
-		res.Elapsed = time.Since(start)
-		results[i] = res
-		return nil
-	})
-	var written []*Result
-	for i := range selected {
-		<-done[i]
-		if runErrs[i] != nil {
-			return written, runErrs[i]
-		}
-		if results[i] == nil {
-			// Skipped because a later-indexed experiment failed first;
-			// surface that error instead.
-			for j := i + 1; j < len(selected); j++ {
-				<-done[j]
-				if runErrs[j] != nil {
-					return written, runErrs[j]
-				}
-			}
-			return written, fmt.Errorf("harness: experiment %s did not run", selected[i].ID)
-		}
-		if err := results[i].WriteMarkdown(w); err != nil {
-			stop.Store(true)
-			return written, err
-		}
-		written = append(written, results[i])
-	}
-	return written, nil
+	return NewEngine().Stream(w, report.Markdown{}, report.Meta{}, cfg, only, nil)
 }
 
-// FormatFloat renders floats compactly for tables.
-func FormatFloat(v float64) string {
-	switch {
-	case v == 0:
-		return "0"
-	case v >= 1000 || v <= -1000:
-		return fmt.Sprintf("%.3g", v)
-	default:
-		return fmt.Sprintf("%.4g", v)
-	}
-}
+// FormatFloat renders floats compactly for tables; see internal/report.
+func FormatFloat(v float64) string { return report.FormatFloat(v) }
 
-// YesNo renders a boolean as a table cell.
-func YesNo(b bool) string {
-	if b {
-		return "yes"
-	}
-	return "no"
-}
+// YesNo renders a boolean as a table cell; see internal/report.
+func YesNo(b bool) string { return report.YesNo(b) }

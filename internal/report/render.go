@@ -1,0 +1,117 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Meta is the optional report-level front matter a renderer may emit
+// before the first section: a title and an intro paragraph (for the
+// Markdown renderer the regeneration line of EXPERIMENTS.md).
+type Meta struct {
+	Title string `json:"title,omitempty"`
+	Intro string `json:"intro,omitempty"`
+}
+
+// A Renderer turns a stream of results into one output document. The
+// engine calls Begin once, Section once per result in registry ID order
+// (index counts from 0), and End once with every rendered result.
+// Renderers must be usable by value and keep no state between documents:
+// all per-document state flows through the index and results arguments.
+type Renderer interface {
+	Begin(w io.Writer, m Meta) error
+	Section(w io.Writer, index int, r *Result) error
+	End(w io.Writer, results []*Result) error
+}
+
+// Markdown renders the classic EXPERIMENTS.md format. The zero value
+// emits exactly the section stream of the pre-engine harness.RunAll —
+// byte-identical, no front matter, no trailer.
+type Markdown struct {
+	// Trailer appends the "N experiments completed." footer.
+	Trailer bool
+}
+
+func (Markdown) Begin(w io.Writer, m Meta) error {
+	if m.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n\n", m.Title); err != nil {
+			return err
+		}
+	}
+	if m.Intro != "" {
+		if _, err := fmt.Fprintf(w, "%s\n\n", m.Intro); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (Markdown) Section(w io.Writer, _ int, r *Result) error {
+	return r.WriteMarkdown(w)
+}
+
+func (m Markdown) End(w io.Writer, results []*Result) error {
+	if !m.Trailer {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "---\n\n%d experiments completed.\n", len(results))
+	return err
+}
+
+// JSON renders one JSON document {"meta":…,"results":[…],"count":N},
+// streaming each section as it completes so a slow suite still delivers
+// early results to the client incrementally.
+type JSON struct{}
+
+func (JSON) Begin(w io.Writer, m Meta) error {
+	if m == (Meta{}) {
+		_, err := io.WriteString(w, `{"results":[`)
+		return err
+	}
+	enc, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, `{"meta":%s,"results":[`, enc)
+	return err
+}
+
+func (JSON) Section(w io.Writer, index int, r *Result) error {
+	if index > 0 {
+		if _, err := io.WriteString(w, ","); err != nil {
+			return err
+		}
+	}
+	enc, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(enc)
+	return err
+}
+
+func (JSON) End(w io.Writer, results []*Result) error {
+	_, err := fmt.Fprintf(w, `],"count":%d}`+"\n", len(results))
+	return err
+}
+
+// JSONL renders one JSON object per line, one line per result — the
+// natural sink for log pipelines and incremental consumers.
+type JSONL struct{}
+
+func (JSONL) Begin(io.Writer, Meta) error { return nil }
+
+func (JSONL) Section(w io.Writer, _ int, r *Result) error {
+	enc, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(enc); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+func (JSONL) End(io.Writer, []*Result) error { return nil }

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleResults() []*Result {
+	mk := func(id string) *Result {
+		table := &Table{Title: "t-" + id, Headers: []string{"k", "v"}}
+		table.AddRow("rows", 1)
+		return &Result{
+			ID:       id,
+			Title:    "title " + id,
+			PaperRef: "ref " + id,
+			Claim:    "claim " + id,
+			Finding:  "finding " + id,
+			Tables:   []*Table{table},
+			Elapsed:  5 * time.Millisecond,
+		}
+	}
+	return []*Result{mk("E01"), mk("E02")}
+}
+
+func render(t *testing.T, r Renderer, m Meta, results []*Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Begin(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if err := r.Section(&buf, i, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.End(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestMarkdownZeroValueMatchesWriteMarkdown pins the compatibility
+// contract of the refactor: the zero-value Markdown renderer emits
+// exactly the concatenated Result.WriteMarkdown sections, nothing more.
+func TestMarkdownZeroValueMatchesWriteMarkdown(t *testing.T) {
+	results := sampleResults()
+	var want bytes.Buffer
+	for _, r := range results {
+		if err := r.WriteMarkdown(&want); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := render(t, Markdown{}, Meta{}, results)
+	if got != want.String() {
+		t.Errorf("zero-value Markdown diverges from WriteMarkdown:\n--- got ---\n%s\n--- want ---\n%s", got, want.String())
+	}
+}
+
+func TestMarkdownMetaAndTrailer(t *testing.T) {
+	out := render(t, Markdown{Trailer: true}, Meta{Title: "T", Intro: "I."}, sampleResults())
+	if !strings.HasPrefix(out, "# T\n\nI.\n\n## E01") {
+		t.Errorf("header misrendered:\n%s", out[:60])
+	}
+	if !strings.HasSuffix(out, "---\n\n2 experiments completed.\n") {
+		t.Errorf("trailer misrendered:\n…%s", out[len(out)-60:])
+	}
+}
+
+func TestJSONRenderer(t *testing.T) {
+	out := render(t, JSON{}, Meta{Title: "T"}, sampleResults())
+	var doc struct {
+		Meta    Meta      `json:"meta"`
+		Results []*Result `json:"results"`
+		Count   int       `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if doc.Meta.Title != "T" || doc.Count != 2 || len(doc.Results) != 2 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if doc.Results[1].ID != "E02" || doc.Results[1].Tables[0].Rows[0][1] != "1" {
+		t.Errorf("results round-trip broken: %+v", doc.Results[1])
+	}
+
+	// Without meta the document still parses and omits the meta key.
+	out = render(t, JSON{}, Meta{}, sampleResults())
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON without meta: %v\n%s", err, out)
+	}
+	if strings.Contains(out, `"meta"`) {
+		t.Errorf("empty meta should be omitted:\n%s", out)
+	}
+}
+
+func TestJSONLRenderer(t *testing.T) {
+	out := render(t, JSONL{}, Meta{}, sampleResults())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d:\n%s", len(lines), out)
+	}
+	for i, line := range lines {
+		var res Result
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("line %d invalid: %v", i, err)
+		}
+		if res.Elapsed != 5*time.Millisecond {
+			t.Errorf("line %d: elapsed %v", i, res.Elapsed)
+		}
+	}
+}

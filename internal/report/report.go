@@ -1,0 +1,121 @@
+// Package report holds the presentation layer of the experiment
+// pipeline: the Table/Result data model that experiments produce and a
+// set of pluggable renderers (Markdown, JSON, JSONL) that turn a stream
+// of results into a report. It sits below internal/engine and carries no
+// execution logic, so any frontend — CLI, HTTP server, test — can render
+// the same results in any format.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one rendered result table.
+type Table struct {
+	Title   string     `json:"title,omitempty"`
+	Caption string     `json:"caption,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// AddRow appends a row; cells are Sprint-ed.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteMarkdown renders the table as GitHub-flavoured markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(sep, "|")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	if t.Caption != "" {
+		if _, err := fmt.Fprintf(w, "\n%s\n", t.Caption); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID       string        `json:"id"`
+	Title    string        `json:"title"`
+	PaperRef string        `json:"paper_ref"`
+	Claim    string        `json:"claim"`   // what the paper asserts
+	Finding  string        `json:"finding"` // what the reproduction measured
+	Tables   []*Table      `json:"tables"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+}
+
+// WriteMarkdown renders the result section.
+func (r *Result) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "*Paper*: %s\n\n", r.PaperRef); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "*Claim*: %s\n\n", r.Claim); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "*Measured*: %s\n\n", r.Finding); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteMarkdown(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "(elapsed: %v)\n\n", r.Elapsed.Round(time.Millisecond))
+	return err
+}
+
+// FormatFloat renders floats compactly for tables.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// YesNo renders a boolean as a table cell.
+func YesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	table := &Table{
+		Title:   "demo",
+		Caption: "a caption",
+		Headers: []string{"a", "b"},
+	}
+	table.AddRow(1, 2.5)
+	table.AddRow("x", true)
+	var buf bytes.Buffer
+	if err := table.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**demo**", "| a | b |", "|---|---|", "| 1 | 2.5 |", "| x | true |", "a caption"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{0.5, "0.5"},
+		{1234567, "1.23e+06"},
+		{0.19584, "0.1958"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.v); got != tt.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestYesNo(t *testing.T) {
+	if YesNo(true) != "yes" || YesNo(false) != "no" {
+		t.Error("YesNo misrenders")
+	}
+}
+
+func TestResultMarkdownStructure(t *testing.T) {
+	r := &Result{
+		ID:       "E99",
+		Title:    "demo experiment",
+		PaperRef: "Lemma 0.0",
+		Claim:    "claims",
+		Finding:  "findings",
+		Tables:   []*Table{{Headers: []string{"h"}, Rows: [][]string{{"v"}}}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## E99 — demo experiment", "*Paper*: Lemma 0.0", "*Claim*: claims", "*Measured*: findings", "| h |", "(elapsed:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

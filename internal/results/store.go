@@ -1,0 +1,229 @@
+// Package results is the durability layer of the experiment pipeline: a
+// content-addressed, disk-backed store of report.Result values keyed by
+// the canonical encoding of (spec key, run config, build version). A
+// result computed once for a key is never recomputed — concurrent
+// requests for the same key are deduplicated in-process (single-flight)
+// and later requests, including ones from other processes sharing the
+// cache directory, are served from disk.
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"bcclique/internal/report"
+)
+
+// SchemaVersion is folded into every cache key; bump it when the stored
+// encoding of report.Result changes incompatibly.
+const SchemaVersion = 1
+
+// Key derives the content address for an ordered list of canonical key
+// parts. Parts are length-prefixed before hashing so distinct part
+// boundaries can never collide ("ab","c" vs "a","bc").
+func Key(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:%s;", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats are the store's hit/miss counters since Open. Shared counts
+// requests that piggybacked on an identical in-flight computation;
+// PutErrors counts results that computed fine but could not be stored
+// (full or read-only cache volume) and were served uncached.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Shared    int64 `json:"shared"`
+	Puts      int64 `json:"puts"`
+	PutErrors int64 `json:"put_errors,omitempty"`
+}
+
+// Store is a content-addressed result cache rooted at one directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	inflight map[string]*call
+
+	hits, misses, shared, puts, putErrs atomic.Int64
+}
+
+type call struct {
+	done chan struct{}
+	res  *report.Result
+	err  error
+}
+
+// DefaultDir is the cache root used when Open is given an empty path:
+// <user cache dir>/bcclique (e.g. ~/.cache/bcclique on Linux).
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("results: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "bcclique"), nil
+}
+
+// OpenFlag interprets a -cache-dir flag value, the one policy shared by
+// every entry point: "none" or "off" disables the cache (nil store, nil
+// error), "" opens DefaultDir, anything else opens that directory. When
+// the *default* directory cannot be opened (read-only HOME, …) the
+// cache is disabled rather than failing the run; an explicitly given
+// directory that cannot be opened is an error.
+func OpenFlag(dir string) (*Store, error) {
+	if dir == "none" || dir == "off" {
+		return nil, nil
+	}
+	s, err := Open(dir)
+	if err != nil && dir == "" {
+		return nil, nil
+	}
+	return s, err
+}
+
+// Open opens (creating if needed) the store rooted at dir; an empty dir
+// selects DefaultDir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		d, err := DefaultDir()
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return &Store{dir: dir, inflight: make(map[string]*call)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path shards entries by the first byte of the key so one directory
+// never accumulates every entry.
+func (s *Store) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key+".json")
+}
+
+// Get loads the result stored under key, reporting whether it exists.
+func (s *Store) Get(key string) (*report.Result, bool, error) {
+	data, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("results: get %s: %w", key, err)
+	}
+	var res report.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		// A torn or foreign file is a miss, not a fatal error: the
+		// caller recomputes and overwrites it.
+		return nil, false, nil
+	}
+	return &res, true, nil
+}
+
+// Put stores res under key atomically (write to a temp file, then
+// rename), so a concurrent reader never observes a torn entry.
+func (s *Store) Put(key string, res *report.Result) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("results: encode %s: %w", key, err)
+	}
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "put-*")
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: write %s: %w", key, err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Do returns the result for key, computing and storing it on a miss.
+// Concurrent Do calls for the same key share one computation: exactly
+// one caller runs compute, the rest block and receive its result. The
+// cached return reports whether compute was avoided (disk hit or shared
+// in-flight computation).
+func (s *Store) Do(key string, compute func() (*report.Result, error)) (res *report.Result, cached bool, err error) {
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		s.shared.Add(1)
+		return c.res, true, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	defer func() {
+		c.res, c.err = res, err
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(c.done)
+	}()
+
+	// An unreadable cache (broken volume, bad permissions) degrades to
+	// a miss: cache trouble must never fail a run that can compute.
+	if got, ok, err2 := s.Get(key); err2 == nil && ok {
+		s.hits.Add(1)
+		return got, true, nil
+	}
+	s.misses.Add(1)
+	res, err = compute()
+	if err != nil {
+		return nil, false, err
+	}
+	// A result that computed fine but cannot be stored (full or
+	// read-only cache volume) is still the answer: serve it uncached
+	// and count the failure instead of failing the run.
+	if err := s.Put(key, res); err != nil {
+		s.putErrs.Add(1)
+	}
+	return res, false, nil
+}
+
+// Stats returns the counters accumulated since Open.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Shared:    s.shared.Load(),
+		Puts:      s.puts.Load(),
+		PutErrors: s.putErrs.Load(),
+	}
+}

@@ -1,0 +1,195 @@
+package results
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bcclique/internal/report"
+)
+
+func sample() *report.Result {
+	table := &report.Table{Title: "t", Headers: []string{"a"}, Rows: [][]string{{"1"}}}
+	return &report.Result{
+		ID: "E01", Title: "demo", PaperRef: "ref", Claim: "c", Finding: "f",
+		Tables: []*report.Table{table}, Elapsed: 7 * time.Millisecond,
+	}
+}
+
+func TestKeyBoundaries(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("part boundaries must be hashed")
+	}
+	if Key("a", "b") != Key("a", "b") {
+		t.Error("Key must be deterministic")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("spec", "cfg")
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
+	}
+	want := sample()
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if got.ID != want.ID || got.Finding != want.Finding || got.Elapsed != want.Elapsed ||
+		len(got.Tables) != 1 || got.Tables[0].Rows[0][0] != "1" {
+		t.Errorf("round-trip mangled result: %+v", got)
+	}
+}
+
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("torn")
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(`{"id": tor`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("corrupt entry should read as a miss, got ok=%v err=%v", ok, err)
+	}
+	// Do recomputes and heals the entry.
+	res, cached, err := s.Do(key, func() (*report.Result, error) { return sample(), nil })
+	if err != nil || cached || res == nil {
+		t.Fatalf("Do over corrupt entry: cached=%v err=%v", cached, err)
+	}
+	if _, ok, _ := s.Get(key); !ok {
+		t.Error("Do should overwrite the corrupt entry")
+	}
+}
+
+// TestDoSingleFlight is the dedup contract: N concurrent Do calls for
+// one key perform exactly one computation and all receive its result.
+func TestDoSingleFlight(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("hot")
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*report.Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := s.Do(key, func() (*report.Result, error) {
+				computes.Add(1)
+				<-release // hold every other caller in the in-flight wait
+				return sample(), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	// Let the goroutines pile up on the in-flight call, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("%d concurrent Do calls performed %d computations, want 1", callers, got)
+	}
+	for i, res := range results {
+		if res == nil || res.ID != "E01" {
+			t.Errorf("caller %d got %+v", i, res)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Shared != callers-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d shared", st, callers-1)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("flaky")
+	boom := errors.New("boom")
+	if _, _, err := s.Do(key, func() (*report.Result, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want compute error, got %v", err)
+	}
+	res, cached, err := s.Do(key, func() (*report.Result, error) { return sample(), nil })
+	if err != nil || cached || res == nil {
+		t.Fatalf("retry after error: cached=%v err=%v", cached, err)
+	}
+}
+
+// TestDoToleratesPutFailure pins the degraded-cache contract: a result
+// that computes fine but cannot be stored is still served, uncached,
+// with the failure counted — a full or read-only cache volume must not
+// fail runs.
+func TestDoToleratesPutFailure(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("unstorable")
+	// Occupy the shard directory's path with a regular file so Put's
+	// MkdirAll fails (works even when running as root, unlike chmod).
+	if err := os.WriteFile(filepath.Join(dir, key[:2]), []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, cached, err := s.Do(key, func() (*report.Result, error) { return sample(), nil })
+	if err != nil || cached || res == nil || res.ID != "E01" {
+		t.Fatalf("Do with failing Put: res=%+v cached=%v err=%v", res, cached, err)
+	}
+	if st := s.Stats(); st.PutErrors != 1 {
+		t.Errorf("stats = %+v, want 1 put error", st)
+	}
+}
+
+func TestDoDiskHit(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("persist")
+	if _, _, err := s1.Do(key, func() (*report.Result, error) { return sample(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same directory — a different process in
+	// real life — serves the entry without computing.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, cached, err := s2.Do(key, func() (*report.Result, error) {
+		t.Error("compute must not run on a warm disk cache")
+		return nil, nil
+	})
+	if err != nil || !cached || res == nil || res.ID != "E01" {
+		t.Fatalf("disk hit: res=%+v cached=%v err=%v", res, cached, err)
+	}
+	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats = %+v, want exactly one hit", st)
+	}
+}

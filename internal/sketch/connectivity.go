@@ -25,7 +25,7 @@ import (
 // the paper's Ω(log n) lower bound. Spread bit-by-bit over BCC(1) it is
 // O(a·log² n); the paper's [MT16] citation reaches O(log n) in BCC(1)
 // with heavier machinery, so this is documented as the simplified
-// substitution (DESIGN.md §1).
+// substitution (DESIGN.md §3, E16).
 //
 // The algorithm is a promise algorithm: on inputs of arboricity greater
 // than Arboricity some vertices may never retire, in which case every
