@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race check bench bench-json report serve smoke-examples fmt vet
+.PHONY: build test race check bench bench-json bench-sweeps report serve smoke-examples sweep sweep-smoke fmt vet
 
 build:
 	$(GO) build ./...
@@ -39,9 +39,27 @@ bench:
 bench-json:
 	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 20x -run '^$$' . | $(GO) run ./cmd/benchjson -out BENCH_engine.json
 
+# Record the sweep-grid perf baseline (cold vs. warm per-cell cache).
+bench-sweeps:
+	$(GO) test -bench 'BenchmarkSweep' -benchmem -benchtime 20x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Sweep' -out BENCH_sweeps.json
+
 # Regenerate the full experiment report.
 report:
 	$(GO) run ./cmd/experiments -out EXPERIMENTS.md
+
+# Run the full E17 cost-curve sweep grid (markdown on stdout).
+sweep:
+	$(GO) run ./cmd/experiments -sweep E17
+
+# Tiny 2×2 sweep grid as CSV — the CI smoke run (uploaded as an
+# artifact). Cells are cached individually and this runs at the full
+# seed count, so its n=16 cells are byte-shared with full E17 runs of
+# the same binary.
+sweep-smoke:
+	$(GO) run ./cmd/experiments -sweep E17 \
+		-protocols kt0-exchange,boruvka -families one-cycle,two-cycle -sizes 8,16 \
+		-format csv -out sweep-smoke.csv
+	@cat sweep-smoke.csv
 
 # Run the bccd experiment job server on :8371.
 serve:

@@ -1,7 +1,8 @@
 // Package bcclique's root benchmark harness: one benchmark per experiment
 // table (E01–E16; see DESIGN.md §3 for the index), plus engine-level
 // benchmarks measuring the result cache's cold-run overhead and warm-run
-// serving speed. Each experiment benchmark regenerates the computation
+// serving speed, and sweep-grid benchmarks measuring the scenario
+// subsystem's per-cell cache cold vs. warm (BENCH_sweeps.json baseline). Each experiment benchmark regenerates the computation
 // behind its experiment, so
 //
 //	go test -bench=. -benchmem
@@ -337,6 +338,86 @@ func BenchmarkFullQuickSuite(b *testing.B) {
 // engineBenchIDs are cheap experiments, so the engine benchmarks measure
 // the cache layer rather than the underlying mathematics.
 var engineBenchIDs = []string{"E07", "E13"}
+
+// sweepBenchGrid is a small fixed E17 slice (2 protocols × 2 families ×
+// 1 size, 3 seeds per cell), so the sweep benchmarks measure the grid
+// engine and its per-cell cache rather than the protocol runtimes.
+func sweepBenchGrid(b *testing.B, eng *engine.Engine) engine.GridSpec {
+	b.Helper()
+	grid, ok := eng.LookupGrid("E17")
+	if !ok {
+		b.Fatal("E17 grid not registered")
+	}
+	grid, err := grid.Restrict(
+		[]string{"kt0-exchange", "boruvka"},
+		[]string{"one-cycle", "two-cycle"},
+		[]int{16},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return grid
+}
+
+// BenchmarkSweepGridColdCache measures a cold cached grid run: every
+// cell computed, encoded, and atomically written to the per-cell store.
+func BenchmarkSweepGridColdCache(b *testing.B) {
+	cfg := engine.Config{Seed: 1}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store, err := results.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := harness.NewEngine(engine.WithStore(store))
+		grid := sweepBenchGrid(b, eng)
+		b.StartTimer()
+		if _, err := eng.RunGrid(grid, cfg, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepGridWarmCache measures re-running the same grid against
+// a warm per-cell cache — the /v1/sweeps hot path: per-cell key
+// derivation, disk reads, row assembly, zero cell executions.
+func BenchmarkSweepGridWarmCache(b *testing.B) {
+	cfg := engine.Config{Seed: 1}
+	store, err := results.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := harness.NewEngine(engine.WithStore(store))
+	grid := sweepBenchGrid(b, warm)
+	if _, err := warm.RunGrid(grid, cfg, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	primed := warm.CellExecutions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := warm.RunGrid(grid, cfg, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if warm.CellExecutions() != primed {
+		b.Fatalf("warm runs re-executed cells (%d executions)", warm.CellExecutions())
+	}
+}
+
+// BenchmarkSweepGridUncached measures the raw grid engine without a
+// store: the pure compute cost the cold-cache benchmark adds its
+// encode/write overhead onto.
+func BenchmarkSweepGridUncached(b *testing.B) {
+	cfg := engine.Config{Seed: 1}
+	eng := harness.NewEngine()
+	grid := sweepBenchGrid(b, eng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunGrid(grid, cfg, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkEngineColdCache measures a cold cached run (compute + encode
 // + atomic write): the cache layer's overhead over an uncached run of

@@ -13,7 +13,9 @@
 //	GET  /v1/jobs          list submitted jobs (newest first)
 //	GET  /v1/jobs/{id}     job status, progress events, and results as JSON
 //	GET  /v1/report        render a report: ?only=E05,E07&format=md|json|jsonl&quick=1&seed=1
-//	GET  /v1/specs         the experiment registry
+//	GET  /v1/sweeps        list sweep grids; ?grid=E17&format=md|json|jsonl|csv runs one
+//	                       through the per-cell cache (csv/jsonl stream rows in cell order)
+//	GET  /v1/specs         the experiment registry (E01–E16 + the E17/E18 grids)
 //	GET  /healthz          liveness plus cache statistics
 //
 // Identical concurrent requests share one computation (single-flight)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
@@ -26,6 +27,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	mux.HandleFunc("GET /v1/report", s.report)
+	mux.HandleFunc("GET /v1/sweeps", s.sweeps)
 	mux.HandleFunc("GET /v1/specs", s.specs)
 	mux.HandleFunc("GET /healthz", s.health)
 	return mux
@@ -100,22 +102,10 @@ func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
 // warm, streaming sections in registry ID order as they complete.
 func (s *server) report(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	cfg := engine.Config{Seed: 1}
-	if v := q.Get("seed"); v != "" {
-		seed, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad seed %q", v)
-			return
-		}
-		cfg.Seed = seed
-	}
-	if v := q.Get("quick"); v != "" {
-		quick, err := strconv.ParseBool(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad quick %q", v)
-			return
-		}
-		cfg.Quick = quick
+	cfg, err := parseConfig(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	var only []string
 	if v := q.Get("only"); v != "" {
@@ -154,6 +144,106 @@ func (s *server) report(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; the truncated body plus this trailer line is
 		// all we can signal mid-stream.
 		fmt.Fprintf(w, "\nerror: %v\n", err)
+	}
+}
+
+// parseConfig reads the shared seed/quick query parameters.
+func parseConfig(q url.Values) (engine.Config, error) {
+	cfg := engine.Config{Seed: 1}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed %q", v)
+		}
+		cfg.Seed = seed
+	}
+	if v := q.Get("quick"); v != "" {
+		quick, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, fmt.Errorf("bad quick %q", v)
+		}
+		cfg.Quick = quick
+	}
+	return cfg, nil
+}
+
+// sweeps serves the sweep grids (E17/E18). Without ?grid= it lists the
+// registered grids; with one it runs the grid through the per-cell
+// cache and renders it as md, json, jsonl or csv — the row formats
+// (jsonl, csv) stream each row as soon as its cell-order prefix
+// completes, so large grids deliver incrementally.
+func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	gridID := q.Get("grid")
+	if gridID == "" {
+		type gridInfo struct {
+			ID        string   `json:"id"`
+			Title     string   `json:"title"`
+			PaperRef  string   `json:"paper_ref"`
+			Protocols []string `json:"protocols"`
+			Families  []string `json:"families"`
+			Sizes     []int    `json:"sizes"`
+			Seeds     int      `json:"seeds"`
+		}
+		out := []gridInfo{}
+		for _, g := range s.eng.Grids() {
+			out = append(out, gridInfo{ID: g.ID, Title: g.Title, PaperRef: g.PaperRef,
+				Protocols: g.Protocols, Families: g.Families, Sizes: g.Sizes, Seeds: g.Seeds})
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	grid, ok := s.eng.LookupGrid(gridID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown grid %q", gridID)
+		return
+	}
+	cfg, err := parseConfig(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	switch format := q.Get("format"); format {
+	case "", "md":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		res, err := s.eng.RunGrid(grid, cfg, nil, nil)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if err := res.WriteMarkdown(w); err != nil {
+			return
+		}
+	case "json":
+		res, err := s.eng.RunGrid(grid, cfg, nil, nil)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if _, err := s.eng.RunGrid(grid, cfg, nil, grid.JSONLSink(w)); err != nil {
+			// Mid-stream: the truncated body plus this trailer line is
+			// all we can signal.
+			fmt.Fprintf(w, "\nerror: %v\n", err)
+		}
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		sink, flush, err := grid.CSVSink(w)
+		if err != nil {
+			return
+		}
+		_, err = s.eng.RunGrid(grid, cfg, nil, sink)
+		if ferr := flush(); err == nil {
+			err = ferr
+		}
+		if err != nil {
+			fmt.Fprintf(w, "\nerror: %v\n", err)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want md, json, jsonl, or csv)", format)
 	}
 }
 

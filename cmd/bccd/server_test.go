@@ -176,6 +176,100 @@ func TestJobEndpoints(t *testing.T) {
 	}
 }
 
+// TestSweepsEndpoint covers GET /v1/sweeps: grid listing, the four
+// render formats, per-cell cache hits on repeat requests, and
+// validation.
+func TestSweepsEndpoint(t *testing.T) {
+	ts, eng := testServer(t)
+
+	// Listing without ?grid=.
+	var grids []struct {
+		ID        string   `json:"id"`
+		Protocols []string `json:"protocols"`
+		Families  []string `json:"families"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/sweeps", &grids); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	if len(grids) != 2 || grids[0].ID != "E17" || grids[1].ID != "E18" {
+		t.Fatalf("grids = %+v", grids)
+	}
+	if len(grids[0].Protocols) < 3 || len(grids[0].Families) < 4 {
+		t.Errorf("E17 axes too small: %+v", grids[0])
+	}
+
+	fetch := func(query string) (int, string) {
+		resp, err := http.Get(ts.URL + "/v1/sweeps?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// CSV: header + one line per cell, streamed in cell order.
+	code, csvBody := fetch("grid=E18&quick=1&format=csv")
+	if code != http.StatusOK {
+		t.Fatalf("csv status %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBody), "\n")
+	wantCells := 3 * 3 * 1 // families × protocols × quick sizes
+	if len(lines) != wantCells+1 {
+		t.Fatalf("csv has %d lines, want %d:\n%s", len(lines), wantCells+1, csvBody)
+	}
+	if !strings.HasPrefix(lines[0], "family,protocol,n") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	cellsAfterFirst := eng.CellExecutions()
+	if cellsAfterFirst != int64(wantCells) {
+		t.Errorf("first sweep executed %d cells, want %d", cellsAfterFirst, wantCells)
+	}
+
+	// Repeat in another format: served from the per-cell cache.
+	code, mdBody := fetch("grid=E18&quick=1&format=md")
+	if code != http.StatusOK || !strings.Contains(mdBody, "## E18") {
+		t.Fatalf("md status %d body:\n%s", code, mdBody)
+	}
+	if got := eng.CellExecutions(); got != cellsAfterFirst {
+		t.Errorf("repeat sweep re-executed cells: %d -> %d", cellsAfterFirst, got)
+	}
+
+	// JSONL: one object per cell.
+	code, jsonlBody := fetch("grid=E18&quick=1&format=jsonl")
+	if code != http.StatusOK {
+		t.Fatalf("jsonl status %d", code)
+	}
+	jl := strings.Split(strings.TrimSpace(jsonlBody), "\n")
+	if len(jl) != wantCells {
+		t.Fatalf("jsonl has %d lines, want %d", len(jl), wantCells)
+	}
+	var rowObj struct {
+		Grid  string            `json:"grid"`
+		Cells map[string]string `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(jl[0]), &rowObj); err != nil {
+		t.Fatalf("jsonl line: %v", err)
+	}
+	if rowObj.Grid != "E18" || rowObj.Cells["silent wrong"] != "0" {
+		t.Errorf("jsonl row = %+v", rowObj)
+	}
+
+	// Validation.
+	if code, _ := fetch("grid=E99"); code != http.StatusNotFound {
+		t.Errorf("unknown grid status %d", code)
+	}
+	if code, _ := fetch("grid=E18&format=yaml"); code != http.StatusBadRequest {
+		t.Errorf("unknown format status %d", code)
+	}
+	if code, _ := fetch("grid=E18&seed=abc"); code != http.StatusBadRequest {
+		t.Errorf("bad seed status %d", code)
+	}
+}
+
 func TestSpecsAndHealth(t *testing.T) {
 	ts, _ := testServer(t)
 	var specs []struct {
@@ -185,7 +279,7 @@ func TestSpecsAndHealth(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/v1/specs", &specs); code != http.StatusOK {
 		t.Fatalf("specs status %d", code)
 	}
-	if len(specs) != 16 || specs[0].ID != "E01" || specs[15].ID != "E16" {
+	if len(specs) != 18 || specs[0].ID != "E01" || specs[16].ID != "E17" || specs[17].ID != "E18" {
 		t.Errorf("specs = %d entries", len(specs))
 	}
 	for _, s := range specs {

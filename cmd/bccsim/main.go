@@ -8,6 +8,16 @@
 //	bccsim -model kt0 -graph twocycle -n 64 -algo kt0-exchange
 //	bccsim -model kt1 -graph random -n 24 -algo boruvka -seed 7
 //	bccsim -model kt1 -graph twocycle -n 64 -algo flood -trials 500 -parallel 4
+//	bccsim -family er-threshold -n 48 -algo boruvka
+//	bccsim -family barbell -protocol sketch-a1 -n 32
+//
+// -family generates the input from a registered scenario family
+// (internal/family; overrides -graph, with the family's invariants
+// verified on the generated instance). -protocol runs a registered
+// protocol adapter (internal/protocol) instead of -algo: the adapter
+// sizes itself for the input, builds its own instance, and reports the
+// unified Outcome — per-round cost, verdict, labels, and whether a
+// failure was a detectable refusal.
 //
 // With -trials N the simulator additionally estimates the algorithm's
 // Monte Carlo error over N coin seeds (run in parallel on -parallel
@@ -27,13 +37,16 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"sync/atomic"
 
 	"bcclique/internal/algorithms"
 	"bcclique/internal/bcc"
 	"bcclique/internal/engine"
+	"bcclique/internal/family"
 	"bcclique/internal/graph"
 	"bcclique/internal/parallel"
+	"bcclique/internal/protocol"
 	"bcclique/internal/report"
 	"bcclique/internal/results"
 )
@@ -49,12 +62,14 @@ func run() error {
 	var (
 		model     = flag.String("model", "kt1", "knowledge variant: kt0 or kt1")
 		graphKind = flag.String("graph", "cycle", "input graph: cycle, twocycle, cover, or random")
+		famName   = flag.String("family", "", "generate the input from this scenario family (overrides -graph): "+family.Describe())
 		n         = flag.Int("n", 16, "number of vertices")
 		algoName  = flag.String("algo", "neighborhood", "algorithm: neighborhood, kt0-exchange, boruvka, or flood")
+		protoName = flag.String("protocol", "", "run this protocol adapter instead of -algo (sizes itself, builds its own instance): "+strings.Join(protocol.Names(), ", "))
 		bandwidth = flag.Int("b", 1, "bandwidth for flood")
 		seed      = flag.Int64("seed", 1, "seed for graph generation and wiring")
 		verbose   = flag.Bool("v", false, "print per-vertex labels")
-		trials    = flag.Int("trials", 0, "estimate Monte Carlo error over this many coin seeds (0 = off)")
+		trials    = flag.Int("trials", 0, "estimate Monte Carlo error over this many coin seeds (0 = off; -algo path only)")
 		par       = flag.Int("parallel", 0, "worker count for seed sweeps (0 = all CPUs, 1 = sequential)")
 		cacheDir  = flag.String("cache-dir", "", "result cache for -trials sweeps (default: <user cache dir>/bcclique, \"none\" disables caching)")
 	)
@@ -62,9 +77,40 @@ func run() error {
 	parallel.SetLimit(*par)
 
 	rng := rand.New(rand.NewSource(*seed))
-	g, err := buildGraph(*graphKind, *n, rng)
+	inputKind := *graphKind
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if *famName != "" {
+		fam, ok := family.Lookup(*famName)
+		if !ok {
+			return fmt.Errorf("unknown family %q (have: %s)", *famName, family.Describe())
+		}
+		inputKind = "family:" + fam.Name()
+		g, err = fam.Build(*n, *seed)
+	} else {
+		g, err = buildGraph(*graphKind, *n, rng)
+	}
 	if err != nil {
 		return err
+	}
+	if *protoName != "" {
+		// The adapter sizes itself and builds its own instance, so
+		// explicitly-set -algo-path flags would be silently dropped;
+		// reject them instead.
+		var bad []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "algo", "b", "model", "trials":
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return fmt.Errorf("%s does not apply to -protocol (adapters pick bandwidth, model and instance themselves; -trials needs the -algo path)",
+				strings.Join(bad, ", "))
+		}
+		return runProtocol(*protoName, g, inputKind, *n, *seed, *verbose)
 	}
 	in, err := buildInstance(*model, g, rng)
 	if err != nil {
@@ -82,7 +128,7 @@ func run() error {
 
 	lengths, twoRegular := g.CycleLengths()
 	fmt.Printf("instance : %s, n=%d, %s, %d edges, %d components\n",
-		in.Knowledge(), *n, *graphKind, g.M(), g.NumComponents())
+		in.Knowledge(), *n, inputKind, g.M(), g.NumComponents())
 	if twoRegular {
 		fmt.Printf("cycles   : %v\n", lengths)
 	}
@@ -117,8 +163,11 @@ func run() error {
 		if g.IsConnected() {
 			want = bcc.VerdictYes
 		}
+		// inputKind (not *graphKind) is the cache identity: with -family
+		// it reads "family:<name>", so a family sweep can never collide
+		// with a -graph sweep of the same size and seed.
 		sweep, cached, err := runSweep(in, algo, want, sweepSpec{
-			model: *model, graphKind: *graphKind, n: *n, algo: *algoName,
+			model: *model, graphKind: inputKind, n: *n, algo: *algoName,
 			b: *bandwidth, seed: *seed, trials: *trials, cacheDir: *cacheDir,
 		})
 		if err != nil {
@@ -133,6 +182,57 @@ func run() error {
 			src = "cached"
 		}
 		fmt.Printf("error    : %s over %d seeds (%s%s)\n", sweep.Finding, *trials, src, note)
+	}
+	return nil
+}
+
+// runProtocol runs a registered protocol adapter on g and prints its
+// unified Outcome.
+func runProtocol(name string, g *graph.Graph, inputKind string, n int, seed int64, verbose bool) error {
+	p, ok := protocol.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (have: %s)", name, strings.Join(protocol.Names(), ", "))
+	}
+	out, err := p.Run(g, seed)
+	if err != nil {
+		return err
+	}
+	lengths, twoRegular := g.CycleLengths()
+	fmt.Printf("instance : n=%d, %s, %d edges, %d components\n",
+		n, inputKind, g.M(), g.NumComponents())
+	if twoRegular {
+		fmt.Printf("cycles   : %v\n", lengths)
+	}
+	fmt.Printf("protocol : %s (b=%d)\n", out.Protocol, out.Bandwidth)
+	fmt.Printf("rounds   : %d\n", out.Rounds)
+	fmt.Printf("bits     : %d broadcast in total (%.4g bits/round)\n",
+		out.TotalBits, float64(out.TotalBits)/float64(max(1, out.Rounds)))
+	if out.HasVerdict {
+		truth := "disconnected"
+		if g.IsConnected() {
+			truth = "connected"
+		}
+		fmt.Printf("verdict  : %v (ground truth: %s)\n", out.Verdict, truth)
+	}
+	switch {
+	case out.Correct:
+		fmt.Println("outcome  : correct (verdict and labels match ground truth)")
+	case out.Refused:
+		fmt.Println("outcome  : refused detectably (every label is −1; input outside the protocol's promise)")
+	default:
+		fmt.Println("outcome  : SILENT WRONG ANSWER (model contract violation)")
+	}
+	if out.Labels != nil {
+		distinct := make(map[int]bool)
+		for _, l := range out.Labels {
+			distinct[l] = true
+		}
+		fmt.Printf("labels   : %d distinct component labels\n", len(distinct))
+		if verbose {
+			for v, l := range out.Labels {
+				fmt.Printf("  vertex %3d: component %d\n", v, l)
+			}
+		}
 	}
 	return nil
 }

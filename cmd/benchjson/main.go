@@ -5,6 +5,11 @@
 // Usage:
 //
 //	go test -bench 'BenchmarkE' -benchmem -benchtime 20x -run '^$' . | benchjson -out BENCH_parallel.json
+//	go test -bench . -benchmem -run '^$' . | benchjson -match '^Sweep' -out BENCH_sweeps.json
+//
+// -match keeps only benchmarks whose (Benchmark-prefix-stripped) name
+// matches the regexp, so one bench pass can feed several scoped baseline
+// files.
 package main
 
 import (
@@ -53,7 +58,17 @@ func main() {
 
 func run() error {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	match := flag.String("match", "", "keep only benchmarks whose name matches this regexp (after stripping the Benchmark prefix)")
 	flag.Parse()
+
+	var keep *regexp.Regexp
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			return fmt.Errorf("bad -match regexp: %w", err)
+		}
+		keep = re
+	}
 
 	report := Report{
 		GoVersion:  runtime.Version(),
@@ -69,6 +84,9 @@ func run() error {
 			continue
 		}
 		b := Benchmark{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		if keep != nil && !keep.MatchString(b.Name) {
+			continue
+		}
 		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
 		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
 		if m[4] != "" {
@@ -83,6 +101,9 @@ func run() error {
 		return err
 	}
 	if len(report.Benchmarks) == 0 {
+		if keep != nil {
+			return fmt.Errorf("no benchmark lines matched -match %q (pipe `go test -bench` output)", *match)
+		}
 		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output)")
 	}
 	enc, err := json.MarshalIndent(report, "", "  ")

@@ -1,14 +1,22 @@
 // Command experiments regenerates every experiment table of the
-// reproduction (E01–E16; see DESIGN.md §3 for the per-experiment index).
+// reproduction (E01–E18; see DESIGN.md §3 for the per-experiment index).
 //
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-out FILE] [-only E05,E07] [-parallel N]
 //	            [-date D|none] [-format md|json|jsonl] [-cache-dir DIR|none]
+//	experiments -sweep E17 [-protocols a,b] [-families x,y] [-sizes 8,16]
+//	            [-format md|json|jsonl|csv] [-quick] [-seed N] [-out FILE]
 //
 // With -out it writes the EXPERIMENTS.md-style report to FILE instead of
 // stdout. -parallel sets the worker count of the experiment engine
 // (0 = all CPUs); every table is bit-identical at any worker count.
+//
+// -sweep runs one sweep grid (E17/E18) instead of the report, optionally
+// restricted to axis subsets — each cell is cached individually, so a
+// restricted smoke run shares cache entries with the full grid and a
+// re-run with added sizes recomputes only the new cells. csv and jsonl
+// stream rows in deterministic cell order.
 //
 // Reports are byte-reproducible: the header records the full flag set
 // needed to regenerate the report, and -date pins the date stamp
@@ -19,10 +27,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,8 +58,12 @@ func run() error {
 		only     = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 		par      = flag.Int("parallel", 0, "worker count for the experiment engine (0 = all CPUs, 1 = sequential)")
 		date     = flag.String("date", "", "date stamp for the report header (YYYY-MM-DD; default today UTC, \"none\" omits it)")
-		format   = flag.String("format", "md", "report format: md, json, or jsonl")
+		format   = flag.String("format", "md", "report format: md, json, or jsonl (plus csv with -sweep)")
 		cacheDir = flag.String("cache-dir", "", "result cache directory (default: <user cache dir>/bcclique, \"none\" disables caching)")
+		sweep    = flag.String("sweep", "", "run this sweep grid (E17, E18) instead of the report")
+		protos   = flag.String("protocols", "", "comma-separated protocol subset for -sweep (default: all of the grid's)")
+		fams     = flag.String("families", "", "comma-separated family subset for -sweep (default: all of the grid's)")
+		sizes    = flag.String("sizes", "", "comma-separated size override for -sweep (default: the grid's sizes)")
 	)
 	flag.Parse()
 	parallel.SetLimit(*par)
@@ -57,6 +71,64 @@ func run() error {
 	resolvedDate := *date
 	if resolvedDate == "" {
 		resolvedDate = time.Now().UTC().Format("2006-01-02")
+	}
+
+	store, err := results.OpenFlag(*cacheDir)
+	if err != nil {
+		return err
+	}
+	var opts []engine.Option
+	if store != nil {
+		opts = append(opts, engine.WithStore(store))
+	}
+	eng := harness.NewEngine(opts...)
+
+	// Every flag is validated before -out is opened: os.Create truncates,
+	// so a typo'd invocation must never destroy an existing report.
+	openOut := func() (io.Writer, func(), error) {
+		if *out == "" {
+			return os.Stdout, func() {}, nil
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, func() { f.Close() }, nil
+	}
+
+	if *sweep != "" {
+		// Reject explicitly-set report-only flags instead of silently
+		// ignoring them — symmetric with the sweep-only guard below.
+		var bad []string
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "only" || f.Name == "date" {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return fmt.Errorf("%s applies to the report, not -sweep (restrict a grid with -protocols/-families/-sizes)",
+				strings.Join(bad, ", "))
+		}
+		grid, err := resolveSweep(eng, *sweep, *protos, *fams, *sizes)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "md", "json", "jsonl", "csv":
+		default:
+			return fmt.Errorf("unknown -format %q for -sweep (want md, json, jsonl, or csv)", *format)
+		}
+		w, closeOut, err := openOut()
+		if err != nil {
+			return err
+		}
+		defer closeOut()
+		return renderSweep(w, eng, grid, *format, harness.Config{Quick: *quick, Seed: *seed})
+	}
+	for _, f := range []struct{ name, val string }{{"protocols", *protos}, {"families", *fams}, {"sizes", *sizes}} {
+		if f.val != "" {
+			return fmt.Errorf("-%s needs -sweep", f.name)
+		}
 	}
 
 	var renderer report.Renderer
@@ -71,25 +143,11 @@ func run() error {
 		return fmt.Errorf("unknown -format %q (want md, json, or jsonl)", *format)
 	}
 
-	store, err := results.OpenFlag(*cacheDir)
+	w, closeOut, err := openOut()
 	if err != nil {
 		return err
 	}
-	var opts []engine.Option
-	if store != nil {
-		opts = append(opts, engine.WithStore(store))
-	}
-	eng := harness.NewEngine(opts...)
-
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
+	defer closeOut()
 
 	meta := report.Meta{
 		Title: "Experiments: paper vs. measured",
@@ -106,6 +164,77 @@ func run() error {
 	cfg := harness.Config{Quick: *quick, Seed: *seed}
 	_, err = eng.Stream(w, renderer, meta, cfg, ids, nil)
 	return err
+}
+
+// resolveSweep looks up a sweep grid and applies the axis restrictions,
+// validating every name and size up front.
+func resolveSweep(eng *engine.Engine, id, protos, fams, sizes string) (engine.GridSpec, error) {
+	grid, ok := eng.LookupGrid(id)
+	if !ok {
+		var have []string
+		for _, g := range eng.Grids() {
+			have = append(have, g.ID)
+		}
+		return engine.GridSpec{}, fmt.Errorf("unknown sweep grid %q (have: %s)", id, strings.Join(have, ", "))
+	}
+	var sizeOverride []int
+	if sizes != "" {
+		for _, s := range strings.Split(sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return engine.GridSpec{}, fmt.Errorf("bad -sizes entry %q: %w", s, err)
+			}
+			sizeOverride = append(sizeOverride, n)
+		}
+	}
+	return grid.Restrict(splitList(protos), splitList(fams), sizeOverride)
+}
+
+// renderSweep runs a resolved sweep grid and renders it as md, json,
+// jsonl, or csv (csv/jsonl stream rows in deterministic cell order as
+// their prefixes complete).
+func renderSweep(w io.Writer, eng *engine.Engine, grid engine.GridSpec, format string, cfg harness.Config) error {
+	switch format {
+	case "md":
+		res, err := eng.RunGrid(grid, cfg, nil, nil)
+		if err != nil {
+			return err
+		}
+		return res.WriteMarkdown(w)
+	case "json":
+		res, err := eng.RunGrid(grid, cfg, nil, nil)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		return enc.Encode(res)
+	case "jsonl":
+		_, err := eng.RunGrid(grid, cfg, nil, grid.JSONLSink(w))
+		return err
+	case "csv":
+		sink, flush, err := grid.CSVSink(w)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.RunGrid(grid, cfg, nil, sink); err != nil {
+			return err
+		}
+		return flush()
+	default:
+		return fmt.Errorf("unknown -format %q for -sweep (want md, json, jsonl, or csv)", format)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 // flagSummary renders the exact flag set that regenerates this report.

@@ -8,9 +8,17 @@
 //	partitions -join "0,1|2,3|4" -with "0,1,3|2|4"
 //	partitions -rank 5            (rank of M_n and E_n when n is even)
 //	partitions -sample 10 -count 3 -seed 7
+//	partitions -sample 10 -count 3 -format json
+//
+// Like the other binaries, -format json emits machine-readable output.
+// Sampling follows the engine's per-seed derivation convention
+// (parallel.DeriveSeed): sample i draws from its own derived stream, so
+// sample i is a function of (seed, i) alone — stable under reordering,
+// batching, or parallel regeneration, exactly like an engine sweep cell.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -19,6 +27,7 @@ import (
 	"strings"
 
 	"bcclique/internal/comm"
+	"bcclique/internal/parallel"
 	"bcclique/internal/partition"
 )
 
@@ -37,27 +46,56 @@ func run() error {
 		rank   = flag.Int("rank", 0, "compute rank(M_n) (and rank(E_n) for even n)")
 		sample = flag.Int("sample", 0, "sample uniform partitions of [n]")
 		count  = flag.Int("count", 5, "number of samples for -sample")
-		seed   = flag.Int64("seed", 1, "sampling seed")
+		seed   = flag.Int64("seed", 1, "sampling seed (sample i uses the derived seed DeriveSeed(seed, i))")
+		format = flag.String("format", "text", "output format: text or json")
 	)
 	flag.Parse()
 
+	switch *format {
+	case "text", "json":
+	default:
+		return fmt.Errorf("unknown -format %q (want text or json)", *format)
+	}
+	asJSON := *format == "json"
+
 	switch {
 	case *bell > 0:
-		return printBell(*bell)
+		return printBell(*bell, asJSON)
 	case *joinA != "":
-		return printJoin(*joinA, *joinB)
+		return printJoin(*joinA, *joinB, asJSON)
 	case *rank > 0:
-		return printRank(*rank)
+		return printRank(*rank, asJSON)
 	case *sample > 0:
-		return printSamples(*sample, *count, *seed)
+		return printSamples(*sample, *count, *seed, asJSON)
 	default:
 		flag.Usage()
 		return nil
 	}
 }
 
-func printBell(n int) error {
+// emitJSON writes one pretty-printed JSON document, the shared sink of
+// every -format json subcommand.
+func emitJSON(v interface{}) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func printBell(n int, asJSON bool) error {
 	bells := partition.BellsUpTo(n)
+	if asJSON {
+		type row struct {
+			N    int     `json:"n"`
+			Bell string  `json:"bell"`
+			Log2 float64 `json:"log2"`
+		}
+		out := make([]row, len(bells))
+		for i, b := range bells {
+			out[i] = row{N: i, Bell: b.String(), Log2: partition.Log2Big(b)}
+		}
+		return emitJSON(out)
+	}
 	for i, b := range bells {
 		fmt.Printf("B_%-3d = %v  (log₂ = %.2f)\n", i, b, partition.Log2Big(b))
 	}
@@ -93,7 +131,7 @@ func parsePartition(s string) (partition.Partition, int, error) {
 	return p, max + 1, err
 }
 
-func printJoin(a, b string) error {
+func printJoin(a, b string, asJSON bool) error {
 	if b == "" {
 		return fmt.Errorf("-join requires -with")
 	}
@@ -113,6 +151,17 @@ func printJoin(a, b string) error {
 	if err != nil {
 		return err
 	}
+	if asJSON {
+		return emitJSON(struct {
+			A           string  `json:"a"`
+			B           string  `json:"b"`
+			Join        string  `json:"join"`
+			JoinBlocks  [][]int `json:"join_blocks"`
+			JoinTrivial bool    `json:"join_trivial"`
+			Meet        string  `json:"meet"`
+			MeetBlocks  [][]int `json:"meet_blocks"`
+		}{pa.String(), pb.String(), join.String(), join.Blocks(), join.IsTrivial(), meet.String(), meet.Blocks()})
+	}
 	fmt.Printf("P_A       = %v\n", pa)
 	fmt.Printf("P_B       = %v\n", pb)
 	fmt.Printf("P_A ∨ P_B = %v (trivial: %v)\n", join, join.IsTrivial())
@@ -120,22 +169,47 @@ func printJoin(a, b string) error {
 	return nil
 }
 
-func printRank(n int) error {
+func printRank(n int, asJSON bool) error {
+	type matrixRow struct {
+		Matrix   string `json:"matrix"`
+		Rows     int    `json:"rows"`
+		Cols     int    `json:"cols"`
+		Rank     int    `json:"rank"`
+		Expected string `json:"expected"`
+		Verified bool   `json:"verified"`
+		Paper    string `json:"paper"`
+	}
+	var rows []matrixRow
 	m, err := comm.MatrixM(n)
 	if err != nil {
 		return err
 	}
 	bn := partition.Bell(n)
-	fmt.Printf("M_%d: %d×%d, rank %d (B_n = %v) — Theorem 2.3 %s\n",
-		n, m.Rows(), m.Cols(), m.Rank(), bn, verdict(int64(m.Rank()) == bn.Int64()))
+	rows = append(rows, matrixRow{
+		Matrix: fmt.Sprintf("M_%d", n), Rows: m.Rows(), Cols: m.Cols(), Rank: m.Rank(),
+		Expected: bn.String(), Verified: int64(m.Rank()) == bn.Int64(), Paper: "Theorem 2.3",
+	})
 	if n%2 == 0 {
 		e, err := comm.MatrixE(n)
 		if err != nil {
 			return err
 		}
 		r := partition.NumPairings(n)
-		fmt.Printf("E_%d: %d×%d, rank %d ((n−1)!! = %v) — Lemma 4.1 %s\n",
-			n, e.Rows(), e.Cols(), e.Rank(), r, verdict(int64(e.Rank()) == r.Int64()))
+		rows = append(rows, matrixRow{
+			Matrix: fmt.Sprintf("E_%d", n), Rows: e.Rows(), Cols: e.Cols(), Rank: e.Rank(),
+			Expected: r.String(), Verified: int64(e.Rank()) == r.Int64(), Paper: "Lemma 4.1",
+		})
+	}
+	if asJSON {
+		return emitJSON(rows)
+	}
+	for _, row := range rows {
+		expectedName := "B_n"
+		if strings.HasPrefix(row.Matrix, "E") {
+			expectedName = "(n−1)!!"
+		}
+		fmt.Printf("%s: %d×%d, rank %d (%s = %v) — %s %s\n",
+			row.Matrix, row.Rows, row.Cols, row.Rank, expectedName, row.Expected, row.Paper, verdict(row.Verified))
 	}
 	return nil
 }
@@ -147,13 +221,32 @@ func verdict(ok bool) string {
 	return "VIOLATED"
 }
 
-func printSamples(n, count int, seed int64) error {
-	rng := newRng(seed)
+func printSamples(n, count int, seed int64, asJSON bool) error {
+	if count < 0 {
+		return fmt.Errorf("-count %d is negative", count)
+	}
+	type sampleRow struct {
+		Index       int     `json:"index"`
+		DerivedSeed int64   `json:"derived_seed"`
+		Partition   string  `json:"partition"`
+		Blocks      [][]int `json:"blocks"`
+		NumBlocks   int     `json:"num_blocks"`
+	}
+	rows := make([]sampleRow, count)
 	for i := 0; i < count; i++ {
+		// Engine convention (internal/parallel): each sample draws from
+		// its own seed derived from (base, index), never from a shared
+		// stream whose state depends on how many samples ran before.
+		derived := parallel.DeriveSeed(seed, i)
+		rng := rand.New(rand.NewSource(derived))
 		p := partition.Random(n, rng)
-		fmt.Printf("%v  (%d blocks)\n", p, p.NumBlocks())
+		rows[i] = sampleRow{Index: i, DerivedSeed: derived, Partition: p.String(), Blocks: p.Blocks(), NumBlocks: p.NumBlocks()}
+	}
+	if asJSON {
+		return emitJSON(rows)
+	}
+	for _, row := range rows {
+		fmt.Printf("%s  (%d blocks)\n", row.Partition, row.NumBlocks)
 	}
 	return nil
 }
-
-func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

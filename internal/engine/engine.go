@@ -43,8 +43,11 @@ const (
 // Event is one progress notification. Events are emitted from worker
 // goroutines; the observer must be safe for concurrent calls.
 type Event struct {
-	Kind    EventKind     `json:"kind"`
-	SpecID  string        `json:"spec_id"`
+	Kind   EventKind `json:"kind"`
+	SpecID string    `json:"spec_id"`
+	// Cell identifies the grid cell for sweep-grid events (empty for
+	// scalar spec events).
+	Cell    string        `json:"cell,omitempty"`
 	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 	Err     string        `json:"error,omitempty"`
 }
@@ -54,10 +57,12 @@ type Event struct {
 // process-wide worker budget and the store's single-flight table.
 type Engine struct {
 	specs []Spec
+	grids []GridSpec
 	store *results.Store
 	build string
 
-	executions atomic.Int64
+	executions     atomic.Int64
+	cellExecutions atomic.Int64
 
 	jobs jobTable
 }
@@ -71,12 +76,24 @@ func WithStore(s *results.Store) Option {
 	return func(e *Engine) { e.store = s }
 }
 
+// WithGrids registers sweep grids (see GridSpec). Each grid is also
+// synthesized into a regular registry Spec appended after the scalar
+// specs, so grids show up in /v1/specs, reports, and jobs like any
+// experiment while additionally being runnable cell-by-cell through
+// RunGrid.
+func WithGrids(grids ...GridSpec) Option {
+	return func(e *Engine) { e.grids = append(e.grids, grids...) }
+}
+
 // New builds an engine over the given registry.
 func New(specs []Spec, opts ...Option) *Engine {
-	e := &Engine{specs: specs, build: buildVersion()}
+	e := &Engine{specs: append([]Spec(nil), specs...), build: buildVersion()}
 	e.jobs.init()
 	for _, opt := range opts {
 		opt(e)
+	}
+	for _, g := range e.grids {
+		e.specs = append(e.specs, e.gridSpec(g))
 	}
 	return e
 }

@@ -1,0 +1,391 @@
+package engine
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bcclique/internal/parallel"
+	"bcclique/internal/report"
+	"bcclique/internal/results"
+)
+
+// GridCell is one point of a sweep grid: a protocol × family × size
+// combination plus the seed count its measurement averages over.
+type GridCell struct {
+	Index    int    `json:"index"`
+	Protocol string `json:"protocol"`
+	Family   string `json:"family"`
+	N        int    `json:"n"`
+	Seeds    int    `json:"seeds"`
+}
+
+// String renders the cell for events and errors.
+func (c GridCell) String() string {
+	return fmt.Sprintf("%s×%s@n=%d", c.Protocol, c.Family, c.N)
+}
+
+// GridSpec is the declarative description of one sweep grid: a
+// protocol × family × size × seed-count product whose cells are
+// measured independently, cached independently (see Engine.RunGrid),
+// and assembled into one table in deterministic cell order. Like Spec,
+// everything but the two functions is data; the engine registers each
+// grid as a synthesized Spec too, so grids appear in /v1/specs, reports
+// and jobs exactly like scalar experiments.
+type GridSpec struct {
+	ID       string
+	Title    string
+	PaperRef string
+	// Version invalidates every cached cell (and the grid's own spec
+	// entry) when cell logic changes without any declared parameter
+	// changing. Bump it in the same commit as the logic change.
+	Version int
+	Claim   string
+	Caption string
+
+	// Protocols and Families are the axis values, by registry name.
+	Protocols []string
+	Families  []string
+	// Sizes is the instance-size axis (QuickSizes under Config.Quick;
+	// nil = Sizes).
+	Sizes      []int
+	QuickSizes []int
+	// Seeds is the per-cell seed count (QuickSeeds under Config.Quick;
+	// 0 = Seeds).
+	Seeds      int
+	QuickSeeds int
+
+	// Headers are the columns of the assembled table; RunCell returns
+	// one row with exactly these columns.
+	Headers []string
+
+	// CellKey returns the canonical encoding of the two axis values —
+	// typically the protocol's and family's own cache keys — so a cell's
+	// content address survives grid recomposition (adding a size or
+	// family recomputes only new cells) and changes whenever either
+	// axis's declared parameters change.
+	CellKey func(protocol, family string) (string, error)
+	// RunCell measures one cell: it must derive all randomness from the
+	// given seeds and return one table row. Rows must be bit-identical
+	// at any worker count.
+	RunCell func(cfg Config, cell GridCell, seeds []int64) ([]string, error)
+	// Summarize renders the result's Finding from the assembled rows
+	// (nil = a generic cell-count summary).
+	Summarize func(rows [][]string) string
+}
+
+// ResolvedSizes returns the size axis for cfg.
+func (g GridSpec) ResolvedSizes(cfg Config) []int {
+	if cfg.Quick && g.QuickSizes != nil {
+		return g.QuickSizes
+	}
+	return g.Sizes
+}
+
+// SeedCount returns the per-cell seed count for cfg.
+func (g GridSpec) SeedCount(cfg Config) int {
+	if cfg.Quick && g.QuickSeeds != 0 {
+		return g.QuickSeeds
+	}
+	return g.Seeds
+}
+
+// Cells enumerates the grid in deterministic cell order —
+// family-major, then protocol, then size, so each (family, protocol)
+// cost curve is contiguous in the assembled table.
+func (g GridSpec) Cells(cfg Config) []GridCell {
+	sizes := g.ResolvedSizes(cfg)
+	seeds := g.SeedCount(cfg)
+	cells := make([]GridCell, 0, len(g.Families)*len(g.Protocols)*len(sizes))
+	for _, fam := range g.Families {
+		for _, proto := range g.Protocols {
+			for _, n := range sizes {
+				cells = append(cells, GridCell{
+					Index: len(cells), Protocol: proto, Family: fam, N: n, Seeds: seeds,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// axes canonically encodes the non-numeric axes for the synthesized
+// spec's Params.Extra, so recomposing a grid changes its spec key.
+func (g GridSpec) axes() string {
+	return fmt.Sprintf("grid{protocols=%s;families=%s}",
+		strings.Join(g.Protocols, ","), strings.Join(g.Families, ","))
+}
+
+// Restrict returns a copy of the grid narrowed to the given axis
+// subsets (nil keeps an axis unchanged). Protocol and family names must
+// come from the grid; sizes may be arbitrary — cell caching is
+// per-cell, so a narrowed smoke run shares cache entries with the full
+// grid. QuickSizes collapse onto an explicit size override.
+func (g GridSpec) Restrict(protocols, families []string, sizes []int) (GridSpec, error) {
+	pick := func(subset, axis []string, what string) ([]string, error) {
+		if subset == nil {
+			return axis, nil
+		}
+		for _, want := range subset {
+			found := false
+			for _, have := range axis {
+				if want == have {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("grid %s: unknown %s %q (grid has %s)",
+					g.ID, what, want, strings.Join(axis, ", "))
+			}
+		}
+		return append([]string(nil), subset...), nil
+	}
+	var err error
+	if g.Protocols, err = pick(protocols, g.Protocols, "protocol"); err != nil {
+		return GridSpec{}, err
+	}
+	if g.Families, err = pick(families, g.Families, "family"); err != nil {
+		return GridSpec{}, err
+	}
+	if sizes != nil {
+		g.Sizes = append([]int(nil), sizes...)
+		g.QuickSizes = nil
+	}
+	return g, nil
+}
+
+// JSONLSink returns a RunGrid sink that streams each row as one JSON
+// object {"grid","index","cells":{header: value}} — the shared jsonl
+// shape of the bccd /v1/sweeps endpoint and `experiments -sweep`.
+func (g GridSpec) JSONLSink(w io.Writer) func(GridCell, []string) error {
+	enc := json.NewEncoder(w)
+	return func(c GridCell, row []string) error {
+		cells := make(map[string]string, len(g.Headers))
+		for i, h := range g.Headers {
+			cells[h] = row[i]
+		}
+		return enc.Encode(struct {
+			Grid  string            `json:"grid"`
+			Index int               `json:"index"`
+			Cells map[string]string `json:"cells"`
+		}{g.ID, c.Index, cells})
+	}
+}
+
+// CSVSink writes the header line immediately and returns a RunGrid sink
+// that streams one CSV record per row, plus a flush to call (and check)
+// once the run finishes.
+func (g GridSpec) CSVSink(w io.Writer) (sink func(GridCell, []string) error, flush func() error, err error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(g.Headers); err != nil {
+		return nil, nil, err
+	}
+	return func(_ GridCell, row []string) error { return cw.Write(row) },
+		func() error { cw.Flush(); return cw.Error() },
+		nil
+}
+
+// spec synthesizes the registry entry for a grid: its Params carry the
+// declared axes (so the spec-level cache key changes whenever the grid
+// is recomposed) and its Run assembles the full grid through the
+// engine's per-cell cache.
+func (e *Engine) gridSpec(g GridSpec) Spec {
+	return Spec{
+		ID:       g.ID,
+		Title:    g.Title,
+		PaperRef: g.PaperRef,
+		Version:  g.Version,
+		Params: Params{
+			Sizes:       g.Sizes,
+			QuickSizes:  g.QuickSizes,
+			Trials:      g.Seeds,
+			QuickTrials: g.QuickSeeds,
+			Extra:       g.axes(),
+		},
+		Run: func(cfg Config, _ Params) (*Result, error) {
+			return e.RunGrid(g, cfg, nil, nil)
+		},
+	}
+}
+
+// Grids returns the registered sweep grids in registry order.
+func (e *Engine) Grids() []GridSpec { return e.grids }
+
+// LookupGrid finds a registered grid by ID.
+func (e *Engine) LookupGrid(id string) (GridSpec, bool) {
+	for _, g := range e.grids {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return GridSpec{}, false
+}
+
+// CellExecutions returns how many grid cells this engine has actually
+// computed (cache hits excluded) — the counter the incremental-grid
+// tests assert on.
+func (e *Engine) CellExecutions() int64 { return e.cellExecutions.Load() }
+
+// cellKey is the content address of one grid cell. It deliberately
+// excludes the grid's axis lists and the run config's Quick flag,
+// which are fully resolved into the cell itself: a cell's identity is
+// (grid logic, axis-value canonical keys, n, seed count, seed). So
+// re-running a grid with an added size — or a restricted smoke subset
+// at the same seed count — recomputes only genuinely new cells. (A
+// quick run shares cells with a full run only where both n and the
+// seed count coincide; grids that declare a smaller QuickSeeds trade
+// that reuse for speed.)
+func (e *Engine) cellKey(g GridSpec, cfg Config, c GridCell) (string, error) {
+	ck, err := g.CellKey(c.Protocol, c.Family)
+	if err != nil {
+		return "", fmt.Errorf("grid %s cell %s: %w", g.ID, c, err)
+	}
+	return results.Key(
+		fmt.Sprintf("schema=%d", results.SchemaVersion),
+		"build="+e.build,
+		fmt.Sprintf("grid=%s;v=%d;headers=%s", g.ID, g.Version, strings.Join(g.Headers, ",")),
+		fmt.Sprintf("cell={%s};n=%d;seeds=%d", ck, c.N, c.Seeds),
+		fmt.Sprintf("seed=%d", cfg.Seed),
+	), nil
+}
+
+// runCell computes (or serves from cache) one cell's table row.
+func (e *Engine) runCell(g GridSpec, cfg Config, c GridCell, emit func(Event)) ([]string, error) {
+	compute := func() (*report.Result, error) {
+		emit(Event{Kind: EventStarted, SpecID: g.ID, Cell: c.String()})
+		e.cellExecutions.Add(1)
+		start := time.Now()
+		seeds := make([]int64, c.Seeds)
+		for j := range seeds {
+			seeds[j] = parallel.DeriveSeed(cfg.Seed, j)
+		}
+		row, err := g.RunCell(cfg, c, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("grid %s cell %s: %w", g.ID, c, err)
+		}
+		if len(row) != len(g.Headers) {
+			return nil, fmt.Errorf("grid %s cell %s: %d columns for %d headers", g.ID, c, len(row), len(g.Headers))
+		}
+		// Cells ride the report.Result store as single-row tables.
+		return &report.Result{
+			Tables:  []*report.Table{{Rows: [][]string{row}}},
+			Elapsed: time.Since(start),
+		}, nil
+	}
+	unwrap := func(res *report.Result) ([]string, error) {
+		if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 1 || len(res.Tables[0].Rows[0]) != len(g.Headers) {
+			return nil, fmt.Errorf("grid %s cell %s: malformed cached cell", g.ID, c)
+		}
+		return res.Tables[0].Rows[0], nil
+	}
+	if e.store == nil {
+		res, err := compute()
+		if err != nil {
+			emit(Event{Kind: EventFailed, SpecID: g.ID, Cell: c.String(), Err: err.Error()})
+			return nil, err
+		}
+		emit(Event{Kind: EventDone, SpecID: g.ID, Cell: c.String(), Elapsed: res.Elapsed})
+		return unwrap(res)
+	}
+	key, err := e.cellKey(g, cfg, c)
+	if err != nil {
+		emit(Event{Kind: EventFailed, SpecID: g.ID, Cell: c.String(), Err: err.Error()})
+		return nil, err
+	}
+	res, cached, err := e.store.Do(key, compute)
+	switch {
+	case err != nil:
+		emit(Event{Kind: EventFailed, SpecID: g.ID, Cell: c.String(), Err: err.Error()})
+		return nil, err
+	case cached:
+		emit(Event{Kind: EventCached, SpecID: g.ID, Cell: c.String(), Elapsed: res.Elapsed})
+	default:
+		emit(Event{Kind: EventDone, SpecID: g.ID, Cell: c.String(), Elapsed: res.Elapsed})
+	}
+	return unwrap(res)
+}
+
+// RunGrid executes every cell of the grid concurrently on the
+// process-wide worker pool, serving previously computed cells from the
+// per-cell content-addressed cache, and assembles one Result whose
+// table lists the rows in deterministic cell order. onEvent (optional)
+// observes per-cell progress. sink (optional) receives each row as soon
+// as it and all its predecessors have finished — always in cell order —
+// so a slow grid still streams early rows incrementally. Rows are
+// bit-identical at any worker count; a resumed or recomposed grid
+// recomputes only cells whose content address is new.
+func (e *Engine) RunGrid(g GridSpec, cfg Config, onEvent func(Event), sink func(cell GridCell, row []string) error) (*Result, error) {
+	emit := func(Event) {}
+	if onEvent != nil {
+		emit = onEvent
+	}
+	cells := g.Cells(cfg)
+	done := make([]chan struct{}, len(cells))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	rows := make([][]string, len(cells))
+	errs := make([]error, len(cells))
+	var stop atomic.Bool
+	go parallel.ForEach(len(cells), func(i int) error {
+		defer close(done[i])
+		if stop.Load() {
+			return nil
+		}
+		row, err := e.runCell(g, cfg, cells[i], emit)
+		if err != nil {
+			stop.Store(true)
+			errs[i] = err
+			return nil
+		}
+		rows[i] = row
+		return nil
+	})
+	table := &report.Table{
+		Title:   fmt.Sprintf("%s (%d cells)", g.Title, len(cells)),
+		Caption: g.Caption,
+		Headers: append([]string(nil), g.Headers...),
+	}
+	for i := range cells {
+		<-done[i]
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if rows[i] == nil {
+			// Skipped because a later-indexed cell failed first; surface
+			// that error instead.
+			for j := i + 1; j < len(cells); j++ {
+				<-done[j]
+				if errs[j] != nil {
+					return nil, errs[j]
+				}
+			}
+			return nil, fmt.Errorf("engine: grid %s cell %s did not run", g.ID, cells[i])
+		}
+		if sink != nil {
+			if err := sink(cells[i], rows[i]); err != nil {
+				stop.Store(true)
+				return nil, err
+			}
+		}
+		table.Rows = append(table.Rows, rows[i])
+	}
+	finding := fmt.Sprintf("%d cells: %d families × %d protocols × %d sizes, %d seeds each.",
+		len(cells), len(g.Families), len(g.Protocols), len(g.ResolvedSizes(cfg)), g.SeedCount(cfg))
+	if g.Summarize != nil {
+		finding = g.Summarize(table.Rows)
+	}
+	return &Result{
+		ID:       g.ID,
+		Title:    g.Title,
+		PaperRef: g.PaperRef,
+		Claim:    g.Claim,
+		Finding:  finding,
+		Tables:   []*report.Table{table},
+	}, nil
+}

@@ -6,6 +6,13 @@ import (
 	"math/rand"
 )
 
+// MaxEnumN is the largest vertex count the exhaustive cycle-cover
+// enumerations accept. The cycle count is (n−1)!/2 — about 2·10⁷ at
+// n = 12 (seconds) but 2.4·10⁸ at n = 13 and 40-fold more per further
+// vertex (hours to years) — so larger requests are refused up front
+// instead of silently running forever.
+const MaxEnumN = 12
+
 // EachOneCycle calls fn once for every Hamiltonian cycle of K_n (i.e. every
 // one-cycle input graph of Section 3), passing the cycle as a vertex
 // sequence. Each undirected cycle is visited exactly once: sequences start
@@ -14,10 +21,14 @@ import (
 // returns false. The callback's slice is reused; callers must copy it if
 // they retain it.
 //
-// The number of cycles is (n-1)!/2, so this is feasible for n ≤ 11 or so.
+// The number of cycles is (n-1)!/2 — ~2·10⁵ at n = 9, ~2·10⁷ at n = 12.
+// n > MaxEnumN is an error: the next size up already takes hours.
 func EachOneCycle(n int, fn func(cycle []int) bool) error {
 	if n < 3 {
 		return fmt.Errorf("graph: no cycles on %d < 3 vertices", n)
+	}
+	if n > MaxEnumN {
+		return fmt.Errorf("graph: one-cycle enumeration at n=%d refused: (n−1)!/2 cycles is infeasible above n=%d", n, MaxEnumN)
 	}
 	seq := make([]int, n)
 	seq[0] = 0
@@ -53,12 +64,18 @@ func EachOneCycle(n int, fn func(cycle []int) bool) error {
 // (the paper uses minLen = 3 for TwoCycle, Section 3). fn receives the two
 // cycles as vertex sequences, the first one containing vertex 0.
 // Enumeration stops early if fn returns false. Slices are reused.
+//
+// The cover count |V₂| grows factorially like the one-cycle count, so
+// n > MaxEnumN is refused for the same reason as EachOneCycle.
 func EachTwoCycle(n, minLen int, fn func(c1, c2 []int) bool) error {
 	if minLen < 3 {
 		return fmt.Errorf("graph: minLen %d < 3", minLen)
 	}
 	if n < 2*minLen {
 		return fmt.Errorf("graph: n=%d cannot hold two cycles of length ≥ %d", n, minLen)
+	}
+	if n > MaxEnumN {
+		return fmt.Errorf("graph: two-cycle enumeration at n=%d refused: the cover census is infeasible above n=%d", n, MaxEnumN)
 	}
 	// Choose the side S containing vertex 0, of size i with
 	// minLen ≤ i ≤ n-minLen. To count each unordered pair of cycles once:

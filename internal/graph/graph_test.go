@@ -150,6 +150,25 @@ func TestFromCycleErrors(t *testing.T) {
 	}
 }
 
+// TestEnumerationSizeGuard pins the feasibility guard: the exhaustive
+// enumerations refuse n > MaxEnumN up front — (n−1)!/2 cycles at n = 13
+// is hours of work — instead of silently running forever.
+func TestEnumerationSizeGuard(t *testing.T) {
+	if err := EachOneCycle(MaxEnumN+1, func([]int) bool { return false }); err == nil {
+		t.Errorf("EachOneCycle(%d) accepted an infeasible size", MaxEnumN+1)
+	}
+	if err := EachTwoCycle(MaxEnumN+1, 3, func(_, _ []int) bool { return false }); err == nil {
+		t.Errorf("EachTwoCycle(%d) accepted an infeasible size", MaxEnumN+1)
+	}
+	// The guard boundary itself stays enumerable (early-stopped here).
+	if err := EachOneCycle(MaxEnumN, func([]int) bool { return false }); err != nil {
+		t.Errorf("EachOneCycle(%d): %v", MaxEnumN, err)
+	}
+	if err := EachTwoCycle(MaxEnumN, 3, func(_, _ []int) bool { return false }); err != nil {
+		t.Errorf("EachTwoCycle(%d): %v", MaxEnumN, err)
+	}
+}
+
 func TestEachOneCycleCount(t *testing.T) {
 	tests := []struct {
 		n    int

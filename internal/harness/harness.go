@@ -2,13 +2,18 @@
 // tables, every theorem, lemma and figure of the paper (the paper has no
 // numeric evaluation section; its "results" are proofs, so each
 // experiment is the executable form of one statement — see DESIGN.md §3
-// for the per-experiment index E01–E16).
+// for the per-experiment index E01–E18).
 //
 // The harness is the top of a four-layer pipeline: it declares the specs
 // (this package), internal/engine executes them with cache lookups and
 // deterministic parallelism, internal/results stores content-addressed
 // results, and internal/report renders them. RunAll remains as a thin
 // compatibility shim over the engine.
+//
+// Beyond the scalar specs E01–E16, the registry carries the scenario
+// subsystem's sweep grids E17–E18 (exp_sweeps.go): protocol × family ×
+// size products built on internal/protocol and internal/family, cached
+// cell by cell. NewEngine registers both kinds.
 package harness
 
 import (
@@ -72,11 +77,12 @@ func All() []engine.Spec {
 	}
 }
 
-// NewEngine builds an execution engine over the full registry. Pass
+// NewEngine builds an execution engine over the full registry — the
+// scalar specs E01–E16 plus the E17–E18 sweep grids. Pass
 // engine.WithStore to share the content-addressed result cache with the
 // other entry points.
 func NewEngine(opts ...engine.Option) *engine.Engine {
-	return engine.New(All(), opts...)
+	return engine.New(All(), append(opts, engine.WithGrids(Grids()...))...)
 }
 
 // RunAll executes every experiment (or the subset whose IDs are listed)

@@ -46,7 +46,7 @@ func TestFormatFloat(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
 	if len(exps) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(exps))
+		t.Fatalf("scalar registry has %d experiments, want 16", len(exps))
 	}
 	seen := make(map[string]bool)
 	for i, e := range exps {
@@ -57,6 +57,22 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("duplicate experiment ID %s", e.ID)
 		}
 		seen[e.ID] = true
+	}
+	grids := Grids()
+	if len(grids) != 2 {
+		t.Fatalf("grid registry has %d grids, want 2", len(grids))
+	}
+	for _, g := range grids {
+		if g.ID == "" || g.Title == "" || g.PaperRef == "" || g.RunCell == nil || g.CellKey == nil {
+			t.Errorf("grid %s incomplete", g.ID)
+		}
+		if seen[g.ID] {
+			t.Errorf("grid ID %s collides with a scalar experiment", g.ID)
+		}
+		seen[g.ID] = true
+		if len(g.Protocols) == 0 || len(g.Families) == 0 || len(g.Sizes) == 0 || g.Seeds == 0 {
+			t.Errorf("grid %s has an empty axis", g.ID)
+		}
 	}
 }
 
@@ -72,8 +88,8 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 16 {
-		t.Fatalf("ran %d experiments, want 16", len(results))
+	if len(results) != 18 {
+		t.Fatalf("ran %d experiments, want 18 (E01–E16 + the E17/E18 sweep grids)", len(results))
 	}
 	out := buf.String()
 	for _, r := range results {
