@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race check bench bench-json bench-sweeps report serve smoke-examples sweep sweep-smoke fmt vet
+.PHONY: build test race check bench bench-json bench-sweeps bench-scale report serve smoke-examples sweep sweep-smoke sweep-large fmt vet
 
 build:
 	$(GO) build ./...
@@ -43,12 +43,25 @@ bench-json:
 bench-sweeps:
 	$(GO) test -bench 'BenchmarkSweep' -benchmem -benchtime 20x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Sweep' -out BENCH_sweeps.json
 
+# Record the large-n substrate baseline: CSR vs. AddEdge graph
+# construction, zero-alloc neighbour iteration, and an end-to-end
+# large-n sweep cell (BENCH_scale.json).
+bench-scale:
+	$(GO) test -bench 'BenchmarkScale' -benchmem -benchtime 20x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Scale' -out BENCH_scale.json
+
 # Regenerate the full experiment report.
 report:
 	$(GO) run ./cmd/experiments -out EXPERIMENTS.md
 
-# Run the full E17 cost-curve sweep grid (markdown on stdout).
+# Run the E17 cost-curve sweep grid up to n = 1024 (markdown on
+# stdout) — minutes of compute, cached per cell.
 sweep:
+	$(GO) run ./cmd/experiments -sweep E17 -sizes 16,32,64,128,256,512,1024
+
+# The full ladder to n = 4096. flood-b1's Θ(n²) rounds×messages
+# simulation dominates (minutes per 4096-cell run); every cell is
+# cached, so re-runs and ladder extensions only pay for new cells.
+sweep-large:
 	$(GO) run ./cmd/experiments -sweep E17
 
 # Tiny 2×2 sweep grid as CSV — the CI smoke run (uploaded as an

@@ -12,7 +12,9 @@ package bcclique_test
 
 import (
 	"io"
+	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"bcclique/internal/engine"
@@ -24,11 +26,13 @@ import (
 	"bcclique/internal/comm"
 	"bcclique/internal/core"
 	"bcclique/internal/crossing"
+	"bcclique/internal/family"
 	"bcclique/internal/graph"
 	"bcclique/internal/harness"
 	"bcclique/internal/indist"
 	"bcclique/internal/partition"
 	"bcclique/internal/pls"
+	"bcclique/internal/protocol"
 	"bcclique/internal/reduction"
 	"bcclique/internal/sketch"
 )
@@ -459,5 +463,128 @@ func BenchmarkEngineWarmCache(b *testing.B) {
 	}
 	if warm.Executions() != int64(len(engineBenchIDs)) {
 		b.Fatalf("warm runs re-executed experiments (%d executions)", warm.Executions())
+	}
+}
+
+// --- Scale benchmarks (BENCH_scale.json baseline) ---------------------
+//
+// The Scale* group measures the large-n substrate introduced for the
+// extended E17/E18 sweep ladders: CSR graph construction against the
+// sorted-insertion AddEdge path on the same edge lists, the
+// zero-allocation neighbour iteration the runner hot loops rely on, and
+// an end-to-end large-n protocol cell.
+
+// scaleEdges pre-draws the er-threshold edge list at n = 4096 once (and
+// lazily — the ~8.4M Bernoulli draws must not tax ordinary test runs),
+// so the build benchmarks measure substrate cost, not rng cost.
+var scaleEdges = sync.OnceValue(func() [][2]int {
+	const n = scaleN
+	rng := rand.New(rand.NewSource(1))
+	p := math.Log(float64(n)) / float64(n)
+	var es [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				es = append(es, [2]int{u, v})
+			}
+		}
+	}
+	return es
+})
+
+const scaleN = 4096
+
+// BenchmarkScaleBuildERAddEdge is the legacy construction path: one
+// sorted insertion (plus its duplicate-check binary search) per edge.
+func BenchmarkScaleBuildERAddEdge(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := graph.New(scaleN)
+		for _, e := range scaleEdges() {
+			g.MustAddEdge(e[0], e[1])
+		}
+	}
+}
+
+// BenchmarkScaleBuildERBuilder is the CSR path on the same edges:
+// append-only accumulation, one sort/dedup at Freeze.
+func BenchmarkScaleBuildERBuilder(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bu := graph.NewBuilder(scaleN)
+		for _, e := range scaleEdges() {
+			bu.MustAdd(e[0], e[1])
+		}
+		bu.MustFreeze()
+	}
+}
+
+// BenchmarkScaleBuildBarbellFamily builds the densest sweep family
+// (n/2-cliques, Θ(n²) edges) end to end through the family registry —
+// the generator the CSR builder speeds up the most.
+func BenchmarkScaleBuildBarbellFamily(b *testing.B) {
+	fam, ok := family.Lookup("barbell")
+	if !ok {
+		b.Fatal("barbell family missing")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fam.Build(1024, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleNeighborIteration measures the allocation-free
+// NeighborSlice scan over a frozen er-threshold graph — the access
+// pattern of delivery tables, ground-truth labelling and the protocol
+// adapters. The acceptance bar is 0 allocs/op.
+func BenchmarkScaleNeighborIteration(b *testing.B) {
+	bu := graph.NewBuilder(scaleN)
+	for _, e := range scaleEdges() {
+		bu.MustAdd(e[0], e[1])
+	}
+	g := bu.MustFreeze()
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.N(); v++ {
+			for _, u := range g.NeighborSlice(v) {
+				sum += u
+			}
+		}
+	}
+	if sum == 1 {
+		b.Fatal("impossible") // keep the loop live
+	}
+}
+
+// BenchmarkScaleBoruvkaTwoCycle1024 is one large-n sweep cell run end
+// to end: family build, implicit canonical KT-1 instance, and the
+// transcript-free simulator fed from pooled arenas.
+func BenchmarkScaleBoruvkaTwoCycle1024(b *testing.B) {
+	p, ok := protocol.Lookup("boruvka")
+	if !ok {
+		b.Fatal("boruvka protocol missing")
+	}
+	fam, ok := family.Lookup("two-cycle")
+	if !ok {
+		b.Fatal("two-cycle family missing")
+	}
+	g, err := fam.Build(1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := p.Run(g, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Verdict != bcc.VerdictNo {
+			b.Fatal("two-cycle must be rejected")
+		}
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -43,6 +44,50 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// countingWriter tracks whether any bytes actually reached the client,
+// which is what decides a streaming handler's error shape: before the
+// first byte a failure can still be a clean JSON 500 (headers are unsent,
+// so a Content-Type set optimistically is simply overwritten); after it,
+// the only honest signal is the in-band error trailer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// streamError finishes a streaming response after err: a JSON 500 when
+// nothing was flushed, the "\nerror: ..." trailer contract otherwise.
+func streamError(w http.ResponseWriter, cw *countingWriter, err error) {
+	if cw.n == 0 {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	fmt.Fprintf(w, "\nerror: %v\n", err)
+}
+
+// flushingSink wraps a RunGrid row sink so each row is pushed through
+// net/http's response buffer as it completes — without this, per-row
+// "streaming" stops at the server's internal bufio and a slow cold grid
+// delivers nothing for minutes.
+func flushingSink(w http.ResponseWriter, sink func(engine.GridCell, []string) error) func(engine.GridCell, []string) error {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return sink
+	}
+	return func(c engine.GridCell, row []string) error {
+		if err := sink(c, row); err != nil {
+			return err
+		}
+		f.Flush()
+		return nil
+	}
 }
 
 // validateOnly rejects unknown spec IDs up front so a typo is a 400, not
@@ -140,10 +185,12 @@ func (s *server) report(w http.ResponseWriter, r *http.Request) {
 		Intro: fmt.Sprintf("Served by bccd from the shared result cache (config %s).", cfg.Canonical()),
 	}
 	w.Header().Set("Content-Type", contentType)
-	if _, err := s.eng.Stream(w, renderer, meta, cfg, only, nil); err != nil {
-		// Headers are gone; the truncated body plus this trailer line is
-		// all we can signal mid-stream.
-		fmt.Fprintf(w, "\nerror: %v\n", err)
+	cw := &countingWriter{w: w}
+	if _, err := s.eng.Stream(cw, renderer, meta, cfg, only, nil); err != nil {
+		// A failure before the first flushed byte is still a clean JSON
+		// 500; mid-stream, the truncated body plus the trailer line is
+		// all we can signal.
+		streamError(w, cw, err)
 	}
 }
 
@@ -206,12 +253,14 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 
 	switch format := q.Get("format"); format {
 	case "", "md":
-		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		// Run first, set the content type only once the result is known:
+		// a failed run answers as a JSON 500, not a markdown-typed error.
 		res, err := s.eng.RunGrid(grid, cfg, nil, nil)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
 		if err := res.WriteMarkdown(w); err != nil {
 			return
 		}
@@ -223,24 +272,35 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, res)
 	case "jsonl":
+		// Streaming: the content type is set optimistically, but rows
+		// write through a counting writer so a failure before the first
+		// row still downgrades to a clean JSON 500 (headers unsent).
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		if _, err := s.eng.RunGrid(grid, cfg, nil, grid.JSONLSink(w)); err != nil {
-			// Mid-stream: the truncated body plus this trailer line is
-			// all we can signal.
-			fmt.Fprintf(w, "\nerror: %v\n", err)
+		cw := &countingWriter{w: w}
+		if _, err := s.eng.RunGrid(grid, cfg, nil, flushingSink(w, grid.JSONLSink(cw))); err != nil {
+			streamError(w, cw, err)
 		}
 	case "csv":
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		sink, flush, err := grid.CSVSink(w)
+		cw := &countingWriter{w: w}
+		sink, flush, err := grid.CSVSink(cw)
 		if err != nil {
+			// The header record never left the csv buffer: answer a real
+			// 500 instead of a silently empty 200.
+			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		_, err = s.eng.RunGrid(grid, cfg, nil, sink)
-		if ferr := flush(); err == nil {
-			err = ferr
+		_, runErr := s.eng.RunGrid(grid, cfg, nil, flushingSink(w, sink))
+		if runErr == nil {
+			runErr = flush()
+		} else if cw.n > 0 {
+			// Mid-stream failure: push the streamed rows out before the
+			// trailer. (With zero bytes delivered the buffered header is
+			// deliberately dropped so the JSON 500 stays clean.)
+			flush()
 		}
-		if err != nil {
-			fmt.Fprintf(w, "\nerror: %v\n", err)
+		if runErr != nil {
+			streamError(w, cw, runErr)
 		}
 	default:
 		writeError(w, http.StatusBadRequest, "unknown format %q (want md, json, jsonl, or csv)", format)

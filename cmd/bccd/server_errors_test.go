@@ -1,0 +1,198 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"bcclique/internal/engine"
+)
+
+// errorTestServer builds a server over an engine whose registry contains
+// deliberately failing entries: EBAD (a spec that always errors), EFAIL
+// (a grid whose only cell errors immediately) and EMID (a two-cell grid
+// whose first cell succeeds and whose second cell waits for the first,
+// then errors — a deterministic mid-stream failure regardless of worker
+// scheduling).
+func errorTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	badSpec := engine.Spec{
+		ID:    "EBAD",
+		Title: "always fails",
+		Run: func(engine.Config, engine.Params) (*engine.Result, error) {
+			return nil, fmt.Errorf("synthetic spec failure")
+		},
+	}
+	failGrid := engine.GridSpec{
+		ID: "EFAIL", Title: "failing grid",
+		Protocols: []string{"p"}, Families: []string{"f"},
+		Sizes: []int{8}, Seeds: 1,
+		Headers: []string{"family", "protocol", "n"},
+		CellKey: func(string, string) (string, error) { return "k", nil },
+		RunCell: func(engine.Config, engine.GridCell, []int64) ([]string, error) {
+			return nil, fmt.Errorf("synthetic cell failure")
+		},
+	}
+	var firstDone atomic.Bool
+	midGrid := engine.GridSpec{
+		ID: "EMID", Title: "mid-stream failing grid",
+		Protocols: []string{"p"}, Families: []string{"f"},
+		Sizes: []int{8, 16}, Seeds: 1,
+		Headers: []string{"family", "protocol", "n"},
+		CellKey: func(string, string) (string, error) { return "k", nil },
+		RunCell: func(_ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
+			if c.N == 8 {
+				defer firstDone.Store(true)
+				return []string{c.Family, c.Protocol, "8"}, nil
+			}
+			for !firstDone.Load() {
+			} // fail strictly after the first cell's row exists
+			return nil, fmt.Errorf("synthetic mid-stream failure")
+		},
+	}
+	eng := engine.New([]engine.Spec{badSpec}, engine.WithGrids(failGrid, midGrid))
+	ts := httptest.NewServer(newServer(eng).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (code int, contentType, body string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+}
+
+// TestSweepsErrorPaths pins the error contract of every /v1/sweeps
+// format: validation failures and pre-stream run failures answer a JSON
+// error status with a JSON content type (never an empty or
+// wrongly-typed 200), and only genuinely mid-stream failures fall back
+// to the in-band error trailer.
+func TestSweepsErrorPaths(t *testing.T) {
+	ts := errorTestServer(t)
+	cases := []struct {
+		name     string
+		query    string
+		wantCode int
+		wantCT   string
+		wantBody string
+	}{
+		{"unknown grid", "grid=E99", http.StatusNotFound, "application/json", "unknown grid"},
+		{"bad seed", "grid=EFAIL&seed=abc", http.StatusBadRequest, "application/json", "bad seed"},
+		{"bad quick", "grid=EFAIL&quick=maybe", http.StatusBadRequest, "application/json", "bad quick"},
+		{"unknown format", "grid=EFAIL&format=yaml", http.StatusBadRequest, "application/json", "unknown format"},
+		// A run that fails before any byte is flushed must be a real
+		// JSON 500 in every format — csv previously answered a silently
+		// empty 200, and md stamped text/markdown on the JSON error.
+		{"run failure md", "grid=EFAIL", http.StatusInternalServerError, "application/json", "synthetic cell failure"},
+		{"run failure md explicit", "grid=EFAIL&format=md", http.StatusInternalServerError, "application/json", "synthetic cell failure"},
+		{"run failure json", "grid=EFAIL&format=json", http.StatusInternalServerError, "application/json", "synthetic cell failure"},
+		{"run failure jsonl", "grid=EFAIL&format=jsonl", http.StatusInternalServerError, "application/json", "synthetic cell failure"},
+		{"run failure csv", "grid=EFAIL&format=csv", http.StatusInternalServerError, "application/json", "synthetic cell failure"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, ct, body := get(t, ts.URL+"/v1/sweeps?"+tc.query)
+			if code != tc.wantCode {
+				t.Errorf("status = %d, want %d (body %q)", code, tc.wantCode, body)
+			}
+			if !strings.HasPrefix(ct, tc.wantCT) {
+				t.Errorf("content type = %q, want prefix %q", ct, tc.wantCT)
+			}
+			if !strings.Contains(body, tc.wantBody) {
+				t.Errorf("body %q does not mention %q", body, tc.wantBody)
+			}
+		})
+	}
+}
+
+// TestSweepsMidStreamTrailer pins the row-format trailer contract: once
+// a row has been flushed the stream stays a 200 with its declared
+// content type, and the failure arrives as a final "error:" trailer
+// line after the streamed rows.
+func TestSweepsMidStreamTrailer(t *testing.T) {
+	for _, tc := range []struct {
+		format, wantCT string
+		wantRows       int // payload lines before the trailer
+	}{
+		{"jsonl", "application/x-ndjson", 1},
+		{"csv", "text/csv", 2}, // header + first row
+	} {
+		t.Run(tc.format, func(t *testing.T) {
+			ts := errorTestServer(t)
+			code, ct, body := get(t, ts.URL+"/v1/sweeps?grid=EMID&format="+tc.format)
+			if code != http.StatusOK {
+				t.Fatalf("status = %d, want 200 (mid-stream headers are already sent)", code)
+			}
+			if !strings.HasPrefix(ct, tc.wantCT) {
+				t.Errorf("content type = %q, want prefix %q", ct, tc.wantCT)
+			}
+			lines := strings.Split(strings.TrimSpace(body), "\n")
+			var payload, trailers []string
+			for _, l := range lines {
+				if strings.HasPrefix(l, "error:") {
+					trailers = append(trailers, l)
+				} else if l != "" {
+					payload = append(payload, l)
+				}
+			}
+			if len(payload) != tc.wantRows {
+				t.Errorf("streamed %d payload lines, want %d:\n%s", len(payload), tc.wantRows, body)
+			}
+			if len(trailers) != 1 || !strings.Contains(trailers[0], "synthetic mid-stream failure") {
+				t.Errorf("trailer = %v, want one error trailer naming the failure", trailers)
+			}
+		})
+	}
+}
+
+// TestReportErrorPaths pins the same guard on /v1/report: a failure
+// before the renderer has flushed anything (jsonl has no front matter)
+// is a JSON 500; md/json have already streamed their front matter, so
+// they keep the 200 + trailer contract.
+func TestReportErrorPaths(t *testing.T) {
+	ts := errorTestServer(t)
+
+	code, ct, body := get(t, ts.URL+"/v1/report?only=EBAD&format=jsonl")
+	if code != http.StatusInternalServerError || !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("jsonl: status %d content type %q, want JSON 500 (body %q)", code, ct, body)
+	}
+	if !strings.Contains(body, "synthetic spec failure") {
+		t.Errorf("jsonl body %q does not name the failure", body)
+	}
+
+	for _, format := range []string{"md", "json"} {
+		code, _, body := get(t, ts.URL+"/v1/report?only=EBAD&format="+format)
+		if code != http.StatusOK {
+			t.Errorf("%s: status = %d, want 200 (front matter already streamed)", format, code)
+		}
+		if !strings.Contains(body, "error: ") || !strings.Contains(body, "synthetic spec failure") {
+			t.Errorf("%s body lacks the error trailer:\n%s", format, body)
+		}
+	}
+}
+
+// TestSweepsMarkdownSuccessType pins that the md success path still
+// declares text/markdown now that the content type is set only after
+// the grid has run.
+func TestSweepsMarkdownSuccessType(t *testing.T) {
+	ts, _ := testServer(t)
+	code, ct, body := get(t, ts.URL+"/v1/sweeps?grid=E18&quick=1&format=md")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/markdown") {
+		t.Errorf("status %d content type %q, want markdown 200", code, ct)
+	}
+	if !strings.Contains(body, "## E18") {
+		t.Errorf("markdown body malformed:\n%s", body)
+	}
+}

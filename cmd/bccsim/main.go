@@ -207,6 +207,9 @@ func runProtocol(name string, g *graph.Graph, inputKind string, n int, seed int6
 	fmt.Printf("rounds   : %d\n", out.Rounds)
 	fmt.Printf("bits     : %d broadcast in total (%.4g bits/round)\n",
 		out.TotalBits, float64(out.TotalBits)/float64(max(1, out.Rounds)))
+	s := out.Summary()
+	fmt.Printf("per round: min %d / median %d / p95 %d / max %d bits\n",
+		s.MinBits, s.MedianBits, s.P95Bits, s.MaxBits)
 	if out.HasVerdict {
 		truth := "disconnected"
 		if g.IsConnected() {

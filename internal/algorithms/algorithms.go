@@ -37,10 +37,25 @@ func bitsFor(m int) int {
 // indexer maps IDs to their rank in the sorted ID list (the canonical
 // vertex indexing every KT-1 algorithm shares).
 type indexer struct {
-	sorted []int
+	sorted   []int
+	identity bool // sorted[i] == i: rank and id are the identity map
 }
 
 func newIndexer(allIDs []int) *indexer {
+	if sort.IntsAreSorted(allIDs) {
+		// Already sorted — alias instead of copying. View.AllIDs is the
+		// instance's shared pre-sorted ID list, so at large n this saves
+		// an O(n) copy per node, O(n²) across the population. The
+		// indexer never mutates its slice.
+		ix := &indexer{sorted: allIDs, identity: true}
+		for i, id := range allIDs {
+			if id != i {
+				ix.identity = false
+				break
+			}
+		}
+		return ix
+	}
 	s := append([]int(nil), allIDs...)
 	sort.Ints(s)
 	return &indexer{sorted: s}
@@ -48,8 +63,17 @@ func newIndexer(allIDs []int) *indexer {
 
 func (ix *indexer) n() int { return len(ix.sorted) }
 
-// rank returns the index of id (-1 if absent).
+// rank returns the index of id (-1 if absent). Sequential IDs (the
+// usual experiment assignment) take the O(1) identity path — rank sits
+// on the per-message decode loop of the merge algorithms, where the
+// binary search is measurable at large n.
 func (ix *indexer) rank(id int) int {
+	if ix.identity {
+		if id < 0 || id >= len(ix.sorted) {
+			return -1
+		}
+		return id
+	}
 	i := sort.SearchInts(ix.sorted, id)
 	if i < len(ix.sorted) && ix.sorted[i] == id {
 		return i

@@ -69,29 +69,49 @@ type boruvkaNode struct {
 	neighbours []int    // input-graph neighbours (sorted-index space)
 	comp       *dsu.DSU // this node's replica of the global component state
 	portRank   []int
+	labelBuf   []int // component-label scratch (see refreshLabels)
+	labelDirty bool  // a merge happened since labelBuf was filled
 	lastSent   uint64
 	broken     bool
 }
 
-// label returns the canonical label (smallest member index) of v's
-// component in the node's replica.
-func (n *boruvkaNode) label(v int) int {
-	// dsu.Labels is O(n); for per-vertex queries track minimum via Find
-	// plus a scan. Components are small here; simplicity wins.
-	root := n.comp.Find(v)
-	min := v
-	for u := 0; u < n.ix.n(); u++ {
-		if n.comp.Find(u) == root && u < min {
-			min = u
+// refreshLabels fills labelBuf[v] = smallest member index of v's
+// component in one O(n·α) pass, instead of an O(n) scan per label
+// query — Send queries a label per incident edge, which made each round
+// O(n·d) per node before. Rounds in which no merge happened (the
+// converged tail of the schedule) skip the refresh entirely.
+func (n *boruvkaNode) refreshLabels() {
+	nn := n.ix.n()
+	if n.labelBuf != nil && !n.labelDirty {
+		return
+	}
+	if n.labelBuf == nil {
+		n.labelBuf = make([]int, nn)
+	}
+	n.labelDirty = false
+	for v := 0; v < nn; v++ {
+		n.labelBuf[v] = -1
+	}
+	// Ascending v: the first member to reach a root is the minimum.
+	for v := 0; v < nn; v++ {
+		if r := n.comp.Find(v); n.labelBuf[r] == -1 {
+			n.labelBuf[r] = v
 		}
 	}
-	return min
+	for v := 0; v < nn; v++ {
+		n.labelBuf[v] = n.labelBuf[n.comp.Find(v)]
+	}
 }
+
+// label returns the canonical label (smallest member index) of v's
+// component, valid until the next merge.
+func (n *boruvkaNode) label(v int) int { return n.labelBuf[v] }
 
 func (n *boruvkaNode) Send(int) bcc.Message {
 	if n.broken {
 		return bcc.Silence
 	}
+	n.refreshLabels()
 	myLabel := n.label(n.self)
 	// Pick the incident edge to the smallest-labelled foreign component.
 	out := -1
@@ -129,8 +149,8 @@ func (n *boruvkaNode) Receive(_ int, inbox []bcc.Message) {
 		}
 		from := n.ix.rank(int(bits >> w & mask))
 		to := n.ix.rank(int(bits >> (2 * w) & mask))
-		if from >= 0 && to >= 0 {
-			n.comp.Union(from, to)
+		if from >= 0 && to >= 0 && n.comp.Union(from, to) {
+			n.labelDirty = true
 		}
 	}
 	apply(n.lastSent)
@@ -155,6 +175,7 @@ func (n *boruvkaNode) Label() int {
 	if n.broken {
 		return -1
 	}
+	n.refreshLabels() // the final round's merges postdate Send's refresh
 	return n.ix.id(n.label(n.self))
 }
 

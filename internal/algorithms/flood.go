@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bcclique/internal/bcc"
+	"bcclique/internal/dsu"
 )
 
 // Flood is the naive KT-1 BCC(b) baseline: every vertex broadcasts its
@@ -54,12 +55,32 @@ func (a *Flood) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 		}
 		node.row = append(node.row, isNbr)
 	}
-	node.portRank = make([]int, view.NumPorts)
+	node.portRank = make([]int32, view.NumPorts)
 	for p := 0; p < view.NumPorts; p++ {
-		node.portRank[p] = node.ix.rank(view.PortIDs[p])
+		node.portRank[p] = int32(node.ix.rank(view.PortIDs[p]))
 	}
-	node.heard = make([][]bool, view.NumPorts)
+	node.got = make([]int32, view.NumPorts)
+	// Incrementally union every adjacency claim as its bit arrives
+	// instead of buffering heard rows: memory per node is O(n), not
+	// O(n²), and the final decision is a component count. Our own row's
+	// claims are entered up front.
+	node.comp = dsu.New(node.ix.n())
+	for i, isNbr := range node.row {
+		if isNbr {
+			node.comp.Union(node.self, rowTarget(node.self, i))
+		}
+	}
 	return node
+}
+
+// rowTarget maps position pos of speaker's adjacency-row encoding (which
+// skips the speaker's own sorted index) back to the claimed neighbour's
+// sorted index.
+func rowTarget(speaker, pos int) int {
+	if pos < speaker {
+		return pos
+	}
+	return pos + 1
 }
 
 type floodNode struct {
@@ -67,8 +88,9 @@ type floodNode struct {
 	ix       *indexer
 	self     int
 	row      []bool
-	portRank []int
-	heard    [][]bool
+	portRank []int32
+	got      []int32  // got[p] = adjacency-row bits received on port p so far
+	comp     *dsu.DSU // union of every adjacency claim heard (plus our own)
 	broken   bool
 }
 
@@ -95,45 +117,51 @@ func (n *floodNode) Receive(_ int, inbox []bcc.Message) {
 	if n.broken {
 		return
 	}
+	rowLen := int32(n.ix.n() - 1)
 	for p, m := range inbox {
+		if m.Len == 0 {
+			continue
+		}
+		speaker := int(n.portRank[p])
+		base := n.got[p]
 		for i := 0; i < int(m.Len); i++ {
-			n.heard[p] = append(n.heard[p], m.BitAt(i) == 1)
-		}
-	}
-}
-
-func (n *floodNode) outputs() componentOutputs {
-	if n.broken {
-		return componentOutputs{verdict: bcc.VerdictNo, label: -1}
-	}
-	nn := n.ix.n()
-	claims := make([][]int, nn)
-	decode := func(v int, row []bool) {
-		// Positions skip v itself.
-		i := 0
-		for w := 0; w < nn; w++ {
-			if w == v {
-				continue
+			pos := base + int32(i)
+			if pos >= rowLen {
+				break // trailing bits beyond the row encoding carry nothing
 			}
-			if i < len(row) && row[i] {
-				claims[v] = append(claims[v], w)
+			if m.BitAt(i) == 1 {
+				n.comp.Union(speaker, rowTarget(speaker, int(pos)))
 			}
-			i++
 		}
+		n.got[p] = base + int32(m.Len)
 	}
-	decode(n.self, n.row)
-	for p, row := range n.heard {
-		decode(n.portRank[p], row)
-	}
-	g := claimGraph(nn, claims)
-	return outputsFromGraph(g, n.ix, n.self, false)
 }
 
 // Decide implements bcc.Decider.
-func (n *floodNode) Decide() bcc.Verdict { return n.outputs().verdict }
+func (n *floodNode) Decide() bcc.Verdict {
+	if n.broken {
+		return bcc.VerdictNo
+	}
+	if n.comp.Sets() == 1 {
+		return bcc.VerdictYes
+	}
+	return bcc.VerdictNo
+}
 
-// Label implements bcc.Labeler.
-func (n *floodNode) Label() int { return n.outputs().label }
+// Label implements bcc.Labeler: the smallest ID in this vertex's
+// component of the reconstructed graph.
+func (n *floodNode) Label() int {
+	if n.broken {
+		return -1
+	}
+	min := n.ix.id(n.self)
+	for u := 0; u < n.ix.n(); u++ {
+		if n.comp.Same(n.self, u) && n.ix.id(u) < min {
+			min = n.ix.id(u)
+		}
+	}
+	return min
+}
 
 var (
 	_ bcc.Algorithm = (*Flood)(nil)

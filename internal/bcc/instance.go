@@ -40,11 +40,20 @@ func (k Knowledge) String() string {
 // Vertices are indexed 0..n-1 for simulation bookkeeping; the index is not
 // part of any vertex's knowledge. Ports at each vertex are indexed
 // 0..n-2.
+//
+// KT-1 instances whose IDs are already ascending in vertex-index order
+// (SequentialIDs, and any other sorted assignment) keep their wiring
+// implicit: port p of vertex v provably leads to vertex p (p < v) or
+// p+1 (p ≥ v), so no O(n²) port tables are materialized. This is what
+// lets large-n sweep cells build instances in O(n) memory; the tables
+// appear lazily only if a caller rewires ports (SwapPortTargets).
 type Instance struct {
 	knowledge Knowledge
 	ids       []int
+	canonical bool    // implicit ascending-ID KT-1 wiring; ports/portTo nil
 	ports     [][]int // ports[v][p] = vertex index reached from port p of v
 	portTo    [][]int // portTo[v][u] = port of v leading to u; -1 on diagonal
+	sortedIDs []int   // ids sorted ascending, shared read-only by KT-1 views
 	input     *graph.Graph
 }
 
@@ -56,6 +65,17 @@ func NewKT1(ids []int, input *graph.Graph) (*Instance, error) {
 	n := len(ids)
 	if err := validateIDs(ids, input); err != nil {
 		return nil, err
+	}
+	if sort.IntsAreSorted(ids) {
+		// Ascending IDs: the canonical wiring is the identity-order
+		// formula, so the port tables stay implicit.
+		return &Instance{
+			knowledge: KT1,
+			ids:       append([]int(nil), ids...),
+			canonical: true,
+			sortedIDs: append([]int(nil), ids...),
+			input:     input.Clone(),
+		}, nil
 	}
 	order := make([]int, n) // vertex indices sorted by ID
 	for i := range order {
@@ -143,11 +163,14 @@ func newInstance(k Knowledge, ids []int, input *graph.Graph, wiring [][]int) (*I
 	if len(wiring) != n {
 		return nil, fmt.Errorf("bcc: wiring for %d vertices, want %d", len(wiring), n)
 	}
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
 	in := &Instance{
 		knowledge: k,
 		ids:       append([]int(nil), ids...),
 		ports:     make([][]int, n),
 		portTo:    make([][]int, n),
+		sortedIDs: sorted,
 		input:     input.Clone(),
 	}
 	for v := 0; v < n; v++ {
@@ -210,20 +233,74 @@ func (in *Instance) VertexByID(id int) int {
 func (in *Instance) Input() *graph.Graph { return in.input }
 
 // NeighborAt returns the vertex index at the far end of port p of v.
-func (in *Instance) NeighborAt(v, p int) int { return in.ports[v][p] }
+func (in *Instance) NeighborAt(v, p int) int {
+	if in.canonical {
+		if p < v {
+			return p
+		}
+		return p + 1
+	}
+	return in.ports[v][p]
+}
 
 // PortOf returns the port of v whose far end is u (-1 if u == v).
-func (in *Instance) PortOf(v, u int) int { return in.portTo[v][u] }
-
-// InputPorts returns the sorted port numbers of v that carry input edges.
-func (in *Instance) InputPorts(v int) []int {
-	var ports []int
-	for p, u := range in.ports[v] {
-		if in.input.HasEdge(v, u) {
-			ports = append(ports, p)
+func (in *Instance) PortOf(v, u int) int {
+	if in.canonical {
+		switch {
+		case u == v:
+			return -1
+		case u < v:
+			return u
+		default:
+			return u - 1
 		}
 	}
+	return in.portTo[v][u]
+}
+
+// InputPorts returns the sorted port numbers of v that carry input edges.
+// It walks v's input neighbours directly — O(deg(v) log deg(v)) — rather
+// than probing every one of the n−1 ports with an edge lookup.
+func (in *Instance) InputPorts(v int) []int {
+	nbrs := in.input.NeighborSlice(v)
+	if len(nbrs) == 0 {
+		return nil
+	}
+	ports := make([]int, len(nbrs))
+	for i, u := range nbrs {
+		ports[i] = in.PortOf(v, u)
+	}
+	if !in.canonical {
+		// The canonical port map is monotone in the neighbour index, so
+		// only materialized wirings need the sort.
+		sort.Ints(ports)
+	}
 	return ports
+}
+
+// materialize expands an implicit canonical wiring into explicit port
+// tables, so rewiring primitives can mutate them.
+func (in *Instance) materialize() {
+	if !in.canonical {
+		return
+	}
+	n := in.N()
+	in.ports = make([][]int, n)
+	in.portTo = make([][]int, n)
+	for v := 0; v < n; v++ {
+		in.ports[v] = make([]int, n-1)
+		in.portTo[v] = make([]int, n)
+		for p := 0; p < n-1; p++ {
+			in.ports[v][p] = in.NeighborAt(v, p)
+		}
+		in.portTo[v][v] = -1
+		for u := 0; u < n; u++ {
+			if u != v {
+				in.portTo[v][u] = in.PortOf(v, u)
+			}
+		}
+	}
+	in.canonical = false
 }
 
 // SwapPortTargets exchanges the far endpoints of ports pA and pB at vertex
@@ -236,6 +313,7 @@ func (in *Instance) SwapPortTargets(v, pA, pB int) error {
 	if pA < 0 || pB < 0 || pA >= in.N()-1 || pB >= in.N()-1 {
 		return fmt.Errorf("bcc: ports %d,%d out of range at vertex %d", pA, pB, v)
 	}
+	in.materialize()
 	a, b := in.ports[v][pA], in.ports[v][pB]
 	in.ports[v][pA], in.ports[v][pB] = b, a
 	in.portTo[v][a], in.portTo[v][b] = pB, pA
@@ -248,36 +326,44 @@ func (in *Instance) AddInputEdge(u, v int) error { return in.input.AddEdge(u, v)
 // RemoveInputEdge unmarks the input edge {u, v}.
 func (in *Instance) RemoveInputEdge(u, v int) error { return in.input.RemoveEdge(u, v) }
 
-// Clone returns a deep copy of the instance.
+// Clone returns a deep copy of the instance. Implicit canonical wirings
+// stay implicit.
 func (in *Instance) Clone() *Instance {
 	n := in.N()
 	c := &Instance{
 		knowledge: in.knowledge,
 		ids:       append([]int(nil), in.ids...),
-		ports:     make([][]int, n),
-		portTo:    make([][]int, n),
+		canonical: in.canonical,
+		sortedIDs: append([]int(nil), in.sortedIDs...),
 		input:     in.input.Clone(),
 	}
-	for v := 0; v < n; v++ {
-		c.ports[v] = append([]int(nil), in.ports[v]...)
-		c.portTo[v] = append([]int(nil), in.portTo[v]...)
+	if !in.canonical {
+		c.ports = make([][]int, n)
+		c.portTo = make([][]int, n)
+		for v := 0; v < n; v++ {
+			c.ports[v] = append([]int(nil), in.ports[v]...)
+			c.portTo[v] = append([]int(nil), in.portTo[v]...)
+		}
 	}
 	return c
 }
 
 // Equal reports whether two instances are identical: same knowledge
 // variant, IDs, port wiring, and input graph. This is the instance
-// identity used when checking that crossing is an involution.
+// identity used when checking that crossing is an involution. Wiring is
+// compared through NeighborAt, so an implicit canonical wiring equals
+// its materialized expansion.
 func (in *Instance) Equal(other *Instance) bool {
 	if other == nil || in.knowledge != other.knowledge || in.N() != other.N() {
 		return false
 	}
+	n := in.N()
 	for v := range in.ids {
 		if in.ids[v] != other.ids[v] {
 			return false
 		}
-		for p := range in.ports[v] {
-			if in.ports[v][p] != other.ports[v][p] {
+		for p := 0; p < n-1; p++ {
+			if in.NeighborAt(v, p) != other.NeighborAt(v, p) {
 				return false
 			}
 		}
@@ -295,8 +381,11 @@ type View struct {
 	ID         int   // this vertex's ID
 	NumPorts   int   // always N-1
 	InputPorts []int // sorted ports carrying input edges
-	AllIDs     []int // KT-1 only: all n IDs, sorted ascending; nil in KT-0
-	PortIDs    []int // KT-1 only: PortIDs[p] = ID behind port p; nil in KT-0
+	// AllIDs lists all n IDs, sorted ascending (KT-1 only; nil in KT-0).
+	// The slice is shared between every view of one instance: treat it
+	// as read-only.
+	AllIDs  []int
+	PortIDs []int // KT-1 only: PortIDs[p] = ID behind port p; nil in KT-0
 }
 
 // View returns the initial knowledge of vertex v.
@@ -309,11 +398,10 @@ func (in *Instance) View(v int) View {
 		InputPorts: in.InputPorts(v),
 	}
 	if in.knowledge == KT1 {
-		view.AllIDs = append([]int(nil), in.ids...)
-		sort.Ints(view.AllIDs)
+		view.AllIDs = in.sortedIDs
 		view.PortIDs = make([]int, in.N()-1)
-		for p, u := range in.ports[v] {
-			view.PortIDs[p] = in.ids[u]
+		for p := range view.PortIDs {
+			view.PortIDs[p] = in.ids[in.NeighborAt(v, p)]
 		}
 	}
 	return view

@@ -2,9 +2,36 @@ package bcc
 
 import (
 	"fmt"
+	"sync"
 
 	"bcclique/internal/parallel"
 )
+
+// runBuffers is the per-run simulation scratch: the round's broadcast
+// vector and the per-vertex inbox. Pooled across runs (and across the
+// worker goroutines of a sweep grid) so the hot loop is allocation-free
+// once the pool has warmed up for a given instance size.
+type runBuffers struct {
+	sends []Message
+	inbox []Message
+}
+
+var runBufferPool = sync.Pool{New: func() interface{} { return &runBuffers{} }}
+
+// getRunBuffers returns scratch sized for n vertices, growing the pooled
+// arenas if this n is the largest seen.
+func getRunBuffers(n int) *runBuffers {
+	buf := runBufferPool.Get().(*runBuffers)
+	if cap(buf.sends) < n {
+		buf.sends = make([]Message, n)
+		buf.inbox = make([]Message, n-1)
+	}
+	buf.sends = buf.sends[:n]
+	buf.inbox = buf.inbox[:n-1]
+	return buf
+}
+
+func putRunBuffers(buf *runBuffers) { runBufferPool.Put(buf) }
 
 // Verdict is a vertex's (or the system's) answer to a decision problem.
 type Verdict int
@@ -76,11 +103,17 @@ type Transcript struct {
 
 // Result is the outcome of running an algorithm on an instance.
 type Result struct {
-	Rounds      int
-	HasVerdict  bool
-	Verdict     Verdict // meaningful only if HasVerdict
-	Labels      []int   // per-vertex labels; nil unless all nodes are Labelers
-	TotalBits   int     // total bits broadcast over the whole run
+	Rounds     int
+	HasVerdict bool
+	Verdict    Verdict // meaningful only if HasVerdict
+	Labels     []int   // per-vertex labels; nil unless all nodes are Labelers
+	TotalBits  int     // total bits broadcast over the whole run
+	// RoundBits[t-1] is the number of bits all vertices broadcast in
+	// round t — the per-round cost transcript, always recorded (it is
+	// O(rounds), independent of n).
+	RoundBits []int
+	// Transcripts holds the per-vertex Sent (and optionally Received)
+	// message sequences; nil under WithoutTranscripts.
 	Transcripts []Transcript
 }
 
@@ -92,6 +125,7 @@ type options struct {
 	coin           *Coin
 	rounds         int // -1: use the algorithm's schedule
 	recordReceived bool
+	noTranscripts  bool
 }
 
 // Option configures Run.
@@ -123,6 +157,18 @@ func (recordReceivedOption) apply(opts *options) { opts.recordReceived = true }
 // transcripts (O(n²·t) memory).
 func WithReceivedTranscripts() Option { return recordReceivedOption{} }
 
+type noTranscriptsOption struct{}
+
+func (noTranscriptsOption) apply(opts *options) { opts.noTranscripts = true }
+
+// WithoutTranscripts runs without recording any per-vertex message
+// transcripts: Result.Transcripts is nil and only the O(rounds)
+// RoundBits cost series (plus verdict/labels) is retained. This is the
+// memory-bounded mode the sweep grids use at large n, where a Sent
+// arena alone would be Θ(n·rounds) — 268 MB for flood-b1 at n = 4096.
+// It conflicts with WithReceivedTranscripts.
+func WithoutTranscripts() Option { return noTranscriptsOption{} }
+
 // Run executes the algorithm on the instance and returns the result.
 // Sent transcripts are always recorded (they are the labels that drive the
 // crossing machinery); received transcripts only on request.
@@ -144,44 +190,69 @@ func Run(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
 		return nil, fmt.Errorf("bcc: algorithm %q returned negative round count %d", algo.Name(), rounds)
 	}
 
+	if o.noTranscripts && o.recordReceived {
+		return nil, fmt.Errorf("bcc: WithoutTranscripts conflicts with WithReceivedTranscripts")
+	}
+
 	nodes := make([]Node, n)
 	for v := 0; v < n; v++ {
 		nodes[v] = algo.NewNode(in.View(v), o.coin)
 	}
 
-	res := &Result{Rounds: rounds, Transcripts: make([]Transcript, n)}
-	sends := make([]Message, n)
-	inbox := make([]Message, n-1)
-	// One flat arena backs every vertex's Sent transcript: n slices into a
-	// single allocation instead of n append-grown ones.
-	sentArena := make([]Message, n*rounds)
-	for v := 0; v < n; v++ {
-		res.Transcripts[v].Sent = sentArena[v*rounds : (v+1)*rounds : (v+1)*rounds]
-		if o.recordReceived {
-			res.Transcripts[v].Received = make([][]Message, 0, rounds)
+	res := &Result{Rounds: rounds, RoundBits: make([]int, rounds)}
+	// Per-run send/inbox scratch comes from a pool sized by the largest
+	// (n, rounds) seen, so sweep grids running thousands of cells reuse
+	// two arenas instead of re-allocating per run. Every slot is
+	// overwritten before it is read, so stale pool contents are inert.
+	buf := getRunBuffers(n)
+	defer putRunBuffers(buf)
+	sends, inbox := buf.sends, buf.inbox
+	if !o.noTranscripts {
+		res.Transcripts = make([]Transcript, n)
+		// One flat arena backs every vertex's Sent transcript: n slices
+		// into a single allocation instead of n append-grown ones.
+		sentArena := make([]Message, n*rounds)
+		for v := 0; v < n; v++ {
+			res.Transcripts[v].Sent = sentArena[v*rounds : (v+1)*rounds : (v+1)*rounds]
+			if o.recordReceived {
+				res.Transcripts[v].Received = make([][]Message, 0, rounds)
+			}
 		}
 	}
-	// delivery[v][p] is the vertex whose broadcast lands on port p of v —
-	// the instance's precomputed port table, so delivery needs one linear
-	// pass per vertex instead of a PortOf(v, u) lookup per (v, u) pair.
-	delivery := in.ports
 	for t := 1; t <= rounds; t++ {
+		roundBits := 0
 		for v := 0; v < n; v++ {
 			m := nodes[v].Send(t)
 			if int(m.Len) > b {
 				return nil, fmt.Errorf("bcc: vertex %d broadcast %d bits in round %d, bandwidth is %d", v, m.Len, t, b)
 			}
 			sends[v] = m
-			res.TotalBits += int(m.Len)
-			res.Transcripts[v].Sent[t-1] = m
+			roundBits += int(m.Len)
+			if !o.noTranscripts {
+				res.Transcripts[v].Sent[t-1] = m
+			}
 		}
+		res.RoundBits[t-1] = roundBits
+		res.TotalBits += roundBits
 		var recvArena []Message
 		if o.recordReceived {
 			recvArena = make([]Message, n*(n-1))
 		}
 		for v := 0; v < n; v++ {
-			for p, u := range delivery[v] {
-				inbox[p] = sends[u]
+			if in.canonical {
+				// Canonical ascending-ID wiring: port p of v carries
+				// vertex p (p < v) or p+1, so delivery is two block
+				// copies instead of an indexed gather.
+				copy(inbox[:v], sends[:v])
+				copy(inbox[v:], sends[v+1:])
+			} else {
+				// delivery[p] is the vertex whose broadcast lands on
+				// port p of v — the instance's precomputed port table,
+				// one linear pass per vertex instead of a PortOf(v, u)
+				// lookup per (v, u) pair.
+				for p, u := range in.ports[v] {
+					inbox[p] = sends[u]
+				}
 			}
 			nodes[v].Receive(t, inbox)
 			if o.recordReceived {

@@ -93,6 +93,11 @@ func New(specs []Spec, opts ...Option) *Engine {
 		opt(e)
 	}
 	for _, g := range e.grids {
+		if err := g.validate(); err != nil {
+			// A registry misdeclaration, not a runtime condition: fail at
+			// construction so the mistake cannot ship as silent behavior.
+			panic(err)
+		}
 		e.specs = append(e.specs, e.gridSpec(g))
 	}
 	return e

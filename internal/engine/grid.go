@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,14 @@ type GridSpec struct {
 	// nil = Sizes).
 	Sizes      []int
 	QuickSizes []int
+	// SizeCaps declares per-protocol feasibility ceilings: a protocol
+	// listed here gets no cells with N above its cap, letting one grid
+	// carry a size ladder that only its scalable protocols climb (e.g.
+	// the sketch protocol's per-replica decode is Θ(n) per heard sketch,
+	// so its cells stop where the ladder would take CPU-hours). Caps are
+	// part of the grid's declared axes — they change the synthesized
+	// spec key, never a surviving cell's content address.
+	SizeCaps map[string]int
 	// Seeds is the per-cell seed count (QuickSeeds under Config.Quick;
 	// 0 = Seeds).
 	Seeds      int
@@ -96,14 +105,19 @@ func (g GridSpec) SeedCount(cfg Config) int {
 
 // Cells enumerates the grid in deterministic cell order —
 // family-major, then protocol, then size, so each (family, protocol)
-// cost curve is contiguous in the assembled table.
+// cost curve is contiguous in the assembled table. Sizes above a
+// protocol's declared SizeCaps ceiling are skipped.
 func (g GridSpec) Cells(cfg Config) []GridCell {
 	sizes := g.ResolvedSizes(cfg)
 	seeds := g.SeedCount(cfg)
 	cells := make([]GridCell, 0, len(g.Families)*len(g.Protocols)*len(sizes))
 	for _, fam := range g.Families {
 		for _, proto := range g.Protocols {
+			cap, capped := g.SizeCaps[proto]
 			for _, n := range sizes {
+				if capped && n > cap {
+					continue
+				}
 				cells = append(cells, GridCell{
 					Index: len(cells), Protocol: proto, Family: fam, N: n, Seeds: seeds,
 				})
@@ -114,10 +128,24 @@ func (g GridSpec) Cells(cfg Config) []GridCell {
 }
 
 // axes canonically encodes the non-numeric axes for the synthesized
-// spec's Params.Extra, so recomposing a grid changes its spec key.
+// spec's Params.Extra, so recomposing a grid (including its feasibility
+// ceilings) changes its spec key.
 func (g GridSpec) axes() string {
-	return fmt.Sprintf("grid{protocols=%s;families=%s}",
-		strings.Join(g.Protocols, ","), strings.Join(g.Families, ","))
+	caps := ""
+	if len(g.SizeCaps) > 0 {
+		names := make([]string, 0, len(g.SizeCaps))
+		for name := range g.SizeCaps {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s<=%d", name, g.SizeCaps[name])
+		}
+		caps = ";caps=" + strings.Join(parts, ",")
+	}
+	return fmt.Sprintf("grid{protocols=%s;families=%s%s}",
+		strings.Join(g.Protocols, ","), strings.Join(g.Families, ","), caps)
 }
 
 // Restrict returns a copy of the grid narrowed to the given axis
@@ -177,17 +205,66 @@ func (g GridSpec) JSONLSink(w io.Writer) func(GridCell, []string) error {
 	}
 }
 
-// CSVSink writes the header line immediately and returns a RunGrid sink
-// that streams one CSV record per row, plus a flush to call (and check)
-// once the run finishes.
+// CSVSink writes the header record (buffered until the first row) and
+// returns a RunGrid sink that streams one CSV record per row — each row
+// is flushed through to w as it completes, so slow grids deliver rows
+// incrementally instead of in 4 KiB bufio batches — plus a final flush
+// to call (and check) once the run finishes.
 func (g GridSpec) CSVSink(w io.Writer) (sink func(GridCell, []string) error, flush func() error, err error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(g.Headers); err != nil {
 		return nil, nil, err
 	}
-	return func(_ GridCell, row []string) error { return cw.Write(row) },
+	return func(_ GridCell, row []string) error {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+			cw.Flush()
+			return cw.Error()
+		},
 		func() error { cw.Flush(); return cw.Error() },
 		nil
+}
+
+// validate rejects a misdeclared grid at registration time: a SizeCaps
+// key that names no protocol of the grid would silently disable the
+// ceiling it was meant to enforce (the capped protocol climbs the whole
+// ladder), and a cap below the smallest size would silently erase the
+// protocol from the grid.
+func (g GridSpec) validate() error {
+	// The cap must clear the smallest size of EACH ladder — a cap below
+	// only the quick ladder would erase the protocol from quick/CI runs,
+	// the hardest variant of the silence to notice.
+	minOf := func(axis []int) (int, bool) {
+		if len(axis) == 0 {
+			return 0, false
+		}
+		min := axis[0]
+		for _, n := range axis[1:] {
+			if n < min {
+				min = n
+			}
+		}
+		return min, true
+	}
+	for name, cap := range g.SizeCaps {
+		found := false
+		for _, p := range g.Protocols {
+			if p == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("grid %s: size cap for %q names no protocol of the grid", g.ID, name)
+		}
+		for _, axis := range [][]int{g.Sizes, g.QuickSizes} {
+			if min, ok := minOf(axis); ok && cap < min {
+				return fmt.Errorf("grid %s: size cap %d for %q is below the smallest size %d of a ladder", g.ID, cap, name, min)
+			}
+		}
+	}
+	return nil
 }
 
 // spec synthesizes the registry entry for a grid: its Params carry the
@@ -325,6 +402,13 @@ func (e *Engine) RunGrid(g GridSpec, cfg Config, onEvent func(Event), sink func(
 		emit = onEvent
 	}
 	cells := g.Cells(cfg)
+	if len(cells) == 0 {
+		// A restriction can intersect the declared feasibility ceilings
+		// down to nothing; an empty 200/table would read as "ran, no
+		// data", so refuse loudly instead.
+		return nil, fmt.Errorf("engine: grid %s has no cells for this configuration (sizes %v, declared ceilings %s)",
+			g.ID, g.ResolvedSizes(cfg), g.axes())
+	}
 	done := make([]chan struct{}, len(cells))
 	for i := range done {
 		done[i] = make(chan struct{})
@@ -375,8 +459,13 @@ func (e *Engine) RunGrid(g GridSpec, cfg Config, onEvent func(Event), sink func(
 		}
 		table.Rows = append(table.Rows, rows[i])
 	}
+	sizes := g.ResolvedSizes(cfg)
 	finding := fmt.Sprintf("%d cells: %d families × %d protocols × %d sizes, %d seeds each.",
-		len(cells), len(g.Families), len(g.Protocols), len(g.ResolvedSizes(cfg)), g.SeedCount(cfg))
+		len(cells), len(g.Families), len(g.Protocols), len(sizes), g.SeedCount(cfg))
+	if skipped := len(g.Families)*len(g.Protocols)*len(sizes) - len(cells); skipped > 0 {
+		finding = fmt.Sprintf("%d cells: %d families × %d protocols × %d sizes minus %d above declared protocol size ceilings, %d seeds each.",
+			len(cells), len(g.Families), len(g.Protocols), len(sizes), skipped, g.SeedCount(cfg))
+	}
 	if g.Summarize != nil {
 		finding = g.Summarize(table.Rows)
 	}

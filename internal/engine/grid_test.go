@@ -202,6 +202,51 @@ func TestGridAsRegistrySpec(t *testing.T) {
 	}
 }
 
+// TestGridSizeCapValidation pins registration-time cap validation: a
+// cap naming no protocol (which would silently disable the ceiling) or
+// sitting below the smallest size (which would silently erase the
+// protocol) must refuse to register.
+func TestGridSizeCapValidation(t *testing.T) {
+	base := engine.GridSpec{
+		ID: "EVAL", Title: "cap validation",
+		Protocols: []string{"p"}, Families: []string{"f"},
+		Sizes: []int{8, 16}, Seeds: 1,
+		Headers: []string{"family", "protocol", "n"},
+		CellKey: func(string, string) (string, error) { return "k", nil },
+		RunCell: func(_ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
+			return []string{c.Family, c.Protocol, "8"}, nil
+		},
+	}
+	mustPanic := func(name string, g engine.GridSpec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: engine.New accepted a misdeclared grid", name)
+			}
+		}()
+		engine.New(nil, engine.WithGrids(g))
+	}
+	typo := base
+	typo.SizeCaps = map[string]int{"nope": 8}
+	mustPanic("unknown protocol", typo)
+	tooLow := base
+	tooLow.SizeCaps = map[string]int{"p": 4}
+	mustPanic("cap below smallest size", tooLow)
+	ok := base
+	ok.SizeCaps = map[string]int{"p": 8}
+	eng := engine.New(nil, engine.WithGrids(ok))
+	if cells := ok.Cells(engine.Config{}); len(cells) != 1 {
+		t.Errorf("capped grid has %d cells, want 1", len(cells))
+	}
+	res, err := eng.RunGrid(ok, engine.Config{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Finding, "minus 1 above declared protocol size ceilings") {
+		t.Errorf("finding does not account for capped cells: %q", res.Finding)
+	}
+}
+
 // TestGridRestrictValidation pins Restrict's axis validation.
 func TestGridRestrictValidation(t *testing.T) {
 	eng := harness.NewEngine()

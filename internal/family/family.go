@@ -177,25 +177,58 @@ func ForestPartition(g *graph.Graph, a int) bool {
 }
 
 // forestPartitioner maintains a partition of an incrementally grown edge
-// set into k forests.
+// set into k forests. Each layer carries a union-find connectivity
+// oracle so the common case — "does this layer accept the edge?" — is
+// O(α) instead of a breadth-first scan of the whole tree; the oracle is
+// invalidated (and lazily rebuilt) on the rare displacement unlinks,
+// which union-find cannot replay.
 type forestPartitioner struct {
+	n       int
 	k       int
 	layerOf map[graph.Edge]int
-	adj     [][][]int // adj[layer][v] = neighbours of v within that forest
+	adj     [][][]int  // adj[layer][v] = neighbours of v within that forest
+	conn    []*dsu.DSU // conn[layer] = same-tree oracle; nil when stale
 }
 
 func newForestPartitioner(n, k int) *forestPartitioner {
-	p := &forestPartitioner{k: k, layerOf: make(map[graph.Edge]int), adj: make([][][]int, k)}
+	p := &forestPartitioner{
+		n: n, k: k,
+		layerOf: make(map[graph.Edge]int),
+		adj:     make([][][]int, k),
+		conn:    make([]*dsu.DSU, k),
+	}
 	for i := range p.adj {
 		p.adj[i] = make([][]int, n)
+		p.conn[i] = dsu.New(n)
 	}
 	return p
+}
+
+// sameTree reports whether u and v lie in one tree of the given layer,
+// rebuilding the layer's union-find oracle if a displacement staled it.
+func (p *forestPartitioner) sameTree(layer, u, v int) bool {
+	d := p.conn[layer]
+	if d == nil {
+		d = dsu.New(p.n)
+		for x := 0; x < p.n; x++ {
+			for _, w := range p.adj[layer][x] {
+				if x < w {
+					d.Union(x, w)
+				}
+			}
+		}
+		p.conn[layer] = d
+	}
+	return d.Same(u, v)
 }
 
 func (p *forestPartitioner) link(layer int, e graph.Edge) {
 	p.layerOf[e] = layer
 	p.adj[layer][e.U] = append(p.adj[layer][e.U], e.V)
 	p.adj[layer][e.V] = append(p.adj[layer][e.V], e.U)
+	if d := p.conn[layer]; d != nil {
+		d.Union(e.U, e.V)
+	}
 }
 
 func (p *forestPartitioner) unlink(layer int, e graph.Edge) {
@@ -209,6 +242,7 @@ func (p *forestPartitioner) unlink(layer int, e graph.Edge) {
 			}
 		}
 	}
+	p.conn[layer] = nil // union-find cannot split; rebuild on next query
 }
 
 // treePath returns the vertex path from u to v within one forest layer
@@ -257,8 +291,7 @@ func (p *forestPartitioner) insert(e0 graph.Edge) bool {
 			if l, assigned := p.layerOf[x]; assigned && l == i {
 				continue
 			}
-			path := p.treePath(i, x.U, x.V)
-			if path == nil {
+			if !p.sameTree(i, x.U, x.V) {
 				// Layer i accepts x: place it and cascade the parents
 				// into the layers their children just vacated.
 				cur, dest := x, i
@@ -275,6 +308,8 @@ func (p *forestPartitioner) insert(e0 graph.Edge) bool {
 					cur, dest = pr.via, pr.layer
 				}
 			}
+			// Same tree: the unique tree path is the displacement frontier.
+			path := p.treePath(i, x.U, x.V)
 			for j := 1; j < len(path); j++ {
 				f := graph.NormEdge(path[j-1], path[j])
 				if !visited[f] {
@@ -365,22 +400,22 @@ var registry = []*Family{
 		name: "star", params: "center=0", version: 1, minN: 2,
 		inv: Invariants{Connected: Yes, Components: 1, MaxArboricity: 1},
 		build: func(n int, _ *rand.Rand) (*graph.Graph, error) {
-			g := graph.New(n)
+			b := graph.NewBuilder(n)
 			for i := 1; i < n; i++ {
-				g.MustAddEdge(0, i)
+				b.MustAdd(0, i)
 			}
-			return g, nil
+			return b.Freeze()
 		},
 	},
 	{
 		name: "path", params: "order=0..n-1", version: 1, minN: 2,
 		inv: Invariants{Connected: Yes, Components: 1, MaxArboricity: 1},
 		build: func(n int, _ *rand.Rand) (*graph.Graph, error) {
-			g := graph.New(n)
+			b := graph.NewBuilder(n)
 			for i := 1; i < n; i++ {
-				g.MustAddEdge(i-1, i)
+				b.MustAdd(i-1, i)
 			}
-			return g, nil
+			return b.Freeze()
 		},
 	},
 	{
@@ -453,15 +488,15 @@ func erBuilder(c float64) func(int, *rand.Rand) (*graph.Graph, error) {
 		if p > 1 {
 			p = 1
 		}
-		g := graph.New(n)
+		b := graph.NewBuilder(n)
 		for u := 0; u < n; u++ {
 			for v := u + 1; v < n; v++ {
 				if rng.Float64() < p {
-					g.MustAddEdge(u, v)
+					b.MustAdd(u, v)
 				}
 			}
 		}
-		return g, nil
+		return b.Freeze()
 	}
 }
 
@@ -475,21 +510,21 @@ func plantedBuilder(k int) func(int, *rand.Rand) (*graph.Graph, error) {
 			return nil, fmt.Errorf("n=%d cannot hold %d components of ≥ 2 vertices", n, k)
 		}
 		perm := rng.Perm(n)
-		g := graph.New(n)
+		b := graph.NewBuilder(n)
 		for j := 0; j < k; j++ {
 			lo, hi := j*n/k, (j+1)*n/k
 			group := perm[lo:hi]
 			for i := 1; i < len(group); i++ {
-				g.MustAddEdge(group[i], group[rng.Intn(i)])
+				b.MustAdd(group[i], group[rng.Intn(i)])
 			}
 			for t := 0; t < len(group)/2; t++ {
 				u, v := group[rng.Intn(len(group))], group[rng.Intn(len(group))]
-				if u != v && !g.HasEdge(u, v) {
-					g.MustAddEdge(u, v)
+				if u != v && !b.Has(u, v) {
+					b.MustAdd(u, v)
 				}
 			}
 		}
-		return g, nil
+		return b.Freeze()
 	}
 }
 
@@ -500,22 +535,22 @@ func plantedBuilder(k int) func(int, *rand.Rand) (*graph.Graph, error) {
 func forestUnionBuilder(a int) func(int, *rand.Rand) (*graph.Graph, error) {
 	return func(n int, rng *rand.Rand) (*graph.Graph, error) {
 		perm := rng.Perm(n)
-		g := graph.New(n)
+		b := graph.NewBuilder(n)
 		for i := 1; i < n; i++ {
-			g.MustAddEdge(perm[i], perm[rng.Intn(i)])
+			b.MustAdd(perm[i], perm[rng.Intn(i)])
 		}
 		for layer := 1; layer < a; layer++ {
 			forest := dsu.New(n)
 			for t := 0; t < 2*n; t++ {
 				u, v := rng.Intn(n), rng.Intn(n)
-				if u == v || g.HasEdge(u, v) || forest.Find(u) == forest.Find(v) {
+				if u == v || b.Has(u, v) || forest.Find(u) == forest.Find(v) {
 					continue
 				}
 				forest.Union(u, v)
-				g.MustAddEdge(u, v)
+				b.MustAdd(u, v)
 			}
 		}
-		return g, nil
+		return b.Freeze()
 	}
 }
 
@@ -532,43 +567,47 @@ func gridDims(n int) (r, c int) {
 	return r, n / r
 }
 
-func buildGrid(n int, _ *rand.Rand) (*graph.Graph, error) {
-	r, c := gridDims(n)
-	g := graph.New(n)
+// addGridEdges appends the r×c lattice edges shared by the grid and
+// torus families.
+func addGridEdges(b *graph.Builder, r, c int) {
 	at := func(i, j int) int { return i*c + j }
 	for i := 0; i < r; i++ {
 		for j := 0; j < c; j++ {
 			if j+1 < c {
-				g.MustAddEdge(at(i, j), at(i, j+1))
+				b.MustAdd(at(i, j), at(i, j+1))
 			}
 			if i+1 < r {
-				g.MustAddEdge(at(i, j), at(i+1, j))
+				b.MustAdd(at(i, j), at(i+1, j))
 			}
 		}
 	}
-	return g, nil
 }
 
-func buildTorus(n int, rng *rand.Rand) (*graph.Graph, error) {
-	g, err := buildGrid(n, rng)
-	if err != nil {
-		return nil, err
-	}
+func buildGrid(n int, _ *rand.Rand) (*graph.Graph, error) {
 	r, c := gridDims(n)
+	b := graph.NewBuilder(n)
+	addGridEdges(b, r, c)
+	return b.Freeze()
+}
+
+func buildTorus(n int, _ *rand.Rand) (*graph.Graph, error) {
+	r, c := gridDims(n)
+	b := graph.NewBuilder(n)
+	addGridEdges(b, r, c)
 	at := func(i, j int) int { return i*c + j }
 	// Wraparound edges only along dimensions of length ≥ 3: shorter
 	// dimensions would duplicate an existing edge or form a self loop.
 	if c >= 3 {
 		for i := 0; i < r; i++ {
-			g.MustAddEdge(at(i, c-1), at(i, 0))
+			b.MustAdd(at(i, c-1), at(i, 0))
 		}
 	}
 	if r >= 3 {
 		for j := 0; j < c; j++ {
-			g.MustAddEdge(at(r-1, j), at(0, j))
+			b.MustAdd(at(r-1, j), at(0, j))
 		}
 	}
-	return g, nil
+	return b.Freeze()
 }
 
 // buildFourRegular samples a random simple 4-regular graph by the
@@ -584,18 +623,18 @@ func buildFourRegular(n int, rng *rand.Rand) (*graph.Graph, error) {
 			points[i] = i / d
 		}
 		rng.Shuffle(len(points), func(i, j int) { points[i], points[j] = points[j], points[i] })
-		g := graph.New(n)
+		b := graph.NewBuilder(n)
 		ok := true
 		for i := 0; i < len(points); i += 2 {
 			u, v := points[i], points[i+1]
-			if u == v || g.HasEdge(u, v) {
+			if u == v || b.Has(u, v) {
 				ok = false
 				break
 			}
-			g.MustAddEdge(u, v)
+			b.MustAdd(u, v)
 		}
 		if ok {
-			return g, nil
+			return b.Freeze()
 		}
 	}
 	return nil, fmt.Errorf("pairing model rejected %d attempts at n=%d", attempts, n)
@@ -607,19 +646,19 @@ func buildFourRegular(n int, rng *rand.Rand) (*graph.Graph, error) {
 // detectably rather than answer.
 func buildBarbell(n int, _ *rand.Rand) (*graph.Graph, error) {
 	k := n / 2
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for u := 0; u < k; u++ {
 		for v := u + 1; v < k; v++ {
-			g.MustAddEdge(u, v)
+			b.MustAdd(u, v)
 		}
 	}
 	for u := k; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			g.MustAddEdge(u, v)
+			b.MustAdd(u, v)
 		}
 	}
-	g.MustAddEdge(k-1, k)
-	return g, nil
+	b.MustAdd(k-1, k)
+	return b.Freeze()
 }
 
 // Describe renders a one-line human summary of every registered family,

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates the edges of an undirected graph cheaply — O(1)
+// amortized per Add, no per-edge sorted insertion — and produces a
+// frozen CSR-backed Graph at Freeze. It is the construction path for
+// the large-n generators: building an m-edge graph through AddEdge
+// costs Θ(m·d) slice shifting (d the average degree at insertion time),
+// while Builder costs Θ(m) appends plus one Θ(m log d) per-row sort.
+//
+// Duplicate edges are rejected: either eagerly by Has-guarded insertion
+// (generators that must consult membership mid-build) or at Freeze,
+// which detects duplicates for free while verifying row order.
+type Builder struct {
+	n  int
+	us []int32
+	vs []int32
+	// seen is the packed-edge membership set, materialized lazily by the
+	// first Has call and kept current by subsequent Adds; generators that
+	// never probe membership pay nothing for it.
+	seen map[uint64]struct{}
+}
+
+// NewBuilder returns an edge accumulator for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// N returns the vertex count.
+func (b *Builder) N() int { return b.n }
+
+// M returns the number of edges added so far.
+func (b *Builder) M() int { return len(b.us) }
+
+// packEdge canonically packs {u, v} into one map key.
+func packEdge(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// Add appends the undirected edge {u, v}. Self loops and out-of-range
+// endpoints are rejected immediately; duplicates are rejected by Freeze
+// (or up front when the caller guards with Has).
+func (b *Builder) Add(u, v int) error {
+	if u == v {
+		return fmt.Errorf("graph: self loop at %d", u)
+	}
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+	if b.seen != nil {
+		b.seen[packEdge(u, v)] = struct{}{}
+	}
+	return nil
+}
+
+// MustAdd is Add for static construction; it panics on error.
+func (b *Builder) MustAdd(u, v int) {
+	if err := b.Add(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Has reports whether {u, v} has been added. The first call materializes
+// a hash set over the edges so far; later Adds keep it current, so
+// generators that interleave membership probes with insertions (planted
+// components, forest unions, the pairing model) stay O(1) per probe
+// instead of the O(d) binary search AddEdge-based construction paid.
+func (b *Builder) Has(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return false
+	}
+	if b.seen == nil {
+		b.seen = make(map[uint64]struct{}, len(b.us))
+		for i := range b.us {
+			b.seen[packEdge(int(b.us[i]), int(b.vs[i]))] = struct{}{}
+		}
+	}
+	_, ok := b.seen[packEdge(u, v)]
+	return ok
+}
+
+// Freeze assembles the accumulated edges into a frozen CSR Graph: one
+// shared adjacency arena with per-vertex rows sorted ascending. It
+// errors on duplicate edges. The builder may be reused afterwards (the
+// graph owns its own storage).
+func (b *Builder) Freeze() (*Graph, error) {
+	m := len(b.us)
+	// Degree count, then prefix sums into row offsets.
+	off := make([]int, b.n+1)
+	for i := 0; i < m; i++ {
+		off[b.us[i]+1]++
+		off[b.vs[i]+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		off[v+1] += off[v]
+	}
+	arena := make([]int, 2*m)
+	pos := make([]int, b.n)
+	copy(pos, off[:b.n])
+	for i := 0; i < m; i++ {
+		u, v := int(b.us[i]), int(b.vs[i])
+		arena[pos[u]] = v
+		pos[u]++
+		arena[pos[v]] = u
+		pos[v]++
+	}
+	g := &Graph{n: b.n, m: m, adj: make([][]int, b.n), frozen: true}
+	for v := 0; v < b.n; v++ {
+		row := arena[off[v]:off[v+1]:off[v+1]]
+		sort.Ints(row)
+		for i := 1; i < len(row); i++ {
+			if row[i] == row[i-1] {
+				return nil, fmt.Errorf("graph: edge {%d,%d} already present", v, row[i])
+			}
+		}
+		g.adj[v] = row
+	}
+	return g, nil
+}
+
+// MustFreeze is Freeze for static construction; it panics on error.
+func (b *Builder) MustFreeze() *Graph {
+	g, err := b.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

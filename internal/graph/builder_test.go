@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBuilderMatchesAddEdge pins the substrate equivalence contract: a
+// graph assembled through Builder.Freeze equals the graph built by the
+// AddEdge path from the same edge list, row by row.
+func TestBuilderMatchesAddEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		legacy := New(n)
+		b := NewBuilder(n)
+		for tries := 0; tries < 3*n; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || legacy.HasEdge(u, v) {
+				continue
+			}
+			legacy.MustAddEdge(u, v)
+			b.MustAdd(u, v)
+		}
+		frozen, err := b.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !frozen.Frozen() {
+			t.Fatal("Freeze returned an unfrozen graph")
+		}
+		if !legacy.Equal(frozen) {
+			t.Fatalf("trial %d: frozen graph differs from AddEdge-built graph", trial)
+		}
+		if frozen.M() != legacy.M() || frozen.Key() != legacy.Key() {
+			t.Fatalf("trial %d: M/Key mismatch", trial)
+		}
+	}
+}
+
+// TestBuilderValidation covers the error surface: self loops and
+// out-of-range endpoints at Add, duplicates at Freeze.
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.Add(1, 1); err == nil {
+		t.Error("Add accepted a self loop")
+	}
+	if err := b.Add(0, 4); err == nil {
+		t.Error("Add accepted an out-of-range endpoint")
+	}
+	b.MustAdd(0, 1)
+	b.MustAdd(1, 0) // duplicate, reversed orientation
+	if _, err := b.Freeze(); err == nil {
+		t.Error("Freeze accepted a duplicate edge")
+	}
+}
+
+// TestBuilderHas pins the lazy membership set: correct before and after
+// materialization, kept current by later Adds.
+func TestBuilderHas(t *testing.T) {
+	b := NewBuilder(5)
+	b.MustAdd(0, 1)
+	b.MustAdd(2, 3)
+	if !b.Has(1, 0) || !b.Has(2, 3) {
+		t.Error("Has missed an added edge")
+	}
+	if b.Has(0, 2) || b.Has(4, 4) || b.Has(0, 9) {
+		t.Error("Has claimed an absent, self-loop, or out-of-range edge")
+	}
+	b.MustAdd(0, 2) // after the set materialized
+	if !b.Has(2, 0) {
+		t.Error("Has missed an edge added after materialization")
+	}
+}
+
+// TestFrozenThawOnMutation pins the copy-out semantics: mutating a
+// frozen graph thaws it, leaves the mutation applied, and never
+// corrupts sibling rows that shared the arena.
+func TestFrozenThawOnMutation(t *testing.T) {
+	b := NewBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}} {
+		b.MustAdd(e[0], e[1])
+	}
+	g := b.MustFreeze()
+	want := g.Clone()
+
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.Frozen() {
+		t.Error("graph still frozen after AddEdge")
+	}
+	if err := g.RemoveEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Error("add+remove round trip changed the graph")
+	}
+	// Duplicate insertion on a frozen graph must fail without thawing.
+	h := b.MustFreeze()
+	if err := h.AddEdge(0, 1); err == nil {
+		t.Error("AddEdge accepted a duplicate on a frozen graph")
+	}
+	if !h.Frozen() {
+		t.Error("failed AddEdge thawed the graph")
+	}
+}
+
+// TestFrozenCloneStaysFrozen pins the cheap arena clone.
+func TestFrozenCloneStaysFrozen(t *testing.T) {
+	b := NewBuilder(6)
+	b.MustAdd(0, 1)
+	b.MustAdd(2, 5)
+	g := b.MustFreeze()
+	c := g.Clone()
+	if !c.Frozen() || !c.Equal(g) {
+		t.Error("clone of a frozen graph is not an equal frozen graph")
+	}
+	c.MustAddEdge(3, 4)
+	if g.HasEdge(3, 4) {
+		t.Error("mutating the clone leaked into the original")
+	}
+}
+
+// TestNeighborSliceZeroAlloc pins the zero-allocation iteration
+// contract on both storage modes.
+func TestNeighborSliceZeroAlloc(t *testing.T) {
+	b := NewBuilder(64)
+	for i := 1; i < 64; i++ {
+		b.MustAdd(0, i)
+	}
+	frozen := b.MustFreeze()
+	mutable := frozen.Clone()
+	mutable.MustAddEdge(1, 2) // thaw into per-row storage
+	if err := mutable.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*Graph{"frozen": frozen, "mutable": mutable} {
+		allocs := testing.AllocsPerRun(100, func() {
+			sum := 0
+			for v := 0; v < g.N(); v++ {
+				for _, u := range g.NeighborSlice(v) {
+					sum += u
+				}
+				g.ForNeighbors(v, func(u int) { sum -= u })
+			}
+			if sum != 0 {
+				t.Fatal("iteration mismatch")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: neighbour iteration allocates %v per run, want 0", name, allocs)
+		}
+	}
+}

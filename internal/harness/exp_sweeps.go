@@ -83,10 +83,24 @@ func gridE17() engine.GridSpec {
 			"(two-cycle empirically tracks the Θ(log n) bound) and grows like n/log n for flooding; " +
 			"correct counts protocol runs whose verdict and labels match ground truth (refusals are " +
 			"detectable, never silent).",
-		Protocols:  []string{"kt0-exchange", "boruvka", "sketch-a2", "flood-b1"},
-		Families:   []string{"one-cycle", "two-cycle", "crossed-two-cycle", "er-threshold", "grid"},
-		Sizes:      []int{16, 32, 64},
+		Protocols: []string{"kt0-exchange", "boruvka", "sketch-a2", "flood-b1"},
+		Families:  []string{"one-cycle", "two-cycle", "crossed-two-cycle", "er-threshold", "grid"},
+		// The doubling ladder runs to n = 4096 on the CSR substrate.
+		// Cells are cached individually, so the pre-existing 16/32/64
+		// cells keep their content addresses and a grown ladder only
+		// computes the new sizes. Full runs at the top sizes are
+		// dominated by flood-b1 (Θ(n) rounds of Θ(n) messages ≈ minutes
+		// at 4096) — restrict with -protocols/-sizes for targeted
+		// large-n curves (see README).
+		Sizes:      []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
 		QuickSizes: []int{8, 16},
+		// Declared feasibility ceilings: the sketch adapter's replicas
+		// each decode every heard sketch against the whole universe
+		// (Θ(n) per sketch, Θ(n²) per replica round), and the KT-0
+		// adapter materializes Θ(n²) random port tables — neither
+		// changes asymptotics above its ceiling, it just burns hours.
+		// flood and boruvka climb the whole ladder.
+		SizeCaps:   map[string]int{"sketch-a2": 512, "kt0-exchange": 2048},
 		Seeds:      3,
 		QuickSeeds: 2,
 		Headers:    []string{"family", "protocol", "n", "b", "rounds", "total bits", "bits/round", "rounds/log₂n", "correct"},
@@ -148,10 +162,16 @@ func gridE18() engine.GridSpec {
 			"never a silently wrong answer.",
 		Caption: "refused counts runs where every vertex output the −1 sentinel (the detectable " +
 			"promise-violation signal); silent wrong must be 0 everywhere.",
-		Protocols:  []string{"sketch-a1", "sketch-a2", "boruvka"},
-		Families:   []string{"planted-2", "planted-4", "barbell"},
-		Sizes:      []int{16, 32},
+		Protocols: []string{"sketch-a1", "sketch-a2", "boruvka"},
+		Families:  []string{"planted-2", "planted-4", "barbell"},
+		// Stress sizes climb to n = 4096 (barbell there is ~4.2M clique
+		// edges — the CSR builder assembles it in one pass). The
+		// original 16/32 cells keep their cached content addresses.
+		Sizes:      []int{16, 32, 64, 256, 1024, 4096},
 		QuickSizes: []int{12},
+		// The sketch replicas' universe-scan decode keeps them below the
+		// top of the ladder (see E17); boruvka stresses every size.
+		SizeCaps:   map[string]int{"sketch-a1": 512, "sketch-a2": 512},
 		Seeds:      3,
 		QuickSeeds: 2,
 		Headers:    []string{"family", "protocol", "n", "verdicts", "correct", "refused", "silent wrong"},

@@ -1,0 +1,6 @@
+//go:build !race
+
+package harness
+
+// raceEnabled gates the large-n smoke tests; see race_on_test.go.
+const raceEnabled = false

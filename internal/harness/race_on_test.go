@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled gates the large-n smoke tests: under the race detector a
+// 4096-vertex simulation multiplies every delivery memory access and
+// would dominate the race job's runtime without adding coverage.
+const raceEnabled = true

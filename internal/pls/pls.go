@@ -108,7 +108,7 @@ func (SpanningTree) Prove(in *bcc.Instance) ([][]byte, error) {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, w := range g.Neighbors(u) {
+		for _, w := range g.NeighborSlice(u) {
 			if dist[w] == -1 {
 				dist[w] = dist[u] + 1
 				queue = append(queue, w)
@@ -143,7 +143,7 @@ func (SpanningTree) VerifyAt(in *bcc.Instance, v int, labels [][]byte) (bool, er
 	}
 	// Local tree check: some input neighbour is one step closer.
 	hasCloser := dist == 0
-	for _, u := range in.Input().Neighbors(v) {
+	for _, u := range in.Input().NeighborSlice(v) {
 		_, d2, err := decodePair(labels[u])
 		if err != nil {
 			return false, nil

@@ -16,7 +16,9 @@ package protocol
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"bcclique/internal/algorithms"
 	"bcclique/internal/bcc"
@@ -53,6 +55,50 @@ type Outcome struct {
 // SilentWrong reports the one outcome the model forbids: an answer that
 // is wrong without being a detectable refusal.
 func (o *Outcome) SilentWrong() bool { return !o.Correct && !o.Refused }
+
+// RoundSummary is the memory-bounded digest of a per-round cost
+// transcript: the totals plus order statistics of the RoundBits series.
+// Sweep cells at large n reduce outcomes to this form (plus the
+// scalar verdict fields) instead of retaining anything proportional to
+// n; the series itself is only O(rounds).
+type RoundSummary struct {
+	Rounds     int `json:"rounds"`
+	TotalBits  int `json:"total_bits"`
+	MinBits    int `json:"min_bits"`    // quietest round
+	MedianBits int `json:"median_bits"` // 50th-percentile round
+	P95Bits    int `json:"p95_bits"`    // 95th-percentile round
+	MaxBits    int `json:"max_bits"`    // loudest round
+}
+
+// SummarizeRounds digests a per-round bit series. Quantile q is the
+// value at index ⌈q·len⌉−1 of the sorted series (the nearest-rank
+// definition), so MedianBits and P95Bits are actual observed rounds.
+func SummarizeRounds(roundBits []int) RoundSummary {
+	s := RoundSummary{Rounds: len(roundBits)}
+	if len(roundBits) == 0 {
+		return s
+	}
+	sorted := append([]int(nil), roundBits...)
+	sort.Ints(sorted)
+	for _, b := range sorted {
+		s.TotalBits += b
+	}
+	rank := func(q float64) int {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	s.MinBits = sorted[0]
+	s.MedianBits = rank(0.50)
+	s.P95Bits = rank(0.95)
+	s.MaxBits = sorted[len(sorted)-1]
+	return s
+}
+
+// Summary digests the outcome's per-round cost transcript.
+func (o *Outcome) Summary() RoundSummary { return SummarizeRounds(o.RoundBits) }
 
 // Protocol is one round-based BCC(b) upper bound viewed as a black box
 // over input graphs.
@@ -126,9 +172,12 @@ func bitsFor(m int) int {
 }
 
 // finish runs algo on the instance and assembles the Outcome, comparing
-// verdict and labels against the ground truth of g.
+// verdict and labels against the ground truth of g. The run records no
+// per-vertex transcripts — the per-round cost series comes straight
+// from the runner's O(rounds) accounting — so memory stays bounded by
+// the nodes' own state at any n.
 func finish(name string, g *graph.Graph, in *bcc.Instance, algo bcc.Algorithm) (*Outcome, error) {
-	res, err := bcc.Run(in, algo)
+	res, err := bcc.Run(in, algo, bcc.WithoutTranscripts())
 	if err != nil {
 		return nil, fmt.Errorf("protocol %s: %w", name, err)
 	}
@@ -138,24 +187,22 @@ func finish(name string, g *graph.Graph, in *bcc.Instance, algo bcc.Algorithm) (
 		Bandwidth:  algo.Bandwidth(),
 		Rounds:     res.Rounds,
 		TotalBits:  res.TotalBits,
-		RoundBits:  make([]int, res.Rounds),
+		RoundBits:  res.RoundBits,
 		HasVerdict: res.HasVerdict,
 		Verdict:    res.Verdict,
 		Labels:     res.Labels,
 	}
-	for t := 0; t < res.Rounds; t++ {
-		for v := range res.Transcripts {
-			out.RoundBits[t] += int(res.Transcripts[v].Sent[t].Len)
-		}
-	}
+	// One union-find pass yields both ground truths (connectivity and
+	// component labels) instead of two.
+	truth := g.Components()
 	wantVerdict := bcc.VerdictNo
-	if g.IsConnected() {
+	if g.N() == 0 || truth.Sets() == 1 {
 		wantVerdict = bcc.VerdictYes
 	}
 	verdictOK := res.HasVerdict && res.Verdict == wantVerdict
 	labelsOK := true
 	if res.Labels != nil {
-		want := g.ComponentLabels()
+		want := truth.Labels()
 		for v := range want {
 			if res.Labels[v] != want[v] {
 				labelsOK = false

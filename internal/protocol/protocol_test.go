@@ -82,6 +82,35 @@ func TestOutcomeCostAccounting(t *testing.T) {
 	}
 }
 
+// TestRoundSummary pins the memory-bounded digest: nearest-rank
+// quantiles over a known series, the degenerate cases, and agreement
+// with every adapter's live outcome.
+func TestRoundSummary(t *testing.T) {
+	s := SummarizeRounds([]int{5, 1, 3, 2, 4})
+	want := RoundSummary{Rounds: 5, TotalBits: 15, MinBits: 1, MedianBits: 3, P95Bits: 5, MaxBits: 5}
+	if s != want {
+		t.Errorf("summary = %+v, want %+v", s, want)
+	}
+	if z := SummarizeRounds(nil); z != (RoundSummary{}) {
+		t.Errorf("empty summary = %+v", z)
+	}
+	g := build(t, "two-cycle", 16, 2)
+	for _, p := range All() {
+		out, err := p.Run(g, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		s := out.Summary()
+		if s.Rounds != out.Rounds || s.TotalBits != out.TotalBits {
+			t.Errorf("%s: summary %+v disagrees with outcome (rounds %d bits %d)",
+				p.Name(), s, out.Rounds, out.TotalBits)
+		}
+		if s.MinBits > s.MedianBits || s.MedianBits > s.P95Bits || s.P95Bits > s.MaxBits {
+			t.Errorf("%s: quantiles out of order: %+v", p.Name(), s)
+		}
+	}
+}
+
 // TestRunDeterministic pins the adapter determinism contract: equal
 // (graph, seed) yield equal outcomes, including for the KT-0 adapter
 // whose wiring is seeded.

@@ -80,19 +80,19 @@ func (c *Connectivity) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 		return node
 	}
 	node.id = view.ID
-	node.universe = append([]int(nil), view.AllIDs...)
-	sort.Ints(node.universe)
-	node.rank = make(map[int]int, len(node.universe))
-	for i, id := range node.universe {
-		node.rank[id] = i
+	if sort.IntsAreSorted(view.AllIDs) {
+		// View.AllIDs is the instance's shared pre-sorted list; alias it
+		// read-only instead of copying O(n) per node.
+		node.universe = view.AllIDs
+	} else {
+		node.universe = append([]int(nil), view.AllIDs...)
+		sort.Ints(node.universe)
 	}
 	for _, p := range view.InputPorts {
 		node.liveNbrs = append(node.liveNbrs, view.PortIDs[p])
 	}
-	node.portID = make([]int, view.NumPorts)
-	for p := 0; p < view.NumPorts; p++ {
-		node.portID[p] = view.PortIDs[p]
-	}
+	// PortIDs is built fresh for this view; alias it.
+	node.portID = view.PortIDs
 	node.retired = make([]bool, len(node.universe))
 	node.comp = dsu.New(len(node.universe))
 	node.phaseBuf = make([][]uint64, view.NumPorts)
@@ -104,8 +104,7 @@ type sketchNode struct {
 	a        int
 	rec      *Recoverer
 	id       int
-	universe []int
-	rank     map[int]int
+	universe []int // all IDs, ascending; rank queries binary-search it
 	liveNbrs []int // IDs of not-yet-retired input neighbours
 	portID   []int
 
@@ -120,6 +119,17 @@ type sketchNode struct {
 }
 
 func (n *sketchNode) sketchLen() int { return 2*(4*n.a) + 1 }
+
+// rankOf returns id's index in the sorted universe. A binary search
+// keeps per-node memory O(n) ints — a per-node hash map at n = 4096
+// costs ~50 bytes per entry across 4096 replicas.
+func (n *sketchNode) rankOf(id int) (int, bool) {
+	i := sort.SearchInts(n.universe, id)
+	if i < len(n.universe) && n.universe[i] == id {
+		return i, true
+	}
+	return 0, false
+}
 
 func (n *sketchNode) Send(round int) bcc.Message {
 	if n.broken {
@@ -189,7 +199,7 @@ func (n *sketchNode) endPhase() {
 		retirements = append(retirements, retirement{sender: n.portID[p], nbrs: nbrs})
 	}
 	for _, r := range retirements {
-		sr, ok := n.rank[r.sender]
+		sr, ok := n.rankOf(r.sender)
 		if !ok {
 			continue
 		}
@@ -198,7 +208,7 @@ func (n *sketchNode) endPhase() {
 			n.selfRetired = true
 		}
 		for _, w := range r.nbrs {
-			wr, ok := n.rank[w]
+			wr, ok := n.rankOf(w)
 			if !ok {
 				continue
 			}
@@ -208,7 +218,7 @@ func (n *sketchNode) endPhase() {
 	// Drop retired neighbours from the live set.
 	live := n.liveNbrs[:0]
 	for _, w := range n.liveNbrs {
-		if wr, ok := n.rank[w]; ok && !n.retired[wr] {
+		if wr, ok := n.rankOf(w); ok && !n.retired[wr] {
 			live = append(live, w)
 		}
 	}
@@ -243,7 +253,7 @@ func (n *sketchNode) Label() int {
 	if n.broken || !n.done() {
 		return -1
 	}
-	self := n.rank[n.id]
+	self, _ := n.rankOf(n.id)
 	min := n.id
 	for i, id := range n.universe {
 		if n.comp.Same(self, i) && id < min {
