@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race check bench bench-json bench-sweeps bench-scale report serve smoke-examples sweep sweep-smoke sweep-large fmt vet
+.PHONY: build test race check bench bench-json bench-sweeps bench-scale bench-bitplane bench-compare report serve smoke-examples sweep sweep-smoke sweep-large sweep-xl fmt vet
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,27 @@ bench-sweeps:
 bench-scale:
 	$(GO) test -bench 'BenchmarkScale' -benchmem -benchtime 20x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Scale' -out BENCH_scale.json
 
+# Record the bit-plane baseline: the flood-b1×two-cycle@1024 cell on
+# the word-packed plane vs. the generic Message oracle, a plane-riding
+# O(log n) protocol at 4096, the steady-state round loop's allocation
+# profile, and a small flood ladder through the grid scheduler
+# (BENCH_bitplane.json). benchtime 5x: the generic oracle is seconds
+# per op by design — it is the before number.
+bench-bitplane:
+	$(GO) test -bench 'BenchmarkBitplane' -benchmem -benchtime 5x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Bitplane' -out BENCH_bitplane.json
+
+# Regression gate: re-measure the Scale and Bitplane groups into fresh
+# baselines and compare against the checked-in ones. Exits non-zero on
+# a >25% ns/op or allocs/op regression. COMPARE_FLAGS=-allocs-only
+# restricts the gate to the machine-independent allocation counts —
+# what CI uses, since the checked-in ns/op numbers come from a
+# different machine than the runner.
+bench-compare:
+	$(GO) test -bench 'BenchmarkScale' -benchmem -benchtime 20x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Scale' -out /tmp/bench_scale_fresh.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 25 $(COMPARE_FLAGS) BENCH_scale.json /tmp/bench_scale_fresh.json
+	$(GO) test -bench 'BenchmarkBitplane' -benchmem -benchtime 5x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Bitplane' -out /tmp/bench_bitplane_fresh.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 25 $(COMPARE_FLAGS) BENCH_bitplane.json /tmp/bench_bitplane_fresh.json
+
 # Regenerate the full experiment report.
 report:
 	$(GO) run ./cmd/experiments -out EXPERIMENTS.md
@@ -58,11 +79,20 @@ report:
 sweep:
 	$(GO) run ./cmd/experiments -sweep E17 -sizes 16,32,64,128,256,512,1024
 
-# The full ladder to n = 4096. flood-b1's Θ(n²) rounds×messages
-# simulation dominates (minutes per 4096-cell run); every cell is
-# cached, so re-runs and ladder extensions only pay for new cells.
+# The ladder to n = 4096. Every cell is cached, so re-runs and ladder
+# extensions only pay for new cells.
 sweep-large:
+	$(GO) run ./cmd/experiments -sweep E17 -sizes 16,32,64,128,256,512,1024,2048,4096
+
+# The full ladders to n = 8192 — both grids, so the E18 stress rows
+# (flood-b1 is its promise-free control) are reproducible too. Only
+# the bit-plane flood-b1 climbs the top rung (one 8192-vertex flood
+# run is ~40 s of word-packed simulation; a seeds×families tier is
+# minutes of compute — the declared SizeCaps keep every other protocol
+# at its honest ceiling).
+sweep-xl:
 	$(GO) run ./cmd/experiments -sweep E17
+	$(GO) run ./cmd/experiments -sweep E18
 
 # Tiny 2×2 sweep grid as CSV — the CI smoke run (uploaded as an
 # artifact). Cells are cached individually and this runs at the full

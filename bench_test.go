@@ -423,6 +423,203 @@ func BenchmarkSweepGridUncached(b *testing.B) {
 	}
 }
 
+// --- Bitplane benchmarks (BENCH_bitplane.json baseline) ---------------
+//
+// The Bitplane* group measures the word-packed 1-bit broadcast plane
+// against the generic Message path it replaces on the BCC(1) hot
+// protocols: the flood-b1×two-cycle@1024 sweep cell end to end (the
+// acceptance cell — the generic variant is the same simulation forced
+// down the Message oracle), a plane-riding O(log n) protocol at
+// n = 4096, the steady-state round loop's allocation profile, and a
+// small uncached flood ladder through RunGrid's descending-n dispatch.
+
+// bitplaneFloodCell returns the flood-b1 protocol and the 1024-vertex
+// two-cycle input of the acceptance cell.
+func bitplaneFloodCell(b *testing.B) (protocol.Protocol, *graph.Graph) {
+	b.Helper()
+	p, ok := protocol.Lookup("flood-b1")
+	if !ok {
+		b.Fatal("flood-b1 protocol missing")
+	}
+	fam, ok := family.Lookup("two-cycle")
+	if !ok {
+		b.Fatal("two-cycle family missing")
+	}
+	g, err := fam.Build(1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, g
+}
+
+// BenchmarkBitplaneFloodTwoCycle1024 is the acceptance cell on the bit
+// plane: family build amortized out, protocol adapter + instance +
+// word-packed simulation + ground-truth comparison per op.
+func BenchmarkBitplaneFloodTwoCycle1024(b *testing.B) {
+	p, g := bitplaneFloodCell(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := p.Run(g, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.BitPlane || out.Verdict != bcc.VerdictNo {
+			b.Fatal("cell must ride the bit plane and reject the two-cycle")
+		}
+	}
+}
+
+// BenchmarkBitplaneFloodTwoCycle1024Generic is the same simulation
+// forced down the generic Message path — the boruvka-era baseline the
+// bit plane is measured against. (It runs the bare simulator without
+// the adapter's ground-truth pass, which only flatters the oracle.)
+func BenchmarkBitplaneFloodTwoCycle1024Generic(b *testing.B) {
+	_, g := bitplaneFloodCell(b)
+	in, err := bcc.NewKT1(bcc.SequentialIDs(1024), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo, err := algorithms.NewFlood(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bcc.Run(in, algo, bcc.WithoutTranscripts(), bcc.WithoutBitPlane())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BitPlane || res.Verdict != bcc.VerdictNo {
+			b.Fatal("oracle run must stay generic and reject the two-cycle")
+		}
+		bcc.Recycle(res)
+	}
+}
+
+// BenchmarkBitplaneNeighborhood1024 measures a logarithmic BCC(1)
+// protocol riding the plane at n = 1024: 2⌈log₂ n⌉ = 20 rounds of
+// two-word-plane delivery on a Hamiltonian cycle. (The op is still
+// dominated by neighborhood's own Θ(n²)-per-node claim-graph decode at
+// verdict time — the reason it is not on the E17 ladder — so this
+// benchmark tracks the whole run, not just delivery.)
+func BenchmarkBitplaneNeighborhood1024(b *testing.B) {
+	const n = 1024
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	g, err := graph.FromCycle(n, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := bcc.NewKT1(bcc.SequentialIDs(n), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo, err := algorithms.NewNeighborhoodBroadcast(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bcc.Run(in, algo, bcc.WithoutTranscripts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.BitPlane || res.Verdict != bcc.VerdictYes {
+			b.Fatal("run must ride the bit plane and accept the cycle")
+		}
+		bcc.Recycle(res)
+	}
+}
+
+// bitLoopProbe is an inert BCC(1) bit algorithm whose nodes are
+// preallocated, so a Run's allocations are exactly the runner's own —
+// the benchmark isolates the steady-state round loop (send, popcount,
+// deliver) from node construction. The companion unit test
+// TestBitPlaneRoundLoopAllocationFree pins allocations independent of
+// the round count.
+type bitLoopProbe struct {
+	rounds int
+	nodes  []bcc.Node
+	next   int
+}
+
+func (p *bitLoopProbe) Name() string   { return "bit-loop-probe" }
+func (p *bitLoopProbe) Bandwidth() int { return 1 }
+func (p *bitLoopProbe) Rounds(int) int { return p.rounds }
+func (p *bitLoopProbe) BitPlane() bool { return true }
+func (p *bitLoopProbe) NewNode(bcc.View, *bcc.Coin) bcc.Node {
+	n := p.nodes[p.next]
+	p.next = (p.next + 1) % len(p.nodes)
+	return n
+}
+
+type bitLoopNode struct{}
+
+func (bitLoopNode) Send(int) bcc.Message                { return bcc.Bit(1) }
+func (bitLoopNode) Receive(int, []bcc.Message)          {}
+func (bitLoopNode) BindPlane(int, []int) bool           { return true }
+func (bitLoopNode) SendBit(int) (uint8, bool)           { return 1, true }
+func (bitLoopNode) ReceiveBits(int, []uint64, []uint64) {}
+
+// BenchmarkBitplaneRoundLoop512x4096 measures 4096 steady-state rounds
+// at n = 512 with node construction amortized away: the reported
+// allocs/op is the runner's whole per-run overhead (result struct,
+// node tables, pooled takes), constant in the round count — i.e. the
+// round loop itself runs allocation-free out of the pooled planes.
+func BenchmarkBitplaneRoundLoop512x4096(b *testing.B) {
+	const n, rounds = 512, 4096
+	g := graph.New(n)
+	in, err := bcc.NewKT0(bcc.SequentialIDs(n), g, bcc.RotationWiring(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := &bitLoopProbe{rounds: rounds, nodes: make([]bcc.Node, n)}
+	for i := range probe.nodes {
+		probe.nodes[i] = bitLoopNode{}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bcc.Run(in, probe, bcc.WithoutTranscripts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.BitPlane || res.TotalBits != n*rounds {
+			b.Fatal("probe must ride the bit plane with every vertex speaking")
+		}
+		bcc.Recycle(res)
+	}
+}
+
+// BenchmarkBitplaneSweepFloodLadder runs an uncached flood-b1 one-cycle
+// ladder (128..512) through RunGrid: the grid engine's descending-n
+// dispatch plus the bit-plane cells — the wall-clock shape sweep-xl
+// scales up.
+func BenchmarkBitplaneSweepFloodLadder(b *testing.B) {
+	eng := harness.NewEngine()
+	grid, ok := eng.LookupGrid("E17")
+	if !ok {
+		b.Fatal("E17 grid not registered")
+	}
+	grid, err := grid.Restrict([]string{"flood-b1"}, []string{"one-cycle"}, []int{128, 256, 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.Config{Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunGrid(grid, cfg, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineColdCache measures a cold cached run (compute + encode
 // + atomic write): the cache layer's overhead over an uncached run of
 // the same specs.

@@ -214,11 +214,44 @@ func parseConfig(q url.Values) (engine.Config, error) {
 	return cfg, nil
 }
 
+// parseRestriction reads the optional protocols/families/sizes query
+// parameters (comma lists, like the experiments CLI flags) and narrows
+// the grid to them. Restricted runs share cache entries with full runs
+// cell for cell, so a targeted large-n slice — one 8192 flood cell —
+// never recomputes (or pre-warms) the rest of the ladder.
+func parseRestriction(grid engine.GridSpec, q url.Values) (engine.GridSpec, error) {
+	split := func(key string) []string {
+		if v := q.Get(key); v != "" {
+			return strings.Split(v, ",")
+		}
+		return nil
+	}
+	protocols, families := split("protocols"), split("families")
+	var sizes []int
+	if v := q.Get("sizes"); v != "" {
+		for _, s := range strings.Split(v, ",") {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				// Non-positive sizes would only fail later inside the
+				// family builders as a 500; they are a bad request.
+				return grid, fmt.Errorf("bad sizes %q", v)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+	if protocols == nil && families == nil && sizes == nil {
+		return grid, nil
+	}
+	return grid.Restrict(protocols, families, sizes)
+}
+
 // sweeps serves the sweep grids (E17/E18). Without ?grid= it lists the
 // registered grids; with one it runs the grid through the per-cell
 // cache and renders it as md, json, jsonl or csv — the row formats
 // (jsonl, csv) stream each row as soon as its cell-order prefix
-// completes, so large grids deliver incrementally.
+// completes, so large grids deliver incrementally. Optional
+// ?protocols=/?families=/?sizes= comma lists narrow the grid to a
+// targeted slice (same semantics as the experiments CLI flags).
 func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	gridID := q.Get("grid")
@@ -247,6 +280,10 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg, err := parseConfig(q)
 	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if grid, err = parseRestriction(grid, q); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

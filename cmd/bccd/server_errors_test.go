@@ -37,17 +37,22 @@ func errorTestServer(t *testing.T) *httptest.Server {
 			return nil, fmt.Errorf("synthetic cell failure")
 		},
 	}
+	// The succeeding cell carries the larger n, so RunGrid's
+	// descending-n dispatch starts it first under any worker count (a
+	// single worker runs it to completion before the failing cell's
+	// gate is checked — no livelock); declaring it first in Sizes keeps
+	// it the first streamed row.
 	var firstDone atomic.Bool
 	midGrid := engine.GridSpec{
 		ID: "EMID", Title: "mid-stream failing grid",
 		Protocols: []string{"p"}, Families: []string{"f"},
-		Sizes: []int{8, 16}, Seeds: 1,
+		Sizes: []int{16, 8}, Seeds: 1,
 		Headers: []string{"family", "protocol", "n"},
 		CellKey: func(string, string) (string, error) { return "k", nil },
 		RunCell: func(_ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
-			if c.N == 8 {
+			if c.N == 16 {
 				defer firstDone.Store(true)
-				return []string{c.Family, c.Protocol, "8"}, nil
+				return []string{c.Family, c.Protocol, "16"}, nil
 			}
 			for !firstDone.Load() {
 			} // fail strictly after the first cell's row exists

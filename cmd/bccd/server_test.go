@@ -217,7 +217,7 @@ func TestSweepsEndpoint(t *testing.T) {
 		t.Fatalf("csv status %d", code)
 	}
 	lines := strings.Split(strings.TrimSpace(csvBody), "\n")
-	wantCells := 3 * 3 * 1 // families × protocols × quick sizes
+	wantCells := 3 * 4 * 1 // families × protocols × quick sizes
 	if len(lines) != wantCells+1 {
 		t.Fatalf("csv has %d lines, want %d:\n%s", len(lines), wantCells+1, csvBody)
 	}
@@ -258,6 +258,27 @@ func TestSweepsEndpoint(t *testing.T) {
 		t.Errorf("jsonl row = %+v", rowObj)
 	}
 
+	// Axis restriction: a targeted slice, CLI-flag semantics. The
+	// narrowed run shares the per-cell cache with the full quick run
+	// above, so the cells it covers serve without recomputation.
+	cellsBefore := eng.CellExecutions()
+	code, slice := fetch("grid=E18&quick=1&format=csv&protocols=boruvka&families=planted-2")
+	if code != http.StatusOK {
+		t.Fatalf("restricted csv status %d", code)
+	}
+	sliceLines := strings.Split(strings.TrimSpace(slice), "\n")
+	if len(sliceLines) != 2 || !strings.Contains(sliceLines[1], "planted-2,boruvka") {
+		t.Errorf("restricted slice = %q", slice)
+	}
+	if got := eng.CellExecutions(); got != cellsBefore {
+		t.Errorf("restricted slice re-executed cells: %d -> %d", cellsBefore, got)
+	}
+	// A restricted size ladder runs only its own cells.
+	code, slice = fetch("grid=E18&format=csv&protocols=boruvka&families=planted-2&sizes=16")
+	if code != http.StatusOK || len(strings.Split(strings.TrimSpace(slice), "\n")) != 2 {
+		t.Errorf("size-restricted slice: status %d body %q", code, slice)
+	}
+
 	// Validation.
 	if code, _ := fetch("grid=E99"); code != http.StatusNotFound {
 		t.Errorf("unknown grid status %d", code)
@@ -267,6 +288,15 @@ func TestSweepsEndpoint(t *testing.T) {
 	}
 	if code, _ := fetch("grid=E18&seed=abc"); code != http.StatusBadRequest {
 		t.Errorf("bad seed status %d", code)
+	}
+	if code, _ := fetch("grid=E18&protocols=nope"); code != http.StatusBadRequest {
+		t.Errorf("unknown restricted protocol status %d", code)
+	}
+	if code, _ := fetch("grid=E18&sizes=abc"); code != http.StatusBadRequest {
+		t.Errorf("bad sizes status %d", code)
+	}
+	if code, _ := fetch("grid=E18&sizes=-1"); code != http.StatusBadRequest {
+		t.Errorf("non-positive sizes status %d", code)
 	}
 }
 

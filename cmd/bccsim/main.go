@@ -133,6 +133,7 @@ func run() error {
 		fmt.Printf("cycles   : %v\n", lengths)
 	}
 	fmt.Printf("algorithm: %s (b=%d)\n", algo.Name(), algo.Bandwidth())
+	fmt.Printf("path     : %s\n", pathName(res.BitPlane))
 	fmt.Printf("rounds   : %d\n", res.Rounds)
 	fmt.Printf("bits     : %d broadcast in total\n", res.TotalBits)
 	if res.HasVerdict {
@@ -204,6 +205,7 @@ func runProtocol(name string, g *graph.Graph, inputKind string, n int, seed int6
 		fmt.Printf("cycles   : %v\n", lengths)
 	}
 	fmt.Printf("protocol : %s (b=%d)\n", out.Protocol, out.Bandwidth)
+	fmt.Printf("path     : %s\n", pathName(out.BitPlane))
 	fmt.Printf("rounds   : %d\n", out.Rounds)
 	fmt.Printf("bits     : %d broadcast in total (%.4g bits/round)\n",
 		out.TotalBits, float64(out.TotalBits)/float64(max(1, out.Rounds)))
@@ -302,6 +304,15 @@ func runSweep(in *bcc.Instance, algo bcc.Algorithm, want bcc.Verdict, ss sweepSp
 		return nil, false, err
 	}
 	return out[0], hits.Load() > 0, nil
+}
+
+// pathName names the simulator path a run took: the word-packed 1-bit
+// broadcast plane, or the generic per-message loop.
+func pathName(bitPlane bool) string {
+	if bitPlane {
+		return "bit plane (word-packed 1-bit broadcasts)"
+	}
+	return "generic (per-message delivery)"
 }
 
 func buildGraph(kind string, n int, rng *rand.Rand) (*graph.Graph, error) {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, dir, name string, benches []Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Report{GoVersion: "gotest", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareTolerance pins the regression gate: within-tolerance drift
+// and improvements pass, a beyond-tolerance ns/op or allocs/op
+// regression fails, and benchmarks present in only one baseline never
+// fail the comparison.
+func TestCompareTolerance(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", []Benchmark{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "B", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "Gone", NsPerOp: 5, AllocsPerOp: 1},
+	})
+
+	within := writeBaseline(t, dir, "within.json", []Benchmark{
+		{Name: "A", NsPerOp: 1200, AllocsPerOp: 110}, // +20% / +10%
+		{Name: "B", NsPerOp: 500, AllocsPerOp: 10},   // improvement
+		{Name: "New", NsPerOp: 99999, AllocsPerOp: 9},
+	})
+	if err := runCompare(old, within, 25, false); err != nil {
+		t.Errorf("within-tolerance comparison failed: %v", err)
+	}
+
+	nsRegressed := writeBaseline(t, dir, "ns.json", []Benchmark{
+		{Name: "A", NsPerOp: 1300, AllocsPerOp: 100}, // +30% ns/op
+		{Name: "B", NsPerOp: 1000, AllocsPerOp: 100},
+	})
+	if err := runCompare(old, nsRegressed, 25, false); err == nil {
+		t.Error("a +30%% ns/op regression passed at 25%% tolerance")
+	}
+
+	allocRegressed := writeBaseline(t, dir, "alloc.json", []Benchmark{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 140}, // +40% allocs/op
+		{Name: "B", NsPerOp: 1000, AllocsPerOp: 100},
+	})
+	if err := runCompare(old, allocRegressed, 25, false); err == nil {
+		t.Error("a +40%% allocs/op regression passed at 25%% tolerance")
+	}
+	// The same regression passes at a looser tolerance.
+	if err := runCompare(old, allocRegressed, 50, false); err != nil {
+		t.Errorf("a +40%% regression failed at 50%% tolerance: %v", err)
+	}
+}
+
+// TestCompareRejectsEmptyBaselines pins the input validation: an empty
+// or unreadable baseline is an error, not a vacuous pass.
+func TestCompareRejectsEmptyBaselines(t *testing.T) {
+	dir := t.TempDir()
+	ok := writeBaseline(t, dir, "ok.json", []Benchmark{{Name: "A", NsPerOp: 1}})
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(ok, empty, 25, false); err == nil {
+		t.Error("empty new baseline passed")
+	}
+	if err := runCompare(empty, ok, 25, false); err == nil {
+		t.Error("empty old baseline passed")
+	}
+	if err := runCompare(ok, filepath.Join(dir, "missing.json"), 25, false); err == nil {
+		t.Error("missing baseline passed")
+	}
+}
+
+// TestCompareZeroBaseline pins that a zero baseline is a guarantee, not
+// a free pass: growth from 0 allocs/op is an (infinite-percent)
+// regression at any tolerance.
+func TestCompareZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", []Benchmark{
+		{Name: "ZeroAlloc", NsPerOp: 1000, AllocsPerOp: 0},
+	})
+	broken := writeBaseline(t, dir, "broken.json", []Benchmark{
+		{Name: "ZeroAlloc", NsPerOp: 1000, AllocsPerOp: 10000},
+	})
+	if err := runCompare(old, broken, 1000, false); err == nil {
+		t.Error("0 -> 10000 allocs/op passed the gate")
+	}
+	still := writeBaseline(t, dir, "still.json", []Benchmark{
+		{Name: "ZeroAlloc", NsPerOp: 1100, AllocsPerOp: 0},
+	})
+	if err := runCompare(old, still, 25, false); err != nil {
+		t.Errorf("0 -> 0 allocs/op failed the gate: %v", err)
+	}
+}
+
+// TestCompareAllocsOnly pins the cross-machine mode: ns/op drift never
+// gates, allocs/op regressions still do.
+func TestCompareAllocsOnly(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", []Benchmark{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 100},
+	})
+	slowSameAllocs := writeBaseline(t, dir, "slow.json", []Benchmark{
+		{Name: "A", NsPerOp: 9000, AllocsPerOp: 100}, // 9× wall, other machine
+	})
+	if err := runCompare(old, slowSameAllocs, 25, true); err != nil {
+		t.Errorf("allocs-only mode gated on ns/op drift: %v", err)
+	}
+	if err := runCompare(old, slowSameAllocs, 25, false); err == nil {
+		t.Error("full mode ignored a 9× ns/op regression")
+	}
+	moreAllocs := writeBaseline(t, dir, "allocs.json", []Benchmark{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 200},
+	})
+	if err := runCompare(old, moreAllocs, 25, true); err == nil {
+		t.Error("allocs-only mode passed a 2× allocs/op regression")
+	}
+}

@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bcclique/internal/bcc"
 	"bcclique/internal/dsu"
@@ -12,6 +13,11 @@ import (
 // packed b bits per round. After ⌈(n−1)/b⌉ rounds every vertex knows the
 // entire input graph. Θ(n/b) rounds: the curve the O(log n) algorithms
 // are measured against in experiment E12.
+//
+// At b = 1 flood is the bit plane's flagship rider: the row lives in a
+// bitset, SendBit is one shift, and ReceiveBits consumes 64 adjacency
+// claims per word by trailing-zero iteration straight into the node's
+// incremental union-find.
 type Flood struct {
 	// B is the per-round bandwidth.
 	B int
@@ -34,6 +40,10 @@ func (a *Flood) Bandwidth() int { return a.B }
 // Rounds implements bcc.Algorithm.
 func (a *Flood) Rounds(n int) int { return (n - 2 + a.B) / a.B } // ⌈(n−1)/B⌉
 
+// BitPlane implements bcc.BitAlgorithm: only the 1-bit configuration
+// rides the plane.
+func (a *Flood) BitPlane() bool { return a.B == 1 }
+
 // NewNode implements bcc.Algorithm.
 func (a *Flood) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 	node := &floodNode{b: a.B}
@@ -43,33 +53,31 @@ func (a *Flood) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 	}
 	node.ix = newIndexer(view.AllIDs)
 	node.self = node.ix.rank(view.ID)
-	// row[i] = 1 iff the vertex with sorted index i is an input
-	// neighbour. Our own position is skipped in the encoding (n−1 bits).
-	neighbours := make([]bool, node.ix.n())
-	for _, p := range view.InputPorts {
-		neighbours[node.ix.rank(view.PortIDs[p])] = true
-	}
-	for i, isNbr := range neighbours {
-		if i == node.self {
-			continue
-		}
-		node.row = append(node.row, isNbr)
-	}
-	node.portRank = make([]int32, view.NumPorts)
-	for p := 0; p < view.NumPorts; p++ {
-		node.portRank[p] = int32(node.ix.rank(view.PortIDs[p]))
-	}
-	node.got = make([]int32, view.NumPorts)
+	nn := node.ix.n()
+	node.rowLen = nn - 1
+	node.rowBits = make([]uint64, (node.rowLen+63)/64)
 	// Incrementally union every adjacency claim as its bit arrives
 	// instead of buffering heard rows: memory per node is O(n), not
 	// O(n²), and the final decision is a component count. Our own row's
-	// claims are entered up front.
-	node.comp = dsu.New(node.ix.n())
-	for i, isNbr := range node.row {
-		if isNbr {
-			node.comp.Union(node.self, rowTarget(node.self, i))
+	// claims are entered up front. The int32 union-find keeps the n
+	// replicas of this state affordable at large n.
+	node.comp = dsu.NewCompact(nn)
+	for _, p := range view.InputPorts {
+		r := node.ix.rank(view.PortIDs[p])
+		// row bit i covers sorted index rowTarget(self, i): the
+		// encoding skips our own index.
+		pos := r
+		if r > node.self {
+			pos = r - 1
 		}
+		node.rowBits[pos>>6] |= 1 << uint(pos&63)
+		node.comp.Union(node.self, r)
 	}
+	// The generic Message path needs per-port speaker ranks and bit
+	// counters; they are built lazily from this alias on first Receive
+	// (and dropped entirely when the node binds to the bit plane, which
+	// delivers claims rank-indexed).
+	node.portIDs = view.PortIDs
 	return node
 }
 
@@ -84,40 +92,59 @@ func rowTarget(speaker, pos int) int {
 }
 
 type floodNode struct {
-	b        int
-	ix       *indexer
-	self     int
-	row      []bool
+	b       int
+	ix      *indexer
+	self    int
+	rowBits []uint64 // adjacency row over the n−1 encoded positions, LSB first
+	rowLen  int
+	comp    *dsu.Compact // union of every adjacency claim heard (plus our own)
+
+	// Generic-path state: portIDs aliases the view's port→ID table and
+	// seeds the lazily built portRank/got arrays. A plane-bound node
+	// never materializes them.
+	portIDs  []int
 	portRank []int32
-	got      []int32  // got[p] = adjacency-row bits received on port p so far
-	comp     *dsu.DSU // union of every adjacency claim heard (plus our own)
+	got      []int32 // got[p] = adjacency-row bits received on port p so far
 	broken   bool
 }
+
+func (n *floodNode) rowBit(pos int) uint64 { return n.rowBits[pos>>6] >> uint(pos&63) & 1 }
 
 func (n *floodNode) Send(round int) bcc.Message {
 	if n.broken {
 		return bcc.Silence
 	}
 	start := (round - 1) * n.b
-	if start >= len(n.row) {
+	if start >= n.rowLen {
 		return bcc.Silence
 	}
-	var bits uint64
+	var payload uint64
 	length := 0
-	for i := start; i < len(n.row) && length < n.b; i++ {
-		if n.row[i] {
-			bits |= 1 << uint(length)
-		}
+	for i := start; i < n.rowLen && length < n.b; i++ {
+		payload |= n.rowBit(i) << uint(length)
 		length++
 	}
-	return bcc.Word(bits, length)
+	return bcc.Word(payload, length)
+}
+
+// genericBind materializes the per-port state of the Message path.
+func (n *floodNode) genericBind() {
+	if n.portRank != nil {
+		return
+	}
+	n.portRank = make([]int32, len(n.portIDs))
+	for p, id := range n.portIDs {
+		n.portRank[p] = int32(n.ix.rank(id))
+	}
+	n.got = make([]int32, len(n.portIDs))
 }
 
 func (n *floodNode) Receive(_ int, inbox []bcc.Message) {
 	if n.broken {
 		return
 	}
-	rowLen := int32(n.ix.n() - 1)
+	n.genericBind()
+	rowLen := int32(n.rowLen)
 	for p, m := range inbox {
 		if m.Len == 0 {
 			continue
@@ -134,6 +161,63 @@ func (n *floodNode) Receive(_ int, inbox []bcc.Message) {
 			}
 		}
 		n.got[p] = base + int32(m.Len)
+	}
+}
+
+// BindPlane implements bcc.BitNode. Flood's receive logic is
+// rank-indexed, so it accepts only the canonical plane, where plane
+// indices coincide with sorted-ID ranks; a materialized wiring sends
+// the run down the generic path.
+func (n *floodNode) BindPlane(self int, portTarget []int) bool {
+	if n.broken {
+		return true // inert: never speaks, ignores every round
+	}
+	if portTarget != nil || self != n.self {
+		return false
+	}
+	// The plane delivers claims by rank; the generic per-port state is
+	// never needed, so drop the alias keeping the O(n) port→ID table
+	// alive (n such tables dominate memory at n = 8192 otherwise).
+	n.portIDs = nil
+	return true
+}
+
+// SendBit implements bcc.BitNode: bit pos = round−1 of the row.
+func (n *floodNode) SendBit(round int) (uint8, bool) {
+	if n.broken {
+		return 0, false
+	}
+	pos := round - 1
+	if pos >= n.rowLen {
+		return 0, false
+	}
+	return uint8(n.rowBit(pos)), true
+}
+
+// ReceiveBits implements bcc.BitNode: 64 adjacency claims per word.
+// Every non-broken flood node follows the same schedule — it speaks in
+// exactly rounds 1..n−1 — so in round t every set value bit is a claim
+// at row position t−1 (the generic path's per-port got counters all
+// read t−1 here; the equivalence suite pins this). Our own bit is
+// masked out: those claims were unioned at construction.
+func (n *floodNode) ReceiveBits(round int, value, _ []uint64) {
+	if n.broken {
+		return
+	}
+	pos := round - 1
+	if pos >= n.rowLen {
+		return
+	}
+	selfW, selfM := n.self>>6, uint64(1)<<uint(n.self&63)
+	for wi, w := range value {
+		if wi == selfW {
+			w &^= selfM
+		}
+		for w != 0 {
+			u := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			n.comp.Union(u, rowTarget(u, pos))
+		}
 	}
 }
 
@@ -164,7 +248,9 @@ func (n *floodNode) Label() int {
 }
 
 var (
-	_ bcc.Algorithm = (*Flood)(nil)
-	_ bcc.Decider   = (*floodNode)(nil)
-	_ bcc.Labeler   = (*floodNode)(nil)
+	_ bcc.Algorithm    = (*Flood)(nil)
+	_ bcc.BitAlgorithm = (*Flood)(nil)
+	_ bcc.Decider      = (*floodNode)(nil)
+	_ bcc.Labeler      = (*floodNode)(nil)
+	_ bcc.BitNode      = (*floodNode)(nil)
 )

@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bcclique/internal/bcc"
 )
@@ -48,6 +49,12 @@ func (a *KT0Exchange) Bandwidth() int { return 1 }
 // Rounds implements bcc.Algorithm.
 func (a *KT0Exchange) Rounds(int) int { return (a.MaxDegree + 1) * a.IDBits }
 
+// BitPlane implements bcc.BitAlgorithm: the algorithm is BCC(1) in
+// every configuration. Unlike the rank-space KT-1 nodes, kt0Node is
+// port-addressed, so it accepts any wiring by inverting the runner's
+// port→plane table once at binding time.
+func (a *KT0Exchange) BitPlane() bool { return true }
+
 // NewNode implements bcc.Algorithm.
 func (a *KT0Exchange) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 	node := &kt0Node{
@@ -75,7 +82,13 @@ type kt0Node struct {
 	portID     []uint64 // phase-1 ID heard on each port
 	phase2     []uint64 // phase-2 slot stream heard on each port
 	rounds     int
-	broken     bool
+	// Bit-plane state: planeSelf is our plane index; planePort[u] is
+	// the port behind plane index u (−1 for self), or nil under the
+	// canonical wiring, where port p of self is plane index p (p <
+	// self) or p+1.
+	planeSelf int
+	planePort []int32
+	broken    bool
 }
 
 func (n *kt0Node) Send(round int) bcc.Message {
@@ -113,6 +126,90 @@ func (n *kt0Node) Receive(round int, inbox []bcc.Message) {
 	r := round - n.idBits - 1
 	for p, m := range inbox {
 		n.phase2[p] |= uint64(m.BitAt(0)) << uint(r)
+	}
+}
+
+// BindPlane implements bcc.BitNode: any wiring is accepted — the
+// port→plane table is inverted into planePort so each incoming bit is
+// routed to the per-port stream the generic path would have filled.
+func (n *kt0Node) BindPlane(self int, portTarget []int) bool {
+	if n.broken {
+		return true // inert
+	}
+	n.planeSelf = self
+	if portTarget == nil {
+		n.planePort = nil
+		return true
+	}
+	pp := make([]int32, len(portTarget)+1)
+	for i := range pp {
+		pp[i] = -1
+	}
+	for p, u := range portTarget {
+		pp[u] = int32(p)
+	}
+	n.planePort = pp
+	return true
+}
+
+// portOfPlane maps a plane index to the port behind it.
+func (n *kt0Node) portOfPlane(u int) int {
+	if n.planePort != nil {
+		return int(n.planePort[u])
+	}
+	if u > n.planeSelf {
+		return u - 1
+	}
+	return u
+}
+
+// SendBit implements bcc.BitNode: the same two-phase schedule as Send.
+func (n *kt0Node) SendBit(round int) (uint8, bool) {
+	if n.broken {
+		return 0, false
+	}
+	if round <= n.idBits {
+		return uint8(n.id>>uint(round-1)) & 1, true
+	}
+	r := round - n.idBits - 1
+	slot := r / n.idBits
+	bit := r % n.idBits
+	if slot >= n.maxDegree {
+		return 0, false
+	}
+	if slot < len(n.inputPorts) {
+		return uint8(n.portID[n.inputPorts[slot]]>>uint(bit)) & 1, true
+	}
+	return uint8(n.id>>uint(bit)) & 1, true
+}
+
+// ReceiveBits implements bcc.BitNode: only set value bits matter (the
+// generic path ORs zeros in as no-ops), each routed through planePort
+// to the per-port stream. Our own bit is skipped by the plane-index
+// check.
+func (n *kt0Node) ReceiveBits(round int, value, _ []uint64) {
+	if n.broken {
+		return
+	}
+	n.rounds = round
+	var shift uint
+	dest := n.phase2
+	if round <= n.idBits {
+		shift = uint(round - 1)
+		dest = n.portID
+	} else {
+		shift = uint(round - n.idBits - 1)
+	}
+	selfW, selfM := n.planeSelf>>6, uint64(1)<<uint(n.planeSelf&63)
+	for wi, w := range value {
+		if wi == selfW {
+			w &^= selfM
+		}
+		for w != 0 {
+			u := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			dest[n.portOfPlane(u)] |= 1 << shift
+		}
 	}
 }
 
@@ -160,7 +257,9 @@ func (n *kt0Node) Decide() bcc.Verdict { return n.outputs().verdict }
 func (n *kt0Node) Label() int { return n.outputs().label }
 
 var (
-	_ bcc.Algorithm = (*KT0Exchange)(nil)
-	_ bcc.Decider   = (*kt0Node)(nil)
-	_ bcc.Labeler   = (*kt0Node)(nil)
+	_ bcc.Algorithm    = (*KT0Exchange)(nil)
+	_ bcc.BitAlgorithm = (*KT0Exchange)(nil)
+	_ bcc.Decider      = (*kt0Node)(nil)
+	_ bcc.Labeler      = (*kt0Node)(nil)
+	_ bcc.BitNode      = (*kt0Node)(nil)
 )

@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bcclique/internal/bcc"
 )
@@ -37,6 +38,10 @@ func (a *NeighborhoodBroadcast) Bandwidth() int { return 1 }
 
 // Rounds implements bcc.Algorithm: MaxDegree slots of ⌈log₂ n⌉ bits.
 func (a *NeighborhoodBroadcast) Rounds(n int) int { return a.MaxDegree * bitsFor(n) }
+
+// BitPlane implements bcc.BitAlgorithm: the algorithm is BCC(1) in
+// every configuration.
+func (a *NeighborhoodBroadcast) BitPlane() bool { return true }
 
 // NewNode implements bcc.Algorithm.
 func (a *NeighborhoodBroadcast) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
@@ -105,6 +110,55 @@ func (n *nbNode) Receive(round int, inbox []bcc.Message) {
 	}
 }
 
+// BindPlane implements bcc.BitNode. The per-port bit streams are
+// rank-addressed under the canonical wiring (port p of self is rank p
+// or p+1), so only the canonical plane is accepted.
+func (n *nbNode) BindPlane(self int, portTarget []int) bool {
+	if n.broken {
+		return true // inert
+	}
+	return portTarget == nil && self == n.self
+}
+
+// SendBit implements bcc.BitNode: the same slot/bit schedule as Send.
+func (n *nbNode) SendBit(round int) (uint8, bool) {
+	if n.broken {
+		return 0, false
+	}
+	slot := (round - 1) / n.idxBits
+	if slot >= len(n.slots) {
+		return 0, false
+	}
+	return uint8(n.slots[slot]>>uint((round-1)%n.idxBits)) & 1, true
+}
+
+// ReceiveBits implements bcc.BitNode: only set value bits matter (the
+// generic path ORs silent and zero bits in as zeros), so the round is
+// consumed by trailing-zero iteration. Our own bit is skipped — the
+// rank-check form of the generic path's self-free inbox.
+func (n *nbNode) ReceiveBits(round int, value, _ []uint64) {
+	if n.broken {
+		return
+	}
+	n.rounds = round
+	shift := uint(round - 1)
+	selfW, selfM := n.self>>6, uint64(1)<<uint(n.self&63)
+	for wi, w := range value {
+		if wi == selfW {
+			w &^= selfM
+		}
+		for w != 0 {
+			u := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			p := u
+			if u > n.self {
+				p = u - 1
+			}
+			n.heard[p] |= 1 << shift
+		}
+	}
+}
+
 func (n *nbNode) outputs() componentOutputs {
 	if n.broken {
 		return componentOutputs{verdict: bcc.VerdictNo, label: -1}
@@ -136,7 +190,9 @@ func (n *nbNode) Decide() bcc.Verdict { return n.outputs().verdict }
 func (n *nbNode) Label() int { return n.outputs().label }
 
 var (
-	_ bcc.Algorithm = (*NeighborhoodBroadcast)(nil)
-	_ bcc.Decider   = (*nbNode)(nil)
-	_ bcc.Labeler   = (*nbNode)(nil)
+	_ bcc.Algorithm    = (*NeighborhoodBroadcast)(nil)
+	_ bcc.BitAlgorithm = (*NeighborhoodBroadcast)(nil)
+	_ bcc.Decider      = (*nbNode)(nil)
+	_ bcc.Labeler      = (*nbNode)(nil)
+	_ bcc.BitNode      = (*nbNode)(nil)
 )

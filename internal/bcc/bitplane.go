@@ -1,0 +1,244 @@
+package bcc
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// The bit plane is the runner's word-packed fast path for the model's
+// native regime, BCC(1): every round is one trit per vertex ({0, 1, ⊥}),
+// so a whole round fits in two n-bit bitsets —
+//
+//	value[v>>6] bit v&63 — the bit vertex v broadcast (0 if silent)
+//	spoke[v>>6] bit v&63 — whether vertex v broadcast at all
+//
+// Delivery is aliasing: a broadcast is the same for every listener, so
+// all n receivers read the *same* two word arrays instead of n
+// permuted (n−1)-slot Message inboxes. Self-exclusion, which the
+// generic path implements by omitting the receiver from its inbox,
+// becomes a rank check inside the node. The per-round cost RoundBits[t]
+// is a popcount over the spoke mask, and transcript mode packs the
+// round's trits as 2-bit codes into one flat arena from which
+// TritString / TranscriptKey are derived directly.
+//
+// The generic Message path remains authoritative: it serves every
+// multi-bit algorithm, every WithReceivedTranscripts run, and acts as
+// the equivalence oracle the bit plane is pinned against byte for byte
+// (see bitplane_test.go and the protocol-level equivalence suite).
+
+// BitAlgorithm is implemented by algorithms whose nodes can run on the
+// bit plane. The runner takes the fast path only when BitPlane()
+// reports true, the declared bandwidth is 1, no received transcripts
+// were requested, and every node accepts its plane binding; otherwise
+// the run falls back to the generic path with identical results.
+type BitAlgorithm interface {
+	Algorithm
+	// BitPlane reports whether this configuration of the algorithm is
+	// 1-bit and its nodes implement BitNode (e.g. Flood declines for
+	// B > 1).
+	BitPlane() bool
+}
+
+// BitNode is the word-parallel counterpart of Node. The runner calls
+// BindPlane once before round 1, then SendBit/ReceiveBits instead of
+// Send/Receive. Nodes must keep both interfaces consistent: the
+// equivalence suite pins SendBit against Send trit by trit.
+type BitNode interface {
+	// BindPlane hands the node its simulation bookkeeping: self is the
+	// node's plane index (= vertex index), and portTarget[p] is the
+	// plane index behind port p — nil means the instance's canonical
+	// ascending-ID wiring, where port p of self leads to plane index p
+	// (p < self) or p+1, and plane indices coincide with sorted-ID
+	// ranks. The slice aliases runner-owned wiring; treat it as
+	// read-only. Returning false declines the binding (e.g. a
+	// rank-space node handed a non-canonical plane) and sends the whole
+	// run down the generic path.
+	BindPlane(self int, portTarget []int) bool
+	// SendBit is Send for the plane: the broadcast bit and whether the
+	// node speaks at all this round (false is the paper's ⊥).
+	SendBit(round int) (bit uint8, speak bool)
+	// ReceiveBits delivers the round: value and spoke are the shared
+	// planes described above, aliased by every listener and reused
+	// between rounds — nodes must not retain or mutate them. The
+	// node's own bit is present; excluding it is the node's rank check.
+	ReceiveBits(round int, value, spoke []uint64)
+}
+
+// bitBuffers is the pooled pair of word arenas serving one run's
+// rounds. Like runBuffers, the pool is shared across the worker
+// goroutines of a sweep grid, so the steady-state round loop is
+// allocation-free once the pool has warmed up for a given n.
+type bitBuffers struct {
+	value []uint64
+	spoke []uint64
+}
+
+var bitBufferPool = sync.Pool{New: func() interface{} { return &bitBuffers{} }}
+
+func getBitBuffers(words int) *bitBuffers {
+	buf := bitBufferPool.Get().(*bitBuffers)
+	if cap(buf.value) < words {
+		buf.value = make([]uint64, words)
+		buf.spoke = make([]uint64, words)
+	}
+	buf.value = buf.value[:words]
+	buf.spoke = buf.spoke[:words]
+	return buf
+}
+
+func putBitBuffers(buf *bitBuffers) { bitBufferPool.Put(buf) }
+
+// tritPlane is the packed transcript of a bit-plane run: one flat arena
+// of 2-bit trit codes (tritZero/tritOne/tritSilent — the same codes
+// TranscriptKey uses), vertex-major: the code of (v, round t) sits at
+// 2-bit slot v*rounds + t−1.
+type tritPlane struct {
+	codes  []uint64
+	rounds int
+}
+
+func newTritPlane(n, rounds int) *tritPlane {
+	return &tritPlane{codes: make([]uint64, (n*rounds+31)/32), rounds: rounds}
+}
+
+func (tp *tritPlane) set(v, t int, code uint64) {
+	i := v*tp.rounds + t - 1
+	tp.codes[i>>5] |= code << uint(2*(i&31))
+}
+
+func (tp *tritPlane) code(v, t int) uint64 {
+	i := v*tp.rounds + t - 1
+	return tp.codes[i>>5] >> uint(2*(i&31)) & 3
+}
+
+// message decodes one slot back into the Message the node's Send would
+// have produced: Bit(0), Bit(1), or Silence.
+func (tp *tritPlane) message(v, t int) Message {
+	switch tp.code(v, t) {
+	case tritZero:
+		return Message{Bits: 0, Len: 1}
+	case tritOne:
+		return Message{Bits: 1, Len: 1}
+	default:
+		return Silence
+	}
+}
+
+// tritString renders vertex v's broadcast sequence over {'0','1','_'} —
+// the arena-direct counterpart of TritString(res.Transcripts[v].Sent).
+func (tp *tritPlane) tritString(v int) string {
+	b := make([]byte, tp.rounds)
+	for t := 1; t <= tp.rounds; t++ {
+		switch tp.code(v, t) {
+		case tritZero:
+			b[t-1] = '0'
+		case tritOne:
+			b[t-1] = '1'
+		default:
+			b[t-1] = '_'
+		}
+	}
+	return string(b)
+}
+
+// tritKey packs vertex v's broadcast sequence into a TranscriptKey
+// without routing through Messages. The arena's 2-bit codes are the
+// key's own trit encoding, so this is a straight repack.
+func (tp *tritPlane) tritKey(v int) (TranscriptKey, error) {
+	var k TranscriptKey
+	for t := 1; t <= tp.rounds; t++ {
+		if err := k.push(tp.code(v, t)); err != nil {
+			return TranscriptKey{}, fmt.Errorf("round %d: %w", t, err)
+		}
+	}
+	return k, nil
+}
+
+// bindBitPlane type-asserts every node onto the plane and binds it.
+// Any node that is not a BitNode, or declines its binding, sends the
+// run down the generic path.
+func bindBitPlane(in *Instance, nodes []Node) ([]BitNode, bool) {
+	bnodes := make([]BitNode, len(nodes))
+	for v, node := range nodes {
+		bn, ok := node.(BitNode)
+		if !ok {
+			return nil, false
+		}
+		var portTarget []int
+		if !in.canonical {
+			portTarget = in.ports[v]
+		}
+		if !bn.BindPlane(v, portTarget) {
+			return nil, false
+		}
+		bnodes[v] = bn
+	}
+	return bnodes, true
+}
+
+// runBitPlane is the word-parallel round loop. Contract with the
+// generic loop (pinned by the equivalence suite): identical RoundBits,
+// TotalBits, verdicts, labels, and — in transcript mode — identical
+// Sent sequences, with TritString/TranscriptKey derived from the
+// packed arena.
+func runBitPlane(res *Result, bnodes []BitNode, o options) error {
+	n := len(bnodes)
+	rounds := res.Rounds
+	words := (n + 63) / 64
+	buf := getBitBuffers(words)
+	defer putBitBuffers(buf)
+	value, spoke := buf.value, buf.spoke
+
+	var tp *tritPlane
+	if !o.noTranscripts {
+		tp = newTritPlane(n, rounds)
+	}
+	for t := 1; t <= rounds; t++ {
+		clear(value)
+		clear(spoke)
+		for v := 0; v < n; v++ {
+			bit, speak := bnodes[v].SendBit(t)
+			if speak {
+				w, m := v>>6, uint64(1)<<uint(v&63)
+				spoke[w] |= m
+				if bit&1 != 0 {
+					value[w] |= m
+					if tp != nil {
+						tp.set(v, t, tritOne)
+					}
+				}
+				// tritZero is code 0: the zero-initialized arena
+				// already encodes it.
+			} else if tp != nil {
+				tp.set(v, t, tritSilent)
+			}
+		}
+		rb := 0
+		for _, w := range spoke {
+			rb += bits.OnesCount64(w)
+		}
+		res.RoundBits[t-1] = rb
+		res.TotalBits += rb
+		for v := 0; v < n; v++ {
+			bnodes[v].ReceiveBits(t, value, spoke)
+		}
+	}
+	if tp != nil {
+		res.trits = tp
+		// Materialize the Sent sequences from the arena so every
+		// transcript consumer (crossing, PLS, reductions) sees the
+		// exact messages the generic path would have recorded.
+		res.Transcripts = make([]Transcript, n)
+		sentArena := make([]Message, n*rounds)
+		for v := 0; v < n; v++ {
+			sent := sentArena[v*rounds : (v+1)*rounds : (v+1)*rounds]
+			for t := 1; t <= rounds; t++ {
+				sent[t-1] = tp.message(v, t)
+			}
+			res.Transcripts[v].Sent = sent
+		}
+	}
+	res.BitPlane = true
+	return nil
+}

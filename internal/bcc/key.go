@@ -136,11 +136,19 @@ func ParseKeys(labels []string) ([]TranscriptKey, error) {
 
 // SentTritKeys returns, for every vertex, the packed {0,1,⊥}-sequence it
 // broadcast over the run: the allocation-free counterpart of
-// SentTritLabels for transcript-bucketing hot paths.
+// SentTritLabels for transcript-bucketing hot paths. Bit-plane runs
+// repack the keys straight from the 2-bit trit arena, which shares this
+// encoding.
 func SentTritKeys(res *Result) ([]TranscriptKey, error) {
 	keys := make([]TranscriptKey, len(res.Transcripts))
 	for v := range res.Transcripts {
-		k, err := KeyOfTrits(res.Transcripts[v].Sent)
+		var k TranscriptKey
+		var err error
+		if res.trits != nil {
+			k, err = res.trits.tritKey(v)
+		} else {
+			k, err = KeyOfTrits(res.Transcripts[v].Sent)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("vertex %d: %w", v, err)
 		}

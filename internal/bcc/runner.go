@@ -18,6 +18,52 @@ type runBuffers struct {
 
 var runBufferPool = sync.Pool{New: func() interface{} { return &runBuffers{} }}
 
+// intsPool recycles the per-run []int allocations whose ownership
+// transfers into the Result — the RoundBits cost series and the
+// verdict/label scratch. At n = 4096 a single flood run's RoundBits is
+// a 4095-int slice; across the thousands of runs of a sweep grid that
+// is pure allocator churn unless callers that discard their Results
+// hand the slices back via Recycle.
+var intsPool = sync.Pool{New: func() interface{} { return new([]int) }}
+
+// takeInts returns a length-n []int from the pool (contents arbitrary;
+// every caller fully overwrites it before any read).
+func takeInts(n int) []int {
+	p := intsPool.Get().(*[]int)
+	s := *p
+	if cap(s) < n {
+		s = make([]int, n)
+	}
+	*p = nil
+	intsPool.Put(p)
+	return s[:n]
+}
+
+func recycleInts(s []int) {
+	if cap(s) == 0 {
+		return
+	}
+	p := intsPool.Get().(*[]int)
+	*p = s[:0]
+	intsPool.Put(p)
+}
+
+// Recycle returns a Result's pooled backing slices (RoundBits, Labels)
+// for reuse by future runs and nils the fields. Call it only when the
+// Result — and everything that aliased those slices — is dead; hot
+// loops that run thousands of discarded simulations (EstimateError,
+// the equivalence suite) use it to keep the per-run cost series off
+// the allocator.
+func Recycle(res *Result) {
+	if res == nil {
+		return
+	}
+	recycleInts(res.RoundBits)
+	res.RoundBits = nil
+	recycleInts(res.Labels)
+	res.Labels = nil
+}
+
 // getRunBuffers returns scratch sized for n vertices, growing the pooled
 // arenas if this n is the largest seen.
 func getRunBuffers(n int) *runBuffers {
@@ -115,6 +161,16 @@ type Result struct {
 	// Transcripts holds the per-vertex Sent (and optionally Received)
 	// message sequences; nil under WithoutTranscripts.
 	Transcripts []Transcript
+	// BitPlane reports whether the run was served by the word-packed
+	// 1-bit fast path (see bitplane.go) instead of the generic Message
+	// loop. Both paths are pinned byte-identical by the equivalence
+	// suite; the flag exists for observability and for tests asserting
+	// the fast path actually engaged.
+	BitPlane bool
+	// trits is the packed 2-bit trit arena of a transcript-recording
+	// bit-plane run; SentTritLabels/SentTritKeys derive trit strings
+	// and keys directly from it.
+	trits *tritPlane
 }
 
 // SentSequence returns the broadcast sequence of vertex v.
@@ -126,6 +182,7 @@ type options struct {
 	rounds         int // -1: use the algorithm's schedule
 	recordReceived bool
 	noTranscripts  bool
+	noBitPlane     bool
 }
 
 // Option configures Run.
@@ -169,6 +226,16 @@ func (noTranscriptsOption) apply(opts *options) { opts.noTranscripts = true }
 // It conflicts with WithReceivedTranscripts.
 func WithoutTranscripts() Option { return noTranscriptsOption{} }
 
+type noBitPlaneOption struct{}
+
+func (noBitPlaneOption) apply(opts *options) { opts.noBitPlane = true }
+
+// WithoutBitPlane forces the generic Message path even for algorithms
+// whose nodes could ride the word-packed bit plane. The generic path
+// is the equivalence oracle: the bit-plane test suite and the
+// before/after benchmarks run the same algorithm down both paths.
+func WithoutBitPlane() Option { return noBitPlaneOption{} }
+
 // Run executes the algorithm on the instance and returns the result.
 // Sent transcripts are always recorded (they are the labels that drive the
 // crossing machinery); received transcripts only on request.
@@ -199,7 +266,25 @@ func Run(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
 		nodes[v] = algo.NewNode(in.View(v), o.coin)
 	}
 
-	res := &Result{Rounds: rounds, RoundBits: make([]int, rounds)}
+	// RoundBits comes out of the recycling pool (see Recycle): the loop
+	// writes every slot, so stale pool contents are inert.
+	res := &Result{Rounds: rounds, RoundBits: takeInts(rounds)}
+
+	// The bit plane serves 1-bit algorithms whose nodes all accept a
+	// plane binding; received-transcript runs need per-port inboxes and
+	// stay generic, as does everything multi-bit.
+	if b == 1 && !o.noBitPlane && !o.recordReceived {
+		if ba, ok := algo.(BitAlgorithm); ok && ba.BitPlane() {
+			if bnodes, ok := bindBitPlane(in, nodes); ok {
+				if err := runBitPlane(res, bnodes, o); err != nil {
+					return nil, err
+				}
+				finishOutputs(res, nodes)
+				return res, nil
+			}
+		}
+	}
+
 	// Per-run send/inbox scratch comes from a pool sized by the largest
 	// (n, rounds) seen, so sweep grids running thousands of cells reuse
 	// two arenas instead of re-allocating per run. Every slot is
@@ -263,9 +348,18 @@ func Run(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
 		}
 	}
 
+	finishOutputs(res, nodes)
+	return res, nil
+}
+
+// finishOutputs collects the decision/labelling epilogue shared by both
+// runner paths. The label scratch is pooled and only kept by the
+// Result when every node is a Labeler.
+func finishOutputs(res *Result, nodes []Node) {
+	n := len(nodes)
 	res.HasVerdict = true
 	verdict := VerdictYes
-	labels := make([]int, n)
+	labels := takeInts(n)
 	allLabelers := true
 	for v := 0; v < n; v++ {
 		if d, ok := nodes[v].(Decider); ok {
@@ -286,8 +380,9 @@ func Run(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
 	}
 	if allLabelers {
 		res.Labels = labels
+	} else {
+		recycleInts(labels)
 	}
-	return res, nil
 }
 
 // EstimateError runs a Monte Carlo algorithm once per coin seed and returns
@@ -324,6 +419,10 @@ func EstimateError(in *Instance, algo Algorithm, want Verdict, seeds []int64, op
 			return fmt.Errorf("bcc: algorithm %q produced no verdict", algo.Name())
 		}
 		wrong[i] = res.Verdict != want
+		// Nothing outlives the verdict check: recycle the per-run cost
+		// series and label scratch instead of churning the allocator
+		// once per seed.
+		Recycle(res)
 		return nil
 	})
 	if err != nil {
@@ -341,9 +440,16 @@ func EstimateError(in *Instance, algo Algorithm, want Verdict, seeds []int64, op
 // SentTritLabels returns, for every vertex, the {0,1,⊥}-string it broadcast
 // over the run — the per-vertex sequences x, y used to define edge labels
 // and active edges in the KT-0 lower bound (Section 3). It errors if any
-// message is longer than one bit.
+// message is longer than one bit. Bit-plane runs derive the strings
+// directly from the packed trit arena.
 func SentTritLabels(res *Result) ([]string, error) {
 	labels := make([]string, len(res.Transcripts))
+	if res.trits != nil {
+		for v := range res.Transcripts {
+			labels[v] = res.trits.tritString(v)
+		}
+		return labels, nil
+	}
 	for v := range res.Transcripts {
 		s, err := TritString(res.Transcripts[v].Sent)
 		if err != nil {

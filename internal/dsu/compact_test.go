@@ -1,0 +1,64 @@
+package dsu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCompactMatchesDSU drives Compact and DSU through the same random
+// union sequence and checks they agree on every Same query and on the
+// set count throughout.
+func TestCompactMatchesDSU(t *testing.T) {
+	const n = 257
+	rng := rand.New(rand.NewSource(7))
+	d := New(n)
+	c := NewCompact(n)
+	if c.Len() != n || c.Sets() != n {
+		t.Fatalf("fresh Compact: Len=%d Sets=%d", c.Len(), c.Sets())
+	}
+	for step := 0; step < 4*n; step++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		if got, want := c.Union(x, y), d.Union(x, y); got != want {
+			t.Fatalf("step %d: Union(%d,%d) = %v, DSU says %v", step, x, y, got, want)
+		}
+		if c.Sets() != d.Sets() {
+			t.Fatalf("step %d: Sets() = %d, DSU says %d", step, c.Sets(), d.Sets())
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		if got, want := c.Same(a, b), d.Same(a, b); got != want {
+			t.Fatalf("step %d: Same(%d,%d) = %v, DSU says %v", step, a, b, got, want)
+		}
+	}
+	// Full pairwise agreement at the end.
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			if c.Same(x, y) != d.Same(x, y) {
+				t.Fatalf("final state: Same(%d,%d) disagrees with DSU", x, y)
+			}
+		}
+	}
+}
+
+// TestCompactSizes pins the negated-size root encoding: unioning a
+// chain keeps Sets consistent and every element finds the same root.
+func TestCompactSizes(t *testing.T) {
+	const n = 64
+	c := NewCompact(n)
+	for i := 1; i < n; i++ {
+		if !c.Union(0, i) {
+			t.Fatalf("Union(0,%d) reported no merge", i)
+		}
+		if c.Union(0, i) {
+			t.Fatalf("repeated Union(0,%d) reported a merge", i)
+		}
+	}
+	if c.Sets() != 1 {
+		t.Fatalf("Sets() = %d after chaining all elements", c.Sets())
+	}
+	root := c.Find(0)
+	for i := 0; i < n; i++ {
+		if c.Find(i) != root {
+			t.Fatalf("Find(%d) = %d, want %d", i, c.Find(i), root)
+		}
+	}
+}

@@ -55,13 +55,19 @@ type GridSpec struct {
 	// nil = Sizes).
 	Sizes      []int
 	QuickSizes []int
-	// SizeCaps declares per-protocol feasibility ceilings: a protocol
-	// listed here gets no cells with N above its cap, letting one grid
-	// carry a size ladder that only its scalable protocols climb (e.g.
-	// the sketch protocol's per-replica decode is Θ(n) per heard sketch,
-	// so its cells stop where the ladder would take CPU-hours). Caps are
-	// part of the grid's declared axes — they change the synthesized
-	// spec key, never a surviving cell's content address.
+	// SizeCaps declares feasibility ceilings: a protocol listed here
+	// gets no cells with N above its cap, letting one grid carry a size
+	// ladder that only its scalable protocols climb (e.g. the sketch
+	// protocol's per-replica decode is Θ(n) per heard sketch, so its
+	// cells stop where the ladder would take CPU-hours). A key may also
+	// be scoped to one family as "protocol@family", capping only that
+	// pair — the honest ceiling for a protocol whose cost is
+	// density-driven (flood reconstructs the whole input, so it climbs
+	// a sparse ladder to the top but must stop early on the Θ(n²)-edge
+	// barbell). When both a protocol cap and a scoped cap apply, the
+	// lower one wins. Caps are part of the grid's declared axes — they
+	// change the synthesized spec key, never a surviving cell's content
+	// address.
 	SizeCaps map[string]int
 	// Seeds is the per-cell seed count (QuickSeeds under Config.Quick;
 	// 0 = Seeds).
@@ -103,17 +109,28 @@ func (g GridSpec) SeedCount(cfg Config) int {
 	return g.Seeds
 }
 
+// capFor resolves the effective size ceiling for one (protocol, family)
+// pair: the lower of the protocol-wide cap and the family-scoped
+// "protocol@family" cap, if either is declared.
+func (g GridSpec) capFor(proto, fam string) (int, bool) {
+	cap, capped := g.SizeCaps[proto]
+	if scoped, ok := g.SizeCaps[proto+"@"+fam]; ok && (!capped || scoped < cap) {
+		cap, capped = scoped, true
+	}
+	return cap, capped
+}
+
 // Cells enumerates the grid in deterministic cell order —
 // family-major, then protocol, then size, so each (family, protocol)
 // cost curve is contiguous in the assembled table. Sizes above a
-// protocol's declared SizeCaps ceiling are skipped.
+// (protocol, family) pair's declared SizeCaps ceiling are skipped.
 func (g GridSpec) Cells(cfg Config) []GridCell {
 	sizes := g.ResolvedSizes(cfg)
 	seeds := g.SeedCount(cfg)
 	cells := make([]GridCell, 0, len(g.Families)*len(g.Protocols)*len(sizes))
 	for _, fam := range g.Families {
 		for _, proto := range g.Protocols {
-			cap, capped := g.SizeCaps[proto]
+			cap, capped := g.capFor(proto, fam)
 			for _, n := range sizes {
 				if capped && n > cap {
 					continue
@@ -227,10 +244,11 @@ func (g GridSpec) CSVSink(w io.Writer) (sink func(GridCell, []string) error, flu
 }
 
 // validate rejects a misdeclared grid at registration time: a SizeCaps
-// key that names no protocol of the grid would silently disable the
-// ceiling it was meant to enforce (the capped protocol climbs the whole
-// ladder), and a cap below the smallest size would silently erase the
-// protocol from the grid.
+// key that names no protocol (or, for "protocol@family" scoped keys, no
+// family) of the grid would silently disable the ceiling it was meant
+// to enforce (the capped protocol climbs the whole ladder), and a cap
+// below the smallest size would silently erase the protocol — or the
+// scoped pair — from the grid.
 func (g GridSpec) validate() error {
 	// The cap must clear the smallest size of EACH ladder — a cap below
 	// only the quick ladder would erase the protocol from quick/CI runs,
@@ -248,15 +266,28 @@ func (g GridSpec) validate() error {
 		return min, true
 	}
 	for name, cap := range g.SizeCaps {
+		proto, fam, scoped := strings.Cut(name, "@")
 		found := false
 		for _, p := range g.Protocols {
-			if p == name {
+			if p == proto {
 				found = true
 				break
 			}
 		}
 		if !found {
 			return fmt.Errorf("grid %s: size cap for %q names no protocol of the grid", g.ID, name)
+		}
+		if scoped {
+			found = false
+			for _, f := range g.Families {
+				if f == fam {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("grid %s: size cap for %q names no family of the grid", g.ID, name)
+			}
 		}
 		for _, axis := range [][]int{g.Sizes, g.QuickSizes} {
 			if min, ok := minOf(axis); ok && cap < min {
@@ -387,13 +418,35 @@ func (e *Engine) runCell(g GridSpec, cfg Config, c GridCell, emit func(Event)) (
 	return unwrap(res)
 }
 
+// dispatchOrder returns the order in which RunGrid starts cells:
+// descending n, stable by declared index within a size. Cell cost grows
+// superlinearly in n, so declared (family-major) order tends to leave
+// one n=4096/8192 cell running alone at the tail of a sweep while every
+// worker but one idles; starting the big cells first makes the tail
+// workers drain the cheap small-n cells instead — the classic
+// longest-processing-time heuristic. Assembly, sinks and table rows
+// remain in declared cell order regardless of dispatch order.
+func dispatchOrder(cells []GridCell) []int {
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cells[order[a]].N > cells[order[b]].N
+	})
+	return order
+}
+
 // RunGrid executes every cell of the grid concurrently on the
 // process-wide worker pool, serving previously computed cells from the
 // per-cell content-addressed cache, and assembles one Result whose
-// table lists the rows in deterministic cell order. onEvent (optional)
-// observes per-cell progress. sink (optional) receives each row as soon
-// as it and all its predecessors have finished — always in cell order —
-// so a slow grid still streams early rows incrementally. Rows are
+// table lists the rows in deterministic cell order. Cells are
+// dispatched largest-n first (see dispatchOrder) so a sweep's wall
+// clock is not serialized behind a straggler; assembly order, sink
+// order and the final table are unaffected. onEvent (optional) observes
+// per-cell progress. sink (optional) receives each row as soon as it
+// and all its predecessors have finished — always in cell order — so a
+// slow grid still streams early rows incrementally. Rows are
 // bit-identical at any worker count; a resumed or recomposed grid
 // recomputes only cells whose content address is new.
 func (e *Engine) RunGrid(g GridSpec, cfg Config, onEvent func(Event), sink func(cell GridCell, row []string) error) (*Result, error) {
@@ -409,6 +462,7 @@ func (e *Engine) RunGrid(g GridSpec, cfg Config, onEvent func(Event), sink func(
 		return nil, fmt.Errorf("engine: grid %s has no cells for this configuration (sizes %v, declared ceilings %s)",
 			g.ID, g.ResolvedSizes(cfg), g.axes())
 	}
+	order := dispatchOrder(cells)
 	done := make([]chan struct{}, len(cells))
 	for i := range done {
 		done[i] = make(chan struct{})
@@ -416,7 +470,8 @@ func (e *Engine) RunGrid(g GridSpec, cfg Config, onEvent func(Event), sink func(
 	rows := make([][]string, len(cells))
 	errs := make([]error, len(cells))
 	var stop atomic.Bool
-	go parallel.ForEach(len(cells), func(i int) error {
+	go parallel.ForEach(len(cells), func(k int) error {
+		i := order[k]
 		defer close(done[i])
 		if stop.Load() {
 			return nil

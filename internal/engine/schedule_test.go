@@ -1,0 +1,148 @@
+package engine_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"bcclique/internal/engine"
+	"bcclique/internal/parallel"
+)
+
+// schedGrid builds an instrumented toy grid over one protocol × one
+// family × the given sizes; runCell observes every cell start.
+func schedGrid(sizes []int, runCell func(c engine.GridCell) ([]string, error)) engine.GridSpec {
+	return engine.GridSpec{
+		ID: "ESCHED", Title: "dispatch order",
+		Protocols: []string{"p"}, Families: []string{"f"},
+		Sizes: sizes, Seeds: 1,
+		Headers: []string{"family", "protocol", "n"},
+		CellKey: func(proto, fam string) (string, error) { return proto + ";" + fam, nil },
+		RunCell: func(_ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
+			return runCell(c)
+		},
+	}
+}
+
+// TestGridDispatchLargestFirst pins the straggler-free scheduling
+// contract: cells start in descending-n order (the expensive cells
+// never queue behind a tail of cheap ones), while the sink and the
+// assembled table still deliver rows in declared cell order.
+func TestGridDispatchLargestFirst(t *testing.T) {
+	defer parallel.SetLimit(0)
+	// One worker makes the dispatch order directly observable as the
+	// execution order.
+	parallel.SetLimit(1)
+
+	sizes := []int{8, 64, 16, 32}
+	var mu sync.Mutex
+	var started []int
+	grid := schedGrid(sizes, func(c engine.GridCell) ([]string, error) {
+		mu.Lock()
+		started = append(started, c.N)
+		mu.Unlock()
+		return []string{c.Family, c.Protocol, fmt.Sprint(c.N)}, nil
+	})
+	eng := engine.New(nil, engine.WithGrids(grid))
+
+	var sunk []int
+	res, err := eng.RunGrid(grid, engine.Config{Seed: 1}, nil, func(c engine.GridCell, row []string) error {
+		sunk = append(sunk, c.Index)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStart := []int{64, 32, 16, 8}
+	if fmt.Sprint(started) != fmt.Sprint(wantStart) {
+		t.Errorf("cells started in order %v, want descending-n %v", started, wantStart)
+	}
+	for i, idx := range sunk {
+		if idx != i {
+			t.Fatalf("sink delivery out of declared order: %v", sunk)
+		}
+	}
+	// Table rows stay in declared (Sizes-list) order.
+	for i, row := range res.Tables[0].Rows {
+		if row[2] != fmt.Sprint(sizes[i]) {
+			t.Errorf("table row %d is n=%s, want declared order %d", i, row[2], sizes[i])
+		}
+	}
+}
+
+// TestGridDispatchFailureSurfacesLowestIndexedError pins the error
+// contract under reordered dispatch: when a mid-grid cell fails, the
+// error surfaced is the lowest-declared-index failing cell's own error,
+// not a "cell did not run" artifact for the small-n cells the stop flag
+// skipped.
+func TestGridDispatchFailureSurfacesLowestIndexedError(t *testing.T) {
+	defer parallel.SetLimit(0)
+	parallel.SetLimit(1)
+
+	sizes := []int{8, 16, 32, 64} // declared ascending; dispatched descending
+	grid := schedGrid(sizes, func(c engine.GridCell) ([]string, error) {
+		if c.N == 32 {
+			return nil, fmt.Errorf("boom at n=%d", c.N)
+		}
+		return []string{c.Family, c.Protocol, fmt.Sprint(c.N)}, nil
+	})
+	eng := engine.New(nil, engine.WithGrids(grid))
+	_, err := eng.RunGrid(grid, engine.Config{Seed: 1}, nil, nil)
+	if err == nil {
+		t.Fatal("failing grid returned no error")
+	}
+	if !strings.Contains(err.Error(), "boom at n=32") {
+		t.Errorf("surfaced error %q is not the failing cell's own error", err)
+	}
+	if strings.Contains(err.Error(), "did not run") {
+		t.Errorf("skipped small-n cells leaked as the surfaced error: %q", err)
+	}
+}
+
+// TestGridScopedSizeCaps pins the family-scoped "protocol@family"
+// ceilings: the scoped pair stops at its cap, every other combination
+// climbs the full ladder, and the lower of a protocol-wide and a scoped
+// cap wins.
+func TestGridScopedSizeCaps(t *testing.T) {
+	grid := engine.GridSpec{
+		ID: "ESCOPED", Title: "scoped caps",
+		Protocols: []string{"p", "q"}, Families: []string{"f", "g"},
+		Sizes: []int{8, 16, 32}, Seeds: 1,
+		SizeCaps: map[string]int{"p@g": 16, "q": 16, "q@f": 8},
+		Headers:  []string{"family", "protocol", "n"},
+		CellKey:  func(proto, fam string) (string, error) { return proto + ";" + fam, nil },
+		RunCell: func(_ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
+			return []string{c.Family, c.Protocol, fmt.Sprint(c.N)}, nil
+		},
+	}
+	engine.New(nil, engine.WithGrids(grid)) // must validate cleanly
+	maxN := map[string]int{}
+	for _, c := range grid.Cells(engine.Config{}) {
+		key := c.Protocol + "@" + c.Family
+		if c.N > maxN[key] {
+			maxN[key] = c.N
+		}
+	}
+	want := map[string]int{"p@f": 32, "p@g": 16, "q@f": 8, "q@g": 16}
+	for pair, top := range want {
+		if maxN[pair] != top {
+			t.Errorf("%s climbs to %d, want %d", pair, maxN[pair], top)
+		}
+	}
+
+	mustPanic := func(name string, caps map[string]int) {
+		t.Helper()
+		bad := grid
+		bad.SizeCaps = caps
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: engine.New accepted a misdeclared scoped cap", name)
+			}
+		}()
+		engine.New(nil, engine.WithGrids(bad))
+	}
+	mustPanic("unknown scoped protocol", map[string]int{"nope@f": 16})
+	mustPanic("unknown scoped family", map[string]int{"p@nope": 16})
+	mustPanic("scoped cap below smallest size", map[string]int{"p@f": 4})
+}

@@ -85,22 +85,25 @@ func gridE17() engine.GridSpec {
 			"detectable, never silent).",
 		Protocols: []string{"kt0-exchange", "boruvka", "sketch-a2", "flood-b1"},
 		Families:  []string{"one-cycle", "two-cycle", "crossed-two-cycle", "er-threshold", "grid"},
-		// The doubling ladder runs to n = 4096 on the CSR substrate.
-		// Cells are cached individually, so the pre-existing 16/32/64
-		// cells keep their content addresses and a grown ladder only
-		// computes the new sizes. Full runs at the top sizes are
-		// dominated by flood-b1 (Θ(n) rounds of Θ(n) messages ≈ minutes
-		// at 4096) — restrict with -protocols/-sizes for targeted
-		// large-n curves (see README).
-		Sizes:      []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096},
+		// The doubling ladder runs to n = 8192: flood-b1 climbs the
+		// whole thing on the runner's word-packed bit plane (its rounds
+		// collapse to two n-bit planes per round). Cells are cached
+		// individually, so the pre-existing sizes keep their content
+		// addresses and a grown ladder only computes the new cells.
+		// Full runs at the top are still minutes of compute — restrict
+		// with -protocols/-sizes for targeted large-n curves (see
+		// README).
+		Sizes:      []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192},
 		QuickSizes: []int{8, 16},
 		// Declared feasibility ceilings: the sketch adapter's replicas
 		// each decode every heard sketch against the whole universe
-		// (Θ(n) per sketch, Θ(n²) per replica round), and the KT-0
-		// adapter materializes Θ(n²) random port tables — neither
-		// changes asymptotics above its ceiling, it just burns hours.
-		// flood and boruvka climb the whole ladder.
-		SizeCaps:   map[string]int{"sketch-a2": 512, "kt0-exchange": 2048},
+		// (Θ(n) per sketch, Θ(n²) per replica round), the KT-0 adapter
+		// materializes Θ(n²) random port tables, and boruvka replicates
+		// ~200 KB of pointer-heavy merge state per vertex (≈1.6 GB of
+		// live heap at 8192) — none changes asymptotics above its
+		// ceiling, it just burns hours or memory. Only the bit-plane
+		// flood-b1 climbs to 8192.
+		SizeCaps:   map[string]int{"sketch-a2": 512, "kt0-exchange": 2048, "boruvka": 4096},
 		Seeds:      3,
 		QuickSeeds: 2,
 		Headers:    []string{"family", "protocol", "n", "b", "rounds", "total bits", "bits/round", "rounds/log₂n", "correct"},
@@ -161,17 +164,28 @@ func gridE18() engine.GridSpec {
 			"above the sketch's arboricity bound — every vertex outputs a detectable NO / label −1, " +
 			"never a silently wrong answer.",
 		Caption: "refused counts runs where every vertex output the −1 sentinel (the detectable " +
-			"promise-violation signal); silent wrong must be 0 everywhere.",
-		Protocols: []string{"sketch-a1", "sketch-a2", "boruvka"},
+			"promise-violation signal); silent wrong must be 0 everywhere. flood-b1 is the " +
+			"promise-free control: it reconstructs the input exactly, so it must answer correctly " +
+			"(never refuse) on every stress family.",
+		Protocols: []string{"sketch-a1", "sketch-a2", "boruvka", "flood-b1"},
 		Families:  []string{"planted-2", "planted-4", "barbell"},
-		// Stress sizes climb to n = 4096 (barbell there is ~4.2M clique
-		// edges — the CSR builder assembles it in one pass). The
-		// original 16/32 cells keep their cached content addresses.
-		Sizes:      []int{16, 32, 64, 256, 1024, 4096},
+		// Stress sizes climb to n = 8192 on the planted families via
+		// the bit-plane flood-b1 (the barbell there is ~16.8M clique
+		// edges — the CSR builder assembles it in one pass, but only
+		// boruvka's O(log n) rounds can afford to stress it above 1024).
+		// The pre-existing cells keep their cached content addresses.
+		Sizes:      []int{16, 32, 64, 256, 1024, 4096, 8192},
 		QuickSizes: []int{12},
-		// The sketch replicas' universe-scan decode keeps them below the
-		// top of the ladder (see E17); boruvka stresses every size.
-		SizeCaps:   map[string]int{"sketch-a1": 512, "sketch-a2": 512},
+		// The sketch replicas' universe-scan decode keeps them below
+		// the top of the ladder and boruvka's replicated merge state
+		// stops at 4096 (see E17). flood-b1 reconstructs every edge, so
+		// on the Θ(n²)-edge barbell its per-replica union work is
+		// Θ(n²) — the scoped cap keeps that pair honest while the
+		// sparse planted families climb to 8192.
+		SizeCaps: map[string]int{
+			"sketch-a1": 512, "sketch-a2": 512, "boruvka": 4096,
+			"flood-b1@barbell": 1024,
+		},
 		Seeds:      3,
 		QuickSeeds: 2,
 		Headers:    []string{"family", "protocol", "n", "verdicts", "correct", "refused", "silent wrong"},

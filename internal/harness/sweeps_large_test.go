@@ -100,18 +100,25 @@ func TestLargeNSweepRowMatchesSummarizedForm(t *testing.T) {
 }
 
 // TestGridSizeLadders pins the extended size axes and the feasibility
-// ceilings: both grids climb to n = 4096, the pre-existing sizes
-// survive unchanged at the front of the ladder (their cells keep their
-// cached content addresses), and capped protocols get no cells above
-// their declared ceiling while flood and boruvka reach the top.
+// ceilings: both grids climb to n = 8192 for the bit-plane flood-b1,
+// the pre-existing sizes survive unchanged at the front of the ladder
+// (their cells keep their cached content addresses), and every capped
+// protocol — including the family-scoped flood-b1@barbell ceiling —
+// gets no cells above its declared ceiling.
 func TestGridSizeLadders(t *testing.T) {
 	for _, tc := range []struct {
 		id         string
 		wantPrefix []int
-		uncapped   []string
+		tops       map[string]int // expected per-protocol ladder top
 	}{
-		{"E17", []int{16, 32, 64}, []string{"flood-b1", "boruvka"}},
-		{"E18", []int{16, 32}, []string{"boruvka"}},
+		{"E17", []int{16, 32, 64}, map[string]int{
+			"flood-b1": 8192, "boruvka": 4096, "kt0-exchange": 2048, "sketch-a2": 512,
+		}},
+		// E18's ladder has no 512 rung, so the sketch protocols (cap
+		// 512) top out at its 256 rung.
+		{"E18", []int{16, 32}, map[string]int{
+			"flood-b1": 8192, "boruvka": 4096, "sketch-a1": 256, "sketch-a2": 256,
+		}},
 	} {
 		var grid engine.GridSpec
 		found := false
@@ -129,23 +136,38 @@ func TestGridSizeLadders(t *testing.T) {
 				break
 			}
 		}
-		if top := grid.Sizes[len(grid.Sizes)-1]; top != 4096 {
-			t.Errorf("%s ladder tops out at %d, want 4096", tc.id, top)
+		if top := grid.Sizes[len(grid.Sizes)-1]; top != 8192 {
+			t.Errorf("%s ladder tops out at %d, want 8192", tc.id, top)
 		}
 		maxN := map[string]int{}
 		for _, c := range grid.Cells(engine.Config{}) {
 			if c.N > maxN[c.Protocol] {
 				maxN[c.Protocol] = c.N
 			}
-		}
-		for _, p := range tc.uncapped {
-			if maxN[p] != 4096 {
-				t.Errorf("%s: %s tops out at %d, want 4096", tc.id, p, maxN[p])
+			if c.N > maxN[c.Protocol+"@"+c.Family] {
+				maxN[c.Protocol+"@"+c.Family] = c.N
 			}
 		}
-		for p, cap := range grid.SizeCaps {
-			if maxN[p] > cap {
-				t.Errorf("%s: %s has a cell at n=%d above its cap %d", tc.id, p, maxN[p], cap)
+		for p, top := range tc.tops {
+			if maxN[p] != top {
+				t.Errorf("%s: %s tops out at %d, want %d", tc.id, p, maxN[p], top)
+			}
+		}
+		for key, cap := range grid.SizeCaps {
+			if maxN[key] > cap {
+				t.Errorf("%s: %s has a cell at n=%d above its cap %d", tc.id, key, maxN[key], cap)
+			}
+		}
+	}
+	// The scoped barbell ceiling: flood-b1 stresses the dense family
+	// only to 1024 while climbing the sparse planted ladders to 8192.
+	for _, g := range Grids() {
+		if g.ID != "E18" {
+			continue
+		}
+		for _, c := range g.Cells(engine.Config{}) {
+			if c.Protocol == "flood-b1" && c.Family == "barbell" && c.N > 1024 {
+				t.Errorf("E18: flood-b1×barbell cell at n=%d above the scoped cap", c.N)
 			}
 		}
 	}

@@ -50,6 +50,10 @@ type Outcome struct {
 	// algorithms use to reject inputs outside their promise instead of
 	// answering wrongly.
 	Refused bool `json:"refused"`
+	// BitPlane reports whether the run rode the simulator's word-packed
+	// 1-bit fast path (flood-b1, neighborhood and kt0-exchange do; the
+	// multi-bit boruvka and sketch adapters use the generic path).
+	BitPlane bool `json:"bit_plane,omitempty"`
 }
 
 // SilentWrong reports the one outcome the model forbids: an answer that
@@ -149,6 +153,12 @@ func Names() []string {
 	return out
 }
 
+// genericOracle, when true, forces every adapter run down the generic
+// Message path even for bit-plane-capable algorithms. The equivalence
+// suite flips it to pin bit-plane sweep outcomes against the oracle;
+// it is not safe to toggle concurrently with running protocols.
+var genericOracle bool
+
 // maxDegree returns max(1, Δ(g)) — algorithm constructors reject a zero
 // degree bound, and an edgeless graph still needs a schedule.
 func maxDegree(g *graph.Graph) int {
@@ -177,7 +187,11 @@ func bitsFor(m int) int {
 // from the runner's O(rounds) accounting — so memory stays bounded by
 // the nodes' own state at any n.
 func finish(name string, g *graph.Graph, in *bcc.Instance, algo bcc.Algorithm) (*Outcome, error) {
-	res, err := bcc.Run(in, algo, bcc.WithoutTranscripts())
+	opts := []bcc.Option{bcc.WithoutTranscripts()}
+	if genericOracle {
+		opts = append(opts, bcc.WithoutBitPlane())
+	}
+	res, err := bcc.Run(in, algo, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("protocol %s: %w", name, err)
 	}
@@ -191,6 +205,7 @@ func finish(name string, g *graph.Graph, in *bcc.Instance, algo bcc.Algorithm) (
 		HasVerdict: res.HasVerdict,
 		Verdict:    res.Verdict,
 		Labels:     res.Labels,
+		BitPlane:   res.BitPlane,
 	}
 	// One union-find pass yields both ground truths (connectivity and
 	// component labels) instead of two.
