@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race check bench bench-json bench-sweeps bench-scale bench-bitplane bench-compare report serve smoke-examples sweep sweep-smoke sweep-large sweep-xl fmt vet
+.PHONY: build test race check bench bench-json bench-sweeps bench-scale bench-bitplane bench-serving bench-compare report serve serve-race load-smoke smoke-examples sweep sweep-smoke sweep-large sweep-xl fmt vet
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,12 @@ bench-scale:
 bench-bitplane:
 	$(GO) test -bench 'BenchmarkBitplane' -benchmem -benchtime 5x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Bitplane' -out BENCH_bitplane.json
 
+# Record the serving-armor baseline: admission queue, rate limiter,
+# per-request metrics recording, the /metrics scrape, and the job-table
+# round trip (BENCH_serving.json). These sit on every bccd request.
+bench-serving:
+	$(GO) test -bench 'BenchmarkServing' -benchmem -benchtime 100x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Serving' -out BENCH_serving.json
+
 # Regression gate: re-measure the Scale and Bitplane groups into fresh
 # baselines and compare against the checked-in ones. Exits non-zero on
 # a >25% ns/op or allocs/op regression. COMPARE_FLAGS=-allocs-only
@@ -69,6 +75,8 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -compare -tolerance 25 $(COMPARE_FLAGS) BENCH_scale.json /tmp/bench_scale_fresh.json
 	$(GO) test -bench 'BenchmarkBitplane' -benchmem -benchtime 5x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Bitplane' -out /tmp/bench_bitplane_fresh.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 25 $(COMPARE_FLAGS) BENCH_bitplane.json /tmp/bench_bitplane_fresh.json
+	$(GO) test -bench 'BenchmarkServing' -benchmem -benchtime 100x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Serving' -out /tmp/bench_serving_fresh.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 25 $(COMPARE_FLAGS) BENCH_serving.json /tmp/bench_serving_fresh.json
 
 # Regenerate the full experiment report.
 report:
@@ -107,3 +115,24 @@ sweep-smoke:
 # Run the bccd experiment job server on :8371.
 serve:
 	$(GO) run ./cmd/bccd
+
+# Serving lifecycle tests (queue-full 429s, disconnect cancellation,
+# drain, /metrics accuracy) under the race detector — what the CI
+# serving job runs.
+serve-race:
+	$(GO) test -race ./cmd/bccd/ ./internal/serving/ ./cmd/bccload/
+
+# End-to-end smoke: boot bccd on a private port, drive it with bccload,
+# write the JSON report to load-smoke.json, then drain the server. Fails
+# if any request misses a 2xx.
+load-smoke:
+	$(GO) build -o /tmp/bccd-smoke ./cmd/bccd
+	$(GO) build -o /tmp/bccload-smoke ./cmd/bccload
+	@set -e; \
+	/tmp/bccd-smoke -addr 127.0.0.1:18371 -cache-dir /tmp/bccd-smoke-cache & \
+	pid=$$!; \
+	trap 'kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT; \
+	sleep 1; \
+	/tmp/bccload-smoke -url http://127.0.0.1:18371 -rps 10 -duration 5s \
+		-mix report=4,sweep=1 -only E13 -grid E17 -quick -format json \
+		| tee load-smoke.json

@@ -11,6 +11,7 @@
 package bcclique_test
 
 import (
+	"context"
 	"io"
 	"math"
 	"math/rand"
@@ -376,7 +377,7 @@ func BenchmarkSweepGridColdCache(b *testing.B) {
 		eng := harness.NewEngine(engine.WithStore(store))
 		grid := sweepBenchGrid(b, eng)
 		b.StartTimer()
-		if _, err := eng.RunGrid(grid, cfg, nil, nil); err != nil {
+		if _, err := eng.RunGrid(context.Background(), grid, cfg, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -393,13 +394,13 @@ func BenchmarkSweepGridWarmCache(b *testing.B) {
 	}
 	warm := harness.NewEngine(engine.WithStore(store))
 	grid := sweepBenchGrid(b, warm)
-	if _, err := warm.RunGrid(grid, cfg, nil, nil); err != nil {
+	if _, err := warm.RunGrid(context.Background(), grid, cfg, nil, nil); err != nil {
 		b.Fatal(err)
 	}
 	primed := warm.CellExecutions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := warm.RunGrid(grid, cfg, nil, nil); err != nil {
+		if _, err := warm.RunGrid(context.Background(), grid, cfg, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -417,7 +418,7 @@ func BenchmarkSweepGridUncached(b *testing.B) {
 	grid := sweepBenchGrid(b, eng)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.RunGrid(grid, cfg, nil, nil); err != nil {
+		if _, err := eng.RunGrid(context.Background(), grid, cfg, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -460,7 +461,7 @@ func BenchmarkBitplaneFloodTwoCycle1024(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := p.Run(g, 1)
+		out, err := p.Run(context.Background(), g, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -614,7 +615,7 @@ func BenchmarkBitplaneSweepFloodLadder(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.RunGrid(grid, cfg, nil, nil); err != nil {
+		if _, err := eng.RunGrid(context.Background(), grid, cfg, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -633,7 +634,7 @@ func BenchmarkEngineColdCache(b *testing.B) {
 		}
 		eng := harness.NewEngine(engine.WithStore(store))
 		b.StartTimer()
-		if _, err := eng.Stream(io.Discard, report.Markdown{}, report.Meta{}, cfg, engineBenchIDs, nil); err != nil {
+		if _, err := eng.Stream(context.Background(), io.Discard, report.Markdown{}, report.Meta{}, cfg, engineBenchIDs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -649,12 +650,12 @@ func BenchmarkEngineWarmCache(b *testing.B) {
 		b.Fatal(err)
 	}
 	warm := harness.NewEngine(engine.WithStore(store))
-	if _, err := warm.Stream(io.Discard, report.Markdown{}, report.Meta{}, cfg, engineBenchIDs, nil); err != nil {
+	if _, err := warm.Stream(context.Background(), io.Discard, report.Markdown{}, report.Meta{}, cfg, engineBenchIDs, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := warm.Stream(io.Discard, report.Markdown{}, report.Meta{}, cfg, engineBenchIDs, nil); err != nil {
+		if _, err := warm.Stream(context.Background(), io.Discard, report.Markdown{}, report.Meta{}, cfg, engineBenchIDs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -776,7 +777,7 @@ func BenchmarkScaleBoruvkaTwoCycle1024(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := p.Run(g, 1)
+		out, err := p.Run(context.Background(), g, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

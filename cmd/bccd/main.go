@@ -6,6 +6,8 @@
 // Usage:
 //
 //	bccd [-addr :8371] [-cache-dir DIR|none] [-parallel N]
+//	     [-queue N] [-request-timeout D] [-rate-limit RPS] [-rate-burst N]
+//	     [-max-body BYTES] [-drain-timeout D]
 //
 // Endpoints:
 //
@@ -16,18 +18,36 @@
 //	GET  /v1/sweeps        list sweep grids; ?grid=E17&format=md|json|jsonl|csv runs one
 //	                       through the per-cell cache (csv/jsonl stream rows in cell order)
 //	GET  /v1/specs         the experiment registry (E01–E16 + the E17/E18 grids)
-//	GET  /healthz          liveness plus cache statistics
+//	GET  /healthz          liveness plus cache statistics (keeps answering 200 during drain)
+//	GET  /readyz           readiness: 200 while accepting work, 503 once draining
+//	GET  /metrics          Prometheus text-format metrics (stdlib implementation)
 //
 // Identical concurrent requests share one computation (single-flight)
 // and repeated requests are served hot from the cache with zero
 // re-executed experiments.
+//
+// Serving armor: heavy work (jobs, reports, sweeps) passes a bounded
+// admission queue — a full queue answers 429 with Retry-After, never an
+// unbounded pile-up. Synchronous computations run under the request
+// context bounded by -request-timeout, so a client that disconnects
+// cancels its own computation at the next simulated round (completed
+// cells stay cached for the retry). -rate-limit enforces a per-client
+// token bucket on the /v1 endpoints. On SIGTERM/SIGINT the server
+// drains gracefully: /readyz flips to 503, new heavy work is rejected,
+// in-flight jobs get -drain-timeout to finish (then are cancelled), and
+// the HTTP listener shuts down.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"bcclique/internal/engine"
 	"bcclique/internal/harness"
@@ -43,10 +63,18 @@ func main() {
 }
 
 func run() error {
+	def := defaultServerConfig()
 	var (
 		addr     = flag.String("addr", ":8371", "listen address")
 		cacheDir = flag.String("cache-dir", "", "result cache directory (default: <user cache dir>/bcclique, \"none\" disables caching)")
 		par      = flag.Int("parallel", 0, "worker count for the experiment engine (0 = all CPUs)")
+
+		queueCap   = flag.Int("queue", def.queueCapacity, "max concurrently admitted heavy requests (jobs + sync reports/sweeps); excess gets 429 + Retry-After")
+		reqTimeout = flag.Duration("request-timeout", def.requestTimeout, "per-request computation deadline for sync endpoints (0 disables)")
+		rateLimit  = flag.Float64("rate-limit", def.rateLimit, "per-client requests/second on /v1 endpoints (0 disables)")
+		rateBurst  = flag.Int("rate-burst", def.rateBurst, "per-client burst size for -rate-limit")
+		maxBody    = flag.Int64("max-body", def.maxBodyBytes, "max POST body size in bytes")
+		drainTime  = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight jobs may run after SIGTERM before being cancelled")
 	)
 	flag.Parse()
 	parallel.SetLimit(*par)
@@ -62,7 +90,44 @@ func run() error {
 	} else {
 		fmt.Fprintln(os.Stderr, "bccd: running uncached")
 	}
-	srv := newServer(harness.NewEngine(opts...))
-	fmt.Fprintf(os.Stderr, "bccd: listening on %s\n", *addr)
-	return http.ListenAndServe(*addr, srv.routes())
+	srv := newServer(harness.NewEngine(opts...), serverConfig{
+		queueCapacity:  *queueCap,
+		requestTimeout: *reqTimeout,
+		rateLimit:      *rateLimit,
+		rateBurst:      *rateBurst,
+		maxBodyBytes:   *maxBody,
+		retryAfter:     def.retryAfter,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "bccd: listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	// Drain choreography on SIGTERM/SIGINT: flip /readyz so load
+	// balancers stop routing here, reject new heavy work, let in-flight
+	// jobs finish under the drain deadline (cancelling stragglers at
+	// their next simulated round), then close the listener. A second
+	// signal kills the process immediately (NotifyContext unregisters
+	// after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "bccd: draining (up to %s for in-flight jobs)\n", *drainTime)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTime)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "bccd: drain deadline hit; cancelling remaining jobs")
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		httpSrv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "bccd: stopped")
+	return nil
 }

@@ -1,37 +1,312 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"bcclique/internal/engine"
 	"bcclique/internal/report"
 	"bcclique/internal/results"
+	"bcclique/internal/serving"
 )
 
-// server is the HTTP layer over one engine. All state lives in the
-// engine (jobs) and its store (results); handlers are stateless.
-type server struct {
-	eng *engine.Engine
+// serverConfig is the serving-armor configuration; see the flag
+// descriptions in main.go for the semantics of each knob.
+type serverConfig struct {
+	// queueCapacity bounds concurrently admitted heavy work: async jobs
+	// plus synchronous report/sweep computations.
+	queueCapacity int
+	// requestTimeout bounds each synchronous computation; 0 disables.
+	requestTimeout time.Duration
+	// rateLimit/rateBurst configure the per-client token bucket on the
+	// /v1 endpoints; rateLimit 0 disables.
+	rateLimit float64
+	rateBurst int
+	// maxBodyBytes caps POST bodies.
+	maxBodyBytes int64
+	// retryAfter is the Retry-After hint on queue-full 429s.
+	retryAfter time.Duration
 }
 
-func newServer(eng *engine.Engine) *server { return &server{eng: eng} }
+func defaultServerConfig() serverConfig {
+	return serverConfig{
+		queueCapacity:  8,
+		requestTimeout: 5 * time.Minute,
+		rateLimit:      0,
+		rateBurst:      30,
+		maxBodyBytes:   1 << 20,
+		retryAfter:     5 * time.Second,
+	}
+}
+
+// server is the HTTP layer over one engine, armored for production:
+// bounded admission, per-client rate limiting, request timeouts,
+// client-disconnect cancellation, graceful drain, and /metrics.
+// Experiment state lives in the engine (jobs) and its store (results);
+// the server owns only serving state.
+type server struct {
+	eng     *engine.Engine
+	cfg     serverConfig
+	queue   *serving.Queue
+	limiter *serving.Limiter
+
+	// ready gates /readyz: true from construction until StartDrain.
+	ready atomic.Bool
+	// jobCtx is the base context async jobs run under — deliberately
+	// not the submit request's context, so a client disconnect never
+	// kills an accepted job. cancelJobs fires only at the hard drain
+	// deadline.
+	jobCtx     context.Context
+	cancelJobs context.CancelFunc
+
+	start    time.Time
+	metrics  *serving.Registry
+	requests *serving.CounterVec   // labels: endpoint, code
+	latency  *serving.HistogramVec // labels: endpoint
+}
+
+func newServer(eng *engine.Engine, cfg serverConfig) *server {
+	jobCtx, cancelJobs := context.WithCancel(context.Background())
+	s := &server{
+		eng:        eng,
+		cfg:        cfg,
+		queue:      serving.NewQueue(cfg.queueCapacity),
+		limiter:    serving.NewLimiter(cfg.rateLimit, cfg.rateBurst),
+		jobCtx:     jobCtx,
+		cancelJobs: cancelJobs,
+		start:      time.Now(),
+	}
+	s.ready.Store(true)
+	s.initMetrics()
+	return s
+}
+
+func (s *server) initMetrics() {
+	m := serving.NewRegistry()
+	s.requests = m.CounterVec("bccd_requests_total",
+		"HTTP requests by endpoint pattern and status code.", "endpoint", "code")
+	s.latency = m.HistogramVec("bccd_request_duration_seconds",
+		"HTTP request latency by endpoint pattern.", serving.DefaultLatencyBuckets, "endpoint")
+	m.GaugeFunc("bccd_queue_depth", "Admitted units of heavy work currently held.",
+		func() float64 { return float64(s.queue.Depth()) })
+	m.GaugeFunc("bccd_queue_capacity", "Admission queue capacity.",
+		func() float64 { return float64(s.queue.Capacity()) })
+	m.GaugeFunc("bccd_jobs_inflight", "Submitted jobs currently queued or running.",
+		func() float64 { return float64(s.eng.ActiveJobs()) })
+	m.GaugeFunc("bccd_ready", "1 while accepting work, 0 once draining.",
+		func() float64 {
+			if s.ready.Load() {
+				return 1
+			}
+			return 0
+		})
+	m.CounterFunc("bccd_spec_executions_total", "Spec executions actually performed (cache hits excluded).",
+		func() float64 { return float64(s.eng.Executions()) })
+	m.CounterFunc("bccd_cell_executions_total", "Sweep-grid cells actually computed (cache hits excluded).",
+		func() float64 { return float64(s.eng.CellExecutions()) })
+	m.GaugeFunc("bccd_cells_per_second", "Average computed cells per second of process uptime.",
+		func() float64 {
+			up := time.Since(s.start).Seconds()
+			if up <= 0 {
+				return 0
+			}
+			return float64(s.eng.CellExecutions()) / up
+		})
+	m.GaugeFunc("bccd_cache_hit_rate", "Store hits (disk + shared in-flight) over lookups since start; 0 when uncached or unused.",
+		func() float64 {
+			st := s.eng.Store()
+			if st == nil {
+				return 0
+			}
+			stats := st.Stats()
+			total := stats.Hits + stats.Shared + stats.Misses
+			if total == 0 {
+				return 0
+			}
+			return float64(stats.Hits+stats.Shared) / float64(total)
+		})
+	m.CounterFunc("bccd_cache_hits_total", "Result-store disk hits.",
+		func() float64 { return float64(s.storeStats().Hits) })
+	m.CounterFunc("bccd_cache_shared_total", "Requests served by piggybacking on an identical in-flight computation.",
+		func() float64 { return float64(s.storeStats().Shared) })
+	m.CounterFunc("bccd_cache_misses_total", "Result-store misses (computations).",
+		func() float64 { return float64(s.storeStats().Misses) })
+	s.metrics = m
+}
+
+func (s *server) storeStats() results.Stats {
+	if st := s.eng.Store(); st != nil {
+		return st.Stats()
+	}
+	return results.Stats{}
+}
+
+// StartDrain begins graceful shutdown: /readyz flips to 503 so load
+// balancers stop routing here, and the admission queue closes so new
+// heavy work is rejected while everything already admitted keeps its
+// slot. Idempotent.
+func (s *server) StartDrain() {
+	s.ready.Store(false)
+	s.queue.Close()
+}
+
+// Drain runs the full drain sequence: StartDrain, then wait for
+// in-flight jobs to finish within the deadline, then hard-cancel
+// whatever remains (running grids observe the cancellation at their
+// next simulated round; their completed cells stay cached). Returns
+// nil when everything finished cleanly, the wait error otherwise.
+func (s *server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	err := s.eng.WaitJobs(ctx)
+	s.cancelJobs()
+	return err
+}
+
+// statusWriter records the response code for metrics (and whether any
+// body bytes were written, which streaming error paths consult).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+// Flush passes through so streaming handlers can still force rows out.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// clientKey identifies the client for rate limiting: the remote IP
+// without the ephemeral port, so one client's connections share one
+// bucket.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// route registers one path with explicit method dispatch. Unsupported
+// methods get a JSON 405 with the Allow header listing what the path
+// supports; every outcome (including 405s and rate-limit 429s) is
+// counted in the per-endpoint metrics under the registered pattern, so
+// metric cardinality is bounded by the route table, not by request
+// paths. limited marks endpoints subject to per-client rate limiting —
+// compute endpoints are, monitoring endpoints never are.
+func (s *server) route(mux *http.ServeMux, pattern string, limited bool, methods map[string]http.HandlerFunc) {
+	allow := make([]string, 0, len(methods)+1)
+	for _, m := range []string{http.MethodGet, http.MethodHead, http.MethodPost, http.MethodPut, http.MethodDelete} {
+		if _, ok := methods[m]; ok {
+			allow = append(allow, m)
+		}
+	}
+	if _, ok := methods[http.MethodGet]; ok {
+		allow = append(allow, http.MethodHead)
+	}
+	allowHeader := strings.Join(allow, ", ")
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		startReq := time.Now()
+		defer func() {
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.requests.With(pattern, strconv.Itoa(code)).Inc()
+			s.latency.Observe(time.Since(startReq).Seconds(), pattern)
+		}()
+		h, ok := methods[r.Method]
+		if !ok && r.Method == http.MethodHead {
+			h, ok = methods[http.MethodGet]
+		}
+		if !ok {
+			sw.Header().Set("Allow", allowHeader)
+			writeError(sw, http.StatusMethodNotAllowed, "method %s not allowed for %s (allow: %s)", r.Method, r.URL.Path, allowHeader)
+			return
+		}
+		if limited && !s.limiter.Allow(clientKey(r)) {
+			ra := s.limiter.RetryAfter(clientKey(r))
+			sw.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds())))
+			writeError(sw, http.StatusTooManyRequests, "rate limit exceeded; retry after %s", ra)
+			return
+		}
+		h(sw, r)
+	})
+}
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.submitJob)
-	mux.HandleFunc("GET /v1/jobs", s.listJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
-	mux.HandleFunc("GET /v1/report", s.report)
-	mux.HandleFunc("GET /v1/sweeps", s.sweeps)
-	mux.HandleFunc("GET /v1/specs", s.specs)
-	mux.HandleFunc("GET /healthz", s.health)
+	s.route(mux, "/v1/jobs", true, map[string]http.HandlerFunc{
+		http.MethodPost: s.submitJob,
+		http.MethodGet:  s.listJobs,
+	})
+	s.route(mux, "/v1/jobs/{id}", true, map[string]http.HandlerFunc{http.MethodGet: s.getJob})
+	s.route(mux, "/v1/report", true, map[string]http.HandlerFunc{http.MethodGet: s.report})
+	s.route(mux, "/v1/sweeps", true, map[string]http.HandlerFunc{http.MethodGet: s.sweeps})
+	s.route(mux, "/v1/specs", true, map[string]http.HandlerFunc{http.MethodGet: s.specs})
+	s.route(mux, "/healthz", false, map[string]http.HandlerFunc{http.MethodGet: s.health})
+	s.route(mux, "/readyz", false, map[string]http.HandlerFunc{http.MethodGet: s.readyz})
+	s.route(mux, "/metrics", false, map[string]http.HandlerFunc{http.MethodGet: s.metricsHandler})
 	return mux
+}
+
+// admit acquires one admission slot for heavy work, translating
+// admission failures into their HTTP shapes: full → 429 with
+// Retry-After, draining → 503. The returned release must be called
+// when the work finishes; ok=false means the response has been
+// written.
+func (s *server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	release, err := s.queue.Acquire()
+	switch {
+	case errors.Is(err, serving.ErrFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter.Seconds())))
+		writeError(w, http.StatusTooManyRequests, "server at capacity (%d units in flight); retry after %s",
+			s.queue.Capacity(), s.cfg.retryAfter)
+		return nil, false
+	case errors.Is(err, serving.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining; submit to another instance")
+		return nil, false
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return nil, false
+	}
+	return release, true
+}
+
+// requestCtx derives the computation context for a synchronous
+// endpoint: the request's own context (so a client disconnect cancels
+// the computation at its next simulated round) bounded by the
+// configured per-request timeout.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.requestTimeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), s.cfg.requestTimeout)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -62,11 +337,23 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// streamError finishes a streaming response after err: a JSON 500 when
-// nothing was flushed, the "\nerror: ..." trailer contract otherwise.
+// errorStatus maps a computation error to its HTTP status: a blown
+// per-request deadline is the gateway's fault (504), anything else a
+// plain 500.
+func errorStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// streamError finishes a streaming response after err: a JSON error
+// when nothing was flushed (504 for a deadline, 500 otherwise; a
+// vanished client gets a best-effort 500 it will never read), the
+// "\nerror: ..." trailer contract otherwise.
 func streamError(w http.ResponseWriter, cw *countingWriter, err error) {
 	if cw.n == 0 {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, errorStatus(err), "%v", err)
 		return
 	}
 	fmt.Fprintf(w, "\nerror: %v\n", err)
@@ -111,10 +398,16 @@ type jobRequest struct {
 }
 
 func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
 	var req jobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
@@ -126,7 +419,21 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	job := s.eng.Submit(engine.Config{Quick: req.Quick, Seed: seed}, req.Only)
+	// The job holds its admission slot until it finishes, so queued +
+	// running jobs plus synchronous computations can never exceed the
+	// queue capacity.
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	// Jobs run under the server's base context, not the request's: the
+	// 202 below ends this request, and an accepted job must survive its
+	// submitter hanging up.
+	job := s.eng.Submit(s.jobCtx, engine.Config{Quick: req.Quick, Seed: seed}, req.Only)
+	go func() {
+		defer release()
+		s.eng.WaitJob(context.Background(), job.ID)
+	}()
 	writeJSON(w, http.StatusAccepted, job)
 }
 
@@ -144,7 +451,10 @@ func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // report renders a spec set synchronously, straight off the cache when
-// warm, streaming sections in registry ID order as they complete.
+// warm, streaming sections in registry ID order as they complete. The
+// computation runs under the request context: a client that hangs up
+// cancels its own run (at the next simulated round), and the per-request
+// timeout bounds the worst case.
 func (s *server) report(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	cfg, err := parseConfig(q)
@@ -180,15 +490,23 @@ func (s *server) report(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
 	meta := report.Meta{
 		Title: "Experiments: paper vs. measured",
 		Intro: fmt.Sprintf("Served by bccd from the shared result cache (config %s).", cfg.Canonical()),
 	}
 	w.Header().Set("Content-Type", contentType)
 	cw := &countingWriter{w: w}
-	if _, err := s.eng.Stream(cw, renderer, meta, cfg, only, nil); err != nil {
+	if _, err := s.eng.Stream(ctx, cw, renderer, meta, cfg, only, nil); err != nil {
 		// A failure before the first flushed byte is still a clean JSON
-		// 500; mid-stream, the truncated body plus the trailer line is
+		// error; mid-stream, the truncated body plus the trailer line is
 		// all we can signal.
 		streamError(w, cw, err)
 	}
@@ -251,7 +569,10 @@ func parseRestriction(grid engine.GridSpec, q url.Values) (engine.GridSpec, erro
 // (jsonl, csv) stream each row as soon as its cell-order prefix
 // completes, so large grids deliver incrementally. Optional
 // ?protocols=/?families=/?sizes= comma lists narrow the grid to a
-// targeted slice (same semantics as the experiments CLI flags).
+// targeted slice (same semantics as the experiments CLI flags). Like
+// /v1/report, the run is admission-gated and request-scoped: a hung-up
+// client cancels its own sweep within one simulated round, and the
+// completed cells stay cached for the retry.
 func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	gridID := q.Get("grid")
@@ -288,13 +609,29 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	switch format := q.Get("format"); format {
+	format := q.Get("format")
+	switch format {
+	case "", "md", "json", "jsonl", "csv":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want md, json, jsonl, or csv)", format)
+		return
+	}
+
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	switch format {
 	case "", "md":
 		// Run first, set the content type only once the result is known:
 		// a failed run answers as a JSON 500, not a markdown-typed error.
-		res, err := s.eng.RunGrid(grid, cfg, nil, nil)
+		res, err := s.eng.RunGrid(ctx, grid, cfg, nil, nil)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, errorStatus(err), "%v", err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
@@ -302,9 +639,9 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case "json":
-		res, err := s.eng.RunGrid(grid, cfg, nil, nil)
+		res, err := s.eng.RunGrid(ctx, grid, cfg, nil, nil)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, errorStatus(err), "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -314,7 +651,7 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 		// row still downgrades to a clean JSON 500 (headers unsent).
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		cw := &countingWriter{w: w}
-		if _, err := s.eng.RunGrid(grid, cfg, nil, flushingSink(w, grid.JSONLSink(cw))); err != nil {
+		if _, err := s.eng.RunGrid(ctx, grid, cfg, nil, flushingSink(w, grid.JSONLSink(cw))); err != nil {
 			streamError(w, cw, err)
 		}
 	case "csv":
@@ -327,7 +664,7 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		_, runErr := s.eng.RunGrid(grid, cfg, nil, flushingSink(w, sink))
+		_, runErr := s.eng.RunGrid(ctx, grid, cfg, nil, flushingSink(w, sink))
 		if runErr == nil {
 			runErr = flush()
 		} else if cw.n > 0 {
@@ -339,8 +676,6 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 		if runErr != nil {
 			streamError(w, cw, runErr)
 		}
-	default:
-		writeError(w, http.StatusBadRequest, "unknown format %q (want md, json, jsonl, or csv)", format)
 	}
 }
 
@@ -371,4 +706,21 @@ func (s *server) health(w http.ResponseWriter, r *http.Request) {
 		resp.CacheDir = st.Dir()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// readyz is the load-balancer signal: 200 while accepting work, 503
+// once draining — distinct from /healthz, which keeps answering 200
+// during drain so the process is not killed mid-drain by a liveness
+// probe.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+}
+
+func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
 }

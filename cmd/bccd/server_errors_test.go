@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,7 +24,7 @@ func errorTestServer(t *testing.T) *httptest.Server {
 	badSpec := engine.Spec{
 		ID:    "EBAD",
 		Title: "always fails",
-		Run: func(engine.Config, engine.Params) (*engine.Result, error) {
+		Run: func(context.Context, engine.Config, engine.Params) (*engine.Result, error) {
 			return nil, fmt.Errorf("synthetic spec failure")
 		},
 	}
@@ -33,7 +34,7 @@ func errorTestServer(t *testing.T) *httptest.Server {
 		Sizes: []int{8}, Seeds: 1,
 		Headers: []string{"family", "protocol", "n"},
 		CellKey: func(string, string) (string, error) { return "k", nil },
-		RunCell: func(engine.Config, engine.GridCell, []int64) ([]string, error) {
+		RunCell: func(context.Context, engine.Config, engine.GridCell, []int64) ([]string, error) {
 			return nil, fmt.Errorf("synthetic cell failure")
 		},
 	}
@@ -49,7 +50,7 @@ func errorTestServer(t *testing.T) *httptest.Server {
 		Sizes: []int{16, 8}, Seeds: 1,
 		Headers: []string{"family", "protocol", "n"},
 		CellKey: func(string, string) (string, error) { return "k", nil },
-		RunCell: func(_ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
+		RunCell: func(_ context.Context, _ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
 			if c.N == 16 {
 				defer firstDone.Store(true)
 				return []string{c.Family, c.Protocol, "16"}, nil
@@ -60,7 +61,7 @@ func errorTestServer(t *testing.T) *httptest.Server {
 		},
 	}
 	eng := engine.New([]engine.Spec{badSpec}, engine.WithGrids(failGrid, midGrid))
-	ts := httptest.NewServer(newServer(eng).routes())
+	ts := httptest.NewServer(newServer(eng, defaultServerConfig()).routes())
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -23,7 +23,7 @@ func testServer(t *testing.T) (*httptest.Server, *engine.Engine) {
 		t.Fatal(err)
 	}
 	eng := harness.NewEngine(engine.WithStore(store))
-	ts := httptest.NewServer(newServer(eng).routes())
+	ts := httptest.NewServer(newServer(eng, defaultServerConfig()).routes())
 	t.Cleanup(ts.Close)
 	return ts, eng
 }

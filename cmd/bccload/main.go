@@ -1,0 +1,351 @@
+// Command bccload is an open-loop load generator for bccd: it fires
+// requests at a fixed target rate regardless of how fast the server
+// answers (so overload shows up honestly as rising latency and 429s,
+// never as silently reduced offered load), then reports latency
+// percentiles and an error-class breakdown.
+//
+// Usage:
+//
+//	bccload [-url http://localhost:8371] [-rps 20] [-duration 10s]
+//	        [-mix report=4,sweep=1] [-only E13] [-grid E17] [-quick]
+//	        [-seed 1] [-timeout 30s] [-format text|json]
+//
+// -mix weights the request types: "report" hits GET /v1/report and
+// "sweep" hits GET /v1/sweeps?grid=... . Each launched request is
+// sampled from the weights with the deterministic -seed, so two runs
+// against equally warm servers issue the identical request sequence.
+//
+// The exit status is 0 when every launched request completed with a
+// 2xx, and 1 otherwise — so a smoke invocation doubles as a CI check.
+// SIGINT stops the run early and reports what completed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ok, err := run(ctx, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bccload:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// shot is the outcome of one launched request.
+type shot struct {
+	kind    string
+	code    int           // 0 on transport error
+	latency time.Duration // request start to body fully read
+	err     error
+}
+
+// mixEntry is one weighted request kind.
+type mixEntry struct {
+	kind   string
+	weight float64
+}
+
+// parseMix parses "report=4,sweep=1" into normalized weights. Unknown
+// kinds are an error; zero or negative weights drop the kind.
+func parseMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, found := strings.Cut(part, "=")
+		if !found {
+			return nil, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
+		}
+		if name != "report" && name != "sweep" {
+			return nil, fmt.Errorf("unknown mix kind %q (want report or sweep)", name)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad mix weight %q", val)
+		}
+		if w > 0 {
+			mix = append(mix, mixEntry{kind: name, weight: w})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("mix %q selects nothing", s)
+	}
+	return mix, nil
+}
+
+// pick samples one kind from the weighted mix.
+func pick(mix []mixEntry, rng *rand.Rand) string {
+	total := 0.0
+	for _, m := range mix {
+		total += m.weight
+	}
+	x := rng.Float64() * total
+	for _, m := range mix {
+		if x < m.weight {
+			return m.kind
+		}
+		x -= m.weight
+	}
+	return mix[len(mix)-1].kind
+}
+
+// percentile returns the p-th percentile (0–100) of the sorted
+// latencies using nearest-rank, 0 on an empty set.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// kindStats is the per-request-kind slice of the report.
+type kindStats struct {
+	Launched int             `json:"launched"`
+	OK       int             `json:"ok"`
+	P50Ms    float64         `json:"p50_ms"`
+	P95Ms    float64         `json:"p95_ms"`
+	P99Ms    float64         `json:"p99_ms"`
+	MaxMs    float64         `json:"max_ms"`
+	Codes    map[string]int  `json:"codes"`
+	Errors   map[string]int  `json:"errors,omitempty"`
+	durs     []time.Duration `json:"-"`
+}
+
+// loadReport is the final summary, printable as text or JSON.
+type loadReport struct {
+	TargetRPS   float64               `json:"target_rps"`
+	Duration    string                `json:"duration"`
+	Launched    int                   `json:"launched"`
+	Completed   int                   `json:"completed"`
+	OK          int                   `json:"ok"`
+	RateLimited int                   `json:"rate_limited"` // 429s
+	ServerBusy  int                   `json:"server_busy"`  // 503s
+	Failures    int                   `json:"failures"`     // other non-2xx + transport errors
+	AchievedRPS float64               `json:"achieved_rps"`
+	Interrupted bool                  `json:"interrupted,omitempty"`
+	Kinds       map[string]*kindStats `json:"kinds"`
+}
+
+func classify(rep *loadReport, s shot) {
+	ks := rep.Kinds[s.kind]
+	ks.Launched++
+	rep.Launched++
+	rep.Completed++
+	switch {
+	case s.err != nil:
+		rep.Failures++
+		msg := errClass(s.err)
+		if ks.Errors == nil {
+			ks.Errors = make(map[string]int)
+		}
+		ks.Errors[msg]++
+	case s.code/100 == 2:
+		rep.OK++
+		ks.OK++
+		ks.Codes[strconv.Itoa(s.code)]++
+		ks.durs = append(ks.durs, s.latency)
+	default:
+		ks.Codes[strconv.Itoa(s.code)]++
+		switch s.code {
+		case http.StatusTooManyRequests:
+			rep.RateLimited++
+		case http.StatusServiceUnavailable:
+			rep.ServerBusy++
+		default:
+			rep.Failures++
+		}
+	}
+}
+
+// errClass collapses transport errors into stable buckets so the
+// report does not explode into one line per ephemeral port.
+func errClass(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	case strings.Contains(err.Error(), "connection refused"):
+		return "connection refused"
+	default:
+		return "transport error"
+	}
+}
+
+func run(ctx context.Context, out io.Writer) (bool, error) {
+	var (
+		baseURL  = flag.String("url", "http://localhost:8371", "bccd base URL")
+		rps      = flag.Float64("rps", 20, "target requests per second (open loop)")
+		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		mixFlag  = flag.String("mix", "report=4,sweep=1", "request mix as kind=weight pairs (kinds: report, sweep)")
+		only     = flag.String("only", "E13", "spec IDs for report requests (comma list)")
+		grid     = flag.String("grid", "E17", "grid ID for sweep requests")
+		quick    = flag.Bool("quick", true, "request quick (reduced-size) runs")
+		seed     = flag.Int64("seed", 1, "experiment seed and mix-sampling seed")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		format   = flag.String("format", "text", "report format: text or json")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "json" {
+		return false, fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+	if *rps <= 0 {
+		return false, fmt.Errorf("rps must be positive")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return false, err
+	}
+
+	urlFor := func(kind string) string {
+		q := fmt.Sprintf("quick=%t&seed=%d", *quick, *seed)
+		if kind == "sweep" {
+			return fmt.Sprintf("%s/v1/sweeps?grid=%s&format=csv&%s", *baseURL, *grid, q)
+		}
+		return fmt.Sprintf("%s/v1/report?only=%s&format=json&%s", *baseURL, *only, q)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	rng := rand.New(rand.NewSource(*seed))
+	interval := time.Duration(float64(time.Second) / *rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	endAt := time.NewTimer(*duration)
+	defer endAt.Stop()
+
+	shots := make(chan shot, 1024)
+	var wg sync.WaitGroup
+	start := time.Now()
+	interrupted := false
+
+	fire := func(kind string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			s := shot{kind: kind}
+			resp, err := client.Get(urlFor(kind))
+			if err == nil {
+				_, err = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				s.code = resp.StatusCode
+			}
+			s.err = err
+			s.latency = time.Since(t0)
+			shots <- s
+		}()
+	}
+
+	fire(pick(mix, rng)) // launch at t=0, then on every tick
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			interrupted = true
+			break loop
+		case <-endAt.C:
+			break loop
+		case <-ticker.C:
+			fire(pick(mix, rng))
+		}
+	}
+	elapsed := time.Since(start)
+	go func() { wg.Wait(); close(shots) }()
+
+	rep := &loadReport{
+		TargetRPS: *rps,
+		Duration:  elapsed.Round(time.Millisecond).String(),
+		Kinds:     make(map[string]*kindStats),
+	}
+	for _, m := range mix {
+		rep.Kinds[m.kind] = &kindStats{Codes: make(map[string]int)}
+	}
+	for s := range shots {
+		classify(rep, s)
+	}
+	rep.Interrupted = interrupted
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.AchievedRPS = float64(rep.Completed) / secs
+	}
+	for _, ks := range rep.Kinds {
+		sort.Slice(ks.durs, func(i, j int) bool { return ks.durs[i] < ks.durs[j] })
+		ks.P50Ms = percentile(ks.durs, 50).Seconds() * 1000
+		ks.P95Ms = percentile(ks.durs, 95).Seconds() * 1000
+		ks.P99Ms = percentile(ks.durs, 99).Seconds() * 1000
+		if n := len(ks.durs); n > 0 {
+			ks.MaxMs = ks.durs[n-1].Seconds() * 1000
+		}
+	}
+
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return false, err
+		}
+	} else {
+		writeText(out, rep)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "bccload: interrupted — report covers the requests launched so far")
+	}
+	return rep.OK == rep.Launched && rep.Launched > 0, nil
+}
+
+func writeText(w io.Writer, rep *loadReport) {
+	fmt.Fprintf(w, "bccload: %.1f rps target over %s — launched %d, ok %d, 429 %d, 503 %d, failed %d (achieved %.1f rps)\n",
+		rep.TargetRPS, rep.Duration, rep.Launched, rep.OK, rep.RateLimited, rep.ServerBusy, rep.Failures, rep.AchievedRPS)
+	kinds := make([]string, 0, len(rep.Kinds))
+	for k := range rep.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		ks := rep.Kinds[k]
+		fmt.Fprintf(w, "  %-7s launched %4d  ok %4d  p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  max %7.1fms\n",
+			k, ks.Launched, ks.OK, ks.P50Ms, ks.P95Ms, ks.P99Ms, ks.MaxMs)
+		codes := make([]string, 0, len(ks.Codes))
+		for c := range ks.Codes {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			if !strings.HasPrefix(c, "2") {
+				fmt.Fprintf(w, "          HTTP %s ×%d\n", c, ks.Codes[c])
+			}
+		}
+		for msg, n := range ks.Errors {
+			fmt.Fprintf(w, "          %s ×%d\n", msg, n)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("report=4,sweep=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0].kind != "report" || mix[0].weight != 4 || mix[1].kind != "sweep" {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if _, err := parseMix("report=0,sweep=0"); err == nil {
+		t.Fatal("all-zero mix accepted")
+	}
+	if _, err := parseMix("jobs=1"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := parseMix("report"); err == nil {
+		t.Fatal("weightless entry accepted")
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	mix := []mixEntry{{kind: "report", weight: 4}, {kind: "sweep", weight: 1}}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[pick(mix, rng)]++
+	}
+	frac := float64(counts["report"]) / n
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("report fraction %.3f, want ~0.8", frac)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	durs := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} // already sorted
+	if got := percentile(durs, 50); got != 5 {
+		t.Fatalf("p50 = %d, want 5", got)
+	}
+	if got := percentile(durs, 99); got != 10 {
+		t.Fatalf("p99 = %d, want 10", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("empty p50 = %d, want 0", got)
+	}
+}

@@ -33,12 +33,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 
 	"bcclique/internal/algorithms"
 	"bcclique/internal/bcc"
@@ -52,13 +56,23 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the simulation via context: the round loop
+	// stops at its next boundary, nothing partial is cached, and the exit
+	// status reports the interruption. A second signal kills the process
+	// the default way (NotifyContext unregisters after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "bccsim: interrupted — run abandoned mid-simulation; completed sweep results remain cached")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "bccsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		model     = flag.String("model", "kt1", "knowledge variant: kt0 or kt1")
 		graphKind = flag.String("graph", "cycle", "input graph: cycle, twocycle, cover, or random")
@@ -110,7 +124,7 @@ func run() error {
 			return fmt.Errorf("%s does not apply to -protocol (adapters pick bandwidth, model and instance themselves; -trials needs the -algo path)",
 				strings.Join(bad, ", "))
 		}
-		return runProtocol(*protoName, g, inputKind, *n, *seed, *verbose)
+		return runProtocol(ctx, *protoName, g, inputKind, *n, *seed, *verbose)
 	}
 	in, err := buildInstance(*model, g, rng)
 	if err != nil {
@@ -121,7 +135,7 @@ func run() error {
 		return err
 	}
 
-	res, err := bcc.Run(in, algo, bcc.WithCoin(bcc.NewCoin(*seed)))
+	res, err := bcc.RunContext(ctx, in, algo, bcc.WithCoin(bcc.NewCoin(*seed)))
 	if err != nil {
 		return err
 	}
@@ -167,7 +181,7 @@ func run() error {
 		// inputKind (not *graphKind) is the cache identity: with -family
 		// it reads "family:<name>", so a family sweep can never collide
 		// with a -graph sweep of the same size and seed.
-		sweep, cached, err := runSweep(in, algo, want, sweepSpec{
+		sweep, cached, err := runSweep(ctx, in, algo, want, sweepSpec{
 			model: *model, graphKind: inputKind, n: *n, algo: *algoName,
 			b: *bandwidth, seed: *seed, trials: *trials, cacheDir: *cacheDir,
 		})
@@ -189,12 +203,12 @@ func run() error {
 
 // runProtocol runs a registered protocol adapter on g and prints its
 // unified Outcome.
-func runProtocol(name string, g *graph.Graph, inputKind string, n int, seed int64, verbose bool) error {
+func runProtocol(ctx context.Context, name string, g *graph.Graph, inputKind string, n int, seed int64, verbose bool) error {
 	p, ok := protocol.Lookup(name)
 	if !ok {
 		return fmt.Errorf("unknown protocol %q (have: %s)", name, strings.Join(protocol.Names(), ", "))
 	}
-	out, err := p.Run(g, seed)
+	out, err := p.Run(ctx, g, seed)
 	if err != nil {
 		return err
 	}
@@ -254,7 +268,7 @@ type sweepSpec struct {
 
 // runSweep estimates the Monte Carlo error through the shared experiment
 // engine, so repeated identical sweeps are served from the result cache.
-func runSweep(in *bcc.Instance, algo bcc.Algorithm, want bcc.Verdict, ss sweepSpec) (*report.Result, bool, error) {
+func runSweep(ctx context.Context, in *bcc.Instance, algo bcc.Algorithm, want bcc.Verdict, ss sweepSpec) (*report.Result, bool, error) {
 	spec := engine.Spec{
 		ID:       "bccsim",
 		Title:    fmt.Sprintf("Monte Carlo error of %s on %s (n=%d)", ss.algo, ss.graphKind, ss.n),
@@ -264,12 +278,12 @@ func runSweep(in *bcc.Instance, algo bcc.Algorithm, want bcc.Verdict, ss sweepSp
 			Extra: fmt.Sprintf("model=%s;graph=%s;n=%d;algo=%s;b=%d;want=%v",
 				ss.model, ss.graphKind, ss.n, ss.algo, ss.b, want),
 		},
-		Run: func(cfg engine.Config, p engine.Params) (*report.Result, error) {
+		Run: func(ctx context.Context, cfg engine.Config, p engine.Params) (*report.Result, error) {
 			seeds := make([]int64, p.Trials)
 			for i := range seeds {
 				seeds[i] = parallel.DeriveSeed(cfg.Seed, i)
 			}
-			eps, err := bcc.EstimateError(in, algo, want, seeds)
+			eps, err := bcc.EstimateErrorContext(ctx, in, algo, want, seeds)
 			if err != nil {
 				return nil, err
 			}
@@ -295,7 +309,7 @@ func runSweep(in *bcc.Instance, algo bcc.Algorithm, want bcc.Verdict, ss sweepSp
 	}
 	eng := engine.New([]engine.Spec{spec}, opts...)
 	var hits atomic.Int64
-	out, err := eng.Run(engine.Config{Seed: ss.seed}, nil, func(ev engine.Event) {
+	out, err := eng.Run(ctx, engine.Config{Seed: ss.seed}, nil, func(ev engine.Event) {
 		if ev.Kind == engine.EventCached {
 			hits.Add(1)
 		}

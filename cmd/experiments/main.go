@@ -27,13 +27,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"bcclique/internal/engine"
@@ -44,13 +48,24 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the run via context: running experiments stop
+	// at their next simulated round, the completed prefix of the report
+	// has already been streamed, and completed work stays cached so a
+	// rerun resumes instead of starting over. A second signal kills the
+	// process the default way (NotifyContext unregisters after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted — output written so far is a partial report; completed results remain cached, rerun to resume")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		quick    = flag.Bool("quick", false, "trim instance sizes for a fast pass")
 		seed     = flag.Int64("seed", 1, "seed for randomized workloads")
@@ -123,7 +138,7 @@ func run() error {
 			return err
 		}
 		defer closeOut()
-		return renderSweep(w, eng, grid, *format, harness.Config{Quick: *quick, Seed: *seed})
+		return renderSweep(ctx, w, eng, grid, *format, harness.Config{Quick: *quick, Seed: *seed})
 	}
 	for _, f := range []struct{ name, val string }{{"protocols", *protos}, {"families", *fams}, {"sizes", *sizes}} {
 		if f.val != "" {
@@ -162,7 +177,7 @@ func run() error {
 		ids = strings.Split(*only, ",")
 	}
 	cfg := harness.Config{Quick: *quick, Seed: *seed}
-	_, err = eng.Stream(w, renderer, meta, cfg, ids, nil)
+	_, err = eng.Stream(ctx, w, renderer, meta, cfg, ids, nil)
 	return err
 }
 
@@ -193,16 +208,16 @@ func resolveSweep(eng *engine.Engine, id, protos, fams, sizes string) (engine.Gr
 // renderSweep runs a resolved sweep grid and renders it as md, json,
 // jsonl, or csv (csv/jsonl stream rows in deterministic cell order as
 // their prefixes complete).
-func renderSweep(w io.Writer, eng *engine.Engine, grid engine.GridSpec, format string, cfg harness.Config) error {
+func renderSweep(ctx context.Context, w io.Writer, eng *engine.Engine, grid engine.GridSpec, format string, cfg harness.Config) error {
 	switch format {
 	case "md":
-		res, err := eng.RunGrid(grid, cfg, nil, nil)
+		res, err := eng.RunGrid(ctx, grid, cfg, nil, nil)
 		if err != nil {
 			return err
 		}
 		return res.WriteMarkdown(w)
 	case "json":
-		res, err := eng.RunGrid(grid, cfg, nil, nil)
+		res, err := eng.RunGrid(ctx, grid, cfg, nil, nil)
 		if err != nil {
 			return err
 		}
@@ -210,14 +225,14 @@ func renderSweep(w io.Writer, eng *engine.Engine, grid engine.GridSpec, format s
 		enc.SetEscapeHTML(false)
 		return enc.Encode(res)
 	case "jsonl":
-		_, err := eng.RunGrid(grid, cfg, nil, grid.JSONLSink(w))
+		_, err := eng.RunGrid(ctx, grid, cfg, nil, grid.JSONLSink(w))
 		return err
 	case "csv":
 		sink, flush, err := grid.CSVSink(w)
 		if err != nil {
 			return err
 		}
-		if _, err := eng.RunGrid(grid, cfg, nil, sink); err != nil {
+		if _, err := eng.RunGrid(ctx, grid, cfg, nil, sink); err != nil {
 			return err
 		}
 		return flush()

@@ -195,6 +195,10 @@ func runBitPlane(res *Result, bnodes []BitNode, o options) error {
 		tp = newTritPlane(n, rounds)
 	}
 	for t := 1; t <= rounds; t++ {
+		if err := o.ctx.Err(); err != nil {
+			recycleInts(res.RoundBits)
+			return err
+		}
 		clear(value)
 		clear(spoke)
 		for v := 0; v < n; v++ {

@@ -1,6 +1,7 @@
 package bcc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -178,6 +179,7 @@ func (r *Result) SentSequence(v int) []Message { return r.Transcripts[v].Sent }
 
 // options configures Run.
 type options struct {
+	ctx            context.Context
 	coin           *Coin
 	rounds         int // -1: use the algorithm's schedule
 	recordReceived bool
@@ -240,7 +242,18 @@ func WithoutBitPlane() Option { return noBitPlaneOption{} }
 // Sent transcripts are always recorded (they are the labels that drive the
 // crossing machinery); received transcripts only on request.
 func Run(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
-	o := options{rounds: -1}
+	return RunContext(context.Background(), in, algo, opts...)
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// round boundary on both simulator paths (the generic Message loop and
+// the word-packed bit plane), so a disconnected client or a shutdown
+// signal stops a long simulation within one round instead of burning CPU
+// to the schedule's end. A cancelled run returns ctx's error and no
+// Result — partial transcripts are never surfaced, so cancellation can
+// never be mistaken for (or cached as) a computed outcome.
+func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
+	o := options{ctx: ctx, rounds: -1}
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
@@ -305,6 +318,10 @@ func Run(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
 		}
 	}
 	for t := 1; t <= rounds; t++ {
+		if err := o.ctx.Err(); err != nil {
+			recycleInts(res.RoundBits)
+			return nil, err
+		}
 		roundBits := 0
 		for v := 0; v < n; v++ {
 			m := nodes[v].Send(t)
@@ -396,6 +413,14 @@ func finishOutputs(res *Result, nodes []Node) {
 // rejected: it would conflict with — and previously silently overrode —
 // the per-seed coins, collapsing every run onto one coin.
 func EstimateError(in *Instance, algo Algorithm, want Verdict, seeds []int64, opts ...Option) (float64, error) {
+	return EstimateErrorContext(context.Background(), in, algo, want, seeds, opts...)
+}
+
+// EstimateErrorContext is EstimateError with cancellation: once ctx is
+// done, unstarted seeds are skipped, in-flight runs stop at their next
+// round boundary, and ctx's error is returned — a partial estimate is
+// never reported as if it covered every seed.
+func EstimateErrorContext(ctx context.Context, in *Instance, algo Algorithm, want Verdict, seeds []int64, opts ...Option) (float64, error) {
 	if len(seeds) == 0 {
 		return 0, fmt.Errorf("bcc: no seeds")
 	}
@@ -407,11 +432,11 @@ func EstimateError(in *Instance, algo Algorithm, want Verdict, seeds []int64, op
 		return 0, fmt.Errorf("bcc: EstimateError: WithCoin conflicts with per-seed coins; pass seeds instead")
 	}
 	wrong := make([]bool, len(seeds))
-	err := parallel.ForEach(len(seeds), func(i int) error {
+	err := parallel.ForEachCtx(ctx, len(seeds), func(i int) error {
 		runOpts := make([]Option, 0, len(opts)+1)
 		runOpts = append(runOpts, opts...)
 		runOpts = append(runOpts, WithCoin(NewCoin(seeds[i])))
-		res, err := Run(in, algo, runOpts...)
+		res, err := RunContext(ctx, in, algo, runOpts...)
 		if err != nil {
 			return err
 		}

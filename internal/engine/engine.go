@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -181,12 +182,12 @@ func (e *Engine) selectSpecs(only []string) []Spec {
 }
 
 // runOne executes (or serves from cache) a single spec.
-func (e *Engine) runOne(spec Spec, cfg Config, emit func(Event)) (*Result, error) {
+func (e *Engine) runOne(ctx context.Context, spec Spec, cfg Config, emit func(Event)) (*Result, error) {
 	compute := func() (*Result, error) {
 		emit(Event{Kind: EventStarted, SpecID: spec.ID})
 		e.executions.Add(1)
 		start := time.Now()
-		res, err := spec.Run(cfg, spec.Params)
+		res, err := spec.Run(ctx, cfg, spec.Params)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.ID, err)
 		}
@@ -203,7 +204,7 @@ func (e *Engine) runOne(spec Spec, cfg Config, emit func(Event)) (*Result, error
 		emit(Event{Kind: EventDone, SpecID: spec.ID, Elapsed: res.Elapsed})
 		return res, nil
 	}
-	res, cached, err := e.store.Do(e.CacheKey(spec, cfg), compute)
+	res, cached, err := e.store.Do(ctx, e.CacheKey(spec, cfg), compute)
 	switch {
 	case err != nil:
 		emit(Event{Kind: EventFailed, SpecID: spec.ID, Err: err.Error()})
@@ -221,19 +222,23 @@ func (e *Engine) runOne(spec Spec, cfg Config, emit func(Event)) (*Result, error
 // (optional) observes progress and may be called from worker goroutines.
 // Semantics match the historical harness.RunAll: a failure stops specs
 // that have not started yet, the completed prefix is returned, and the
-// reported error is scheduling-independent.
-func (e *Engine) Run(cfg Config, only []string, onEvent func(Event)) ([]*Result, error) {
-	return e.run(cfg, only, onEvent, nil)
+// reported error is scheduling-independent. Cancelling ctx stops specs
+// that have not started, propagates into running specs (which observe it
+// at their next round boundary), and returns the completed prefix with
+// ctx's error — unless a spec genuinely failed first, in which case the
+// lowest-indexed real failure wins.
+func (e *Engine) Run(ctx context.Context, cfg Config, only []string, onEvent func(Event)) ([]*Result, error) {
+	return e.run(ctx, cfg, only, onEvent, nil)
 }
 
 // Stream is Run plus ordered rendering: each section is handed to r as
 // soon as it and all its predecessors have finished, always in registry
 // ID order, so a slow suite still delivers early sections incrementally.
-func (e *Engine) Stream(w io.Writer, r report.Renderer, m report.Meta, cfg Config, only []string, onEvent func(Event)) ([]*Result, error) {
+func (e *Engine) Stream(ctx context.Context, w io.Writer, r report.Renderer, m report.Meta, cfg Config, only []string, onEvent func(Event)) ([]*Result, error) {
 	if err := r.Begin(w, m); err != nil {
 		return nil, err
 	}
-	written, err := e.run(cfg, only, onEvent, func(i int, res *Result) error {
+	written, err := e.run(ctx, cfg, only, onEvent, func(i int, res *Result) error {
 		return r.Section(w, i, res)
 	})
 	if err != nil {
@@ -242,7 +247,7 @@ func (e *Engine) Stream(w io.Writer, r report.Renderer, m report.Meta, cfg Confi
 	return written, r.End(w, written)
 }
 
-func (e *Engine) run(cfg Config, only []string, onEvent func(Event), sink func(i int, res *Result) error) ([]*Result, error) {
+func (e *Engine) run(ctx context.Context, cfg Config, only []string, onEvent func(Event), sink func(i int, res *Result) error) ([]*Result, error) {
 	emit := func(Event) {}
 	if onEvent != nil {
 		emit = onEvent
@@ -255,34 +260,52 @@ func (e *Engine) run(cfg Config, only []string, onEvent func(Event), sink func(i
 	resSlots := make([]*Result, len(selected))
 	runErrs := make([]error, len(selected))
 	var stop atomic.Bool
-	go parallel.ForEach(len(selected), func(i int) error {
-		defer close(done[i])
-		if stop.Load() {
+	// A cancelled pool never starts (and so never closes done[i] for)
+	// the remaining specs; poolDone unblocks the assembly loop then. By
+	// the time poolDone closes every worker has finished, so all slot
+	// writes are visible.
+	poolDone := make(chan struct{})
+	go func() {
+		defer close(poolDone)
+		parallel.ForEachCtx(ctx, len(selected), func(i int) error {
+			defer close(done[i])
+			if stop.Load() {
+				return nil
+			}
+			res, err := e.runOne(ctx, selected[i], cfg, emit)
+			if err != nil {
+				stop.Store(true)
+				runErrs[i] = err
+				return nil
+			}
+			resSlots[i] = res
 			return nil
+		})
+	}()
+	wait := func(i int) {
+		select {
+		case <-done[i]:
+		case <-poolDone:
 		}
-		res, err := e.runOne(selected[i], cfg, emit)
-		if err != nil {
-			stop.Store(true)
-			runErrs[i] = err
-			return nil
-		}
-		resSlots[i] = res
-		return nil
-	})
+	}
 	var delivered []*Result
 	for i := range selected {
-		<-done[i]
+		wait(i)
 		if runErrs[i] != nil {
 			return delivered, runErrs[i]
 		}
 		if resSlots[i] == nil {
-			// Skipped because a later-indexed spec failed first; surface
-			// that error instead.
+			// Skipped: a later-indexed spec failed first, or the context
+			// was cancelled. Surface the lowest-indexed real error;
+			// fall back to the cancellation cause.
 			for j := i + 1; j < len(selected); j++ {
-				<-done[j]
+				wait(j)
 				if runErrs[j] != nil {
 					return delivered, runErrs[j]
 				}
+			}
+			if err := ctx.Err(); err != nil {
+				return delivered, err
 			}
 			return delivered, fmt.Errorf("engine: spec %s did not run", selected[i].ID)
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -86,8 +87,10 @@ type GridSpec struct {
 	CellKey func(protocol, family string) (string, error)
 	// RunCell measures one cell: it must derive all randomness from the
 	// given seeds and return one table row. Rows must be bit-identical
-	// at any worker count.
-	RunCell func(cfg Config, cell GridCell, seeds []int64) ([]string, error)
+	// at any worker count. The context is the sweep's cancellation
+	// signal; cells must pass it into bcc.RunContext so a cancelled
+	// sweep stops mid-cell, within one simulated round.
+	RunCell func(ctx context.Context, cfg Config, cell GridCell, seeds []int64) ([]string, error)
 	// Summarize renders the result's Finding from the assembled rows
 	// (nil = a generic cell-count summary).
 	Summarize func(rows [][]string) string
@@ -315,8 +318,8 @@ func (e *Engine) gridSpec(g GridSpec) Spec {
 			QuickTrials: g.QuickSeeds,
 			Extra:       g.axes(),
 		},
-		Run: func(cfg Config, _ Params) (*Result, error) {
-			return e.RunGrid(g, cfg, nil, nil)
+		Run: func(ctx context.Context, cfg Config, _ Params) (*Result, error) {
+			return e.RunGrid(ctx, g, cfg, nil, nil)
 		},
 	}
 }
@@ -363,7 +366,7 @@ func (e *Engine) cellKey(g GridSpec, cfg Config, c GridCell) (string, error) {
 }
 
 // runCell computes (or serves from cache) one cell's table row.
-func (e *Engine) runCell(g GridSpec, cfg Config, c GridCell, emit func(Event)) ([]string, error) {
+func (e *Engine) runCell(ctx context.Context, g GridSpec, cfg Config, c GridCell, emit func(Event)) ([]string, error) {
 	compute := func() (*report.Result, error) {
 		emit(Event{Kind: EventStarted, SpecID: g.ID, Cell: c.String()})
 		e.cellExecutions.Add(1)
@@ -372,7 +375,7 @@ func (e *Engine) runCell(g GridSpec, cfg Config, c GridCell, emit func(Event)) (
 		for j := range seeds {
 			seeds[j] = parallel.DeriveSeed(cfg.Seed, j)
 		}
-		row, err := g.RunCell(cfg, c, seeds)
+		row, err := g.RunCell(ctx, cfg, c, seeds)
 		if err != nil {
 			return nil, fmt.Errorf("grid %s cell %s: %w", g.ID, c, err)
 		}
@@ -405,7 +408,7 @@ func (e *Engine) runCell(g GridSpec, cfg Config, c GridCell, emit func(Event)) (
 		emit(Event{Kind: EventFailed, SpecID: g.ID, Cell: c.String(), Err: err.Error()})
 		return nil, err
 	}
-	res, cached, err := e.store.Do(key, compute)
+	res, cached, err := e.store.Do(ctx, key, compute)
 	switch {
 	case err != nil:
 		emit(Event{Kind: EventFailed, SpecID: g.ID, Cell: c.String(), Err: err.Error()})
@@ -449,7 +452,15 @@ func dispatchOrder(cells []GridCell) []int {
 // slow grid still streams early rows incrementally. Rows are
 // bit-identical at any worker count; a resumed or recomposed grid
 // recomputes only cells whose content address is new.
-func (e *Engine) RunGrid(g GridSpec, cfg Config, onEvent func(Event), sink func(cell GridCell, row []string) error) (*Result, error) {
+//
+// Cancelling ctx aborts the sweep: unstarted cells never start, running
+// cells observe the cancellation at their next simulated round, and the
+// call returns ctx's error — unless some cell genuinely failed first, in
+// which case the lowest-indexed real failure wins. Cells completed
+// before the cancellation remain in the cache (a cancelled sweep never
+// stores a partial or failed cell), so a retried sweep resumes instead
+// of recomputing.
+func (e *Engine) RunGrid(ctx context.Context, g GridSpec, cfg Config, onEvent func(Event), sink func(cell GridCell, row []string) error) (*Result, error) {
 	emit := func(Event) {}
 	if onEvent != nil {
 		emit = onEvent
@@ -470,39 +481,55 @@ func (e *Engine) RunGrid(g GridSpec, cfg Config, onEvent func(Event), sink func(
 	rows := make([][]string, len(cells))
 	errs := make([]error, len(cells))
 	var stop atomic.Bool
-	go parallel.ForEach(len(cells), func(k int) error {
-		i := order[k]
-		defer close(done[i])
-		if stop.Load() {
+	// See Engine.run: a cancelled pool never closes done[i] for cells it
+	// never started, so the assembly loop also waits on poolDone.
+	poolDone := make(chan struct{})
+	go func() {
+		defer close(poolDone)
+		parallel.ForEachCtx(ctx, len(cells), func(k int) error {
+			i := order[k]
+			defer close(done[i])
+			if stop.Load() {
+				return nil
+			}
+			row, err := e.runCell(ctx, g, cfg, cells[i], emit)
+			if err != nil {
+				stop.Store(true)
+				errs[i] = err
+				return nil
+			}
+			rows[i] = row
 			return nil
+		})
+	}()
+	wait := func(i int) {
+		select {
+		case <-done[i]:
+		case <-poolDone:
 		}
-		row, err := e.runCell(g, cfg, cells[i], emit)
-		if err != nil {
-			stop.Store(true)
-			errs[i] = err
-			return nil
-		}
-		rows[i] = row
-		return nil
-	})
+	}
 	table := &report.Table{
 		Title:   fmt.Sprintf("%s (%d cells)", g.Title, len(cells)),
 		Caption: g.Caption,
 		Headers: append([]string(nil), g.Headers...),
 	}
 	for i := range cells {
-		<-done[i]
+		wait(i)
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
 		if rows[i] == nil {
-			// Skipped because a later-indexed cell failed first; surface
-			// that error instead.
+			// Skipped: a later-indexed cell failed first, or the sweep
+			// was cancelled. Surface the lowest-indexed real error; fall
+			// back to the cancellation cause.
 			for j := i + 1; j < len(cells); j++ {
-				<-done[j]
+				wait(j)
 				if errs[j] != nil {
 					return nil, errs[j]
 				}
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 			return nil, fmt.Errorf("engine: grid %s cell %s did not run", g.ID, cells[i])
 		}

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,15 +16,16 @@ type JobStatus string
 
 // Job lifecycle states.
 const (
-	JobQueued  JobStatus = "queued"
-	JobRunning JobStatus = "running"
-	JobDone    JobStatus = "done"
-	JobFailed  JobStatus = "failed"
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobFailed    JobStatus = "failed"
+	JobCancelled JobStatus = "cancelled"
 )
 
 // Job is a point-in-time snapshot of one submitted spec-set run. Results
 // is populated once Status is done (and holds the completed prefix on
-// failure).
+// failure or cancellation).
 type Job struct {
 	ID       string    `json:"id"`
 	Status   JobStatus `json:"status"`
@@ -39,6 +42,9 @@ type Job struct {
 	// oldest-first eviction; unlike the zero-padded ID prefix it never
 	// wraps or mis-sorts.
 	seq int
+	// done is closed when the job reaches a terminal status; WaitJob
+	// blocks on it.
+	done chan struct{}
 }
 
 // maxRetainedJobs bounds the in-memory job table: results live in the
@@ -52,9 +58,18 @@ type jobTable struct {
 	mu   sync.Mutex
 	jobs map[string]*Job
 	seq  int
+	// active counts jobs in the queued or running state; idle is closed
+	// (and replaced on the next submission) whenever active drops to
+	// zero, which is what WaitJobs blocks on during graceful drain.
+	active int
+	idle   chan struct{}
 }
 
-func (t *jobTable) init() { t.jobs = make(map[string]*Job) }
+func (t *jobTable) init() {
+	t.jobs = make(map[string]*Job)
+	t.idle = make(chan struct{})
+	close(t.idle)
+}
 
 // evictLocked drops jobs in strict submission order until the table is
 // within maxRetainedJobs, so the table always holds the most recent
@@ -69,7 +84,7 @@ func (t *jobTable) evictLocked() {
 				oldest = j
 			}
 		}
-		if oldest.Status != JobDone && oldest.Status != JobFailed {
+		if oldest.Status == JobQueued || oldest.Status == JobRunning {
 			return
 		}
 		delete(t.jobs, oldest.ID)
@@ -86,6 +101,19 @@ func (t *jobTable) newID() string {
 	return fmt.Sprintf("job-%04d-%s", t.seq, hex.EncodeToString(raw[:]))
 }
 
+// addActiveLocked adjusts the active-job count and maintains the idle
+// broadcast channel. Callers hold t.mu.
+func (t *jobTable) addActiveLocked(delta int) {
+	was := t.active
+	t.active += delta
+	if was == 0 && t.active > 0 {
+		t.idle = make(chan struct{})
+	}
+	if was > 0 && t.active == 0 {
+		close(t.idle)
+	}
+}
+
 // snapshot deep-copies the mutable slices so callers can read a Job
 // without racing the runner goroutine.
 func snapshot(j *Job) Job {
@@ -100,7 +128,16 @@ func snapshot(j *Job) Job {
 // the run proceeds on the process-wide worker pool in the background and
 // its progress is observable through Job. Submitted runs share the
 // engine's result cache with every other entry point.
-func (e *Engine) Submit(cfg Config, only []string) Job {
+//
+// The context outlives the Submit call: it is the job's run context, and
+// cancelling it aborts the job at its next round boundary. A job ended
+// that way reports status "cancelled" (not "failed"), retains the
+// completed prefix of its results, and — because the store never caches
+// errors — leaves no trace of its unfinished cells in the result cache.
+// Servers typically pass a long-lived base context here, cancelled only
+// at the hard drain deadline, so client disconnects never kill an
+// accepted async job.
+func (e *Engine) Submit(ctx context.Context, cfg Config, only []string) Job {
 	t := &e.jobs
 	t.mu.Lock()
 	j := &Job{
@@ -110,8 +147,10 @@ func (e *Engine) Submit(cfg Config, only []string) Job {
 		Only:    append([]string(nil), only...),
 		Created: time.Now(),
 		seq:     t.seq,
+		done:    make(chan struct{}),
 	}
 	t.jobs[j.ID] = j
+	t.addActiveLocked(1)
 	t.evictLocked()
 	snap := snapshot(j)
 	t.mu.Unlock()
@@ -127,23 +166,57 @@ func (e *Engine) Submit(cfg Config, only []string) Job {
 			j.Events = append(j.Events, ev)
 			t.mu.Unlock()
 		}
-		res, err := e.Run(cfg, only, onEvent)
+		res, err := e.Run(ctx, cfg, only, onEvent)
 
 		t.mu.Lock()
 		j.Finished = time.Now()
 		j.Results = res
-		if err != nil {
+		switch {
+		case err == nil:
+			j.Status = JobDone
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.Status = JobCancelled
+			j.Error = err.Error()
+		default:
 			j.Status = JobFailed
 			j.Error = err.Error()
-		} else {
-			j.Status = JobDone
 		}
+		t.addActiveLocked(-1)
 		// Jobs that were unevictable while running may now be over the
 		// retention cap.
 		t.evictLocked()
 		t.mu.Unlock()
+		close(j.done)
 	}()
 	return snap
+}
+
+// WaitJob blocks until the job with the given ID reaches a terminal
+// status (done, failed, or cancelled) or ctx expires, and returns its
+// final snapshot. Unknown IDs are an immediate error.
+func (e *Engine) WaitJob(ctx context.Context, id string) (Job, error) {
+	t := &e.jobs
+	t.mu.Lock()
+	j, ok := t.jobs[id]
+	if !ok {
+		t.mu.Unlock()
+		return Job{}, fmt.Errorf("engine: no job %q", id)
+	}
+	done := j.done
+	t.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	case <-done:
+	}
+	// The job may have been evicted between completion and this lookup;
+	// the pre-eviction snapshot path is not worth racing for, so treat
+	// that as the (rare) error it is.
+	final, ok := e.Job(id)
+	if !ok {
+		return Job{}, fmt.Errorf("engine: job %q evicted before snapshot", id)
+	}
+	return final, nil
 }
 
 // Job returns a snapshot of the job with the given ID.
@@ -169,4 +242,35 @@ func (e *Engine) Jobs() []Job {
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].seq > out[k].seq }) // newest first
 	return out
+}
+
+// ActiveJobs returns the number of submitted jobs that are queued or
+// running — the gauge /metrics exports and drain watches.
+func (e *Engine) ActiveJobs() int {
+	t := &e.jobs
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
+
+// WaitJobs blocks until every submitted job has finished (done, failed,
+// or cancelled), or ctx expires. It is the drain primitive: a server
+// stops admitting work, then WaitJobs bounds how long the in-flight jobs
+// may take to finish cleanly.
+func (e *Engine) WaitJobs(ctx context.Context) error {
+	t := &e.jobs
+	for {
+		t.mu.Lock()
+		if t.active == 0 {
+			t.mu.Unlock()
+			return nil
+		}
+		idle := t.idle
+		t.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-idle:
+		}
+	}
 }

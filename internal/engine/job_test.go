@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -27,13 +28,13 @@ func waitJob(t *testing.T, eng *engine.Engine, id string) engine.Job {
 func TestJobLifecycle(t *testing.T) {
 	ran := make(chan struct{}, 1)
 	spec := engine.Spec{ID: "J01", Title: "job spec", PaperRef: "-",
-		Run: func(engine.Config, engine.Params) (*engine.Result, error) {
+		Run: func(context.Context, engine.Config, engine.Params) (*engine.Result, error) {
 			ran <- struct{}{}
 			return &engine.Result{Claim: "c", Finding: "f"}, nil
 		}}
 	eng := engine.New([]engine.Spec{spec})
 
-	job := eng.Submit(engine.Config{Seed: 3}, []string{"J01"})
+	job := eng.Submit(context.Background(), engine.Config{Seed: 3}, []string{"J01"})
 	if job.ID == "" || job.Config.Seed != 3 {
 		t.Fatalf("bad submit snapshot: %+v", job)
 	}
@@ -69,11 +70,11 @@ func TestJobLifecycle(t *testing.T) {
 
 func TestJobFailure(t *testing.T) {
 	spec := engine.Spec{ID: "J02", Title: "failing spec", PaperRef: "-",
-		Run: func(engine.Config, engine.Params) (*engine.Result, error) {
+		Run: func(context.Context, engine.Config, engine.Params) (*engine.Result, error) {
 			return nil, errTest
 		}}
 	eng := engine.New([]engine.Spec{spec})
-	job := eng.Submit(engine.Config{}, nil)
+	job := eng.Submit(context.Background(), engine.Config{}, nil)
 	final := waitJob(t, eng, job.ID)
 	if final.Status != engine.JobFailed || final.Error == "" {
 		t.Errorf("want failed job with error, got %+v", final)

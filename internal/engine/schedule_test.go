@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -19,7 +20,7 @@ func schedGrid(sizes []int, runCell func(c engine.GridCell) ([]string, error)) e
 		Sizes: sizes, Seeds: 1,
 		Headers: []string{"family", "protocol", "n"},
 		CellKey: func(proto, fam string) (string, error) { return proto + ";" + fam, nil },
-		RunCell: func(_ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
+		RunCell: func(_ context.Context, _ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
 			return runCell(c)
 		},
 	}
@@ -47,7 +48,7 @@ func TestGridDispatchLargestFirst(t *testing.T) {
 	eng := engine.New(nil, engine.WithGrids(grid))
 
 	var sunk []int
-	res, err := eng.RunGrid(grid, engine.Config{Seed: 1}, nil, func(c engine.GridCell, row []string) error {
+	res, err := eng.RunGrid(context.Background(), grid, engine.Config{Seed: 1}, nil, func(c engine.GridCell, row []string) error {
 		sunk = append(sunk, c.Index)
 		return nil
 	})
@@ -88,7 +89,7 @@ func TestGridDispatchFailureSurfacesLowestIndexedError(t *testing.T) {
 		return []string{c.Family, c.Protocol, fmt.Sprint(c.N)}, nil
 	})
 	eng := engine.New(nil, engine.WithGrids(grid))
-	_, err := eng.RunGrid(grid, engine.Config{Seed: 1}, nil, nil)
+	_, err := eng.RunGrid(context.Background(), grid, engine.Config{Seed: 1}, nil, nil)
 	if err == nil {
 		t.Fatal("failing grid returned no error")
 	}
@@ -112,7 +113,7 @@ func TestGridScopedSizeCaps(t *testing.T) {
 		SizeCaps: map[string]int{"p@g": 16, "q": 16, "q@f": 8},
 		Headers:  []string{"family", "protocol", "n"},
 		CellKey:  func(proto, fam string) (string, error) { return proto + ";" + fam, nil },
-		RunCell: func(_ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
+		RunCell: func(_ context.Context, _ engine.Config, c engine.GridCell, _ []int64) ([]string, error) {
 			return []string{c.Family, c.Protocol, fmt.Sprint(c.N)}, nil
 		},
 	}

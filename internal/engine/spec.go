@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -91,7 +92,11 @@ type Spec struct {
 	// same commit as the logic change.
 	Version int
 	Params  Params
-	Run     func(cfg Config, p Params) (*Result, error)
+	// Run computes the experiment. The context is the run's cancellation
+	// signal: long experiments must pass it down into bcc.RunContext /
+	// parallel.ForEachCtx so a cancelled run stops within one simulated
+	// round rather than at the next experiment boundary.
+	Run func(ctx context.Context, cfg Config, p Params) (*Result, error)
 }
 
 // Key is the canonical encoding of the spec's declarative surface. It

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -90,14 +91,14 @@ func TestCacheKeySensitivity(t *testing.T) {
 // first by submission order.
 func TestJobTableEviction(t *testing.T) {
 	spec := Spec{ID: "J01", Title: "t", PaperRef: "r",
-		Run: func(Config, Params) (*Result, error) {
+		Run: func(_ context.Context, _ Config, _ Params) (*Result, error) {
 			return &Result{Claim: "c", Finding: "f"}, nil
 		}}
 	e := New([]Spec{spec})
 	const extra = 10
 	var last string
 	for i := 0; i < maxRetainedJobs+extra; i++ {
-		last = e.Submit(Config{Seed: int64(i)}, nil).ID
+		last = e.Submit(context.Background(), Config{Seed: int64(i)}, nil).ID
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -14,7 +15,7 @@ import (
 // runE15 exercises the Section 1.3 proof-labeling-scheme connection: the
 // classical spanning-tree scheme, and transcripts of a fast BCC(1)
 // algorithm used as labels.
-func runE15(cfg Config, p Params) (*Result, error) {
+func runE15(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := p.Size(cfg)
 	trials := p.TrialCount(cfg)
@@ -113,7 +114,7 @@ func forgeLabels(scheme pls.Scheme, n int, rng *rand.Rand) [][]byte {
 // recovery and connectivity on bounded-arboricity (not bounded-degree)
 // inputs — the class for which the paper's Section 1.1 declares the
 // Ω(log n) bounds tight.
-func runE16(cfg Config, p Params) (*Result, error) {
+func runE16(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	recovery := &Table{
@@ -223,7 +224,7 @@ func runE16(cfg Config, p Params) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := bcc.Run(in, algo)
+			res, err := bcc.RunContext(ctx, in, algo)
 			if err != nil {
 				return nil, err
 			}

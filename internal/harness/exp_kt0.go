@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -32,7 +33,7 @@ func probeAlgorithms(t int) []bcc.Algorithm {
 // Each (algorithm, trial) pair is an independent task with its own
 // derived RNG, so the trial sweep fans out onto the worker pool with
 // bit-identical counts at every worker count.
-func runE01(cfg Config, p Params) (*Result, error) {
+func runE01(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	n := p.Size(cfg)
 	t := p.T
 	trials := p.Trials
@@ -44,7 +45,7 @@ func runE01(cfg Config, p Params) (*Result, error) {
 	algos := probeAlgorithms(t)
 	type tally struct{ crossings, hyp, concl int }
 	tallies := make([]tally, len(algos)*trials)
-	err := parallel.ForEach(len(tallies), func(task int) error {
+	err := parallel.ForEachCtx(ctx, len(tallies), func(task int) error {
 		algo := algos[task/trials]
 		rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, task)))
 		g := graph.RandomOneCycle(n, rng)
@@ -102,7 +103,7 @@ func runE01(cfg Config, p Params) (*Result, error) {
 
 // runE02 evaluates Theorem 3.5's warm-up bound: the formula curve and an
 // empirical pigeonhole on concrete label assignments.
-func runE02(cfg Config, p Params) (*Result, error) {
+func runE02(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	formula := &Table{
 		Title:   "Warm-up bound C(⌊s/3^{2t}⌋,2)/(2·C(s,2)), s = ⌊n/3⌋ (Theorem 3.5)",
 		Headers: []string{"n", "t", "bound", "3^{-4t}/2"},
@@ -171,7 +172,7 @@ func runE02(cfg Config, p Params) (*Result, error) {
 
 // runE03 verifies Lemma 3.7 exactly at G⁰ and reports the degree/split
 // profile under an input-dependent labeler.
-func runE03(cfg Config, p Params) (*Result, error) {
+func runE03(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	n := p.Size(cfg)
 	g0, err := indist.New(n, indist.ZeroRoundLabeler, "", "")
 	if err != nil {
@@ -243,7 +244,7 @@ func runE03(cfg Config, p Params) (*Result, error) {
 
 // runE04 measures Lemma 3.8 expansion and constructs the Theorem 2.1
 // star packings.
-func runE04(cfg Config, p Params) (*Result, error) {
+func runE04(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	sizes := p.Sweep(cfg)
 	table := &Table{
 		Title:   "Expansion and saturating star packings in G⁰",
@@ -276,7 +277,7 @@ func runE04(cfg Config, p Params) (*Result, error) {
 
 // runE05 is the Lemma 3.9 census: exact enumeration at small n plus
 // closed-form counting at large n.
-func runE05(cfg Config, p Params) (*Result, error) {
+func runE05(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	enumMax := p.Size(cfg)
 	enumerated := &Table{
 		Title:   "Enumerated census (exact)",
@@ -310,7 +311,7 @@ func runE05(cfg Config, p Params) (*Result, error) {
 }
 
 // runE06 is the Theorem 3.1 forced-error experiment.
-func runE06(cfg Config, p Params) (*Result, error) {
+func runE06(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	n := p.Size(cfg)
 	coin := bcc.NewCoin(cfg.Seed)
 	table := &Table{

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,7 +25,7 @@ func sumInts(xs []int) int {
 
 // runE07 certifies rank(M_n) = B_n over GF(2³¹−1) and cross-checks tiny
 // cases with exact Bareiss elimination.
-func runE07(cfg Config, p Params) (*Result, error) {
+func runE07(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	max := p.Size(cfg)
 	table := &Table{
 		Title:   "rank(M_n) over GF(2³¹−1) (full rank mod p certifies full rank over ℚ)",
@@ -51,7 +52,7 @@ func runE07(cfg Config, p Params) (*Result, error) {
 }
 
 // runE08 certifies rank(E_n) = (n−1)!! for the TwoPartition sub-matrix.
-func runE08(cfg Config, p Params) (*Result, error) {
+func runE08(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	max := p.Size(cfg)
 	table := &Table{
 		Title:   "rank(E_n) over GF(2³¹−1)",
@@ -78,7 +79,7 @@ func runE08(cfg Config, p Params) (*Result, error) {
 
 // runE09 verifies Theorem 4.3 exhaustively at small n and statistically
 // at larger n, reproducing both Figure 2 constructions.
-func runE09(cfg Config, p Params) (*Result, error) {
+func runE09(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	exhaustiveN := p.Size(cfg)
 	pairingN := 6 // declared as Extra "pairing-n=6" in the spec
 	counts := &Table{
@@ -89,7 +90,7 @@ func runE09(cfg Config, p Params) (*Result, error) {
 	// random trial below); per-task failure counts merge in index order.
 	parts := partition.All(exhaustiveN)
 	genFails := make([]int, len(parts))
-	err := parallel.ForEach(len(parts), func(i int) error {
+	err := parallel.ForEachCtx(ctx, len(parts), func(i int) error {
 		pa := parts[i]
 		for _, pb := range parts {
 			g, ly, err := reduction.BuildGeneral(pa, pb)
@@ -110,7 +111,7 @@ func runE09(cfg Config, p Params) (*Result, error) {
 
 	pairings := partition.AllPairings(pairingN)
 	pairFails := make([]int, len(pairings))
-	err = parallel.ForEach(len(pairings), func(i int) error {
+	err = parallel.ForEachCtx(ctx, len(pairings), func(i int) error {
 		pa := pairings[i]
 		for _, pb := range pairings {
 			g, ly, err := reduction.BuildPairing(pa, pb)
@@ -134,7 +135,7 @@ func runE09(cfg Config, p Params) (*Result, error) {
 
 	trials := p.TrialCount(cfg)
 	trialFails := make([]int, trials)
-	err = parallel.ForEach(trials, func(i int) error {
+	err = parallel.ForEachCtx(ctx, trials, func(i int) error {
 		rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, i)))
 		n := 2 + rng.Intn(40)
 		pa := partition.Random(n, rng)
@@ -185,7 +186,7 @@ func runE09(cfg Config, p Params) (*Result, error) {
 
 // runE10 runs the Theorem 4.4 simulation across sizes and assembles the
 // lower-vs-upper round table.
-func runE10(cfg Config, p Params) (*Result, error) {
+func runE10(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	sizes := []int{6, 8, 10} // declared as Extra "exhaustive-sizes" in the spec
 	extra := p.Sweep(cfg)
 	table := &Table{
@@ -272,7 +273,7 @@ func runE10(cfg Config, p Params) (*Result, error) {
 }
 
 // runE11 evaluates the Theorem 4.5 information bound exactly.
-func runE11(cfg Config, p Params) (*Result, error) {
+func runE11(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	sizes := p.Sweep(cfg)
 	table := &Table{
 		Title:   "I(P_A; Π) under the hard distribution (P_A uniform, P_B finest), exact enumeration",

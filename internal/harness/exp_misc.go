@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,7 +16,7 @@ import (
 // runE12 measures the upper bounds that make the lower bounds tight: the
 // rounds-vs-n curves of the four algorithms against the two lower-bound
 // curves, with correctness verified by real executions at feasible sizes.
-func runE12(cfg Config, p Params) (*Result, error) {
+func runE12(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	verifyMax := p.Size(cfg)
 	curveSizes := p.Sweep(cfg)
 
@@ -85,11 +86,11 @@ func runE12(cfg Config, p Params) (*Result, error) {
 		}
 		for _, algo := range []bcc.Algorithm{nb, kt0, boruvka, sk, flood} {
 			kt0Mode := algo == bcc.Algorithm(kt0)
-			res1, err := runOn(one, algo, kt0Mode)
+			res1, err := runOn(ctx, one, algo, kt0Mode)
 			if err != nil {
 				return nil, err
 			}
-			res2, err := runOn(two, algo, kt0Mode)
+			res2, err := runOn(ctx, two, algo, kt0Mode)
 			if err != nil {
 				return nil, err
 			}
@@ -105,7 +106,7 @@ func runE12(cfg Config, p Params) (*Result, error) {
 	}, nil
 }
 
-func runOn(g *graph.Graph, algo bcc.Algorithm, kt0 bool) (*bcc.Result, error) {
+func runOn(ctx context.Context, g *graph.Graph, algo bcc.Algorithm, kt0 bool) (*bcc.Result, error) {
 	var (
 		in  *bcc.Instance
 		err error
@@ -118,7 +119,7 @@ func runOn(g *graph.Graph, algo bcc.Algorithm, kt0 bool) (*bcc.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return bcc.Run(in, algo)
+	return bcc.RunContext(ctx, in, algo)
 }
 
 func labelsMatch(labels []int, g *graph.Graph) bool {
@@ -143,7 +144,7 @@ func bitsFor(m int) int {
 }
 
 // runE13 tabulates Bell-number growth.
-func runE13(cfg Config, p Params) (*Result, error) {
+func runE13(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	max := p.Size(cfg)
 	table := &Table{
 		Title:   "B_n = 2^{Θ(n log n)} and pairing counts",
@@ -166,7 +167,7 @@ func runE13(cfg Config, p Params) (*Result, error) {
 }
 
 // runE14 re-runs the model's semantic self-checks as an experiment.
-func runE14(cfg Config, p Params) (*Result, error) {
+func runE14(ctx context.Context, cfg Config, p Params) (*Result, error) {
 	table := &Table{
 		Title:   "Section 1.2 semantics checks",
 		Headers: []string{"check", "result"},
@@ -200,11 +201,11 @@ func runE14(cfg Config, p Params) (*Result, error) {
 	// via EstimateError that verdicts aggregate.
 	silentYes := algorithms.Silent{T: 1, Answer: bcc.VerdictYes}
 	silentNo := algorithms.Silent{T: 1, Answer: bcc.VerdictNo}
-	rYes, err := bcc.Run(kt1, silentYes)
+	rYes, err := bcc.RunContext(ctx, kt1, silentYes)
 	if err != nil {
 		return nil, err
 	}
-	rNo, err := bcc.Run(kt1, silentNo)
+	rNo, err := bcc.RunContext(ctx, kt1, silentNo)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +213,7 @@ func runE14(cfg Config, p Params) (*Result, error) {
 	table.AddRow("any-NO ⇒ system NO", YesNo(rNo.Verdict == bcc.VerdictNo))
 
 	// Public coin: CoinCast transcripts identical across vertices.
-	res, err := bcc.Run(kt1, algorithms.CoinCast{T: 12}, bcc.WithCoin(bcc.NewCoin(cfg.Seed)))
+	res, err := bcc.RunContext(ctx, kt1, algorithms.CoinCast{T: 12}, bcc.WithCoin(bcc.NewCoin(cfg.Seed)))
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +232,7 @@ func runE14(cfg Config, p Params) (*Result, error) {
 	for i := range seeds {
 		seeds[i] = cfg.Seed + int64(i)
 	}
-	errRate, err := bcc.EstimateError(kt1, coinDecider{}, bcc.VerdictYes, seeds)
+	errRate, err := bcc.EstimateErrorContext(ctx, kt1, coinDecider{}, bcc.VerdictYes, seeds)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -41,7 +42,7 @@ func cellIdentity(protoName, famName string) (string, error) {
 
 // runCellOutcomes builds the cell's family instance once per seed and
 // runs its protocol on each: the shared measurement loop of both grids.
-func runCellOutcomes(cell engine.GridCell, seeds []int64) ([]*protocol.Outcome, error) {
+func runCellOutcomes(ctx context.Context, cell engine.GridCell, seeds []int64) ([]*protocol.Outcome, error) {
 	p, ok := protocol.Lookup(cell.Protocol)
 	if !ok {
 		return nil, fmt.Errorf("unknown protocol %q", cell.Protocol)
@@ -56,7 +57,7 @@ func runCellOutcomes(cell engine.GridCell, seeds []int64) ([]*protocol.Outcome, 
 		if err != nil {
 			return nil, err
 		}
-		out, err := p.Run(g, seed)
+		out, err := p.Run(ctx, g, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -112,8 +113,8 @@ func gridE17() engine.GridSpec {
 	}
 }
 
-func runE17Cell(_ engine.Config, cell engine.GridCell, seeds []int64) ([]string, error) {
-	outs, err := runCellOutcomes(cell, seeds)
+func runE17Cell(ctx context.Context, _ engine.Config, cell engine.GridCell, seeds []int64) ([]string, error) {
+	outs, err := runCellOutcomes(ctx, cell, seeds)
 	if err != nil {
 		return nil, err
 	}
@@ -195,8 +196,8 @@ func gridE18() engine.GridSpec {
 	}
 }
 
-func runE18Cell(_ engine.Config, cell engine.GridCell, seeds []int64) ([]string, error) {
-	outs, err := runCellOutcomes(cell, seeds)
+func runE18Cell(ctx context.Context, _ engine.Config, cell engine.GridCell, seeds []int64) ([]string, error) {
+	outs, err := runCellOutcomes(ctx, cell, seeds)
 	if err != nil {
 		return nil, err
 	}

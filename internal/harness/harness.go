@@ -17,6 +17,7 @@
 package harness
 
 import (
+	"context"
 	"io"
 
 	"bcclique/internal/engine"
@@ -99,7 +100,7 @@ func NewEngine(opts ...engine.Option) *engine.Engine {
 // elapsed times vary between runs. A failure stops experiments that have
 // not started yet; the completed prefix of the report is still written.
 func RunAll(w io.Writer, cfg Config, only ...string) ([]*Result, error) {
-	return NewEngine().Stream(w, report.Markdown{}, report.Meta{}, cfg, only, nil)
+	return NewEngine().Stream(context.Background(), w, report.Markdown{}, report.Meta{}, cfg, only, nil)
 }
 
 // FormatFloat renders floats compactly for tables; see internal/report.

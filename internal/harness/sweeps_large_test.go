@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -31,7 +32,7 @@ func TestLargeNSweepRowMatchesSummarizedForm(t *testing.T) {
 	seeds := []int64{parallel.DeriveSeed(cfg.Seed, 0)}
 	cell := engine.GridCell{Protocol: "boruvka", Family: "two-cycle", N: n, Seeds: len(seeds)}
 
-	row, err := runE17Cell(cfg, cell, seeds)
+	row, err := runE17Cell(context.Background(), cfg, cell, seeds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,17 @@ func releaseHelper() { helpers.Add(-1) }
 // lowest-index failing task, so the error observed is independent of
 // scheduling.
 func ForEach(n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, no new
+// tasks are started (tasks already running finish on their own — fn is
+// responsible for observing ctx internally if it is long). Task errors
+// keep ForEach's contract — the lowest-index failing task's error is
+// returned, so the error observed for completed work is independent of
+// scheduling; if no task failed but the context cancelled the sweep
+// before every task ran, ctx's error is returned.
+func ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -79,22 +91,37 @@ func ForEach(n int, fn func(i int) error) error {
 	}
 	if w <= 1 {
 		var first error
+		started := 0
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			started++
 			if err := fn(i); err != nil && first == nil {
 				first = err
 			}
 		}
-		return first
+		if first != nil {
+			return first
+		}
+		if started < n {
+			return ctx.Err()
+		}
+		return nil
 	}
 	errs := make([]error, n)
-	var next atomic.Int64
+	var next, completed atomic.Int64
 	run := func() {
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
 			errs[i] = fn(i)
+			completed.Add(1)
 		}
 	}
 	var wg sync.WaitGroup
@@ -115,6 +142,9 @@ func ForEach(n int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if completed.Load() < int64(n) {
+		return ctx.Err()
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -47,7 +48,7 @@ func runBitPlaneProtocolEquivalence(t *testing.T, protocols, families []string, 
 					if err != nil {
 						t.Fatal(err)
 					}
-					fast, err := p.Run(g, seed)
+					fast, err := p.Run(context.Background(), g, seed)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -55,7 +56,7 @@ func runBitPlaneProtocolEquivalence(t *testing.T, protocols, families []string, 
 						t.Fatal("fast run did not engage the bit plane")
 					}
 					genericOracle = true
-					oracle, err := p.Run(g, seed)
+					oracle, err := p.Run(context.Background(), g, seed)
 					genericOracle = false
 					if err != nil {
 						t.Fatal(err)

@@ -15,6 +15,7 @@
 package protocol
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -117,8 +118,10 @@ type Protocol interface {
 	Bandwidth(n int) int
 	// Run executes the protocol on g. The seed drives everything the
 	// adapter randomizes (KT-0 port wiring, coins); equal (g, seed)
-	// yield equal outcomes.
-	Run(g *graph.Graph, seed int64) (*Outcome, error)
+	// yield equal outcomes. The context is checked at every simulated
+	// round boundary (see bcc.RunContext): a cancelled run returns
+	// ctx's error and no Outcome.
+	Run(ctx context.Context, g *graph.Graph, seed int64) (*Outcome, error)
 }
 
 // registry is the fixed protocol list, in registry order.
@@ -186,12 +189,12 @@ func bitsFor(m int) int {
 // per-vertex transcripts — the per-round cost series comes straight
 // from the runner's O(rounds) accounting — so memory stays bounded by
 // the nodes' own state at any n.
-func finish(name string, g *graph.Graph, in *bcc.Instance, algo bcc.Algorithm) (*Outcome, error) {
+func finish(ctx context.Context, name string, g *graph.Graph, in *bcc.Instance, algo bcc.Algorithm) (*Outcome, error) {
 	opts := []bcc.Option{bcc.WithoutTranscripts()}
 	if genericOracle {
 		opts = append(opts, bcc.WithoutBitPlane())
 	}
-	res, err := bcc.Run(in, algo, opts...)
+	res, err := bcc.RunContext(ctx, in, algo, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("protocol %s: %w", name, err)
 	}
@@ -264,7 +267,7 @@ func (Neighborhood) Key() string { return "protocol=neighborhood;v=1;deg=auto" }
 func (Neighborhood) Bandwidth(int) int { return 1 }
 
 // Run implements Protocol.
-func (p Neighborhood) Run(g *graph.Graph, _ int64) (*Outcome, error) {
+func (p Neighborhood) Run(ctx context.Context, g *graph.Graph, _ int64) (*Outcome, error) {
 	algo, err := algorithms.NewNeighborhoodBroadcast(maxDegree(g))
 	if err != nil {
 		return nil, err
@@ -273,7 +276,7 @@ func (p Neighborhood) Run(g *graph.Graph, _ int64) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p.Name(), g, in, algo)
+	return finish(ctx, p.Name(), g, in, algo)
 }
 
 // KT0Exchange wraps algorithms.KT0Exchange: the same guarantee in KT-0,
@@ -291,7 +294,7 @@ func (KT0Exchange) Key() string { return "protocol=kt0-exchange;v=1;deg=auto;wir
 func (KT0Exchange) Bandwidth(int) int { return 1 }
 
 // Run implements Protocol.
-func (p KT0Exchange) Run(g *graph.Graph, seed int64) (*Outcome, error) {
+func (p KT0Exchange) Run(ctx context.Context, g *graph.Graph, seed int64) (*Outcome, error) {
 	algo, err := algorithms.NewKT0Exchange(maxDegree(g), bitsFor(g.N()))
 	if err != nil {
 		return nil, err
@@ -301,7 +304,7 @@ func (p KT0Exchange) Run(g *graph.Graph, seed int64) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p.Name(), g, in, algo)
+	return finish(ctx, p.Name(), g, in, algo)
 }
 
 // Boruvka wraps algorithms.Boruvka: O(log n) rounds of BCC(3⌈log n⌉+1)
@@ -318,7 +321,7 @@ func (Boruvka) Key() string { return "protocol=boruvka;v=1;idbits=ceil(log2(n))"
 func (Boruvka) Bandwidth(n int) int { return 3*bitsFor(n) + 1 }
 
 // Run implements Protocol.
-func (p Boruvka) Run(g *graph.Graph, _ int64) (*Outcome, error) {
+func (p Boruvka) Run(ctx context.Context, g *graph.Graph, _ int64) (*Outcome, error) {
 	algo, err := algorithms.NewBoruvka(bitsFor(g.N()))
 	if err != nil {
 		return nil, err
@@ -327,7 +330,7 @@ func (p Boruvka) Run(g *graph.Graph, _ int64) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p.Name(), g, in, algo)
+	return finish(ctx, p.Name(), g, in, algo)
 }
 
 // Flood wraps algorithms.Flood: the Θ(n/b) full-adjacency baseline the
@@ -347,7 +350,7 @@ func (p Flood) Key() string { return fmt.Sprintf("protocol=flood;v=1;b=%d", p.B)
 func (p Flood) Bandwidth(int) int { return p.B }
 
 // Run implements Protocol.
-func (p Flood) Run(g *graph.Graph, _ int64) (*Outcome, error) {
+func (p Flood) Run(ctx context.Context, g *graph.Graph, _ int64) (*Outcome, error) {
 	algo, err := algorithms.NewFlood(p.B)
 	if err != nil {
 		return nil, err
@@ -356,7 +359,7 @@ func (p Flood) Run(g *graph.Graph, _ int64) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p.Name(), g, in, algo)
+	return finish(ctx, p.Name(), g, in, algo)
 }
 
 // Sketch wraps sketch.Connectivity: deterministic peeling for graphs of
@@ -379,7 +382,7 @@ func (p Sketch) Key() string { return fmt.Sprintf("protocol=sketch;v=1;a=%d", p.
 func (p Sketch) Bandwidth(int) int { return 31 }
 
 // Run implements Protocol.
-func (p Sketch) Run(g *graph.Graph, _ int64) (*Outcome, error) {
+func (p Sketch) Run(ctx context.Context, g *graph.Graph, _ int64) (*Outcome, error) {
 	algo, err := sketch.NewConnectivity(p.Arboricity)
 	if err != nil {
 		return nil, err
@@ -388,5 +391,5 @@ func (p Sketch) Run(g *graph.Graph, _ int64) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish(p.Name(), g, in, algo)
+	return finish(ctx, p.Name(), g, in, algo)
 }

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestAllProtocolsCorrectOnCycles(t *testing.T) {
 	two := build(t, "two-cycle", n, 3)
 	for _, p := range All() {
 		for _, g := range []*graph.Graph{one, two} {
-			out, err := p.Run(g, 5)
+			out, err := p.Run(context.Background(), g, 5)
 			if err != nil {
 				t.Fatalf("%s: %v", p.Name(), err)
 			}
@@ -59,7 +60,7 @@ func TestAllProtocolsCorrectOnCycles(t *testing.T) {
 func TestOutcomeCostAccounting(t *testing.T) {
 	g := build(t, "one-cycle", 16, 1)
 	for _, p := range All() {
-		out, err := p.Run(g, 1)
+		out, err := p.Run(context.Background(), g, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -96,7 +97,7 @@ func TestRoundSummary(t *testing.T) {
 	}
 	g := build(t, "two-cycle", 16, 2)
 	for _, p := range All() {
-		out, err := p.Run(g, 3)
+		out, err := p.Run(context.Background(), g, 3)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -117,11 +118,11 @@ func TestRoundSummary(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	g := build(t, "er-threshold", 24, 9)
 	for _, p := range All() {
-		a, err := p.Run(g, 11)
+		a, err := p.Run(context.Background(), g, 11)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
-		b, err := p.Run(g, 11)
+		b, err := p.Run(context.Background(), g, 11)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -137,7 +138,7 @@ func TestRunDeterministic(t *testing.T) {
 func TestSketchRefusesOutsidePromise(t *testing.T) {
 	g := build(t, "barbell", 32, 1)
 	for _, a := range []int{1, 2} {
-		out, err := Sketch{Arboricity: a}.Run(g, 1)
+		out, err := Sketch{Arboricity: a}.Run(context.Background(), g, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

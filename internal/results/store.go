@@ -8,6 +8,7 @@
 package results
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -177,44 +178,69 @@ func (s *Store) Put(key string, res *report.Result) error {
 // one caller runs compute, the rest block and receive its result. The
 // cached return reports whether compute was avoided (disk hit or shared
 // in-flight computation).
-func (s *Store) Do(key string, compute func() (*report.Result, error)) (res *report.Result, cached bool, err error) {
-	s.mu.Lock()
-	if c, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		<-c.done
-		s.shared.Add(1)
-		return c.res, true, c.err
-	}
-	c := &call{done: make(chan struct{})}
-	s.inflight[key] = c
-	s.mu.Unlock()
-
-	defer func() {
-		c.res, c.err = res, err
+//
+// The context governs this caller's wait, not the shared computation: a
+// waiter whose ctx expires stops waiting and returns ctx's error while
+// the in-flight compute (owned by another caller) runs on. Conversely, a
+// piggybacked caller whose leader was cancelled does not inherit the
+// leader's context error — it retries the lookup itself, so one client's
+// disconnect can never poison another client's identical request.
+// Cancelled or failed computations are never written to disk: the cache
+// only ever holds successfully computed results.
+func (s *Store) Do(ctx context.Context, key string, compute func() (*report.Result, error)) (res *report.Result, cached bool, err error) {
+	for {
 		s.mu.Lock()
-		delete(s.inflight, key)
+		if c, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			case <-c.done:
+			}
+			if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+				// The leader was cancelled, but this caller was not:
+				// retry (the disk may even have the entry by now from
+				// another process). Without this, a cancelled leader
+				// would fail every piggybacked request behind it.
+				if ctx.Err() == nil {
+					continue
+				}
+				return nil, false, ctx.Err()
+			}
+			s.shared.Add(1)
+			return c.res, true, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		s.inflight[key] = c
 		s.mu.Unlock()
-		close(c.done)
-	}()
 
-	// An unreadable cache (broken volume, bad permissions) degrades to
-	// a miss: cache trouble must never fail a run that can compute.
-	if got, ok, err2 := s.Get(key); err2 == nil && ok {
-		s.hits.Add(1)
-		return got, true, nil
+		defer func() {
+			c.res, c.err = res, err
+			s.mu.Lock()
+			delete(s.inflight, key)
+			s.mu.Unlock()
+			close(c.done)
+		}()
+
+		// An unreadable cache (broken volume, bad permissions) degrades to
+		// a miss: cache trouble must never fail a run that can compute.
+		if got, ok, err2 := s.Get(key); err2 == nil && ok {
+			s.hits.Add(1)
+			return got, true, nil
+		}
+		s.misses.Add(1)
+		res, err = compute()
+		if err != nil {
+			return nil, false, err
+		}
+		// A result that computed fine but cannot be stored (full or
+		// read-only cache volume) is still the answer: serve it uncached
+		// and count the failure instead of failing the run.
+		if err := s.Put(key, res); err != nil {
+			s.putErrs.Add(1)
+		}
+		return res, false, nil
 	}
-	s.misses.Add(1)
-	res, err = compute()
-	if err != nil {
-		return nil, false, err
-	}
-	// A result that computed fine but cannot be stored (full or
-	// read-only cache volume) is still the answer: serve it uncached
-	// and count the failure instead of failing the run.
-	if err := s.Put(key, res); err != nil {
-		s.putErrs.Add(1)
-	}
-	return res, false, nil
 }
 
 // Stats returns the counters accumulated since Open.

@@ -1,6 +1,7 @@
 package results
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -69,7 +70,7 @@ func TestCorruptEntryIsAMiss(t *testing.T) {
 		t.Fatalf("corrupt entry should read as a miss, got ok=%v err=%v", ok, err)
 	}
 	// Do recomputes and heals the entry.
-	res, cached, err := s.Do(key, func() (*report.Result, error) { return sample(), nil })
+	res, cached, err := s.Do(context.Background(), key, func() (*report.Result, error) { return sample(), nil })
 	if err != nil || cached || res == nil {
 		t.Fatalf("Do over corrupt entry: cached=%v err=%v", cached, err)
 	}
@@ -95,7 +96,7 @@ func TestDoSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, _, err := s.Do(key, func() (*report.Result, error) {
+			res, _, err := s.Do(context.Background(), key, func() (*report.Result, error) {
 				computes.Add(1)
 				<-release // hold every other caller in the in-flight wait
 				return sample(), nil
@@ -132,10 +133,10 @@ func TestDoErrorNotCached(t *testing.T) {
 	}
 	key := Key("flaky")
 	boom := errors.New("boom")
-	if _, _, err := s.Do(key, func() (*report.Result, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := s.Do(context.Background(), key, func() (*report.Result, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("want compute error, got %v", err)
 	}
-	res, cached, err := s.Do(key, func() (*report.Result, error) { return sample(), nil })
+	res, cached, err := s.Do(context.Background(), key, func() (*report.Result, error) { return sample(), nil })
 	if err != nil || cached || res == nil {
 		t.Fatalf("retry after error: cached=%v err=%v", cached, err)
 	}
@@ -157,7 +158,7 @@ func TestDoToleratesPutFailure(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, key[:2]), []byte("in the way"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	res, cached, err := s.Do(key, func() (*report.Result, error) { return sample(), nil })
+	res, cached, err := s.Do(context.Background(), key, func() (*report.Result, error) { return sample(), nil })
 	if err != nil || cached || res == nil || res.ID != "E01" {
 		t.Fatalf("Do with failing Put: res=%+v cached=%v err=%v", res, cached, err)
 	}
@@ -173,7 +174,7 @@ func TestDoDiskHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := Key("persist")
-	if _, _, err := s1.Do(key, func() (*report.Result, error) { return sample(), nil }); err != nil {
+	if _, _, err := s1.Do(context.Background(), key, func() (*report.Result, error) { return sample(), nil }); err != nil {
 		t.Fatal(err)
 	}
 	// A second store over the same directory — a different process in
@@ -182,7 +183,7 @@ func TestDoDiskHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, cached, err := s2.Do(key, func() (*report.Result, error) {
+	res, cached, err := s2.Do(context.Background(), key, func() (*report.Result, error) {
 		t.Error("compute must not run on a warm disk cache")
 		return nil, nil
 	})
@@ -192,4 +193,118 @@ func TestDoDiskHit(t *testing.T) {
 	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
 		t.Errorf("stats = %+v, want exactly one hit", st)
 	}
+}
+
+// TestDoWaiterRetriesAfterCancelledLeader pins the
+// cancellation-poisoning guard: a caller piggybacking on an in-flight
+// computation whose leader gets cancelled must not inherit the leader's
+// context error — it retries the lookup under its own (live) context
+// and computes the result itself.
+func TestDoWaiterRetriesAfterCancelledLeader(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("retry")
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.Do(leaderCtx, key, func() (*report.Result, error) {
+			close(leaderIn)
+			<-leaderCtx.Done()
+			return nil, leaderCtx.Err()
+		})
+		leaderErr <- err
+	}()
+	<-leaderIn
+
+	waiterRes := make(chan *report.Result, 1)
+	waiterErr := make(chan error, 1)
+	var waiterComputed atomic.Int64
+	go func() {
+		res, _, err := s.Do(context.Background(), key, func() (*report.Result, error) {
+			waiterComputed.Add(1)
+			return sample(), nil
+		})
+		waiterErr <- err
+		waiterRes <- res
+	}()
+	// Give the waiter time to park on the in-flight call, then cancel
+	// the leader out from under it.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-waiterErr:
+		if err != nil {
+			t.Fatalf("waiter inherited the leader's cancellation: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter never completed after leader cancellation")
+	}
+	if res := <-waiterRes; res == nil || res.ID != "E01" {
+		t.Fatalf("waiter result = %+v", res)
+	}
+	if got := waiterComputed.Load(); got != 1 {
+		t.Fatalf("waiter ran %d computations, want 1", got)
+	}
+	// The good result must now be cached for everyone else.
+	res, cached, err := s.Do(context.Background(), key, func() (*report.Result, error) {
+		t.Error("third caller recomputed a cached result")
+		return sample(), nil
+	})
+	if err != nil || !cached || res == nil {
+		t.Fatalf("post-retry lookup: res=%v cached=%v err=%v", res, cached, err)
+	}
+}
+
+// TestDoCancelledWaiterReturnsOwnError pins the other half: a waiter
+// whose own context dies while parked on an in-flight computation gets
+// its own context error without waiting for the leader.
+func TestDoCancelledWaiterReturnsOwnError(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("waiter-cancel")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		s.Do(context.Background(), key, func() (*report.Result, error) {
+			close(leaderIn)
+			<-release
+			return sample(), nil
+		})
+	}()
+	<-leaderIn
+
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.Do(waiterCtx, key, func() (*report.Result, error) {
+			t.Error("cancelled waiter must not compute")
+			return sample(), nil
+		})
+		waiterErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancelWaiter()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	// Let the leader finish its store write before the tempdir is
+	// removed out from under it.
+	close(release)
+	<-leaderDone
 }

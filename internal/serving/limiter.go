@@ -1,0 +1,124 @@
+package serving
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Limiter is a per-client token-bucket rate limiter: each client key
+// (the server uses the request's remote IP) owns a bucket of burst
+// tokens refilled at rate tokens/second. Allow spends one token; an
+// empty bucket means the client is over its rate and the server answers
+// 429 with a Retry-After hint from RetryAfter.
+//
+// Buckets are materialized lazily and pruned once they are full again
+// and idle, so the map's steady-state size tracks the set of recently
+// active clients, not every client ever seen.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	// now is injectable for tests; time.Now otherwise.
+	now func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// pruneAbove is the bucket-count high-water mark that triggers a prune
+// sweep; full-and-idle buckets are dropped (their state is equivalent
+// to not existing).
+const pruneAbove = 4096
+
+// NewLimiter builds a limiter granting each client `rate` requests per
+// second with bursts up to `burst`. rate <= 0 disables limiting: Allow
+// always grants.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// refillLocked advances b's token count to t. Callers hold l.mu.
+func (l *Limiter) refillLocked(b *bucket, t time.Time) {
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+	}
+	b.last = t
+}
+
+// Allow reports whether client may proceed now, spending one token if
+// so.
+func (l *Limiter) Allow(client string) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= pruneAbove {
+			l.pruneLocked(t)
+		}
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[client] = b
+	}
+	l.refillLocked(b, t)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// RetryAfter returns how long client must wait before Allow can grant
+// again — the value the server puts in the Retry-After header, rounded
+// up to whole seconds (minimum 1s: Retry-After has one-second
+// granularity and "0" would invite an immediate, doomed retry).
+func (l *Limiter) RetryAfter(client string) time.Duration {
+	if l.rate <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		return 0
+	}
+	l.refillLocked(b, l.now())
+	if b.tokens >= 1 {
+		return time.Second
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	// Round up to whole seconds.
+	if rem := wait % time.Second; rem != 0 {
+		wait += time.Second - rem
+	}
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return wait
+}
+
+// pruneLocked drops buckets that have refilled completely: a full
+// bucket behaves identically to an absent one. Callers hold l.mu.
+func (l *Limiter) pruneLocked(t time.Time) {
+	for k, b := range l.buckets {
+		l.refillLocked(b, t)
+		if b.tokens >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

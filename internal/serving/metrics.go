@@ -1,0 +1,273 @@
+package serving
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a minimal Prometheus-compatible metrics registry built on
+// the standard library alone: counters, counter vectors (per-label-set
+// children), gauge functions sampled at scrape time, and histogram
+// vectors with fixed buckets. WritePrometheus renders the text
+// exposition format (version 0.0.4) that Prometheus, VictoriaMetrics
+// and friends scrape.
+//
+// Output is deterministic: families appear in registration order,
+// children within a family in sorted label order — so tests can assert
+// on scrapes and diffs between scrapes are stable.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+}
+
+type family struct {
+	name, help, typ string
+
+	// Exactly one of the following is populated. gauge doubles as the
+	// sampler for counter-typed families registered via CounterFunc.
+	counter   *Counter
+	counters  *CounterVec
+	gauge     func() float64
+	histogram *HistogramVec
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.families {
+		if have.name == f.name {
+			panic(fmt.Sprintf("serving: metric %q registered twice", f.name))
+		}
+	}
+	r.families = append(r.families, f)
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters never go down).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers and returns a single counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, children: make(map[string]*Counter)}
+	r.register(&family{name: name, help: help, typ: "counter", counters: v})
+	return v
+}
+
+// With returns (creating on first use) the child counter for the given
+// label values, which must match the registered label names in count
+// and order.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("serving: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// GaugeFunc registers a gauge whose value is sampled by calling f at
+// scrape time — the natural shape for values owned elsewhere (queue
+// depth, active jobs, cache hit rate).
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(&family{name: name, help: help, typ: "gauge", gauge: f})
+}
+
+// CounterFunc registers a counter whose value is sampled by calling f
+// at scrape time — for monotonic totals owned elsewhere (the engine's
+// execution counters, the store's hit/miss statistics).
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.register(&family{name: name, help: help, typ: "counter", gauge: f})
+}
+
+// HistogramVec is a family of fixed-bucket histograms distinguished by
+// label values. Buckets are upper bounds in ascending order; the +Inf
+// bucket is implicit.
+type HistogramVec struct {
+	labels   []string
+	buckets  []float64
+	mu       sync.Mutex
+	children map[string]*histogram
+}
+
+type histogram struct {
+	mu     sync.Mutex
+	counts []int64 // one per bucket, cumulative only at render time
+	count  int64
+	sum    float64
+}
+
+// DefaultLatencyBuckets covers the server's realistic latency range:
+// sub-millisecond cache hits through multi-minute cold sweeps.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.005, 0.025, 0.1, 0.25, 1, 2.5, 10, 30, 60, 120,
+}
+
+// HistogramVec registers a histogram family with the given upper-bound
+// buckets (ascending) and label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("serving: histogram %q buckets not ascending", name))
+		}
+	}
+	v := &HistogramVec{
+		labels:   labels,
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*histogram),
+	}
+	r.register(&family{name: name, help: help, typ: "histogram", histogram: v})
+	return v
+}
+
+// Observe records one observation (in the metric's unit — the server
+// uses seconds) for the given label values.
+func (v *HistogramVec) Observe(value float64, labelValues ...string) {
+	if len(labelValues) != len(v.labels) {
+		panic(fmt.Sprintf("serving: %d label values for %d labels", len(labelValues), len(v.labels)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	v.mu.Lock()
+	h, ok := v.children[key]
+	if !ok {
+		h = &histogram{counts: make([]int64, len(v.buckets))}
+		v.children[key] = h
+	}
+	v.mu.Unlock()
+
+	h.mu.Lock()
+	for i, ub := range v.buckets {
+		if value <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.count++
+	h.sum += value
+	h.mu.Unlock()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func labelPairs(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(names)+len(extra)/2)
+	for i, n := range names {
+		parts = append(parts, n+`="`+escapeLabel(values[i])+`"`)
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, extra[i]+`="`+escapeLabel(extra[i+1])+`"`)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// sortedKeys returns the children keys in deterministic order.
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.counter.Value())
+		case f.counters != nil:
+			v := f.counters
+			v.mu.Lock()
+			for _, key := range sortedKeys(v.children) {
+				values := strings.Split(key, "\x00")
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelPairs(v.labels, values), v.children[key].Value())
+			}
+			v.mu.Unlock()
+		case f.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gauge()))
+		case f.histogram != nil:
+			v := f.histogram
+			v.mu.Lock()
+			keys := sortedKeys(v.children)
+			children := make(map[string]*histogram, len(keys))
+			for k, h := range v.children {
+				children[k] = h
+			}
+			v.mu.Unlock()
+			for _, key := range keys {
+				values := strings.Split(key, "\x00")
+				h := children[key]
+				h.mu.Lock()
+				cum := int64(0)
+				for i, ub := range v.buckets {
+					cum += h.counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelPairs(v.labels, values, "le", formatFloat(ub)), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelPairs(v.labels, values, "le", "+Inf"), h.count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelPairs(v.labels, values), formatFloat(h.sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelPairs(v.labels, values), h.count)
+				h.mu.Unlock()
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

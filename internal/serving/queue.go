@@ -1,0 +1,94 @@
+// Package serving is the production armor of the bccd server: bounded
+// admission (queue.go), per-client token-bucket rate limiting
+// (limiter.go), and a stdlib-only Prometheus text-format metrics
+// registry (metrics.go). It is deliberately independent of net/http —
+// the server wires these primitives to endpoints — so each piece is
+// testable in isolation and reusable by other frontends.
+package serving
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission errors. ErrFull maps to 429 (the client should retry after
+// a backoff); ErrDraining maps to 503 (this instance is going away —
+// retry against another).
+var (
+	ErrFull     = errors.New("serving: admission queue full")
+	ErrDraining = errors.New("serving: draining, not admitting new work")
+)
+
+// Queue is a bounded admission gate: at most Capacity units of heavy
+// work (async jobs, synchronous report/sweep computations) are admitted
+// at once, and Close flips it into drain mode where nothing new is
+// admitted at all. It is a counting semaphore, not a waiting queue —
+// admission is instantaneous or refused, because a simulation server
+// that parks requests behind long-running sweeps would time them out
+// anyway; the client's retry is the wait.
+type Queue struct {
+	mu       sync.Mutex
+	capacity int
+	held     int
+	closed   bool
+}
+
+// NewQueue builds an admission queue admitting capacity concurrent
+// units; capacity < 1 is treated as 1.
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{capacity: capacity}
+}
+
+// Acquire admits one unit of work, returning the release function the
+// caller must invoke exactly once when the work finishes. It never
+// blocks: a full queue returns ErrFull, a closed (draining) queue
+// returns ErrDraining.
+func (q *Queue) Acquire() (release func(), err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrDraining
+	}
+	if q.held >= q.capacity {
+		return nil, ErrFull
+	}
+	q.held++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			q.mu.Lock()
+			q.held--
+			q.mu.Unlock()
+		})
+	}, nil
+}
+
+// Close flips the queue into drain mode: every subsequent Acquire
+// returns ErrDraining. Work already admitted keeps its slot until
+// released. Closing twice is harmless.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+}
+
+// Closed reports whether the queue is draining.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Depth returns the number of currently admitted units — the queue
+// depth gauge /metrics exports.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.held
+}
+
+// Capacity returns the admission limit.
+func (q *Queue) Capacity() int { return q.capacity }

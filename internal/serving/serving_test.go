@@ -1,0 +1,194 @@
+package serving
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueAdmitsUpToCapacity(t *testing.T) {
+	q := NewQueue(2)
+	rel1, err := q.Acquire()
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	rel2, err := q.Acquire()
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := q.Depth(); got != 2 {
+		t.Fatalf("depth = %d, want 2", got)
+	}
+	if _, err := q.Acquire(); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-capacity acquire: err = %v, want ErrFull", err)
+	}
+	rel1()
+	if _, err := q.Acquire(); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	// Double release must not free a second slot.
+	rel2()
+	rel2()
+	if got := q.Depth(); got != 1 {
+		t.Fatalf("depth after double release = %d, want 1", got)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue(4)
+	rel, err := q.Acquire()
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	q.Close()
+	if _, err := q.Acquire(); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire after close: err = %v, want ErrDraining", err)
+	}
+	if !q.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	// Admitted work still releases cleanly after close.
+	rel()
+	if got := q.Depth(); got != 0 {
+		t.Fatalf("depth after drain = %d, want 0", got)
+	}
+}
+
+func TestQueueConcurrentAcquire(t *testing.T) {
+	const capacity, goroutines = 8, 64
+	q := NewQueue(capacity)
+	var admitted, full int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := q.Acquire()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				full++
+				return
+			}
+			admitted++
+			_ = rel // held until the end: admission must cap at capacity
+		}()
+	}
+	wg.Wait()
+	if admitted != capacity || full != goroutines-capacity {
+		t.Fatalf("admitted %d / refused %d, want %d / %d", admitted, full, capacity, goroutines-capacity)
+	}
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l := NewLimiter(1, 3) // 1 rps, burst 3
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if !l.Allow("c") {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	if l.Allow("c") {
+		t.Fatal("request beyond burst allowed")
+	}
+	if ra := l.RetryAfter("c"); ra != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", ra)
+	}
+	now = now.Add(1500 * time.Millisecond) // refills 1.5 tokens
+	if !l.Allow("c") {
+		t.Fatal("request after refill refused")
+	}
+	if l.Allow("c") {
+		t.Fatal("second request after partial refill allowed")
+	}
+	// Distinct clients have independent buckets.
+	if !l.Allow("other") {
+		t.Fatal("fresh client refused")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(0, 1)
+	for i := 0; i < 100; i++ {
+		if !l.Allow("c") {
+			t.Fatal("disabled limiter refused")
+		}
+	}
+	if ra := l.RetryAfter("c"); ra != 0 {
+		t.Fatalf("RetryAfter on disabled limiter = %v, want 0", ra)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs submitted.")
+	c.Add(3)
+	vec := r.CounterVec("requests_total", "Requests by endpoint.", "endpoint", "code")
+	vec.With("/v1/report", "200").Add(2)
+	vec.With("/v1/jobs", "429").Inc()
+	r.GaugeFunc("queue_depth", "Admitted units.", func() float64 { return 1.5 })
+	h := r.HistogramVec("latency_seconds", "Latency.", []float64{0.1, 1}, "endpoint")
+	h.Observe(0.05, "/v1/report")
+	h.Observe(0.5, "/v1/report")
+	h.Observe(5, "/v1/report")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		`requests_total{endpoint="/v1/jobs",code="429"} 1`,
+		`requests_total{endpoint="/v1/report",code="200"} 2`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 1.5",
+		`latency_seconds_bucket{endpoint="/v1/report",le="0.1"} 1`,
+		`latency_seconds_bucket{endpoint="/v1/report",le="1"} 2`,
+		`latency_seconds_bucket{endpoint="/v1/report",le="+Inf"} 3`,
+		`latency_seconds_sum{endpoint="/v1/report"} 5.55`,
+		`latency_seconds_count{endpoint="/v1/report"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Scrapes must be deterministic.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("two scrapes of unchanged registry differ")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x_total", "again")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("m_total", "m", "path")
+	vec.With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `m_total{path="a\"b\\c\n"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped output missing %q:\n%s", want, b.String())
+	}
+}

@@ -1,0 +1,102 @@
+package bcclique_test
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"bcclique/internal/engine"
+	"bcclique/internal/serving"
+)
+
+// Serving benchmarks (BENCH_serving.json baseline): the per-request
+// overhead of the serving armor — admission, rate limiting, metrics
+// recording, the /metrics scrape, and the job-table round trip. These
+// sit on every bccd request, so their cost (and especially their
+// allocation count, which CI gates) must stay flat as the server grows.
+
+// BenchmarkServingQueueAcquireRelease measures one admission
+// acquire/release pair — the bounded-queue cost every heavy request
+// pays.
+func BenchmarkServingQueueAcquireRelease(b *testing.B) {
+	q := serving.NewQueue(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		release, err := q.Acquire()
+		if err != nil {
+			b.Fatal(err)
+		}
+		release()
+	}
+}
+
+// BenchmarkServingLimiterAllow measures one token-bucket check for an
+// established client.
+func BenchmarkServingLimiterAllow(b *testing.B) {
+	l := serving.NewLimiter(1e9, 1<<30) // never refuses: measure the bookkeeping
+	l.Allow("client")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !l.Allow("client") {
+			b.Fatal("limiter refused under an effectively infinite rate")
+		}
+	}
+}
+
+// BenchmarkServingMetricsRecord measures the per-request metrics write:
+// one labeled counter increment plus one latency observation.
+func BenchmarkServingMetricsRecord(b *testing.B) {
+	r := serving.NewRegistry()
+	requests := r.CounterVec("requests_total", "requests", "endpoint", "code")
+	latency := r.HistogramVec("latency_seconds", "latency", serving.DefaultLatencyBuckets, "endpoint")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		requests.With("/v1/report", "200").Inc()
+		latency.Observe(0.004, "/v1/report")
+	}
+}
+
+// BenchmarkServingMetricsScrape measures one /metrics render over a
+// registry shaped like bccd's: a labeled request counter, a latency
+// histogram, and a handful of gauges.
+func BenchmarkServingMetricsScrape(b *testing.B) {
+	r := serving.NewRegistry()
+	requests := r.CounterVec("requests_total", "requests", "endpoint", "code")
+	latency := r.HistogramVec("latency_seconds", "latency", serving.DefaultLatencyBuckets, "endpoint")
+	for _, ep := range []string{"/v1/jobs", "/v1/report", "/v1/sweeps", "/healthz", "/metrics"} {
+		requests.With(ep, "200").Add(100)
+		latency.Observe(0.004, ep)
+	}
+	requests.With("/v1/jobs", "429").Add(3)
+	for _, g := range []string{"queue_depth", "queue_capacity", "jobs_inflight", "ready", "cache_hit_rate"} {
+		r.GaugeFunc(g, g, func() float64 { return 1 })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingJobRoundtrip measures the job-table overhead of one
+// submitted job from Submit to its terminal snapshot — the async path's
+// serving cost with a free spec, so the engine's own work is excluded.
+func BenchmarkServingJobRoundtrip(b *testing.B) {
+	spec := engine.Spec{ID: "J01", Title: "noop", PaperRef: "-",
+		Run: func(context.Context, engine.Config, engine.Params) (*engine.Result, error) {
+			return &engine.Result{Claim: "c", Finding: "f"}, nil
+		}}
+	eng := engine.New([]engine.Spec{spec})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := eng.Submit(ctx, engine.Config{Seed: int64(i)}, []string{"J01"})
+		if _, err := eng.WaitJob(ctx, job.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
