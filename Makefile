@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race check bench bench-json bench-sweeps bench-scale bench-bitplane bench-serving bench-compare report serve serve-race load-smoke smoke-examples sweep sweep-smoke sweep-large sweep-xl fmt vet
+.PHONY: build test race check bench bench-json bench-sweeps bench-scale bench-bitplane bench-serving bench-memory bench-compare report serve serve-race load-smoke smoke-examples sweep sweep-smoke sweep-large sweep-xl sweep-xxl fmt vet lint staticcheck
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,23 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test
+# Stdlib-only shadowing lint: declarations must not take over builtin
+# function names (the `cap := grid.SizeCaps[k]` class of bug).
+lint:
+	$(GO) run ./cmd/lintshadow .
+
+# staticcheck covers the wider shadowing/correctness class. The binary
+# is not vendored; where it is absent (offline dev containers) the
+# target degrades to a notice, and CI installs it so regressions fail
+# the build there.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+check: fmt vet lint staticcheck build test
 
 # Build and run every example binary; examples must not silently rot.
 smoke-examples:
@@ -64,6 +80,13 @@ bench-bitplane:
 bench-serving:
 	$(GO) test -bench 'BenchmarkServing' -benchmem -benchtime 100x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Serving' -out BENCH_serving.json
 
+# Record the memory-footprint baseline: bytes/op per protocol×size cell
+# through the no-transcript sweep path (BENCH_memory.json). These are
+# the numbers the shared-substrate split is accountable to — B/op is
+# machine-independent, so CI gates on it with -bytes.
+bench-memory:
+	$(GO) test -bench 'BenchmarkMemory' -benchmem -benchtime 2x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Memory' -out BENCH_memory.json
+
 # Regression gate: re-measure the Scale and Bitplane groups into fresh
 # baselines and compare against the checked-in ones. Exits non-zero on
 # a >25% ns/op or allocs/op regression. COMPARE_FLAGS=-allocs-only
@@ -77,6 +100,8 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -compare -tolerance 25 $(COMPARE_FLAGS) BENCH_bitplane.json /tmp/bench_bitplane_fresh.json
 	$(GO) test -bench 'BenchmarkServing' -benchmem -benchtime 100x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Serving' -out /tmp/bench_serving_fresh.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 25 $(COMPARE_FLAGS) BENCH_serving.json /tmp/bench_serving_fresh.json
+	$(GO) test -bench 'BenchmarkMemory' -benchmem -benchtime 2x -run '^$$' . | $(GO) run ./cmd/benchjson -match '^Memory' -out /tmp/bench_memory_fresh.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 25 $(COMPARE_FLAGS) -bytes BENCH_memory.json /tmp/bench_memory_fresh.json
 
 # Regenerate the full experiment report.
 report:
@@ -92,13 +117,24 @@ sweep:
 sweep-large:
 	$(GO) run ./cmd/experiments -sweep E17 -sizes 16,32,64,128,256,512,1024,2048,4096
 
-# The full ladders to n = 8192 — both grids, so the E18 stress rows
-# (flood-b1 is its promise-free control) are reproducible too. Only
-# the bit-plane flood-b1 climbs the top rung (one 8192-vertex flood
-# run is ~40 s of word-packed simulation; a seeds×families tier is
-# minutes of compute — the declared SizeCaps keep every other protocol
-# at its honest ceiling).
+# The ladders to n = 8192 — both grids, so the E18 stress rows
+# (flood-b1 is its promise-free control) are reproducible too. With
+# shared substrates, flood-b1, boruvka and kt0-exchange all climb the
+# 8192 rung (one 8192-vertex flood run is ~40 s of word-packed
+# simulation; a seeds×families tier is minutes of compute). For the
+# full declared ladders to 32768, see sweep-xxl.
 sweep-xl:
+	$(GO) run ./cmd/experiments -sweep E17 -sizes 16,32,64,128,256,512,1024,2048,4096,8192
+	$(GO) run ./cmd/experiments -sweep E18 -sizes 16,32,64,256,1024,4096,8192
+
+# The full ladders to n = 32768 — both grids at every declared size,
+# with each protocol stopping at its SizeCap (flood-b1 32768, boruvka
+# 16384, kt0-exchange 8192, sketch 2048). Shared per-cell substrates
+# keep the top rungs inside single-digit GB; expect the top flood-b1
+# cells to dominate (a 32768-vertex bit-plane seed is minutes of
+# simulation on one core, and a seeds×families tier multiplies that).
+# Budget hours for a cold cache; re-runs only pay for missing cells.
+sweep-xxl:
 	$(GO) run ./cmd/experiments -sweep E17
 	$(GO) run ./cmd/experiments -sweep E18
 

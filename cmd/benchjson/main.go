@@ -14,7 +14,8 @@
 //
 // -compare old.json new.json switches to regression mode: the two
 // baseline files are matched by benchmark name and the command exits
-// non-zero if any shared benchmark regressed in ns/op or allocs/op by
+// non-zero if any shared benchmark regressed in ns/op or allocs/op —
+// plus B/op with -bytes, the gate the memory baselines use — by
 // more than -tolerance percent. Benchmarks present in only one file are
 // reported but never fail the comparison (a new benchmark is not a
 // regression). CI runs this against the checked-in baselines.
@@ -71,13 +72,14 @@ func run() error {
 	compare := flag.Bool("compare", false, "regression mode: compare two baseline files given as positional args (old.json new.json)")
 	tolerance := flag.Float64("tolerance", 25, "allowed regression in percent for -compare (ns/op and allocs/op)")
 	allocsOnly := flag.Bool("allocs-only", false, "with -compare, gate only on allocs/op (ns/op is still reported) — for cross-machine comparisons where wall time is not comparable")
+	bytesGate := flag.Bool("bytes", false, "with -compare, additionally gate on B/op — machine-independent like allocs/op, the gate for memory-footprint baselines")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
 			return fmt.Errorf("-compare needs exactly two positional files: old.json new.json")
 		}
-		return runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *allocsOnly)
+		return runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *allocsOnly, *bytesGate)
 	}
 	if flag.NArg() != 0 {
 		return fmt.Errorf("positional arguments only apply to -compare (got %q)", flag.Args())
@@ -162,7 +164,7 @@ func loadReport(path string) (*Report, error) {
 // runs of the same machine; cross-machine gates (CI against a
 // checked-in baseline) pass allocsOnly so the machine-independent
 // allocation counts gate and wall time is report-only.
-func runCompare(oldPath, newPath string, tolerance float64, allocsOnly bool) error {
+func runCompare(oldPath, newPath string, tolerance float64, allocsOnly, bytesGate bool) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return err
@@ -197,13 +199,14 @@ func runCompare(oldPath, newPath string, tolerance float64, allocsOnly bool) err
 		}
 		nsDelta := pct(ob.NsPerOp, nb.NsPerOp)
 		allocDelta := pct(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
+		bytesDelta := pct(float64(ob.BytesPerOp), float64(nb.BytesPerOp))
 		status := "OK    "
-		if (!allocsOnly && nsDelta > tolerance) || allocDelta > tolerance {
+		if (!allocsOnly && nsDelta > tolerance) || allocDelta > tolerance || (bytesGate && bytesDelta > tolerance) {
 			status = "REGR  "
 			regressions++
 		}
-		fmt.Printf("%s%-40s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8d -> %8d (%+6.1f%%)\n",
-			status, nb.Name, ob.NsPerOp, nb.NsPerOp, nsDelta, ob.AllocsPerOp, nb.AllocsPerOp, allocDelta)
+		fmt.Printf("%s%-40s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8d -> %8d (%+6.1f%%)  B/op %12d -> %12d (%+6.1f%%)\n",
+			status, nb.Name, ob.NsPerOp, nb.NsPerOp, nsDelta, ob.AllocsPerOp, nb.AllocsPerOp, allocDelta, ob.BytesPerOp, nb.BytesPerOp, bytesDelta)
 	}
 	for _, ob := range oldRep.Benchmarks {
 		if !seen[ob.Name] {

@@ -37,7 +37,7 @@ func TestCompareTolerance(t *testing.T) {
 		{Name: "B", NsPerOp: 500, AllocsPerOp: 10},   // improvement
 		{Name: "New", NsPerOp: 99999, AllocsPerOp: 9},
 	})
-	if err := runCompare(old, within, 25, false); err != nil {
+	if err := runCompare(old, within, 25, false, false); err != nil {
 		t.Errorf("within-tolerance comparison failed: %v", err)
 	}
 
@@ -45,7 +45,7 @@ func TestCompareTolerance(t *testing.T) {
 		{Name: "A", NsPerOp: 1300, AllocsPerOp: 100}, // +30% ns/op
 		{Name: "B", NsPerOp: 1000, AllocsPerOp: 100},
 	})
-	if err := runCompare(old, nsRegressed, 25, false); err == nil {
+	if err := runCompare(old, nsRegressed, 25, false, false); err == nil {
 		t.Error("a +30%% ns/op regression passed at 25%% tolerance")
 	}
 
@@ -53,11 +53,11 @@ func TestCompareTolerance(t *testing.T) {
 		{Name: "A", NsPerOp: 1000, AllocsPerOp: 140}, // +40% allocs/op
 		{Name: "B", NsPerOp: 1000, AllocsPerOp: 100},
 	})
-	if err := runCompare(old, allocRegressed, 25, false); err == nil {
+	if err := runCompare(old, allocRegressed, 25, false, false); err == nil {
 		t.Error("a +40%% allocs/op regression passed at 25%% tolerance")
 	}
 	// The same regression passes at a looser tolerance.
-	if err := runCompare(old, allocRegressed, 50, false); err != nil {
+	if err := runCompare(old, allocRegressed, 50, false, false); err != nil {
 		t.Errorf("a +40%% regression failed at 50%% tolerance: %v", err)
 	}
 }
@@ -71,13 +71,13 @@ func TestCompareRejectsEmptyBaselines(t *testing.T) {
 	if err := os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCompare(ok, empty, 25, false); err == nil {
+	if err := runCompare(ok, empty, 25, false, false); err == nil {
 		t.Error("empty new baseline passed")
 	}
-	if err := runCompare(empty, ok, 25, false); err == nil {
+	if err := runCompare(empty, ok, 25, false, false); err == nil {
 		t.Error("empty old baseline passed")
 	}
-	if err := runCompare(ok, filepath.Join(dir, "missing.json"), 25, false); err == nil {
+	if err := runCompare(ok, filepath.Join(dir, "missing.json"), 25, false, false); err == nil {
 		t.Error("missing baseline passed")
 	}
 }
@@ -93,13 +93,13 @@ func TestCompareZeroBaseline(t *testing.T) {
 	broken := writeBaseline(t, dir, "broken.json", []Benchmark{
 		{Name: "ZeroAlloc", NsPerOp: 1000, AllocsPerOp: 10000},
 	})
-	if err := runCompare(old, broken, 1000, false); err == nil {
+	if err := runCompare(old, broken, 1000, false, false); err == nil {
 		t.Error("0 -> 10000 allocs/op passed the gate")
 	}
 	still := writeBaseline(t, dir, "still.json", []Benchmark{
 		{Name: "ZeroAlloc", NsPerOp: 1100, AllocsPerOp: 0},
 	})
-	if err := runCompare(old, still, 25, false); err != nil {
+	if err := runCompare(old, still, 25, false, false); err != nil {
 		t.Errorf("0 -> 0 allocs/op failed the gate: %v", err)
 	}
 }
@@ -114,16 +114,41 @@ func TestCompareAllocsOnly(t *testing.T) {
 	slowSameAllocs := writeBaseline(t, dir, "slow.json", []Benchmark{
 		{Name: "A", NsPerOp: 9000, AllocsPerOp: 100}, // 9× wall, other machine
 	})
-	if err := runCompare(old, slowSameAllocs, 25, true); err != nil {
+	if err := runCompare(old, slowSameAllocs, 25, true, false); err != nil {
 		t.Errorf("allocs-only mode gated on ns/op drift: %v", err)
 	}
-	if err := runCompare(old, slowSameAllocs, 25, false); err == nil {
+	if err := runCompare(old, slowSameAllocs, 25, false, false); err == nil {
 		t.Error("full mode ignored a 9× ns/op regression")
 	}
 	moreAllocs := writeBaseline(t, dir, "allocs.json", []Benchmark{
 		{Name: "A", NsPerOp: 1000, AllocsPerOp: 200},
 	})
-	if err := runCompare(old, moreAllocs, 25, true); err == nil {
+	if err := runCompare(old, moreAllocs, 25, true, false); err == nil {
 		t.Error("allocs-only mode passed a 2× allocs/op regression")
+	}
+}
+
+// TestCompareBytesGate pins the memory-baseline mode: B/op regressions
+// gate only under -bytes (they are machine-independent, like allocs/op,
+// but only the memory baselines declare a bytes contract).
+func TestCompareBytesGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", []Benchmark{
+		{Name: "M", NsPerOp: 1000, BytesPerOp: 1 << 20, AllocsPerOp: 100},
+	})
+	moreBytes := writeBaseline(t, dir, "bytes.json", []Benchmark{
+		{Name: "M", NsPerOp: 1000, BytesPerOp: 4 << 20, AllocsPerOp: 100},
+	})
+	if err := runCompare(old, moreBytes, 25, false, false); err != nil {
+		t.Errorf("default mode gated on B/op: %v", err)
+	}
+	if err := runCompare(old, moreBytes, 25, false, true); err == nil {
+		t.Error("-bytes mode passed a 4x B/op regression")
+	}
+	fewerBytes := writeBaseline(t, dir, "fewer.json", []Benchmark{
+		{Name: "M", NsPerOp: 1000, BytesPerOp: 1 << 18, AllocsPerOp: 100},
+	})
+	if err := runCompare(old, fewerBytes, 25, false, true); err != nil {
+		t.Errorf("-bytes mode gated on a B/op improvement: %v", err)
 	}
 }

@@ -1,0 +1,140 @@
+// Command lintshadow flags declarations that shadow Go's builtin
+// functions (min, max, cap, len, copy, ...). Shadowing one inside a
+// scope that also wants the builtin is a whole class of silent bugs —
+// `cap := grid.SizeCaps[k]` turning a later `cap(buf)` into a compile
+// error at best, a miscomputation after a refactor at worst. staticcheck
+// catches some of this, but is an external tool; this check is stdlib-
+// only, so `make check` enforces it everywhere the repo builds.
+//
+// Usage: lintshadow [dir ...] (default "."). Walks every *.go file
+// under the given directories, skipping testdata and hidden
+// directories. Exits 1 listing offending file:line positions.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// builtinFuncs are the predeclared functions whose names a declaration
+// must not take over. Predeclared types (string, int, ...) are left
+// alone: shadowing those is unidiomatic but does not silently change
+// call sites.
+var builtinFuncs = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"complex": true, "copy": true, "delete": true, "imag": true,
+	"len": true, "make": true, "max": true, "min": true, "new": true,
+	"panic": true, "print": true, "println": true, "real": true,
+	"recover": true,
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			n, err := checkFile(path)
+			if err != nil {
+				return err
+			}
+			bad += n
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintshadow:", err)
+			os.Exit(2)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintshadow: %d declaration(s) shadow builtin functions\n", bad)
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string) (int, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	flag := func(id *ast.Ident) {
+		if id != nil && builtinFuncs[id.Name] {
+			fmt.Printf("%s: %q shadows the builtin function\n", fset.Position(id.Pos()), id.Name)
+			bad++
+		}
+	}
+	flagFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				flag(name)
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						flag(id)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				flag(name)
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					flag(id)
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					flag(id)
+				}
+			}
+		case *ast.FuncDecl:
+			if n.Recv == nil {
+				// Methods are exempt: sg.close() is a selector, not a
+				// shadowed call site.
+				flag(n.Name)
+			}
+			flagFields(n.Recv)
+			flagFields(n.Type.Params)
+			flagFields(n.Type.Results)
+		case *ast.FuncLit:
+			flagFields(n.Type.Params)
+			flagFields(n.Type.Results)
+		case *ast.TypeSpec:
+			flag(n.Name)
+		}
+		return true
+	})
+	return bad, nil
+}

@@ -106,7 +106,7 @@ func printBell(n int, asJSON bool) error {
 // by ','.
 func parsePartition(s string) (partition.Partition, int, error) {
 	var blocks [][]int
-	max := -1
+	top := -1
 	for _, blockStr := range strings.Split(s, "|") {
 		var block []int
 		for _, el := range strings.Split(blockStr, ",") {
@@ -119,16 +119,16 @@ func parsePartition(s string) (partition.Partition, int, error) {
 				return partition.Partition{}, 0, fmt.Errorf("element %q: %w", el, err)
 			}
 			block = append(block, x)
-			if x > max {
-				max = x
+			if x > top {
+				top = x
 			}
 		}
 		if len(block) > 0 {
 			blocks = append(blocks, block)
 		}
 	}
-	p, err := partition.FromBlocks(max+1, blocks)
-	return p, max + 1, err
+	p, err := partition.FromBlocks(top+1, blocks)
+	return p, top + 1, err
 }
 
 func printJoin(a, b string, asJSON bool) error {

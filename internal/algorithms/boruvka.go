@@ -2,6 +2,8 @@ package algorithms
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"bcclique/internal/bcc"
 	"bcclique/internal/dsu"
@@ -16,6 +18,18 @@ import (
 // round each — the classic O(log n) connectivity algorithm for arbitrary
 // input graphs in the b = Θ(log n) regime discussed in Section 5
 // (Question 1 contrasts it with the BCC(1) bounds).
+//
+// The replayed merge state is a deterministic function of the broadcast
+// transcript, which every replica hears identically — so under the
+// runner's RunBinder protocol the n per-replica union-find replicas
+// collapse into one run-shared mirror (boruvkaRun): the first replica to
+// receive a round applies its merges once, and every replica's Send
+// reads the resulting label array. Per-replica residue shrinks to the
+// vertex's own rank and its input-neighbour ranks. Bare NewNode (no
+// BindRun) gives each node a private mirror, which is exactly the old
+// per-replica semantics — the form transcript verification and the
+// two-party reductions rely on when they feed a single node forged
+// broadcasts.
 type Boruvka struct {
 	// IDBits is the width used to encode IDs inside messages.
 	IDBits int
@@ -39,124 +53,231 @@ func (a *Boruvka) Bandwidth() int { return 3*a.IDBits + 1 }
 // Rounds implements bcc.Algorithm: components at least halve per phase.
 func (a *Boruvka) Rounds(n int) int { return bitsFor(n) + 1 }
 
-// NewNode implements bcc.Algorithm.
-func (a *Boruvka) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
-	node := &boruvkaNode{idBits: a.IDBits}
-	if view.Knowledge != bcc.KT1 || view.AllIDs == nil {
+// boruvkaRunPool recycles the run-shared mirrors (and their node/label
+// arenas) across the thousands of runs of a sweep grid.
+var boruvkaRunPool = sync.Pool{New: func() interface{} { return new(boruvkaRun) }}
+
+// BindRun implements bcc.RunBinder: one shared merge mirror per run.
+func (a *Boruvka) BindRun(in *bcc.Instance, _ int) bcc.Algorithm {
+	r := boruvkaRunPool.Get().(*boruvkaRun)
+	r.Boruvka = a
+	r.pooled = true
+	r.appliedRound.Store(0)
+	r.labelDirty = false
+	r.nextNode = 0
+	r.nodes = r.nodes[:0]
+	r.nbrs = r.nbrs[:0]
+	if ids := in.SortedIDs(); ids != nil {
+		nn := len(ids)
+		r.ix = newIndexer(ids)
+		if r.comp == nil {
+			r.comp = dsu.NewCompact(nn)
+		} else {
+			r.comp.Reset(nn)
+		}
+		if cap(r.labels) < nn {
+			r.labels = make([]int32, nn)
+		}
+		r.labels = r.labels[:nn]
+		for v := range r.labels {
+			r.labels[v] = int32(v) // singleton components label themselves
+		}
+		if cap(r.nodes) < nn {
+			r.nodes = make([]boruvkaNode, nn)
+		}
+		r.nodes = r.nodes[:nn]
+		if want := 2 * in.Input().M(); cap(r.nbrs) < want {
+			r.nbrs = make([]int32, 0, want)
+		}
+	} else {
+		r.ix = nil
+	}
+	return r
+}
+
+// boruvkaRun is the run-shared substrate plus broadcast mirror: the
+// frozen ID indexer and one union-find replica standing in for all n.
+// labels[v] is the rank of the smallest member of v's component, kept
+// current eagerly at the end of every apply so Send never touches the
+// union-find (Find mutates paths; Send runs concurrently across
+// shards).
+type boruvkaRun struct {
+	*Boruvka
+	ix         *indexer
+	comp       *dsu.Compact
+	labels     []int32
+	labelDirty bool
+	// appliedRound gates the once-per-round apply: the first replica to
+	// receive round t wins the CAS t-1 → t and replays the round's
+	// merges; the rest return without touching shared state.
+	appliedRound atomic.Int64
+	nodes        []boruvkaNode // residue arena handed out by NewNode
+	nextNode     int
+	nbrs         []int32 // neighbour-rank arena backing every node's residue
+	pooled       bool
+}
+
+// NewNode implements bcc.Algorithm for both binding modes: pooled
+// arena-backed nodes under BindRun, heap nodes for private runs.
+func (r *boruvkaRun) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
+	var node *boruvkaNode
+	if r.nextNode < len(r.nodes) {
+		node = &r.nodes[r.nextNode]
+		r.nextNode++
+		*node = boruvkaNode{}
+	} else {
+		node = &boruvkaNode{}
+	}
+	node.run = r
+	if r.ix == nil || view.Knowledge != bcc.KT1 || view.AllIDs == nil || view.ID >= 1<<uint(r.IDBits) {
 		node.broken = true
 		return node
 	}
-	node.ix = newIndexer(view.AllIDs)
-	node.self = node.ix.rank(view.ID)
-	node.comp = dsu.New(node.ix.n())
-	node.portRank = make([]int, view.NumPorts)
-	for p := 0; p < view.NumPorts; p++ {
-		node.portRank[p] = node.ix.rank(view.PortIDs[p])
-	}
+	node.self = int32(r.ix.rank(view.ID))
+	start := len(r.nbrs)
 	for _, p := range view.InputPorts {
-		node.neighbours = append(node.neighbours, node.portRank[p])
+		r.nbrs = append(r.nbrs, int32(r.ix.rank(view.PortID(p))))
 	}
-	if view.ID >= 1<<uint(a.IDBits) {
-		node.broken = true
-	}
+	node.neighbours = r.nbrs[start:len(r.nbrs):len(r.nbrs)]
 	return node
 }
 
-type boruvkaNode struct {
-	idBits     int
-	ix         *indexer
-	self       int
-	neighbours []int    // input-graph neighbours (sorted-index space)
-	comp       *dsu.DSU // this node's replica of the global component state
-	portRank   []int
-	labelBuf   []int // component-label scratch (see refreshLabels)
-	labelDirty bool  // a merge happened since labelBuf was filled
-	lastSent   uint64
-	broken     bool
-}
-
-// refreshLabels fills labelBuf[v] = smallest member index of v's
-// component in one O(n·α) pass, instead of an O(n) scan per label
-// query — Send queries a label per incident edge, which made each round
-// O(n·d) per node before. Rounds in which no merge happened (the
-// converged tail of the schedule) skip the refresh entirely.
-func (n *boruvkaNode) refreshLabels() {
-	nn := n.ix.n()
-	if n.labelBuf != nil && !n.labelDirty {
+// ReleaseRun implements bcc.RunReleaser.
+func (r *boruvkaRun) ReleaseRun() {
+	if !r.pooled {
 		return
 	}
-	if n.labelBuf == nil {
-		n.labelBuf = make([]int, nn)
+	r.Boruvka = nil
+	r.ix = nil
+	boruvkaRunPool.Put(r)
+}
+
+// NewNode implements bcc.Algorithm on the bare (unbound) algorithm:
+// a private mirror per node, reproducing the classic one-replica-per-
+// vertex semantics for callers that drive nodes by hand (transcript
+// verification feeds a single node possibly-forged broadcasts; the
+// two-party reductions run their own round loop over bare nodes).
+func (a *Boruvka) NewNode(view bcc.View, coin *bcc.Coin) bcc.Node {
+	r := &boruvkaRun{Boruvka: a}
+	if view.Knowledge == bcc.KT1 && view.AllIDs != nil {
+		nn := len(view.AllIDs)
+		r.ix = newIndexer(view.AllIDs)
+		r.comp = dsu.NewCompact(nn)
+		r.labels = make([]int32, nn)
+		for v := range r.labels {
+			r.labels[v] = int32(v)
+		}
 	}
-	n.labelDirty = false
-	for v := 0; v < nn; v++ {
-		n.labelBuf[v] = -1
+	return r.NewNode(view, coin)
+}
+
+// beginApply claims round t's apply for the calling replica.
+func (r *boruvkaRun) beginApply(round int) bool {
+	return r.appliedRound.CompareAndSwap(int64(round-1), int64(round))
+}
+
+// apply replays one announced outgoing edge into the shared mirror.
+func (r *boruvkaRun) apply(bits uint64) {
+	w := uint(r.IDBits)
+	if bits>>(3*w)&1 == 0 {
+		return
 	}
-	// Ascending v: the first member to reach a root is the minimum.
+	mask := uint64(1)<<w - 1
+	from := r.ix.rank(int(bits >> w & mask))
+	to := r.ix.rank(int(bits >> (2 * w) & mask))
+	if from >= 0 && to >= 0 && r.comp.Union(from, to) {
+		r.labelDirty = true
+	}
+}
+
+// endApply refreshes labels if any merge landed, so the next Send phase
+// (and the final Label pass) reads current labels without consulting
+// the union-find. Ascending v: the first member to reach a root is the
+// minimum, one O(n·α) pass instead of an O(n) scan per label query.
+func (r *boruvkaRun) endApply() {
+	if !r.labelDirty {
+		return
+	}
+	r.labelDirty = false
+	nn := r.ix.n()
 	for v := 0; v < nn; v++ {
-		if r := n.comp.Find(v); n.labelBuf[r] == -1 {
-			n.labelBuf[r] = v
+		r.labels[v] = -1
+	}
+	for v := 0; v < nn; v++ {
+		if root := r.comp.Find(v); r.labels[root] == -1 {
+			r.labels[root] = int32(v)
 		}
 	}
 	for v := 0; v < nn; v++ {
-		n.labelBuf[v] = n.labelBuf[n.comp.Find(v)]
+		r.labels[v] = r.labels[r.comp.Find(v)]
 	}
 }
 
-// label returns the canonical label (smallest member index) of v's
-// component, valid until the next merge.
-func (n *boruvkaNode) label(v int) int { return n.labelBuf[v] }
+// boruvkaNode is the per-replica residue: the vertex's own rank, its
+// input-neighbour ranks, and its last broadcast. Everything else lives
+// in the shared run.
+type boruvkaNode struct {
+	run        *boruvkaRun
+	neighbours []int32 // input-graph neighbours (sorted-index space)
+	self       int32
+	lastSent   uint64
+	broken     bool
+}
 
 func (n *boruvkaNode) Send(int) bcc.Message {
 	if n.broken {
 		return bcc.Silence
 	}
-	n.refreshLabels()
-	myLabel := n.label(n.self)
+	r := n.run
+	myLabel := r.labels[n.self]
 	// Pick the incident edge to the smallest-labelled foreign component.
-	out := -1
+	out := int32(-1)
 	for _, u := range n.neighbours {
-		if n.comp.Same(n.self, u) {
+		if r.labels[u] == myLabel {
 			continue
 		}
-		if out == -1 || n.label(u) < n.label(out) {
+		if out == -1 || r.labels[u] < r.labels[out] {
 			out = u
 		}
 	}
-	w := uint(n.idBits)
-	bits := uint64(n.ix.id(myLabel))
+	w := uint(r.IDBits)
+	bits := uint64(r.ix.id(int(myLabel)))
 	if out >= 0 {
 		bits |= 1 << (3 * w) // validity flag
-		bits |= uint64(n.ix.id(n.self)) << w
-		bits |= uint64(n.ix.id(out)) << (2 * w)
+		bits |= uint64(r.ix.id(int(n.self))) << w
+		bits |= uint64(r.ix.id(int(out))) << (2 * w)
 	}
 	n.lastSent = bits
-	return bcc.Word(bits, 3*n.idBits+1)
+	return bcc.Word(bits, 3*r.IDBits+1)
 }
 
-func (n *boruvkaNode) Receive(_ int, inbox []bcc.Message) {
-	if n.broken {
+func (n *boruvkaNode) Receive(t int, inbox []bcc.Message) {
+	if n.broken || !n.run.beginApply(t) {
 		return
 	}
-	w := uint(n.idBits)
-	mask := uint64(1)<<w - 1
 	// Replay the global merge: every announced outgoing edge is merged.
-	// All replicas see the same broadcasts (plus their own, which is not
-	// in the inbox), so they stay identical.
-	apply := func(bits uint64) {
-		if bits>>(3*w)&1 == 0 {
-			return
-		}
-		from := n.ix.rank(int(bits >> w & mask))
-		to := n.ix.rank(int(bits >> (2 * w) & mask))
-		if from >= 0 && to >= 0 && n.comp.Union(from, to) {
-			n.labelDirty = true
-		}
-	}
-	apply(n.lastSent)
+	// The inbox omits this replica's own broadcast, so it replays its
+	// lastSent alongside. Union order differs from the classic per-
+	// replica replay, but the merged edge set — hence the partition, the
+	// labels, and the verdict — is identical.
+	n.run.apply(n.lastSent)
 	for _, m := range inbox {
-		apply(m.Bits)
+		n.run.apply(m.Bits)
 	}
+	n.run.endApply()
+}
+
+// ReceiveSends implements bcc.SendsReceiver: the raw broadcast vector
+// includes every vertex's own entry, so the winning replica replays it
+// verbatim.
+func (n *boruvkaNode) ReceiveSends(t int, sends []bcc.Message) {
+	if n.broken || !n.run.beginApply(t) {
+		return
+	}
+	for _, m := range sends {
+		n.run.apply(m.Bits)
+	}
+	n.run.endApply()
 }
 
 // Decide implements bcc.Decider.
@@ -164,23 +285,28 @@ func (n *boruvkaNode) Decide() bcc.Verdict {
 	if n.broken {
 		return bcc.VerdictNo
 	}
-	if n.comp.Sets() == 1 {
+	if n.run.comp.Sets() == 1 {
 		return bcc.VerdictYes
 	}
 	return bcc.VerdictNo
 }
 
-// Label implements bcc.Labeler.
+// Label implements bcc.Labeler. Labels are refreshed eagerly at the end
+// of every apply, so the final round's merges are already reflected.
 func (n *boruvkaNode) Label() int {
 	if n.broken {
 		return -1
 	}
-	n.refreshLabels() // the final round's merges postdate Send's refresh
-	return n.ix.id(n.label(n.self))
+	r := n.run
+	return r.ix.id(int(r.labels[n.self]))
 }
 
 var (
-	_ bcc.Algorithm = (*Boruvka)(nil)
-	_ bcc.Decider   = (*boruvkaNode)(nil)
-	_ bcc.Labeler   = (*boruvkaNode)(nil)
+	_ bcc.Algorithm     = (*Boruvka)(nil)
+	_ bcc.RunBinder     = (*Boruvka)(nil)
+	_ bcc.Algorithm     = (*boruvkaRun)(nil)
+	_ bcc.RunReleaser   = (*boruvkaRun)(nil)
+	_ bcc.Decider       = (*boruvkaNode)(nil)
+	_ bcc.Labeler       = (*boruvkaNode)(nil)
+	_ bcc.SendsReceiver = (*boruvkaNode)(nil)
 )

@@ -3,6 +3,8 @@ package algorithms
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"bcclique/internal/bcc"
 	"bcclique/internal/dsu"
@@ -16,8 +18,19 @@ import (
 //
 // At b = 1 flood is the bit plane's flagship rider: the row lives in a
 // bitset, SendBit is one shift, and ReceiveBits consumes 64 adjacency
-// claims per word by trailing-zero iteration straight into the node's
+// claims per word by trailing-zero iteration straight into the
 // incremental union-find.
+//
+// That union-find is a pure function of the broadcast transcript, so
+// under the runner's RunBinder protocol the n per-replica replicas
+// collapse into one run-shared Compact fed once per round by whichever
+// replica wins the apply — own bits included, since every vertex's own
+// claims re-arrive through its own broadcast. Per-replica residue is
+// just the vertex's own adjacency row. On a schedule that covers the
+// whole row the shared partition is every non-broken replica's
+// partition; truncated runs refine a scratch copy with the replica's
+// own full row (the part of its knowledge the broadcasts never
+// delivered). Bare NewNode keeps the classic self-contained replica.
 type Flood struct {
 	// B is the per-round bandwidth.
 	B int
@@ -44,7 +57,170 @@ func (a *Flood) Rounds(n int) int { return (n - 2 + a.B) / a.B } // ⌈(n−1)/B
 // rides the plane.
 func (a *Flood) BitPlane() bool { return a.B == 1 }
 
-// NewNode implements bcc.Algorithm.
+// floodRunPool recycles the shared union-find, the row arena, and the
+// node arena across runs.
+var floodRunPool = sync.Pool{New: func() interface{} { return new(floodRun) }}
+
+// BindRun implements bcc.RunBinder: one shared claim partition per run.
+func (a *Flood) BindRun(in *bcc.Instance, _ int) bcc.Algorithm {
+	r := floodRunPool.Get().(*floodRun)
+	r.Flood = a
+	r.in = in
+	r.pooled = true
+	r.maxRound = 0
+	r.finished = false
+	r.full = false
+	r.appliedRound.Store(0)
+	r.nextNode = 0
+	r.nodes = r.nodes[:0]
+	if ids := in.SortedIDs(); ids != nil {
+		n := len(ids)
+		r.ix = newIndexer(ids)
+		r.rowLen = n - 1
+		if r.comp == nil {
+			r.comp = dsu.NewCompact(n)
+		} else {
+			r.comp.Reset(n)
+		}
+		if cap(r.vertexRank) < n {
+			r.vertexRank = make([]int32, n)
+		}
+		r.vertexRank = r.vertexRank[:n]
+		for u := 0; u < n; u++ {
+			r.vertexRank[u] = int32(r.ix.rank(in.ID(u)))
+		}
+		if cap(r.nodes) < n {
+			r.nodes = make([]floodNode, n)
+		}
+		r.nodes = r.nodes[:n]
+		rowWords := (r.rowLen + 63) / 64
+		if cap(r.rowArena) < n*rowWords {
+			r.rowArena = make([]uint64, n*rowWords)
+		}
+		r.rowArena = r.rowArena[:n*rowWords]
+		clear(r.rowArena)
+		r.rowWords = rowWords
+	} else {
+		r.ix = nil
+	}
+	return r
+}
+
+// floodRun is the run-shared substrate: the frozen ID indexer, the
+// vertex→rank table, and one broadcast-fed union-find standing in for
+// all n replicas. The row arena backs every replica's own-row residue.
+type floodRun struct {
+	*Flood
+	in         *bcc.Instance
+	ix         *indexer
+	comp       *dsu.Compact // union of every claim heard on the broadcast channel
+	vertexRank []int32
+	rowLen     int
+	rowWords   int
+	maxRound   int
+	// appliedRound gates the once-per-round apply.
+	appliedRound atomic.Int64
+	nodes        []floodNode
+	nextNode     int
+	rowArena     []uint64
+	// Shared outputs: full reports whether the schedule covered the
+	// whole row (then comp is every replica's partition and minRank
+	// holds per-rank component labels); scratch serves the truncated
+	// per-replica refinement.
+	finished bool
+	full     bool
+	minRank  []int32
+	scratch  *dsu.Compact
+	pooled   bool
+}
+
+// NewNode implements bcc.Algorithm on the bound run.
+func (r *floodRun) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
+	var node *floodNode
+	vertex := r.nextNode
+	if vertex < len(r.nodes) {
+		node = &r.nodes[vertex]
+		r.nextNode++
+		*node = floodNode{}
+	} else {
+		node = &floodNode{}
+	}
+	node.run = r
+	node.b = r.B
+	if r.ix == nil || view.Knowledge != bcc.KT1 || view.AllIDs == nil {
+		node.broken = true
+		return node
+	}
+	node.self = int32(r.vertexRank[vertex])
+	node.rowLen = int32(r.rowLen)
+	node.rowBits = r.rowArena[vertex*r.rowWords : (vertex+1)*r.rowWords : (vertex+1)*r.rowWords]
+	for _, p := range view.InputPorts {
+		nbr := int(r.vertexRank[r.in.NeighborAt(vertex, p)])
+		pos := nbr
+		if nbr > int(node.self) {
+			pos = nbr - 1
+		}
+		node.rowBits[pos>>6] |= 1 << uint(pos&63)
+	}
+	return node
+}
+
+// ReleaseRun implements bcc.RunReleaser.
+func (r *floodRun) ReleaseRun() {
+	if !r.pooled {
+		return
+	}
+	r.Flood = nil
+	r.in = nil
+	r.ix = nil
+	floodRunPool.Put(r)
+}
+
+// beginApply claims round t's apply for the calling replica.
+func (r *floodRun) beginApply(round int) bool {
+	if !r.appliedRound.CompareAndSwap(int64(round-1), int64(round)) {
+		return false
+	}
+	r.maxRound = round
+	return true
+}
+
+// finishShared decides, once, whether the run covered every row
+// position — in which case the shared partition serves all replicas and
+// per-rank labels are computed in one pass. Callers are sequential (the
+// runner's output epilogue).
+func (r *floodRun) finishShared() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	if r.maxRound*r.B < r.rowLen {
+		return // truncated: replicas refine with their own rows
+	}
+	r.full = true
+	n := r.ix.n()
+	if cap(r.minRank) < n {
+		r.minRank = make([]int32, n)
+	}
+	r.minRank = r.minRank[:n]
+	for v := range r.minRank {
+		r.minRank[v] = -1
+	}
+	// Ascending rank order is ascending ID order: the first member to
+	// reach a root carries the component's smallest ID.
+	for v := 0; v < n; v++ {
+		if root := r.comp.Find(v); r.minRank[root] == -1 {
+			r.minRank[root] = int32(v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		r.minRank[v] = r.minRank[r.comp.Find(v)]
+	}
+}
+
+// NewNode implements bcc.Algorithm on the bare (unbound) algorithm: the
+// classic self-contained replica with its own union-find, for callers
+// that drive nodes by hand.
 func (a *Flood) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 	node := &floodNode{b: a.B}
 	if view.Knowledge != bcc.KT1 || view.AllIDs == nil {
@@ -52,32 +228,30 @@ func (a *Flood) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 		return node
 	}
 	node.ix = newIndexer(view.AllIDs)
-	node.self = node.ix.rank(view.ID)
+	node.self = int32(node.ix.rank(view.ID))
 	nn := node.ix.n()
-	node.rowLen = nn - 1
-	node.rowBits = make([]uint64, (node.rowLen+63)/64)
+	node.rowLen = int32(nn - 1)
+	node.rowBits = make([]uint64, (int(node.rowLen)+63)/64)
 	// Incrementally union every adjacency claim as its bit arrives
 	// instead of buffering heard rows: memory per node is O(n), not
 	// O(n²), and the final decision is a component count. Our own row's
-	// claims are entered up front. The int32 union-find keeps the n
-	// replicas of this state affordable at large n.
+	// claims are entered up front.
 	node.comp = dsu.NewCompact(nn)
 	for _, p := range view.InputPorts {
-		r := node.ix.rank(view.PortIDs[p])
+		nbr := node.ix.rank(view.PortID(p))
 		// row bit i covers sorted index rowTarget(self, i): the
 		// encoding skips our own index.
-		pos := r
-		if r > node.self {
-			pos = r - 1
+		pos := nbr
+		if nbr > int(node.self) {
+			pos = nbr - 1
 		}
 		node.rowBits[pos>>6] |= 1 << uint(pos&63)
-		node.comp.Union(node.self, r)
+		node.comp.Union(int(node.self), nbr)
 	}
 	// The generic Message path needs per-port speaker ranks and bit
-	// counters; they are built lazily from this alias on first Receive
-	// (and dropped entirely when the node binds to the bit plane, which
-	// delivers claims rank-indexed).
-	node.portIDs = view.PortIDs
+	// counters; they are built lazily from the view on first Receive (a
+	// plane-bound node never materializes them).
+	node.view = view
 	return node
 }
 
@@ -91,18 +265,19 @@ func rowTarget(speaker, pos int) int {
 	return pos + 1
 }
 
+// floodNode is one replica: rank, own adjacency row, and — in private
+// mode only — its own union-find and per-port generic-path state.
 type floodNode struct {
+	run     *floodRun // non-nil → run-shared mode
 	b       int
-	ix      *indexer
-	self    int
-	rowBits []uint64 // adjacency row over the n−1 encoded positions, LSB first
-	rowLen  int
-	comp    *dsu.Compact // union of every adjacency claim heard (plus our own)
+	self    int32
+	rowLen  int32
+	rowBits []uint64 // own adjacency row over the n−1 encoded positions, LSB first
 
-	// Generic-path state: portIDs aliases the view's port→ID table and
-	// seeds the lazily built portRank/got arrays. A plane-bound node
-	// never materializes them.
-	portIDs  []int
+	// Private-mode state.
+	ix       *indexer
+	comp     *dsu.Compact // union of every adjacency claim heard (plus our own)
+	view     bcc.View     // lazy port→rank source for the generic path
 	portRank []int32
 	got      []int32 // got[p] = adjacency-row bits received on port p so far
 	broken   bool
@@ -115,36 +290,63 @@ func (n *floodNode) Send(round int) bcc.Message {
 		return bcc.Silence
 	}
 	start := (round - 1) * n.b
-	if start >= n.rowLen {
+	if start >= int(n.rowLen) {
 		return bcc.Silence
 	}
 	var payload uint64
 	length := 0
-	for i := start; i < n.rowLen && length < n.b; i++ {
+	for i := start; i < int(n.rowLen) && length < n.b; i++ {
 		payload |= n.rowBit(i) << uint(length)
 		length++
 	}
 	return bcc.Word(payload, length)
 }
 
-// genericBind materializes the per-port state of the Message path.
+// genericBind materializes the per-port state of the private Message
+// path.
 func (n *floodNode) genericBind() {
 	if n.portRank != nil {
 		return
 	}
-	n.portRank = make([]int32, len(n.portIDs))
-	for p, id := range n.portIDs {
-		n.portRank[p] = int32(n.ix.rank(id))
+	n.portRank = make([]int32, n.view.NumPorts)
+	for p := 0; p < n.view.NumPorts; p++ {
+		n.portRank[p] = int32(n.ix.rank(n.view.PortID(p)))
 	}
-	n.got = make([]int32, len(n.portIDs))
+	n.got = make([]int32, n.view.NumPorts)
 }
 
-func (n *floodNode) Receive(_ int, inbox []bcc.Message) {
+func (n *floodNode) Receive(t int, inbox []bcc.Message) {
 	if n.broken {
 		return
 	}
+	if r := n.run; r != nil {
+		base := (t - 1) * n.b
+		if base >= int(n.rowLen) || !r.beginApply(t) {
+			return
+		}
+		// Transcribe the round into the shared partition: every
+		// speaker's claims, our own included — the inbox omits our
+		// broadcast, so our row segment is replayed directly.
+		for p, m := range inbox {
+			if m.Len == 0 {
+				continue
+			}
+			speaker := int(r.vertexRank[r.in.NeighborAt(int(n.self), p)])
+			n.applyClaims(speaker, m, base)
+		}
+		selfLen := int(n.rowLen) - base
+		if selfLen > n.b {
+			selfLen = n.b
+		}
+		for i := 0; i < selfLen; i++ {
+			if n.rowBit(base+i) != 0 {
+				r.comp.Union(int(n.self), rowTarget(int(n.self), base+i))
+			}
+		}
+		return
+	}
 	n.genericBind()
-	rowLen := int32(n.rowLen)
+	rowLen := n.rowLen
 	for p, m := range inbox {
 		if m.Len == 0 {
 			continue
@@ -164,6 +366,43 @@ func (n *floodNode) Receive(_ int, inbox []bcc.Message) {
 	}
 }
 
+// applyClaims unions one speaker's round-t row segment into the shared
+// partition. Every non-broken vertex follows the same schedule, so the
+// segment base is (t−1)·b for every speaker — exactly what the private
+// path's per-port got counters would read.
+func (n *floodNode) applyClaims(speaker int, m bcc.Message, base int) {
+	r := n.run
+	for i := 0; i < int(m.Len); i++ {
+		pos := base + i
+		if pos >= r.rowLen {
+			break
+		}
+		if m.BitAt(i) == 1 {
+			r.comp.Union(speaker, rowTarget(speaker, pos))
+		}
+	}
+}
+
+// ReceiveSends implements bcc.SendsReceiver: the vertex-indexed
+// broadcast vector carries every speaker's segment — own entry included
+// — so the winning replica transcribes it verbatim.
+func (n *floodNode) ReceiveSends(t int, sends []bcc.Message) {
+	r := n.run
+	if n.broken || r == nil {
+		return
+	}
+	base := (t - 1) * n.b
+	if base >= r.rowLen || !r.beginApply(t) {
+		return
+	}
+	for u, m := range sends {
+		if m.Len == 0 {
+			continue
+		}
+		n.applyClaims(int(r.vertexRank[u]), m, base)
+	}
+}
+
 // BindPlane implements bcc.BitNode. Flood's receive logic is
 // rank-indexed, so it accepts only the canonical plane, where plane
 // indices coincide with sorted-ID ranks; a materialized wiring sends
@@ -172,13 +411,9 @@ func (n *floodNode) BindPlane(self int, portTarget []int) bool {
 	if n.broken {
 		return true // inert: never speaks, ignores every round
 	}
-	if portTarget != nil || self != n.self {
+	if portTarget != nil || self != int(n.self) {
 		return false
 	}
-	// The plane delivers claims by rank; the generic per-port state is
-	// never needed, so drop the alias keeping the O(n) port→ID table
-	// alive (n such tables dominate memory at n = 8192 otherwise).
-	n.portIDs = nil
 	return true
 }
 
@@ -188,7 +423,7 @@ func (n *floodNode) SendBit(round int) (uint8, bool) {
 		return 0, false
 	}
 	pos := round - 1
-	if pos >= n.rowLen {
+	if pos >= int(n.rowLen) {
 		return 0, false
 	}
 	return uint8(n.rowBit(pos)), true
@@ -198,17 +433,32 @@ func (n *floodNode) SendBit(round int) (uint8, bool) {
 // Every non-broken flood node follows the same schedule — it speaks in
 // exactly rounds 1..n−1 — so in round t every set value bit is a claim
 // at row position t−1 (the generic path's per-port got counters all
-// read t−1 here; the equivalence suite pins this). Our own bit is
-// masked out: those claims were unioned at construction.
+// read t−1 here; the equivalence suite pins this). In shared mode the
+// winning replica transcribes the whole word array, own bit included;
+// a private replica masks its own bit out — those claims were unioned
+// at construction.
 func (n *floodNode) ReceiveBits(round int, value, _ []uint64) {
 	if n.broken {
 		return
 	}
 	pos := round - 1
-	if pos >= n.rowLen {
+	if pos >= int(n.rowLen) {
 		return
 	}
-	selfW, selfM := n.self>>6, uint64(1)<<uint(n.self&63)
+	if r := n.run; r != nil {
+		if !r.beginApply(round) {
+			return
+		}
+		for wi, w := range value {
+			for w != 0 {
+				u := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				r.comp.Union(u, rowTarget(u, pos))
+			}
+		}
+		return
+	}
+	selfW, selfM := int(n.self)>>6, uint64(1)<<uint(int(n.self)&63)
 	for wi, w := range value {
 		if wi == selfW {
 			w &^= selfM
@@ -221,12 +471,39 @@ func (n *floodNode) ReceiveBits(round int, value, _ []uint64) {
 	}
 }
 
+// finalComp returns the partition this replica decides from: its own
+// union-find in private mode; the shared partition on a full-coverage
+// bound run; a scratch refinement (shared claims plus the replica's own
+// full row) on a truncated bound run. Callers are sequential.
+func (n *floodNode) finalComp() *dsu.Compact {
+	r := n.run
+	if r == nil {
+		return n.comp
+	}
+	r.finishShared()
+	if r.full {
+		return r.comp
+	}
+	if r.scratch == nil {
+		r.scratch = dsu.NewCompact(r.ix.n())
+	}
+	r.scratch.CopyFrom(r.comp)
+	for wi, w := range n.rowBits {
+		for w != 0 {
+			pos := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			r.scratch.Union(int(n.self), rowTarget(int(n.self), pos))
+		}
+	}
+	return r.scratch
+}
+
 // Decide implements bcc.Decider.
 func (n *floodNode) Decide() bcc.Verdict {
 	if n.broken {
 		return bcc.VerdictNo
 	}
-	if n.comp.Sets() == 1 {
+	if n.finalComp().Sets() == 1 {
 		return bcc.VerdictYes
 	}
 	return bcc.VerdictNo
@@ -238,19 +515,37 @@ func (n *floodNode) Label() int {
 	if n.broken {
 		return -1
 	}
-	min := n.ix.id(n.self)
+	if r := n.run; r != nil {
+		r.finishShared()
+		if r.full {
+			return r.ix.id(int(r.minRank[n.self]))
+		}
+		sc := n.finalComp()
+		minID := r.ix.id(int(n.self))
+		for u := 0; u < r.ix.n(); u++ {
+			if sc.Same(int(n.self), u) && r.ix.id(u) < minID {
+				minID = r.ix.id(u)
+			}
+		}
+		return minID
+	}
+	minID := n.ix.id(int(n.self))
 	for u := 0; u < n.ix.n(); u++ {
-		if n.comp.Same(n.self, u) && n.ix.id(u) < min {
-			min = n.ix.id(u)
+		if n.comp.Same(int(n.self), u) && n.ix.id(u) < minID {
+			minID = n.ix.id(u)
 		}
 	}
-	return min
+	return minID
 }
 
 var (
-	_ bcc.Algorithm    = (*Flood)(nil)
-	_ bcc.BitAlgorithm = (*Flood)(nil)
-	_ bcc.Decider      = (*floodNode)(nil)
-	_ bcc.Labeler      = (*floodNode)(nil)
-	_ bcc.BitNode      = (*floodNode)(nil)
+	_ bcc.Algorithm     = (*Flood)(nil)
+	_ bcc.BitAlgorithm  = (*Flood)(nil)
+	_ bcc.RunBinder     = (*Flood)(nil)
+	_ bcc.BitAlgorithm  = (*floodRun)(nil)
+	_ bcc.RunReleaser   = (*floodRun)(nil)
+	_ bcc.Decider       = (*floodNode)(nil)
+	_ bcc.Labeler       = (*floodNode)(nil)
+	_ bcc.BitNode       = (*floodNode)(nil)
+	_ bcc.SendsReceiver = (*floodNode)(nil)
 )

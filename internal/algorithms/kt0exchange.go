@@ -3,6 +3,8 @@ package algorithms
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"bcclique/internal/bcc"
 )
@@ -20,6 +22,20 @@ import (
 //
 // Total: (MaxDegree+1)·IDBits rounds of 1 bit — O(log n) for 2-regular
 // inputs, matching the KT-0 Ω(log n) lower bound of Theorem 3.1.
+//
+// What each replica accumulates is a projection of one global object:
+// the per-vertex announcement streams, identical in every inbox. Under
+// the runner's RunBinder protocol the n per-replica stream tables
+// (2·(n−1) words each — the Θ(n²) dominating large cells) collapse
+// into one run-shared pair uid[u]/stream[u], filled once per round by
+// whichever replica wins the round's apply. On a complete schedule every
+// replica's reconstructed claim graph coincides with the shared one, so
+// verdict and labels are computed once and read per-replica in O(1);
+// truncated runs (the replicas' universes genuinely diverge when a
+// partial uid differs from a vertex's own full ID) reconstruct the
+// classic per-replica outputs from the shared streams. Bare NewNode
+// keeps the old self-contained per-node accumulation for callers that
+// drive nodes by hand.
 type KT0Exchange struct {
 	// MaxDegree is the degree bound the schedule is provisioned for.
 	MaxDegree int
@@ -55,7 +71,194 @@ func (a *KT0Exchange) Rounds(int) int { return (a.MaxDegree + 1) * a.IDBits }
 // port→plane table once at binding time.
 func (a *KT0Exchange) BitPlane() bool { return true }
 
-// NewNode implements bcc.Algorithm.
+// kt0RunPool recycles the run-shared stream tables and node arenas.
+var kt0RunPool = sync.Pool{New: func() interface{} { return new(kt0Run) }}
+
+// BindRun implements bcc.RunBinder: one shared announcement mirror per
+// run. kt0-exchange reads nothing KT-1-specific, so binding works on
+// every knowledge variant.
+func (a *KT0Exchange) BindRun(in *bcc.Instance, _ int) bcc.Algorithm {
+	r := kt0RunPool.Get().(*kt0Run)
+	n := in.N()
+	r.KT0Exchange = a
+	r.in = in
+	r.pooled = true
+	r.rounds = 0
+	r.finished = false
+	r.sharedValid = false
+	r.appliedRound.Store(0)
+	r.nextNode = 0
+	if cap(r.uid) < n {
+		r.uid = make([]uint64, n)
+		r.stream = make([]uint64, n)
+	}
+	r.uid = r.uid[:n]
+	r.stream = r.stream[:n]
+	clear(r.uid)
+	clear(r.stream)
+	if cap(r.nodes) < n {
+		r.nodes = make([]kt0Node, n)
+	}
+	r.nodes = r.nodes[:n]
+	r.nbrs = r.nbrs[:0]
+	if want := 2 * in.Input().M(); cap(r.nbrs) < want {
+		r.nbrs = make([]int32, 0, want)
+	}
+	return r
+}
+
+// kt0Run is the run-shared announcement mirror: uid[u] collects the
+// phase-1 bits vertex u broadcast, stream[u] its phase-2 slot stream —
+// exactly the columns every replica's per-port tables would have held.
+// The first replica to receive each round wins the CAS and transcribes
+// the round's broadcast vector; everyone else returns untouched.
+type kt0Run struct {
+	*KT0Exchange
+	in     *bcc.Instance
+	uid    []uint64
+	stream []uint64
+	rounds int // last applied round = the run's actual length
+	// appliedRound gates the once-per-round transcription.
+	appliedRound atomic.Int64
+	nodes        []kt0Node
+	nextNode     int
+	nbrs         []int32 // per-node input-neighbour arena
+
+	// Shared outputs, computed lazily after the last round when the
+	// schedule ran to completion (see finishShared).
+	finished    bool
+	sharedValid bool
+	sharedIx    *indexer
+	sharedComp  []int32 // rank → smallest rank in its claim-graph component
+	sharedOne   bool    // claim graph is connected
+	pooled      bool
+}
+
+// NewNode implements bcc.Algorithm on the bound run. Nodes come out of
+// the run's arena; the arena index is the vertex index (the runner
+// constructs nodes in vertex order), which is what ties each replica to
+// its column of the shared mirror.
+func (r *kt0Run) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
+	var node *kt0Node
+	if r.nextNode < len(r.nodes) {
+		node = &r.nodes[r.nextNode]
+		*node = kt0Node{self: int32(r.nextNode)}
+		r.nextNode++
+	} else {
+		node = &kt0Node{}
+	}
+	node.run = r
+	node.id = view.ID
+	node.idBits = r.IDBits
+	node.maxDegree = r.MaxDegree
+	if view.ID < 0 || view.ID >= 1<<uint(r.IDBits) || len(view.InputPorts) > r.MaxDegree {
+		node.broken = true
+		return node
+	}
+	start := len(r.nbrs)
+	for _, p := range view.InputPorts {
+		r.nbrs = append(r.nbrs, int32(r.in.NeighborAt(int(node.self), p)))
+	}
+	node.nbrOfSlot = r.nbrs[start:len(r.nbrs):len(r.nbrs)]
+	return node
+}
+
+// ReleaseRun implements bcc.RunReleaser.
+func (r *kt0Run) ReleaseRun() {
+	if !r.pooled {
+		return
+	}
+	r.KT0Exchange = nil
+	r.in = nil
+	r.sharedIx = nil
+	kt0RunPool.Put(r)
+}
+
+// beginApply claims round t's transcription for the calling replica.
+func (r *kt0Run) beginApply(round int) bool {
+	return r.appliedRound.CompareAndSwap(int64(round-1), int64(round))
+}
+
+// accumulate records that vertex u broadcast the given bit in round t.
+// Shifts at or beyond 64 vanish (Go shift semantics), matching the
+// classic per-node accumulation on over-extended schedules.
+func (r *kt0Run) accumulate(u int, bit uint8, round int) {
+	if round <= r.IDBits {
+		r.uid[u] |= uint64(bit&1) << uint(round-1)
+	} else {
+		r.stream[u] |= uint64(bit&1) << uint(round-r.IDBits-1)
+	}
+}
+
+// finishShared computes the shared claim graph once the run is over.
+// Only meaningful (sharedValid) when the schedule ran to completion:
+// then every non-broken replica's reconstructed universe and claim
+// graph coincide with the shared ones — uid[v] is v's own full ID, and
+// v's announced phase-2 stream decodes to exactly the port claims v
+// would have entered for itself — so one components pass serves all n
+// replicas. Callers are sequential (the runner's output epilogue).
+func (r *kt0Run) finishShared() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	if r.rounds < (r.MaxDegree+1)*r.IDBits {
+		return // truncated: universes diverge; replicas take the slow path
+	}
+	if r.MaxDegree*r.IDBits > 64 {
+		// The phase-2 stream overflows its word: receivers drop bits at
+		// or past 64 (Go shift semantics), so a replica's reconstructed
+		// claim graph — exact for its own row via its input ports,
+		// truncated for everyone else's — no longer coincides with a
+		// decode of all n truncated streams. Only the per-replica
+		// reconstruction reproduces the classic outputs bit for bit.
+		return
+	}
+	n := len(r.uid)
+	allIDs := make([]int, n)
+	for u, bits := range r.uid {
+		allIDs[u] = int(bits)
+	}
+	ix := newIndexer(allIDs)
+	claims := make([][]int, ix.n())
+	slots := r.MaxDegree
+	mask := uint64(1)<<uint(r.IDBits) - 1
+	for u := 0; u < n; u++ {
+		v := ix.rank(int(r.uid[u]))
+		for s := 0; s < slots; s++ {
+			claimedID := int(r.stream[u] >> uint(s*r.IDBits) & mask)
+			if w := ix.rank(claimedID); w >= 0 {
+				claims[v] = append(claims[v], w)
+			}
+		}
+	}
+	g := claimGraph(ix.n(), claims)
+	d := g.Components()
+	r.sharedOne = d.Sets() == 1
+	if cap(r.sharedComp) < ix.n() {
+		r.sharedComp = make([]int32, ix.n())
+	}
+	r.sharedComp = r.sharedComp[:ix.n()]
+	for v := range r.sharedComp {
+		r.sharedComp[v] = -1
+	}
+	// Ascending rank order is ascending ID order, so the first member
+	// to reach a root carries the component's smallest ID.
+	for v := 0; v < ix.n(); v++ {
+		if root := d.Find(v); r.sharedComp[root] == -1 {
+			r.sharedComp[root] = int32(v)
+		}
+	}
+	for v := 0; v < ix.n(); v++ {
+		r.sharedComp[v] = r.sharedComp[d.Find(v)]
+	}
+	r.sharedIx = ix
+	r.sharedValid = true
+}
+
+// NewNode implements bcc.Algorithm on the bare (unbound) algorithm: the
+// classic self-contained node that accumulates its own per-port stream
+// tables, for callers that drive nodes by hand.
 func (a *KT0Exchange) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 	node := &kt0Node{
 		id:         view.ID,
@@ -74,46 +277,95 @@ func (a *KT0Exchange) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 	return node
 }
 
+// kt0Node is one replica. In run-shared mode (run != nil) its residue
+// is the vertex index and the input-neighbour slot table; in private
+// mode it carries the classic per-port uid/stream tables.
 type kt0Node struct {
+	run        *kt0Run
 	id         int
 	idBits     int
 	maxDegree  int
-	inputPorts []int
-	portID     []uint64 // phase-1 ID heard on each port
-	phase2     []uint64 // phase-2 slot stream heard on each port
-	rounds     int
+	inputPorts []int    // private mode
+	portID     []uint64 // private mode: phase-1 ID heard on each port
+	phase2     []uint64 // private mode: phase-2 stream heard on each port
+	rounds     int      // private mode
+	self       int32    // shared mode: vertex index
+	nbrOfSlot  []int32  // shared mode: vertex behind the s-th input port
 	// Bit-plane state: planeSelf is our plane index; planePort[u] is
 	// the port behind plane index u (−1 for self), or nil under the
 	// canonical wiring, where port p of self is plane index p (p <
-	// self) or p+1.
+	// self) or p+1. Shared mode needs neither: the mirror is
+	// vertex-indexed.
 	planeSelf int
 	planePort []int32
+	outDone   bool
+	out       componentOutputs
 	broken    bool
+}
+
+// heardID returns the phase-1 announcement of the vertex behind input
+// slot s.
+func (n *kt0Node) heardID(s int) uint64 {
+	if n.run != nil {
+		return n.run.uid[n.nbrOfSlot[s]]
+	}
+	return n.portID[n.inputPorts[s]]
+}
+
+func (n *kt0Node) sendBit(round int) (uint8, bool) {
+	if round <= n.idBits {
+		return uint8(n.id>>uint(round-1)) & 1, true
+	}
+	r := round - n.idBits - 1
+	slot := r / n.idBits
+	bit := r % n.idBits
+	if slot >= n.maxDegree {
+		return 0, false
+	}
+	if slot < n.degree() {
+		// Announce the ID learned on our slot-th input port.
+		return uint8(n.heardID(slot)>>uint(bit)) & 1, true
+	}
+	// Filler: our own ID ("no neighbour").
+	return uint8(n.id>>uint(bit)) & 1, true
+}
+
+func (n *kt0Node) degree() int {
+	if n.run != nil {
+		return len(n.nbrOfSlot)
+	}
+	return len(n.inputPorts)
 }
 
 func (n *kt0Node) Send(round int) bcc.Message {
 	if n.broken {
 		return bcc.Silence
 	}
-	if round <= n.idBits {
-		return bcc.Bit(uint8(n.id >> uint(round-1)))
-	}
-	r := round - n.idBits - 1
-	slot := r / n.idBits
-	bit := r % n.idBits
-	if slot >= n.maxDegree {
+	bit, speak := n.sendBit(round)
+	if !speak {
 		return bcc.Silence
 	}
-	if slot < len(n.inputPorts) {
-		// Announce the ID learned on our slot-th input port.
-		return bcc.Bit(uint8(n.portID[n.inputPorts[slot]] >> uint(bit)))
-	}
-	// Filler: our own ID ("no neighbour").
-	return bcc.Bit(uint8(n.id >> uint(bit)))
+	return bcc.Bit(bit)
 }
 
 func (n *kt0Node) Receive(round int, inbox []bcc.Message) {
 	if n.broken {
+		return
+	}
+	if r := n.run; r != nil {
+		if !r.beginApply(round) {
+			return
+		}
+		r.rounds = round
+		for p, m := range inbox {
+			r.accumulate(r.in.NeighborAt(int(n.self), p), m.BitAt(0), round)
+		}
+		// The inbox omits our own broadcast; transcribe it from the
+		// same schedule Send used (phase-2 sends read only phase-1
+		// state, stable since the phase boundary).
+		if bit, speak := n.sendBit(round); speak {
+			r.accumulate(int(n.self), bit, round)
+		}
 		return
 	}
 	n.rounds = round
@@ -129,15 +381,32 @@ func (n *kt0Node) Receive(round int, inbox []bcc.Message) {
 	}
 }
 
-// BindPlane implements bcc.BitNode: any wiring is accepted — the
-// port→plane table is inverted into planePort so each incoming bit is
-// routed to the per-port stream the generic path would have filled.
+// ReceiveSends implements bcc.SendsReceiver: the raw broadcast vector
+// is vertex-indexed with our own entry present, which is exactly the
+// shared mirror's layout — the winning replica transcribes it verbatim.
+func (n *kt0Node) ReceiveSends(round int, sends []bcc.Message) {
+	r := n.run
+	if n.broken || r == nil || !r.beginApply(round) {
+		return
+	}
+	r.rounds = round
+	for u, m := range sends {
+		if m.Len != 0 {
+			r.accumulate(u, m.BitAt(0), round)
+		}
+	}
+}
+
+// BindPlane implements bcc.BitNode: any wiring is accepted. Private
+// nodes invert the port→plane table into planePort so each incoming bit
+// is routed to the per-port stream the generic path would have filled;
+// shared nodes route by vertex index and need no table.
 func (n *kt0Node) BindPlane(self int, portTarget []int) bool {
 	if n.broken {
 		return true // inert
 	}
 	n.planeSelf = self
-	if portTarget == nil {
+	if n.run != nil || portTarget == nil {
 		n.planePort = nil
 		return true
 	}
@@ -152,7 +421,7 @@ func (n *kt0Node) BindPlane(self int, portTarget []int) bool {
 	return true
 }
 
-// portOfPlane maps a plane index to the port behind it.
+// portOfPlane maps a plane index to the port behind it (private mode).
 func (n *kt0Node) portOfPlane(u int) int {
 	if n.planePort != nil {
 		return int(n.planePort[u])
@@ -168,27 +437,30 @@ func (n *kt0Node) SendBit(round int) (uint8, bool) {
 	if n.broken {
 		return 0, false
 	}
-	if round <= n.idBits {
-		return uint8(n.id>>uint(round-1)) & 1, true
-	}
-	r := round - n.idBits - 1
-	slot := r / n.idBits
-	bit := r % n.idBits
-	if slot >= n.maxDegree {
-		return 0, false
-	}
-	if slot < len(n.inputPorts) {
-		return uint8(n.portID[n.inputPorts[slot]]>>uint(bit)) & 1, true
-	}
-	return uint8(n.id>>uint(bit)) & 1, true
+	return n.sendBit(round)
 }
 
 // ReceiveBits implements bcc.BitNode: only set value bits matter (the
-// generic path ORs zeros in as no-ops), each routed through planePort
-// to the per-port stream. Our own bit is skipped by the plane-index
-// check.
+// generic path ORs zeros in as no-ops). In shared mode the winning
+// replica transcribes every set bit — its own included, since uid[self]
+// is part of the mirror — into the vertex-indexed tables; private nodes
+// route each foreign bit through planePort to their per-port stream.
 func (n *kt0Node) ReceiveBits(round int, value, _ []uint64) {
 	if n.broken {
+		return
+	}
+	if r := n.run; r != nil {
+		if !r.beginApply(round) {
+			return
+		}
+		r.rounds = round
+		for wi, w := range value {
+			for w != 0 {
+				u := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				r.accumulate(u, 1, round)
+			}
+		}
 		return
 	}
 	n.rounds = round
@@ -217,7 +489,68 @@ func (n *kt0Node) outputs() componentOutputs {
 	if n.broken {
 		return componentOutputs{verdict: bcc.VerdictNo, label: -1}
 	}
-	// All IDs = own + everything heard in phase 1.
+	if n.outDone {
+		return n.out
+	}
+	n.outDone = true
+	n.out = n.computeOutputs()
+	return n.out
+}
+
+func (n *kt0Node) computeOutputs() componentOutputs {
+	if r := n.run; r != nil {
+		r.finishShared()
+		if r.sharedValid {
+			// Complete schedule: the shared claim graph is every
+			// non-broken replica's claim graph.
+			selfRank := r.sharedIx.rank(n.id)
+			verdict := bcc.VerdictNo
+			if r.sharedOne {
+				verdict = bcc.VerdictYes
+			}
+			return componentOutputs{verdict: verdict, label: r.sharedIx.id(int(r.sharedComp[selfRank]))}
+		}
+		// Truncated schedule: reconstruct the classic per-replica
+		// outputs from the shared streams. The replica's universe is
+		// its own full ID plus everyone else's partial announcements.
+		nn := len(r.uid)
+		allIDs := make([]int, 0, nn)
+		allIDs = append(allIDs, n.id)
+		for u := 0; u < nn; u++ {
+			if u != int(n.self) {
+				allIDs = append(allIDs, int(r.uid[u]))
+			}
+		}
+		ix := newIndexer(allIDs)
+		self := ix.rank(n.id)
+		claims := make([][]int, ix.n())
+		for s := 0; s < n.degree(); s++ {
+			claims[self] = append(claims[self], ix.rank(int(r.uid[n.nbrOfSlot[s]])))
+		}
+		slots := (r.rounds - n.idBits) / n.idBits
+		if slots > n.maxDegree {
+			slots = n.maxDegree
+		}
+		mask := uint64(1)<<uint(n.idBits) - 1
+		for u := 0; u < nn; u++ {
+			if u == int(n.self) {
+				continue
+			}
+			v := ix.rank(int(r.uid[u]))
+			if v < 0 {
+				return componentOutputs{verdict: bcc.VerdictNo, label: -1}
+			}
+			for s := 0; s < slots; s++ {
+				claimedID := int(r.stream[u] >> uint(s*n.idBits) & mask)
+				if w := ix.rank(claimedID); w >= 0 {
+					claims[v] = append(claims[v], w)
+				}
+			}
+		}
+		g := claimGraph(ix.n(), claims)
+		return outputsFromGraph(g, ix, self, false)
+	}
+	// Private mode: all IDs = own + everything heard in phase 1.
 	allIDs := []int{n.id}
 	for _, pid := range n.portID {
 		allIDs = append(allIDs, int(pid))
@@ -240,8 +573,7 @@ func (n *kt0Node) outputs() componentOutputs {
 		}
 		for s := 0; s < slots; s++ {
 			claimedID := int(stream >> uint(s*n.idBits) & mask)
-			w := ix.rank(claimedID)
-			if w >= 0 {
+			if w := ix.rank(claimedID); w >= 0 {
 				claims[v] = append(claims[v], w)
 			}
 		}
@@ -257,9 +589,13 @@ func (n *kt0Node) Decide() bcc.Verdict { return n.outputs().verdict }
 func (n *kt0Node) Label() int { return n.outputs().label }
 
 var (
-	_ bcc.Algorithm    = (*KT0Exchange)(nil)
-	_ bcc.BitAlgorithm = (*KT0Exchange)(nil)
-	_ bcc.Decider      = (*kt0Node)(nil)
-	_ bcc.Labeler      = (*kt0Node)(nil)
-	_ bcc.BitNode      = (*kt0Node)(nil)
+	_ bcc.Algorithm     = (*KT0Exchange)(nil)
+	_ bcc.BitAlgorithm  = (*KT0Exchange)(nil)
+	_ bcc.RunBinder     = (*KT0Exchange)(nil)
+	_ bcc.BitAlgorithm  = (*kt0Run)(nil)
+	_ bcc.RunReleaser   = (*kt0Run)(nil)
+	_ bcc.Decider       = (*kt0Node)(nil)
+	_ bcc.Labeler       = (*kt0Node)(nil)
+	_ bcc.BitNode       = (*kt0Node)(nil)
+	_ bcc.SendsReceiver = (*kt0Node)(nil)
 )

@@ -64,14 +64,14 @@ func (a *NeighborhoodBroadcast) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 		return node
 	}
 	for i, p := range view.InputPorts {
-		node.slots[i] = node.ix.rank(view.PortIDs[p])
+		node.slots[i] = node.ix.rank(view.PortID(p))
 	}
 	// heard[p] accumulates the bit stream from port p; portRank maps
 	// ports to vertex indices.
 	node.heard = make([]uint64, view.NumPorts)
 	node.portRank = make([]int, view.NumPorts)
 	for p := 0; p < view.NumPorts; p++ {
-		node.portRank[p] = node.ix.rank(view.PortIDs[p])
+		node.portRank[p] = node.ix.rank(view.PortID(p))
 	}
 	return node
 }

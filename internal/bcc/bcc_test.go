@@ -121,10 +121,13 @@ func TestNewKT1CanonicalWiring(t *testing.T) {
 	if view.Knowledge != KT1 {
 		t.Errorf("view knowledge = %v, want KT-1", view.Knowledge)
 	}
+	if !view.HasPortIDs() {
+		t.Fatal("KT-1 view must expose port IDs")
+	}
 	wantPortIDs := []int{10, 20, 30, 40}
 	for p, want := range wantPortIDs {
-		if view.PortIDs[p] != want {
-			t.Errorf("PortIDs[%d] = %d, want %d", p, view.PortIDs[p], want)
+		if view.PortID(p) != want {
+			t.Errorf("PortID(%d) = %d, want %d", p, view.PortID(p), want)
 		}
 	}
 	wantAll := []int{10, 20, 30, 40, 50}
@@ -142,7 +145,7 @@ func TestKT0ViewHidesIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	view := in.View(2)
-	if view.AllIDs != nil || view.PortIDs != nil {
+	if view.AllIDs != nil || view.HasPortIDs() {
 		t.Error("KT-0 view leaks ID information")
 	}
 	if view.NumPorts != 5 {

@@ -182,7 +182,7 @@ func bindBitPlane(in *Instance, nodes []Node) ([]BitNode, bool) {
 // TotalBits, verdicts, labels, and — in transcript mode — identical
 // Sent sequences, with TritString/TranscriptKey derived from the
 // packed arena.
-func runBitPlane(res *Result, bnodes []BitNode, o options) error {
+func runBitPlane(res *Result, bnodes []BitNode, o options, sg *shardGroup) error {
 	n := len(bnodes)
 	rounds := res.Rounds
 	words := (n + 63) / 64
@@ -193,6 +193,9 @@ func runBitPlane(res *Result, bnodes []BitNode, o options) error {
 	var tp *tritPlane
 	if !o.noTranscripts {
 		tp = newTritPlane(n, rounds)
+	}
+	if sg != nil {
+		return runBitPlaneSharded(res, bnodes, o, sg, value, spoke, tp)
 	}
 	for t := 1; t <= rounds; t++ {
 		if err := o.ctx.Err(); err != nil {
@@ -229,20 +232,98 @@ func runBitPlane(res *Result, bnodes []BitNode, o options) error {
 		}
 	}
 	if tp != nil {
-		res.trits = tp
-		// Materialize the Sent sequences from the arena so every
-		// transcript consumer (crossing, PLS, reductions) sees the
-		// exact messages the generic path would have recorded.
-		res.Transcripts = make([]Transcript, n)
-		sentArena := make([]Message, n*rounds)
-		for v := 0; v < n; v++ {
-			sent := sentArena[v*rounds : (v+1)*rounds : (v+1)*rounds]
-			for t := 1; t <= rounds; t++ {
-				sent[t-1] = tp.message(v, t)
-			}
-			res.Transcripts[v].Sent = sent
-		}
+		materializeTrits(res, tp, n, rounds)
 	}
 	res.BitPlane = true
 	return nil
+}
+
+// runBitPlaneSharded is the intra-cell parallel round loop: SendBit and
+// ReceiveBits run over fixed replica shards with a barrier between the
+// two phases. shardSize is a multiple of 64, so concurrent shards write
+// disjoint spoke/value words (each shard clears and fills exactly its
+// own word range). Trit transcripts are reconstructed from the planes
+// in a sequential post-pass after the send barrier: the trit arena
+// packs 16 vertices per word when rounds < 32, so shard-local writes
+// there would race.
+func runBitPlaneSharded(res *Result, bnodes []BitNode, o options, sg *shardGroup, value, spoke []uint64, tp *tritPlane) error {
+	n := len(bnodes)
+	rounds := res.Rounds
+	curRound := 0
+	sendPhase := func(_, first, limit int) error {
+		t := curRound
+		wf, wl := first>>6, (limit+63)>>6
+		clear(value[wf:wl])
+		clear(spoke[wf:wl])
+		for v := first; v < limit; v++ {
+			bit, speak := bnodes[v].SendBit(t)
+			if speak {
+				w, m := v>>6, uint64(1)<<uint(v&63)
+				spoke[w] |= m
+				if bit&1 != 0 {
+					value[w] |= m
+				}
+			}
+		}
+		return nil
+	}
+	recvPhase := func(_, first, limit int) error {
+		t := curRound
+		for v := first; v < limit; v++ {
+			bnodes[v].ReceiveBits(t, value, spoke)
+		}
+		return nil
+	}
+	for t := 1; t <= rounds; t++ {
+		if err := o.ctx.Err(); err != nil {
+			recycleInts(res.RoundBits)
+			return err
+		}
+		curRound = t
+		if err := sg.phase(sendPhase); err != nil {
+			return err
+		}
+		if tp != nil {
+			for v := 0; v < n; v++ {
+				w, m := v>>6, uint64(1)<<uint(v&63)
+				if spoke[w]&m == 0 {
+					tp.set(v, t, tritSilent)
+				} else if value[w]&m != 0 {
+					tp.set(v, t, tritOne)
+				}
+				// tritZero is code 0: already encoded.
+			}
+		}
+		rb := 0
+		for _, w := range spoke {
+			rb += bits.OnesCount64(w)
+		}
+		res.RoundBits[t-1] = rb
+		res.TotalBits += rb
+		if err := sg.phase(recvPhase); err != nil {
+			return err
+		}
+	}
+	if tp != nil {
+		materializeTrits(res, tp, n, rounds)
+	}
+	res.BitPlane = true
+	return nil
+}
+
+// materializeTrits attaches the packed trit arena and rebuilds the Sent
+// sequences from it, so every transcript consumer (crossing, PLS,
+// reductions) sees the exact messages the generic path would have
+// recorded.
+func materializeTrits(res *Result, tp *tritPlane, n, rounds int) {
+	res.trits = tp
+	res.Transcripts = make([]Transcript, n)
+	sentArena := make([]Message, n*rounds)
+	for v := 0; v < n; v++ {
+		sent := sentArena[v*rounds : (v+1)*rounds : (v+1)*rounds]
+		for t := 1; t <= rounds; t++ {
+			sent[t-1] = tp.message(v, t)
+		}
+		res.Transcripts[v].Sent = sent
+	}
 }

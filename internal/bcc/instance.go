@@ -217,6 +217,18 @@ func (in *Instance) ID(v int) int { return in.ids[v] }
 // IDs returns a copy of the ID assignment, indexed by vertex.
 func (in *Instance) IDs() []int { return append([]int(nil), in.ids...) }
 
+// SortedIDs returns the ascending ID multiset shared by every KT-1
+// view of the instance (nil for KT-0 — revealing it would leak
+// knowledge the model withholds). The slice is instance-owned and
+// read-only; RunBinder implementations use it as the shared universe
+// their substrate is indexed by.
+func (in *Instance) SortedIDs() []int {
+	if in.knowledge != KT1 {
+		return nil
+	}
+	return in.sortedIDs
+}
+
 // VertexByID returns the vertex index carrying the given ID, or -1.
 func (in *Instance) VertexByID(id int) int {
 	for v, x := range in.ids {
@@ -384,9 +396,23 @@ type View struct {
 	// AllIDs lists all n IDs, sorted ascending (KT-1 only; nil in KT-0).
 	// The slice is shared between every view of one instance: treat it
 	// as read-only.
-	AllIDs  []int
-	PortIDs []int // KT-1 only: PortIDs[p] = ID behind port p; nil in KT-0
+	AllIDs []int
+	// in/vertex back the lazy PortID lookup (KT-1 only; in is nil in
+	// KT-0, so a KT-0 caller misusing PortID fails loudly).
+	in     *Instance
+	vertex int
 }
+
+// PortID returns the ID behind port p — the per-port counterpart of
+// AllIDs, and KT-1 only (check HasPortIDs first if in doubt). It is
+// computed from the instance wiring on demand: views carry no
+// materialized (n−1)-slot slice, which keeps constructing all n views
+// of a run O(n + Σdeg) instead of Θ(n²).
+func (v View) PortID(p int) int { return v.in.ids[v.in.NeighborAt(v.vertex, p)] }
+
+// HasPortIDs reports whether PortID is available, i.e. whether this is
+// a KT-1 view.
+func (v View) HasPortIDs() bool { return v.in != nil }
 
 // View returns the initial knowledge of vertex v.
 func (in *Instance) View(v int) View {
@@ -399,10 +425,8 @@ func (in *Instance) View(v int) View {
 	}
 	if in.knowledge == KT1 {
 		view.AllIDs = in.sortedIDs
-		view.PortIDs = make([]int, in.N()-1)
-		for p := range view.PortIDs {
-			view.PortIDs[p] = in.ids[in.NeighborAt(v, p)]
-		}
+		view.in = in
+		view.vertex = v
 	}
 	return view
 }
@@ -414,9 +438,20 @@ func (v View) Equal(w View) bool {
 	if v.Knowledge != w.Knowledge || v.N != w.N || v.ID != w.ID || v.NumPorts != w.NumPorts {
 		return false
 	}
-	return intsEqual(v.InputPorts, w.InputPorts) &&
-		intsEqual(v.AllIDs, w.AllIDs) &&
-		intsEqual(v.PortIDs, w.PortIDs)
+	if !intsEqual(v.InputPorts, w.InputPorts) || !intsEqual(v.AllIDs, w.AllIDs) {
+		return false
+	}
+	if v.HasPortIDs() != w.HasPortIDs() {
+		return false
+	}
+	if v.HasPortIDs() {
+		for p := 0; p < v.NumPorts; p++ {
+			if v.PortID(p) != w.PortID(p) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func intsEqual(a, b []int) bool {

@@ -127,6 +127,43 @@ type Node interface {
 	Receive(round int, inbox []Message)
 }
 
+// RunBinder is an optional Algorithm interface for shared-substrate
+// protocols. When implemented, the runner calls BindRun once per run —
+// after the round count is resolved, before any node is built — and
+// uses the returned per-run Algorithm to construct nodes. The bound
+// algorithm typically carries run-shared state (a frozen instance
+// substrate plus the broadcast mirror every replica would otherwise
+// replicate), so n replicas shrink to compact per-replica residue.
+//
+// Implementing RunBinder also opts the algorithm into the intra-cell
+// replica-parallel round loop: it declares that distinct nodes of one
+// run may execute their Send (and SendsReceiver/BitNode delivery)
+// phases concurrently. The bound algorithm must implement BitAlgorithm
+// whenever the original does.
+type RunBinder interface {
+	BindRun(in *Instance, rounds int) Algorithm
+}
+
+// RunReleaser is an optional interface of the Algorithm returned by
+// BindRun. ReleaseRun is called when the run's outputs have been fully
+// extracted, so bound algorithms can hand pooled arenas back for the
+// next run.
+type RunReleaser interface {
+	ReleaseRun()
+}
+
+// SendsReceiver is an optional Node interface: a node that can consume
+// the round's raw broadcast vector indexed by vertex (its own entry
+// included — excluding it is the node's business), instead of a
+// per-port inbox. The runner prefers it whenever received transcripts
+// were not requested, which kills the Θ(n²)-per-round inbox assembly;
+// the slice is runner-owned and reused between rounds, so nodes must
+// not retain it. Nodes must keep Receive and ReceiveSends consistent:
+// the equivalence suite pins both deliveries against each other.
+type SendsReceiver interface {
+	ReceiveSends(round int, sends []Message)
+}
+
 // Decider is implemented by nodes solving decision problems such as
 // Connectivity, TwoCycle and MultiCycle. Per Section 1.2, the system
 // outputs YES iff every vertex outputs YES.
@@ -274,9 +311,33 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 		return nil, fmt.Errorf("bcc: WithoutTranscripts conflicts with WithReceivedTranscripts")
 	}
 
+	// Shared-substrate algorithms bind once per run; the bound algorithm
+	// owns the run's shared state and is what nodes are built from.
+	// Binding also opts the run into intra-cell sharding at large n.
+	runAlgo := algo
+	bound := false
+	if rb, ok := algo.(RunBinder); ok {
+		runAlgo = rb.BindRun(in, rounds)
+		bound = true
+		if rr, ok := runAlgo.(RunReleaser); ok {
+			defer rr.ReleaseRun()
+		}
+	}
+
 	nodes := make([]Node, n)
 	for v := 0; v < n; v++ {
-		nodes[v] = algo.NewNode(in.View(v), o.coin)
+		nodes[v] = runAlgo.NewNode(in.View(v), o.coin)
+	}
+
+	// sg is the intra-cell shard pool: run-bound algorithms at large n
+	// split each phase into fixed replica shards over helpers drawn from
+	// the same process-wide budget as RunGrid's cell fan-out. Received-
+	// transcript runs stay sequential (they are tiny, test-only, and
+	// need the per-port inbox assembled per vertex).
+	var sg *shardGroup
+	if bound && !o.recordReceived && n >= intraCellThreshold() {
+		sg = newShardGroup(n)
+		defer sg.close()
 	}
 
 	// RoundBits comes out of the recycling pool (see Recycle): the loop
@@ -287,9 +348,9 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 	// plane binding; received-transcript runs need per-port inboxes and
 	// stay generic, as does everything multi-bit.
 	if b == 1 && !o.noBitPlane && !o.recordReceived {
-		if ba, ok := algo.(BitAlgorithm); ok && ba.BitPlane() {
+		if ba, ok := runAlgo.(BitAlgorithm); ok && ba.BitPlane() {
 			if bnodes, ok := bindBitPlane(in, nodes); ok {
-				if err := runBitPlane(res, bnodes, o); err != nil {
+				if err := runBitPlane(res, bnodes, o, sg); err != nil {
 					return nil, err
 				}
 				finishOutputs(res, nodes)
@@ -317,6 +378,83 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 			}
 		}
 	}
+	// Vector delivery: nodes implementing SendsReceiver consume the raw
+	// broadcast vector directly instead of a per-port inbox, skipping
+	// the Θ(n) inbox assembly per vertex. Received-transcript runs need
+	// the assembled inboxes and keep the classic path.
+	var srNodes []SendsReceiver
+	allSR := false
+	if !o.recordReceived {
+		srNodes = make([]SendsReceiver, n)
+		allSR = true
+		for v, node := range nodes {
+			if sr, ok := node.(SendsReceiver); ok {
+				srNodes[v] = sr
+			} else {
+				allSR = false
+			}
+		}
+	}
+
+	if sg != nil {
+		// Sharded round loop: replicas compute their round-t sends in
+		// parallel shards, barrier, then deliver. The two phase closures
+		// are created once per run (not per round) so the steady-state
+		// loop stays allocation-free; curRound is published to the
+		// workers by the phase barrier itself.
+		curRound := 0
+		shardBits := make([]int, sg.numShards)
+		sendPhase := func(shard, first, limit int) error {
+			t := curRound
+			rb := 0
+			for v := first; v < limit; v++ {
+				m := nodes[v].Send(t)
+				if int(m.Len) > b {
+					return fmt.Errorf("bcc: vertex %d broadcast %d bits in round %d, bandwidth is %d", v, m.Len, t, b)
+				}
+				sends[v] = m
+				rb += int(m.Len)
+				if !o.noTranscripts {
+					res.Transcripts[v].Sent[t-1] = m
+				}
+			}
+			shardBits[shard] = rb
+			return nil
+		}
+		recvPhase := func(_, first, limit int) error {
+			t := curRound
+			for v := first; v < limit; v++ {
+				srNodes[v].ReceiveSends(t, sends)
+			}
+			return nil
+		}
+		for t := 1; t <= rounds; t++ {
+			if err := o.ctx.Err(); err != nil {
+				recycleInts(res.RoundBits)
+				return nil, err
+			}
+			curRound = t
+			if err := sg.phase(sendPhase); err != nil {
+				return nil, err
+			}
+			roundBits := 0
+			for _, rb := range shardBits {
+				roundBits += rb
+			}
+			res.RoundBits[t-1] = roundBits
+			res.TotalBits += roundBits
+			if allSR {
+				if err := sg.phase(recvPhase); err != nil {
+					return nil, err
+				}
+			} else {
+				deliverRound(in, nodes, srNodes, sends, inbox, t)
+			}
+		}
+		finishOutputs(res, nodes)
+		return res, nil
+	}
+
 	for t := 1; t <= rounds; t++ {
 		if err := o.ctx.Err(); err != nil {
 			recycleInts(res.RoundBits)
@@ -341,6 +479,10 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 			recvArena = make([]Message, n*(n-1))
 		}
 		for v := 0; v < n; v++ {
+			if srNodes != nil && srNodes[v] != nil {
+				srNodes[v].ReceiveSends(t, sends)
+				continue
+			}
 			if in.canonical {
 				// Canonical ascending-ID wiring: port p of v carries
 				// vertex p (p < v) or p+1, so delivery is two block
@@ -367,6 +509,27 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 
 	finishOutputs(res, nodes)
 	return res, nil
+}
+
+// deliverRound assembles per-port inboxes sequentially for the nodes
+// that need them — the fallback delivery of a sharded run whose nodes
+// do not all consume the raw broadcast vector.
+func deliverRound(in *Instance, nodes []Node, srNodes []SendsReceiver, sends, inbox []Message, t int) {
+	for v := range nodes {
+		if srNodes != nil && srNodes[v] != nil {
+			srNodes[v].ReceiveSends(t, sends)
+			continue
+		}
+		if in.canonical {
+			copy(inbox[:v], sends[:v])
+			copy(inbox[v:], sends[v+1:])
+		} else {
+			for p, u := range in.ports[v] {
+				inbox[p] = sends[u]
+			}
+		}
+		nodes[v].Receive(t, inbox)
+	}
 }
 
 // finishOutputs collects the decision/labelling epilogue shared by both

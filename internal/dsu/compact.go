@@ -64,3 +64,32 @@ func (c *Compact) Union(x, y int) bool {
 
 // Same reports whether x and y are in the same set.
 func (c *Compact) Same(x, y int) bool { return c.Find(x) == c.Find(y) }
+
+// Reset reinitializes the structure to n singleton sets, reusing the
+// parent array when it is large enough — the pool-recycling hook for
+// run-shared substrates that keep one Compact per run instead of one
+// per replica.
+func (c *Compact) Reset(n int) {
+	if cap(c.parent) < n {
+		c.parent = make([]int32, n)
+	}
+	c.parent = c.parent[:n]
+	for i := range c.parent {
+		c.parent[i] = -1
+	}
+	c.sets = n
+}
+
+// CopyFrom makes c an independent copy of src (same partition, same
+// internal paths), reusing c's parent array when possible. Truncated
+// bit-plane runs use it to refine a shared partition with per-replica
+// edges without mutating the shared copy.
+func (c *Compact) CopyFrom(src *Compact) {
+	n := len(src.parent)
+	if cap(c.parent) < n {
+		c.parent = make([]int32, n)
+	}
+	c.parent = c.parent[:n]
+	copy(c.parent, src.parent)
+	c.sets = src.sets
+}

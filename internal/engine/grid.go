@@ -116,11 +116,11 @@ func (g GridSpec) SeedCount(cfg Config) int {
 // pair: the lower of the protocol-wide cap and the family-scoped
 // "protocol@family" cap, if either is declared.
 func (g GridSpec) capFor(proto, fam string) (int, bool) {
-	cap, capped := g.SizeCaps[proto]
-	if scoped, ok := g.SizeCaps[proto+"@"+fam]; ok && (!capped || scoped < cap) {
-		cap, capped = scoped, true
+	ceiling, capped := g.SizeCaps[proto]
+	if scoped, ok := g.SizeCaps[proto+"@"+fam]; ok && (!capped || scoped < ceiling) {
+		ceiling, capped = scoped, true
 	}
-	return cap, capped
+	return ceiling, capped
 }
 
 // Cells enumerates the grid in deterministic cell order —
@@ -133,9 +133,9 @@ func (g GridSpec) Cells(cfg Config) []GridCell {
 	cells := make([]GridCell, 0, len(g.Families)*len(g.Protocols)*len(sizes))
 	for _, fam := range g.Families {
 		for _, proto := range g.Protocols {
-			cap, capped := g.capFor(proto, fam)
+			ceiling, capped := g.capFor(proto, fam)
 			for _, n := range sizes {
-				if capped && n > cap {
+				if capped && n > ceiling {
 					continue
 				}
 				cells = append(cells, GridCell{
@@ -260,15 +260,15 @@ func (g GridSpec) validate() error {
 		if len(axis) == 0 {
 			return 0, false
 		}
-		min := axis[0]
+		low := axis[0]
 		for _, n := range axis[1:] {
-			if n < min {
-				min = n
+			if n < low {
+				low = n
 			}
 		}
-		return min, true
+		return low, true
 	}
-	for name, cap := range g.SizeCaps {
+	for name, ceiling := range g.SizeCaps {
 		proto, fam, scoped := strings.Cut(name, "@")
 		found := false
 		for _, p := range g.Protocols {
@@ -293,8 +293,8 @@ func (g GridSpec) validate() error {
 			}
 		}
 		for _, axis := range [][]int{g.Sizes, g.QuickSizes} {
-			if min, ok := minOf(axis); ok && cap < min {
-				return fmt.Errorf("grid %s: size cap %d for %q is below the smallest size %d of a ladder", g.ID, cap, name, min)
+			if low, ok := minOf(axis); ok && ceiling < low {
+				return fmt.Errorf("grid %s: size cap %d for %q is below the smallest size %d of a ladder", g.ID, ceiling, name, low)
 			}
 		}
 	}
@@ -370,6 +370,8 @@ func (e *Engine) runCell(ctx context.Context, g GridSpec, cfg Config, c GridCell
 	compute := func() (*report.Result, error) {
 		emit(Event{Kind: EventStarted, SpecID: g.ID, Cell: c.String()})
 		e.cellExecutions.Add(1)
+		cellStarted()
+		defer cellFinished()
 		start := time.Now()
 		seeds := make([]int64, c.Seeds)
 		for j := range seeds {

@@ -266,3 +266,26 @@ func TestGridRestrictValidation(t *testing.T) {
 		t.Errorf("restricted grid has %d cells, want 1", len(cells))
 	}
 }
+
+// TestCellResidencyGauges pins the /metrics residency instrumentation:
+// the running-cell count returns to zero once a sweep finishes, and the
+// peak heap-per-running-cell watermark is set (and monotone) after real
+// cells have computed.
+func TestCellResidencyGauges(t *testing.T) {
+	before := engine.PeakCellResidentBytes()
+	eng := harness.NewEngine()
+	grid := lookupE17(t, eng)
+	if _, err := eng.RunGrid(context.Background(), grid, engine.Config{Quick: true, Seed: 1}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.RunningCells(); got != 0 {
+		t.Errorf("RunningCells after sweep = %d, want 0", got)
+	}
+	after := engine.PeakCellResidentBytes()
+	if after <= 0 {
+		t.Errorf("PeakCellResidentBytes = %d after computing cells, want > 0", after)
+	}
+	if after < before {
+		t.Errorf("peak watermark went backwards: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Process-wide cell-residency gauges. Cells from every engine in the
+// process share them (like the parallel worker budget they run on):
+// the operator question they answer — "how much heap does one running
+// cell cost at this ladder rung?" — is a per-process capacity-planning
+// number, not a per-engine one. Cache hits never touch them.
+var (
+	runningCells  atomic.Int64
+	peakCellBytes atomic.Int64
+)
+
+// RunningCells returns how many grid cells are computing right now.
+func RunningCells() int64 { return runningCells.Load() }
+
+// PeakCellResidentBytes returns the high-water mark of heap bytes per
+// concurrently running cell observed since process start — sampled at
+// every cell start and finish, when a cell's substrate and residue
+// arenas are live. 0 until the first cell runs.
+func PeakCellResidentBytes() int64 { return peakCellBytes.Load() }
+
+func cellStarted() {
+	runningCells.Add(1)
+	sampleCellBytes()
+}
+
+func cellFinished() {
+	sampleCellBytes()
+	runningCells.Add(-1)
+}
+
+// sampleCellBytes folds the current heap-per-running-cell figure into
+// the peak watermark. ReadMemStats is a stop-the-world probe, but cells
+// run for seconds and this fires twice per cell — noise next to the
+// simulation itself.
+func sampleCellBytes() {
+	n := runningCells.Load()
+	if n <= 0 {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	per := int64(ms.HeapAlloc) / n
+	for {
+		cur := peakCellBytes.Load()
+		if per <= cur || peakCellBytes.CompareAndSwap(cur, per) {
+			return
+		}
+	}
+}

@@ -148,18 +148,18 @@ func runE02(ctx context.Context, cfg Config, p Params) (*Result, error) {
 				for _, e := range s {
 					classes[crossing.EdgeKeyOf(e, keys)]++
 				}
-				max := 0
+				largest := 0
 				for _, c := range classes {
-					if c > max {
-						max = c
+					if c > largest {
+						largest = c
 					}
 				}
 				forced := 0.0
-				if max >= 2 && len(s) >= 2 {
+				if largest >= 2 && len(s) >= 2 {
 					c2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
-					forced = c2(max) / (2 * c2(len(s)))
+					forced = c2(largest) / (2 * c2(len(s)))
 				}
-				empirical.AddRow(n, t, algo.Name(), len(s), max, forced)
+				empirical.AddRow(n, t, algo.Name(), len(s), largest, forced)
 			}
 		}
 	}

@@ -26,13 +26,13 @@ func sumInts(xs []int) int {
 // runE07 certifies rank(M_n) = B_n over GF(2³¹−1) and cross-checks tiny
 // cases with exact Bareiss elimination.
 func runE07(ctx context.Context, cfg Config, p Params) (*Result, error) {
-	max := p.Size(cfg)
+	top := p.Size(cfg)
 	table := &Table{
 		Title:   "rank(M_n) over GF(2³¹−1) (full rank mod p certifies full rank over ℚ)",
 		Headers: []string{"n", "B_n", "rank", "full", "CC bound log₂ B_n (bits)", "protocol cost n⌈log₂ n⌉+1 (bits)"},
 	}
 	allFull := true
-	for n := 1; n <= max; n++ {
+	for n := 1; n <= top; n++ {
 		m, err := comm.MatrixM(n)
 		if err != nil {
 			return nil, err
@@ -53,13 +53,13 @@ func runE07(ctx context.Context, cfg Config, p Params) (*Result, error) {
 
 // runE08 certifies rank(E_n) = (n−1)!! for the TwoPartition sub-matrix.
 func runE08(ctx context.Context, cfg Config, p Params) (*Result, error) {
-	max := p.Size(cfg)
+	top := p.Size(cfg)
 	table := &Table{
 		Title:   "rank(E_n) over GF(2³¹−1)",
 		Headers: []string{"n", "(n−1)!!", "rank", "full", "CC bound log₂ (n−1)!! (bits)"},
 	}
 	allFull := true
-	for n := 2; n <= max; n += 2 {
+	for n := 2; n <= top; n += 2 {
 		m, err := comm.MatrixE(n)
 		if err != nil {
 			return nil, err

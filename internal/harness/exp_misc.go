@@ -145,13 +145,13 @@ func bitsFor(m int) int {
 
 // runE13 tabulates Bell-number growth.
 func runE13(ctx context.Context, cfg Config, p Params) (*Result, error) {
-	max := p.Size(cfg)
+	top := p.Size(cfg)
 	table := &Table{
 		Title:   "B_n = 2^{Θ(n log n)} and pairing counts",
 		Headers: []string{"n", "log₂ B_n", "log₂ (n−1)!!", "n·log₂ n", "log₂B_n / (n log₂ n)"},
 	}
-	for _, n := range []int{4, 8, 16, 32, 64, 100, 200, max} {
-		if n > max {
+	for _, n := range []int{4, 8, 16, 32, 64, 100, 200, top} {
+		if n > top {
 			continue
 		}
 		lb := partition.Log2Big(partition.Bell(n))
@@ -190,8 +190,8 @@ func runE14(ctx context.Context, cfg Config, p Params) (*Result, error) {
 		return nil, err
 	}
 	v0, v1 := kt0.View(3), kt1.View(3)
-	table.AddRow("KT-0 view hides IDs and port owners", YesNo(v0.AllIDs == nil && v0.PortIDs == nil))
-	table.AddRow("KT-1 view carries all IDs and port labels", YesNo(len(v1.AllIDs) == n && len(v1.PortIDs) == n-1))
+	table.AddRow("KT-0 view hides IDs and port owners", YesNo(v0.AllIDs == nil && !v0.HasPortIDs()))
+	table.AddRow("KT-1 view carries all IDs and port labels", YesNo(len(v1.AllIDs) == n && v1.HasPortIDs() && v1.PortID(n-2) == n-1))
 	table.AddRow("every vertex has n−1 ports", YesNo(v0.NumPorts == n-1 && v1.NumPorts == n-1))
 	table.AddRow("cycle vertices see exactly 2 input ports", YesNo(len(v0.InputPorts) == 2))
 

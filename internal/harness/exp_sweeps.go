@@ -86,25 +86,26 @@ func gridE17() engine.GridSpec {
 			"detectable, never silent).",
 		Protocols: []string{"kt0-exchange", "boruvka", "sketch-a2", "flood-b1"},
 		Families:  []string{"one-cycle", "two-cycle", "crossed-two-cycle", "er-threshold", "grid"},
-		// The doubling ladder runs to n = 8192: flood-b1 climbs the
+		// The doubling ladder runs to n = 32768: flood-b1 climbs the
 		// whole thing on the runner's word-packed bit plane (its rounds
 		// collapse to two n-bit planes per round). Cells are cached
 		// individually, so the pre-existing sizes keep their content
 		// addresses and a grown ladder only computes the new cells.
 		// Full runs at the top are still minutes of compute — restrict
 		// with -protocols/-sizes for targeted large-n curves (see
-		// README).
-		Sizes:      []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192},
+		// README and `make sweep-xxl`).
+		Sizes:      []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768},
 		QuickSizes: []int{8, 16},
-		// Declared feasibility ceilings: the sketch adapter's replicas
-		// each decode every heard sketch against the whole universe
-		// (Θ(n) per sketch, Θ(n²) per replica round), the KT-0 adapter
-		// materializes Θ(n²) random port tables, and boruvka replicates
-		// ~200 KB of pointer-heavy merge state per vertex (≈1.6 GB of
-		// live heap at 8192) — none changes asymptotics above its
-		// ceiling, it just burns hours or memory. Only the bit-plane
-		// flood-b1 climbs to 8192.
-		SizeCaps:   map[string]int{"sketch-a2": 512, "kt0-exchange": 2048, "boruvka": 4096},
+		// Declared feasibility ceilings. The run-shared substrates
+		// collapsed the old per-replica walls — boruvka's replicated
+		// merge state, the KT-0 full-information universes, the sketch
+		// replicas' private retirement mirrors are all one-per-run now
+		// (DESIGN.md §6.2) — so the ceilings are set by per-run compute
+		// instead of per-replica memory: the sketch's phase decode scans
+		// the whole universe per deposited row (Θ(n²·k) per phase) and
+		// the KT-0 adapter materializes Θ(n²) port tables. boruvka rides
+		// to 16384 and the bit-plane flood-b1 climbs the full ladder.
+		SizeCaps:   map[string]int{"sketch-a2": 2048, "kt0-exchange": 8192, "boruvka": 16384},
 		Seeds:      3,
 		QuickSeeds: 2,
 		Headers:    []string{"family", "protocol", "n", "b", "rounds", "total bits", "bits/round", "rounds/log₂n", "correct"},
@@ -170,21 +171,22 @@ func gridE18() engine.GridSpec {
 			"(never refuse) on every stress family.",
 		Protocols: []string{"sketch-a1", "sketch-a2", "boruvka", "flood-b1"},
 		Families:  []string{"planted-2", "planted-4", "barbell"},
-		// Stress sizes climb to n = 8192 on the planted families via
-		// the bit-plane flood-b1 (the barbell there is ~16.8M clique
+		// Stress sizes climb to n = 32768 on the planted families via
+		// the bit-plane flood-b1 (the barbell at 8192 is ~16.8M clique
 		// edges — the CSR builder assembles it in one pass, but only
 		// boruvka's O(log n) rounds can afford to stress it above 1024).
 		// The pre-existing cells keep their cached content addresses.
-		Sizes:      []int{16, 32, 64, 256, 1024, 4096, 8192},
+		Sizes:      []int{16, 32, 64, 256, 1024, 4096, 8192, 16384, 32768},
 		QuickSizes: []int{12},
-		// The sketch replicas' universe-scan decode keeps them below
-		// the top of the ladder and boruvka's replicated merge state
-		// stops at 4096 (see E17). flood-b1 reconstructs every edge, so
-		// on the Θ(n²)-edge barbell its per-replica union work is
-		// Θ(n²) — the scoped cap keeps that pair honest while the
-		// sparse planted families climb to 8192.
+		// The shared-substrate ceilings of E17, restated on this ladder:
+		// the sketch's per-phase universe-scan decode keeps it at 2048
+		// (its top rung here is 1024) and boruvka's shared merge mirror
+		// rides to 16384. flood-b1 reconstructs every edge, so on the
+		// Θ(n²)-edge barbell its union work is Θ(n²) — the scoped cap
+		// keeps that pair honest while the sparse planted families climb
+		// to 32768.
 		SizeCaps: map[string]int{
-			"sketch-a1": 512, "sketch-a2": 512, "boruvka": 4096,
+			"sketch-a1": 2048, "sketch-a2": 2048, "boruvka": 16384,
 			"flood-b1@barbell": 1024,
 		},
 		Seeds:      3,

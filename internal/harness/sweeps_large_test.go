@@ -101,7 +101,7 @@ func TestLargeNSweepRowMatchesSummarizedForm(t *testing.T) {
 }
 
 // TestGridSizeLadders pins the extended size axes and the feasibility
-// ceilings: both grids climb to n = 8192 for the bit-plane flood-b1,
+// ceilings: both grids climb to n = 32768 for the bit-plane flood-b1,
 // the pre-existing sizes survive unchanged at the front of the ladder
 // (their cells keep their cached content addresses), and every capped
 // protocol — including the family-scoped flood-b1@barbell ceiling —
@@ -113,12 +113,12 @@ func TestGridSizeLadders(t *testing.T) {
 		tops       map[string]int // expected per-protocol ladder top
 	}{
 		{"E17", []int{16, 32, 64}, map[string]int{
-			"flood-b1": 8192, "boruvka": 4096, "kt0-exchange": 2048, "sketch-a2": 512,
+			"flood-b1": 32768, "boruvka": 16384, "kt0-exchange": 8192, "sketch-a2": 2048,
 		}},
-		// E18's ladder has no 512 rung, so the sketch protocols (cap
-		// 512) top out at its 256 rung.
+		// E18's ladder has no 2048 rung, so the sketch protocols (cap
+		// 2048) top out at its 1024 rung.
 		{"E18", []int{16, 32}, map[string]int{
-			"flood-b1": 8192, "boruvka": 4096, "sketch-a1": 256, "sketch-a2": 256,
+			"flood-b1": 32768, "boruvka": 16384, "sketch-a1": 1024, "sketch-a2": 1024,
 		}},
 	} {
 		var grid engine.GridSpec
@@ -137,8 +137,8 @@ func TestGridSizeLadders(t *testing.T) {
 				break
 			}
 		}
-		if top := grid.Sizes[len(grid.Sizes)-1]; top != 8192 {
-			t.Errorf("%s ladder tops out at %d, want 8192", tc.id, top)
+		if top := grid.Sizes[len(grid.Sizes)-1]; top != 32768 {
+			t.Errorf("%s ladder tops out at %d, want 32768", tc.id, top)
 		}
 		maxN := map[string]int{}
 		for _, c := range grid.Cells(engine.Config{}) {
@@ -154,9 +154,9 @@ func TestGridSizeLadders(t *testing.T) {
 				t.Errorf("%s: %s tops out at %d, want %d", tc.id, p, maxN[p], top)
 			}
 		}
-		for key, cap := range grid.SizeCaps {
-			if maxN[key] > cap {
-				t.Errorf("%s: %s has a cell at n=%d above its cap %d", tc.id, key, maxN[key], cap)
+		for key, ceiling := range grid.SizeCaps {
+			if maxN[key] > ceiling {
+				t.Errorf("%s: %s has a cell at n=%d above its cap %d", tc.id, key, maxN[key], ceiling)
 			}
 		}
 	}

@@ -112,12 +112,12 @@ func TestLemma37AtG0(t *testing.T) {
 func TestLemma38Expansion(t *testing.T) {
 	g := buildG0(t, 7)
 	rng := rand.New(rand.NewSource(2))
-	min, err := g.ExpansionStats(10, 50, rng)
+	minExp, err := g.ExpansionStats(10, 50, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if min < 1 {
-		t.Errorf("min expansion = %v, want ≥ 1", min)
+	if minExp < 1 {
+		t.Errorf("min expansion = %v, want ≥ 1", minExp)
 	}
 }
 

@@ -233,11 +233,11 @@ func TestRankBoundedByDims(t *testing.T) {
 			}
 		}
 		r := m.Rank()
-		min := rows
-		if cols < min {
-			min = cols
+		bound := rows
+		if cols < bound {
+			bound = cols
 		}
-		return r >= 0 && r <= min
+		return r >= 0 && r <= bound
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)

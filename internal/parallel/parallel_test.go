@@ -93,8 +93,8 @@ func TestSetLimitResolution(t *testing.T) {
 // even with sweeps nested two deep, the number of goroutines running
 // tasks at once never exceeds the process-wide Limit.
 func TestNestedForEachRespectsGlobalBudget(t *testing.T) {
-	const cap = 3
-	SetLimit(cap)
+	const limit = 3
+	SetLimit(limit)
 	defer SetLimit(0)
 	var active, peak atomic.Int64
 	enter := func() {
@@ -119,8 +119,8 @@ func TestNestedForEachRespectsGlobalBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p := peak.Load(); p > cap {
-		t.Errorf("peak concurrent tasks = %d, want <= %d (global budget leaked across nesting)", p, cap)
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak concurrent tasks = %d, want <= %d (global budget leaked across nesting)", p, limit)
 	}
 	if helpers.Load() != 0 {
 		t.Errorf("helper budget not fully released: %d", helpers.Load())

@@ -87,15 +87,15 @@ func Each(n int, fn func(Partition) bool) {
 		return
 	}
 	labels := make([]int, n)
-	var rec func(i, max int) bool
-	rec = func(i, max int) bool {
+	var rec func(i, top int) bool
+	rec = func(i, top int) bool {
 		if i == n {
 			return fn(Partition{labels: append([]int(nil), labels...)})
 		}
-		for l := 0; l <= max+1; l++ {
+		for l := 0; l <= top+1; l++ {
 			labels[i] = l
-			nm := max
-			if l > max {
+			nm := top
+			if l > top {
 				nm = l
 			}
 			if !rec(i+1, nm) {

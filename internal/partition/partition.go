@@ -93,13 +93,13 @@ func (p Partition) N() int { return len(p.labels) }
 
 // NumBlocks returns the number of blocks.
 func (p Partition) NumBlocks() int {
-	max := -1
+	top := -1
 	for _, l := range p.labels {
-		if l > max {
-			max = l
+		if l > top {
+			top = l
 		}
 	}
-	return max + 1
+	return top + 1
 }
 
 // Label returns the canonical block index of element e.

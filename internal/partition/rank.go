@@ -104,10 +104,3 @@ func (r *Ranking) Unrank(idx *big.Int) (Partition, error) {
 	}
 	return Partition{labels: labels}, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -68,13 +68,13 @@ func ProveAndAccept(in *bcc.Instance, s Scheme) (bool, error) {
 // MaxLabelBits returns the verification complexity of a concrete label
 // assignment: the largest label length in bits.
 func MaxLabelBits(labels [][]byte) int {
-	max := 0
+	maxBits := 0
 	for _, l := range labels {
-		if 8*len(l) > max {
-			max = 8 * len(l)
+		if 8*len(l) > maxBits {
+			maxBits = 8 * len(l)
 		}
 	}
-	return max
+	return maxBits
 }
 
 // SpanningTree is the classical Connectivity scheme: the prover roots a

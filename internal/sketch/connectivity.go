@@ -3,6 +3,7 @@ package sketch
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bcclique/internal/bcc"
 	"bcclique/internal/dsu"
@@ -30,6 +31,19 @@ import (
 // The algorithm is a promise algorithm: on inputs of arboricity greater
 // than Arboricity some vertices may never retire, in which case every
 // node answers NO / label −1 (detectably, never silently wrong).
+//
+// The replicated global state — retired flags and the recovered-edge
+// union-find — is a deterministic function of the phase's broadcast
+// sketches, identical in every inbox. Under the runner's RunBinder
+// protocol it therefore lives once per run: each phase, transmitting
+// replicas deposit their sketch in their own slot of a shared row
+// table at phase start, and at phase end the first replica through a
+// sync.Once decodes every row and applies the retirements; the Once
+// doubles as the barrier that lets the remaining replicas sync their
+// private live-neighbour sets safely. Bare NewNode keeps the classic
+// self-contained replica (per-port accumulation, private union-find)
+// for callers that drive nodes by hand — including ones that feed
+// forged inboxes, which the shared row table could not represent.
 type Connectivity struct {
 	// Arboricity is the promised arboricity bound a.
 	Arboricity int
@@ -66,7 +80,199 @@ func (c *Connectivity) Rounds(n int) int {
 	return phases(n) * (2*(4*c.Arboricity) + 1)
 }
 
-// NewNode implements bcc.Algorithm.
+// sketchRunPool recycles the run-shared state across runs.
+var sketchRunPool = sync.Pool{New: func() interface{} { return new(sketchRun) }}
+
+// BindRun implements bcc.RunBinder: one shared retirement mirror per
+// run.
+func (c *Connectivity) BindRun(in *bcc.Instance, rounds int) bcc.Algorithm {
+	r := sketchRunPool.Get().(*sketchRun)
+	r.Connectivity = c
+	r.pooled = true
+	r.retiredCount = 0
+	r.labelsDone = false
+	r.nextNode = 0
+	r.nodes = r.nodes[:0]
+	rec, err := NewRecoverer(4 * c.Arboricity)
+	ids := in.SortedIDs()
+	if err != nil || ids == nil {
+		r.universe = nil
+		return r
+	}
+	n := len(ids)
+	r.rec = rec
+	r.universe = ids
+	if r.comp == nil {
+		r.comp = dsu.NewCompact(n)
+	} else {
+		r.comp.Reset(n)
+	}
+	if cap(r.retired) < n {
+		r.retired = make([]bool, n)
+		r.rows = make([][]uint64, n)
+		r.vertexRank = make([]int32, n)
+	}
+	r.retired = r.retired[:n]
+	r.rows = r.rows[:n]
+	r.vertexRank = r.vertexRank[:n]
+	for v := 0; v < n; v++ {
+		r.retired[v] = false
+		r.rows[v] = nil
+		r.vertexRank[v] = int32(rankIn(ids, in.ID(v)))
+	}
+	if cap(r.nodes) < n {
+		r.nodes = make([]sketchNode, n)
+	}
+	r.nodes = r.nodes[:n]
+	r.nbrs = r.nbrs[:0]
+	if want := 2 * in.Input().M(); cap(r.nbrs) < want {
+		r.nbrs = make([]int, 0, want)
+	}
+	sketchLen := rec.Len()
+	// sync.Once is single-use: the per-phase barrier array is fresh per
+	// run (one small allocation; everything else is pooled).
+	r.phaseOnce = make([]sync.Once, (rounds+sketchLen-1)/sketchLen)
+	return r
+}
+
+// rankIn returns id's index in the sorted universe (-1 if absent).
+func rankIn(universe []int, id int) int {
+	i := sort.SearchInts(universe, id)
+	if i < len(universe) && universe[i] == id {
+		return i
+	}
+	return -1
+}
+
+// sketchRun is the run-shared substrate and retirement mirror: the
+// sorted universe, the shared recoverer, the per-phase row table every
+// transmitting replica deposits its sketch into, and the replicated
+// retired/union-find state computed once per phase.
+type sketchRun struct {
+	*Connectivity
+	rec        *Recoverer
+	universe   []int // nil → run invalid, every node broken
+	vertexRank []int32
+	// rows[v] is the sketch vertex v is transmitting this phase (nil if
+	// silent), written by each replica into its own slot at phase start
+	// — disjoint writes, safe across shards.
+	rows         [][]uint64
+	retired      []bool // by universe rank
+	retiredCount int
+	comp         *dsu.Compact
+	// phaseOnce[k] runs the phase-k decode exactly once and blocks every
+	// other replica until it lands — the intra-round barrier that makes
+	// the shared retired[] readable for their private live-set sync.
+	phaseOnce []sync.Once
+	nodes     []sketchNode
+	nextNode  int
+	nbrs      []int // live-neighbour arena (IDs, filtered in place per node)
+	// Label epilogue, computed once: minRank[rank] = smallest rank in
+	// its component.
+	labelsDone bool
+	minRank    []int32
+	pooled     bool
+}
+
+// NewNode implements bcc.Algorithm on the bound run.
+func (r *sketchRun) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
+	var node *sketchNode
+	vertex := r.nextNode
+	if vertex < len(r.nodes) {
+		node = &r.nodes[vertex]
+		r.nextNode++
+		*node = sketchNode{}
+	} else {
+		node = &sketchNode{}
+	}
+	node.run = r
+	node.a = r.Arboricity
+	if r.universe == nil || view.Knowledge != bcc.KT1 || view.AllIDs == nil {
+		node.broken = true
+		return node
+	}
+	node.id = view.ID
+	node.vertex = int32(vertex)
+	node.selfRank = r.vertexRank[vertex]
+	start := len(r.nbrs)
+	for _, p := range view.InputPorts {
+		r.nbrs = append(r.nbrs, view.PortID(p))
+	}
+	node.liveNbrs = r.nbrs[start:len(r.nbrs):len(r.nbrs)]
+	return node
+}
+
+// ReleaseRun implements bcc.RunReleaser.
+func (r *sketchRun) ReleaseRun() {
+	if !r.pooled {
+		return
+	}
+	r.Connectivity = nil
+	r.rec = nil
+	r.universe = nil
+	r.phaseOnce = nil
+	for v := range r.rows {
+		r.rows[v] = nil
+	}
+	sketchRunPool.Put(r)
+}
+
+// finishPhase decodes every deposited sketch and applies the phase's
+// retirements to the shared mirror — run once per phase via phaseOnce.
+// Vertex-ascending decode order differs from the classic per-replica
+// order (own row first, then ports), but retirements and the union set
+// are order-independent.
+func (r *sketchRun) finishPhase() {
+	for v, row := range r.rows {
+		if row == nil {
+			continue
+		}
+		nbrs, ok := r.rec.Decode(row, r.universe)
+		if !ok {
+			continue
+		}
+		sr := int(r.vertexRank[v])
+		if !r.retired[sr] {
+			r.retired[sr] = true
+			r.retiredCount++
+		}
+		for _, w := range nbrs {
+			if wr := rankIn(r.universe, w); wr >= 0 {
+				r.comp.Union(sr, wr)
+			}
+		}
+	}
+}
+
+// finishLabels computes per-rank component labels once (sequential
+// output epilogue): ascending rank order is ascending ID order, so the
+// first member to reach a root carries the component's smallest ID.
+func (r *sketchRun) finishLabels() {
+	if r.labelsDone {
+		return
+	}
+	r.labelsDone = true
+	n := len(r.universe)
+	if cap(r.minRank) < n {
+		r.minRank = make([]int32, n)
+	}
+	r.minRank = r.minRank[:n]
+	for v := range r.minRank {
+		r.minRank[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if root := r.comp.Find(v); r.minRank[root] == -1 {
+			r.minRank[root] = int32(v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		r.minRank[v] = r.minRank[r.comp.Find(v)]
+	}
+}
+
+// NewNode implements bcc.Algorithm on the bare (unbound) algorithm: the
+// classic self-contained replica with per-port accumulation and its own
+// union-find.
 func (c *Connectivity) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 	node := &sketchNode{a: c.Arboricity}
 	rec, err := NewRecoverer(4 * c.Arboricity)
@@ -89,10 +295,9 @@ func (c *Connectivity) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 		sort.Ints(node.universe)
 	}
 	for _, p := range view.InputPorts {
-		node.liveNbrs = append(node.liveNbrs, view.PortIDs[p])
+		node.liveNbrs = append(node.liveNbrs, view.PortID(p))
 	}
-	// PortIDs is built fresh for this view; alias it.
-	node.portID = view.PortIDs
+	node.view = view
 	node.retired = make([]bool, len(node.universe))
 	node.comp = dsu.New(len(node.universe))
 	node.phaseBuf = make([][]uint64, view.NumPorts)
@@ -100,19 +305,25 @@ func (c *Connectivity) NewNode(view bcc.View, _ *bcc.Coin) bcc.Node {
 	return node
 }
 
+// sketchNode is one replica. In run-shared mode (run != nil) its
+// residue is its rank, vertex slot, and private live-neighbour set; in
+// private mode it carries the classic per-port buffers and its own
+// replica of the global state.
 type sketchNode struct {
+	run      *sketchRun
 	a        int
-	rec      *Recoverer
 	id       int
-	universe []int // all IDs, ascending; rank queries binary-search it
+	vertex   int32 // shared mode: row-table slot
+	selfRank int32 // shared mode: universe rank
 	liveNbrs []int // IDs of not-yet-retired input neighbours
-	portID   []int
-
+	sketch   []uint64
+	// Private-mode state.
+	rec         *Recoverer
+	universe    []int // all IDs, ascending; rank queries binary-search it
+	view        bcc.View
 	retired     []bool // by universe rank; replicated identically everywhere
 	selfRetired bool
 	comp        *dsu.DSU
-
-	sketch      []uint64   // this phase's own transmission (nil if silent)
 	phaseBuf    [][]uint64 // per-port accumulated field elements this phase
 	phaseSilent []bool     // per-port: sender silent at any point this phase
 	broken      bool
@@ -120,9 +331,9 @@ type sketchNode struct {
 
 func (n *sketchNode) sketchLen() int { return 2*(4*n.a) + 1 }
 
-// rankOf returns id's index in the sorted universe. A binary search
-// keeps per-node memory O(n) ints — a per-node hash map at n = 4096
-// costs ~50 bytes per entry across 4096 replicas.
+// rankOf returns id's index in the sorted universe (private mode). A
+// binary search keeps per-node memory O(n) ints — a per-node hash map
+// at n = 4096 costs ~50 bytes per entry across 4096 replicas.
 func (n *sketchNode) rankOf(id int) (int, bool) {
 	i := sort.SearchInts(n.universe, id)
 	if i < len(n.universe) && n.universe[i] == id {
@@ -140,10 +351,14 @@ func (n *sketchNode) Send(round int) bcc.Message {
 		// Phase start: decide whether to transmit this phase.
 		n.sketch = nil
 		if !n.selfRetired && len(n.liveNbrs) <= 4*n.a {
-			s, err := n.rec.Encode(n.liveNbrs)
+			s, err := n.encoder().Encode(n.liveNbrs)
 			if err == nil {
 				n.sketch = s
 			}
+		}
+		if n.run != nil {
+			// Deposit in our own row slot (disjoint writes per replica).
+			n.run.rows[n.vertex] = n.sketch
 		}
 	}
 	if n.sketch == nil {
@@ -152,11 +367,47 @@ func (n *sketchNode) Send(round int) bcc.Message {
 	return bcc.Word(n.sketch[pos], 31)
 }
 
+func (n *sketchNode) encoder() *Recoverer {
+	if n.run != nil {
+		return n.run.rec
+	}
+	return n.rec
+}
+
+// sharedEndPhase is the shared-mode phase epilogue: run the decode once
+// across all replicas, then sync this replica's private residue from
+// the shared mirror. phaseOnce blocks until the winning decode is
+// complete, so the reads below are ordered after it.
+func (n *sketchNode) sharedEndPhase(round int) {
+	r := n.run
+	k := (round - 1) / n.sketchLen()
+	if k >= len(r.phaseOnce) {
+		return // over-extended schedule: phases beyond the bound are inert
+	}
+	r.phaseOnce[k].Do(r.finishPhase)
+	n.selfRetired = r.retired[n.selfRank]
+	live := n.liveNbrs[:0]
+	for _, w := range n.liveNbrs {
+		if wr := rankIn(r.universe, w); wr >= 0 && !r.retired[wr] {
+			live = append(live, w)
+		}
+	}
+	n.liveNbrs = live
+}
+
 func (n *sketchNode) Receive(round int, inbox []bcc.Message) {
 	if n.broken {
 		return
 	}
 	pos := (round - 1) % n.sketchLen()
+	if n.run != nil {
+		// Shared mode: the inbox is a projection of the row table the
+		// replicas already share; only the phase boundary matters.
+		if pos == n.sketchLen()-1 {
+			n.sharedEndPhase(round)
+		}
+		return
+	}
 	if pos == 0 {
 		for p := range n.phaseBuf {
 			n.phaseBuf[p] = n.phaseBuf[p][:0]
@@ -175,9 +426,21 @@ func (n *sketchNode) Receive(round int, inbox []bcc.Message) {
 	}
 }
 
+// ReceiveSends implements bcc.SendsReceiver: shared mode reads the row
+// table, not the broadcast vector, so delivery is just the phase
+// boundary.
+func (n *sketchNode) ReceiveSends(round int, _ []bcc.Message) {
+	if n.broken || n.run == nil {
+		return
+	}
+	if (round-1)%n.sketchLen() == n.sketchLen()-1 {
+		n.sharedEndPhase(round)
+	}
+}
+
 // endPhase decodes every completed sketch and updates the replicated
-// global state. All replicas process identical broadcasts, so they stay
-// in lockstep.
+// global state (private mode). All replicas process identical
+// broadcasts, so they stay in lockstep.
 func (n *sketchNode) endPhase() {
 	type retirement struct {
 		sender int
@@ -196,7 +459,7 @@ func (n *sketchNode) endPhase() {
 		if !ok {
 			continue
 		}
-		retirements = append(retirements, retirement{sender: n.portID[p], nbrs: nbrs})
+		retirements = append(retirements, retirement{sender: n.view.PortID(p), nbrs: nbrs})
 	}
 	for _, r := range retirements {
 		sr, ok := n.rankOf(r.sender)
@@ -227,6 +490,9 @@ func (n *sketchNode) endPhase() {
 
 // done reports whether every vertex retired (all edges recovered).
 func (n *sketchNode) done() bool {
+	if r := n.run; r != nil {
+		return r.retiredCount == len(r.universe)
+	}
 	for _, r := range n.retired {
 		if !r {
 			return false
@@ -241,6 +507,12 @@ func (n *sketchNode) Decide() bcc.Verdict {
 	if n.broken || !n.done() {
 		return bcc.VerdictNo
 	}
+	if r := n.run; r != nil {
+		if r.comp.Sets() == 1 {
+			return bcc.VerdictYes
+		}
+		return bcc.VerdictNo
+	}
 	if n.comp.Sets() == 1 {
 		return bcc.VerdictYes
 	}
@@ -253,18 +525,26 @@ func (n *sketchNode) Label() int {
 	if n.broken || !n.done() {
 		return -1
 	}
+	if r := n.run; r != nil {
+		r.finishLabels()
+		return r.universe[r.minRank[n.selfRank]]
+	}
 	self, _ := n.rankOf(n.id)
-	min := n.id
+	minID := n.id
 	for i, id := range n.universe {
-		if n.comp.Same(self, i) && id < min {
-			min = id
+		if n.comp.Same(self, i) && id < minID {
+			minID = id
 		}
 	}
-	return min
+	return minID
 }
 
 var (
-	_ bcc.Algorithm = (*Connectivity)(nil)
-	_ bcc.Decider   = (*sketchNode)(nil)
-	_ bcc.Labeler   = (*sketchNode)(nil)
+	_ bcc.Algorithm     = (*Connectivity)(nil)
+	_ bcc.RunBinder     = (*Connectivity)(nil)
+	_ bcc.Algorithm     = (*sketchRun)(nil)
+	_ bcc.RunReleaser   = (*sketchRun)(nil)
+	_ bcc.Decider       = (*sketchNode)(nil)
+	_ bcc.Labeler       = (*sketchNode)(nil)
+	_ bcc.SendsReceiver = (*sketchNode)(nil)
 )

@@ -1,0 +1,91 @@
+package bcclique_test
+
+import (
+	"testing"
+
+	"bcclique/internal/bcc"
+	"bcclique/internal/graph"
+	"bcclique/internal/parallel"
+)
+
+// shardLoopProbe is an inert run-bound BCC(2) algorithm with
+// preallocated nodes: binding it opts a run into the intra-cell
+// replica-parallel loop, and its nodes consume the raw broadcast vector,
+// so a Run's allocations are exactly the sharded generic round loop's
+// own. Bandwidth 2 keeps it off the bit plane.
+type shardLoopProbe struct {
+	rounds int
+	nodes  []bcc.Node
+	next   int
+}
+
+func (p *shardLoopProbe) Name() string   { return "shard-loop-probe" }
+func (p *shardLoopProbe) Bandwidth() int { return 2 }
+func (p *shardLoopProbe) Rounds(int) int { return p.rounds }
+func (p *shardLoopProbe) BindRun(*bcc.Instance, int) bcc.Algorithm {
+	p.next = 0
+	return p
+}
+func (p *shardLoopProbe) NewNode(bcc.View, *bcc.Coin) bcc.Node {
+	n := p.nodes[p.next]
+	p.next = (p.next + 1) % len(p.nodes)
+	return n
+}
+
+type shardLoopNode struct{}
+
+func (shardLoopNode) Send(int) bcc.Message            { return bcc.Word(2, 2) }
+func (shardLoopNode) Receive(int, []bcc.Message)      {}
+func (shardLoopNode) ReceiveSends(int, []bcc.Message) {}
+
+// TestShardedRoundLoopAllocationFree pins the intra-cell parallel
+// loop's 0-allocs steady-state contract, the sharded sibling of
+// TestBitPlaneRoundLoopAllocationFree: with node construction amortized
+// and worker sharding forced on, a run's allocation count is a small
+// constant independent of the round count — the per-run shard group,
+// phase closures, and parked workers are the only overhead, and no
+// allocation happens per round or per phase.
+func TestShardedRoundLoopAllocationFree(t *testing.T) {
+	const n = 640 // 3 shards of 256: cursor contention plus a ragged tail
+	g := graph.New(n)
+	in, err := bcc.NewKT1(bcc.SequentialIDs(n), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := bcc.SetIntraCellMinN(1)
+	defer bcc.SetIntraCellMinN(prev)
+	parallel.SetLimit(3)
+	defer parallel.SetLimit(0)
+	allocsAt := func(rounds int) float64 {
+		probe := &shardLoopProbe{rounds: rounds, nodes: make([]bcc.Node, n)}
+		for i := range probe.nodes {
+			probe.nodes[i] = shardLoopNode{}
+		}
+		// Warm the arena pools before measuring.
+		res, err := bcc.Run(in, probe, bcc.WithoutTranscripts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcc.Recycle(res)
+		return testing.AllocsPerRun(10, func() {
+			res, err := bcc.Run(in, probe, bcc.WithoutTranscripts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalBits != 2*n*rounds {
+				t.Fatalf("probe run broadcast %d bits, want %d", res.TotalBits, 2*n*rounds)
+			}
+			bcc.Recycle(res)
+		})
+	}
+	short, long := allocsAt(64), allocsAt(4096)
+	if long > short {
+		t.Errorf("allocations grow with the round count (%.1f at 64 rounds, %.1f at 4096): the sharded round loop allocates", short, long)
+	}
+	// The constant is the per-run overhead: shard group + parked
+	// workers + phase closures + node/SendsReceiver tables. A per-round
+	// or per-phase regression would add thousands.
+	if long > 48 {
+		t.Errorf("per-run allocation constant is %.1f, want a small constant", long)
+	}
+}
