@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race check bench bench-json bench-sweeps bench-scale bench-bitplane bench-serving bench-memory bench-compare report serve serve-race load-smoke smoke-examples sweep sweep-smoke sweep-large sweep-xl sweep-xxl fmt vet lint staticcheck
+.PHONY: build test race check bench bench-json bench-sweeps bench-scale bench-bitplane bench-serving bench-memory bench-compare report serve serve-race load-smoke trace-smoke smoke-examples sweep sweep-smoke sweep-large sweep-xl sweep-xxl fmt vet lint staticcheck
 
 build:
 	$(GO) build ./...
@@ -147,6 +147,17 @@ sweep-smoke:
 		-protocols kt0-exchange,boruvka -families one-cycle,two-cycle -sizes 8,16 \
 		-format csv -out sweep-smoke.csv
 	@cat sweep-smoke.csv
+
+# Traced sweep smoke: run a small E17 sweep with tracing on, write the
+# Chrome trace_event file, and assert it is non-empty and well-formed
+# (every event a complete "X" with ts/dur/pid/tid, at least one cell).
+# CI uploads trace-smoke.json as an artifact — drop it into
+# https://ui.perfetto.dev to inspect where the sweep's wall time went.
+trace-smoke:
+	$(GO) run ./cmd/experiments -sweep E17 \
+		-protocols kt0-exchange,flood-b1 -families one-cycle,two-cycle -sizes 8,16 \
+		-format csv -cache-dir none -trace-out trace-smoke.json >/dev/null
+	$(GO) run ./cmd/tracecheck trace-smoke.json
 
 # Run the bccd experiment job server on :8371.
 serve:

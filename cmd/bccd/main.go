@@ -7,7 +7,7 @@
 //
 //	bccd [-addr :8371] [-cache-dir DIR|none] [-parallel N]
 //	     [-queue N] [-request-timeout D] [-rate-limit RPS] [-rate-burst N]
-//	     [-max-body BYTES] [-drain-timeout D]
+//	     [-max-body BYTES] [-drain-timeout D] [-trace-buffer N] [-debug-addr ADDR]
 //
 // Endpoints:
 //
@@ -18,9 +18,18 @@
 //	GET  /v1/sweeps        list sweep grids; ?grid=E17&format=md|json|jsonl|csv runs one
 //	                       through the per-cell cache (csv/jsonl stream rows in cell order)
 //	GET  /v1/specs         the experiment registry (E01–E16 + the E17/E18 grids)
+//	GET  /v1/traces        recent traces (ring-buffered); /v1/traces/{id} one span tree
+//	                       as JSON, or ?format=chrome for Perfetto/about:tracing
 //	GET  /healthz          liveness plus cache statistics (keeps answering 200 during drain)
 //	GET  /readyz           readiness: 200 while accepting work, 503 once draining
 //	GET  /metrics          Prometheus text-format metrics (stdlib implementation)
+//
+// Every request and job runs under a span tree (HTTP → job → grid →
+// cell → simulated phases) retained in an in-process ring and served at
+// /v1/traces; responses carry the trace ID in X-Trace-Id. -trace-buffer 0
+// disables tracing entirely. -debug-addr exposes net/http/pprof on a
+// separate listener (never the public mux). Logs are JSON lines on
+// stderr with trace/span IDs attached where available.
 //
 // Identical concurrent requests share one computation (single-flight)
 // and repeated requests are served hot from the cache with zero
@@ -44,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +61,7 @@ import (
 
 	"bcclique/internal/engine"
 	"bcclique/internal/harness"
+	"bcclique/internal/obs"
 	"bcclique/internal/parallel"
 	"bcclique/internal/results"
 )
@@ -75,9 +86,14 @@ func run() error {
 		rateBurst  = flag.Int("rate-burst", def.rateBurst, "per-client burst size for -rate-limit")
 		maxBody    = flag.Int64("max-body", def.maxBodyBytes, "max POST body size in bytes")
 		drainTime  = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight jobs may run after SIGTERM before being cancelled")
+
+		traceBuf  = flag.Int("trace-buffer", obs.DefaultCapacity, "completed spans retained for /v1/traces (0 disables tracing)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables; never exposed on -addr)")
 	)
 	flag.Parse()
 	parallel.SetLimit(*par)
+
+	logger := obs.NewLogger(os.Stderr, "bccd")
 
 	store, err := results.OpenFlag(*cacheDir)
 	if err != nil {
@@ -85,24 +101,51 @@ func run() error {
 	}
 	var opts []engine.Option
 	if store != nil {
-		fmt.Fprintf(os.Stderr, "bccd: result cache at %s\n", store.Dir())
+		logger.Info("result cache open", "dir", store.Dir())
 		opts = append(opts, engine.WithStore(store))
 	} else {
-		fmt.Fprintln(os.Stderr, "bccd: running uncached")
+		logger.Info("running uncached")
 	}
-	srv := newServer(harness.NewEngine(opts...), serverConfig{
+	var tracer *obs.Tracer
+	if *traceBuf > 0 {
+		tracer = obs.New(*traceBuf)
+		opts = append(opts, engine.WithTracer(tracer))
+	}
+	cfg := serverConfig{
 		queueCapacity:  *queueCap,
 		requestTimeout: *reqTimeout,
 		rateLimit:      *rateLimit,
 		rateBurst:      *rateBurst,
 		maxBodyBytes:   *maxBody,
 		retryAfter:     def.retryAfter,
-	})
+		logger:         logger,
+	}
+	srv := newServer(harness.NewEngine(opts...), cfg)
+
+	// The pprof listener is deliberately a second http.Server on its own
+	// address: profiling endpoints leak heap contents and must never ride
+	// the public mux. Bind -debug-addr to localhost in production.
+	if *debugAddr != "" {
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv := &http.Server{Addr: *debugAddr, Handler: debugMux}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err.Error())
+			}
+		}()
+		defer debugSrv.Close()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "bccd: listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr, "tracing", tracer != nil)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -119,15 +162,13 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintf(os.Stderr, "bccd: draining (up to %s for in-flight jobs)\n", *drainTime)
+	logger.Info("draining", "timeout", drainTime.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTime)
 	defer cancel()
-	if err := srv.Drain(drainCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "bccd: drain deadline hit; cancelling remaining jobs")
-	}
+	srv.Drain(drainCtx) // logs its own outcome, including the hard-cancel
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		httpSrv.Close()
 	}
-	fmt.Fprintln(os.Stderr, "bccd: stopped")
+	logger.Info("stopped")
 	return nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled scales the concurrent-tracing hammer up under the race
+// detector, where the extra interleavings are the point of the test.
+const raceEnabled = true

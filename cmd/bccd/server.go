@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/url"
@@ -16,6 +17,7 @@ import (
 
 	"bcclique/internal/bcc"
 	"bcclique/internal/engine"
+	"bcclique/internal/obs"
 	"bcclique/internal/report"
 	"bcclique/internal/results"
 	"bcclique/internal/serving"
@@ -37,6 +39,9 @@ type serverConfig struct {
 	maxBodyBytes int64
 	// retryAfter is the Retry-After hint on queue-full 429s.
 	retryAfter time.Duration
+	// logger receives the server's structured records (rejections, drain
+	// progress); nil discards them, which is what tests default to.
+	logger *slog.Logger
 }
 
 func defaultServerConfig() serverConfig {
@@ -71,9 +76,21 @@ type server struct {
 	cancelJobs context.CancelFunc
 
 	start    time.Time
+	log      *slog.Logger
 	metrics  *serving.Registry
 	requests *serving.CounterVec   // labels: endpoint, code
 	latency  *serving.HistogramVec // labels: endpoint
+
+	// reqSeq numbers synchronous request traces ("req-<n>-<route>"), so
+	// every traced response can hand back an X-Trace-Id resolvable at
+	// /v1/traces/{id}.
+	reqSeq atomic.Uint64
+
+	// Per-cell histograms by protocol×family, fed from completed cell
+	// spans via the tracer's OnEnd hook; nil when tracing is off.
+	cellSeconds *serving.HistogramVec
+	cellRounds  *serving.HistogramVec
+	cellBits    *serving.HistogramVec
 }
 
 func newServer(eng *engine.Engine, cfg serverConfig) *server {
@@ -88,7 +105,31 @@ func newServer(eng *engine.Engine, cfg serverConfig) *server {
 		start:      time.Now(),
 	}
 	s.ready.Store(true)
+	s.log = cfg.logger
+	if s.log == nil {
+		s.log = obs.NopLogger()
+	}
 	s.initMetrics()
+	// Completed cell spans feed the per-cell histograms: duration from
+	// the span itself, mean rounds/bits from the attributes the harness
+	// sets. The hook runs on whichever goroutine ends the span, outside
+	// the tracer lock; HistogramVec.Observe is concurrency-safe.
+	if tr := eng.Tracer(); tr != nil {
+		tr.OnEnd(func(rec obs.Record) {
+			if rec.Name != "cell" {
+				return
+			}
+			proto, _ := rec.Attr("protocol")
+			fam, _ := rec.Attr("family")
+			s.cellSeconds.Observe(rec.Duration.Seconds(), proto.Str, fam.Str)
+			if a, ok := rec.Attr("mean_rounds"); ok {
+				s.cellRounds.Observe(a.Num, proto.Str, fam.Str)
+			}
+			if a, ok := rec.Attr("mean_bits"); ok {
+				s.cellBits.Observe(a.Num, proto.Str, fam.Str)
+			}
+		})
+	}
 	return s
 }
 
@@ -148,6 +189,18 @@ func (s *server) initMetrics() {
 		func() float64 { return float64(s.storeStats().Shared) })
 	m.CounterFunc("bccd_cache_misses_total", "Result-store misses (computations).",
 		func() float64 { return float64(s.storeStats().Misses) })
+	// Per-cell cost histograms by protocol×family. Populated only while
+	// tracing is on (they are fed from completed cell spans); registered
+	// unconditionally so dashboards see stable series either way.
+	s.cellSeconds = m.HistogramVec("bccd_cell_seconds",
+		"Wall time per computed sweep cell by protocol and family.",
+		serving.DefaultLatencyBuckets, "protocol", "family")
+	s.cellRounds = m.HistogramVec("bccd_cell_rounds",
+		"Mean simulated rounds per sweep cell by protocol and family.",
+		[]float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}, "protocol", "family")
+	s.cellBits = m.HistogramVec("bccd_cell_bits",
+		"Mean total broadcast bits per sweep cell by protocol and family.",
+		[]float64{64, 512, 4096, 32768, 262144, 2097152, 16777216, 134217728}, "protocol", "family")
 	s.metrics = m
 }
 
@@ -174,7 +227,18 @@ func (s *server) StartDrain() {
 // nil when everything finished cleanly, the wait error otherwise.
 func (s *server) Drain(ctx context.Context) error {
 	s.StartDrain()
+	s.log.Info("drain started", "active_jobs", s.eng.ActiveJobs())
 	err := s.eng.WaitJobs(ctx)
+	if err != nil {
+		// The deadline passed with jobs still running: this is the one
+		// hard-cancel in the server's life, and it must leave a record —
+		// the cancelled jobs report status "cancelled", not "failed", and
+		// their completed cells stay cached.
+		s.log.Error("drain deadline exceeded; hard-cancelling in-flight jobs",
+			"active_jobs", s.eng.ActiveJobs(), "error", err.Error())
+	} else {
+		s.log.Info("drain complete")
+	}
 	s.cancelJobs()
 	return err
 }
@@ -260,6 +324,9 @@ func (s *server) route(mux *http.ServeMux, pattern string, limited bool, methods
 			ra := s.limiter.RetryAfter(clientKey(r))
 			sw.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds())))
 			writeError(sw, http.StatusTooManyRequests, "rate limit exceeded; retry after %s", ra)
+			s.log.Warn("request rejected",
+				"reason", "rate_limit", "client", clientKey(r), "route", pattern,
+				"queue_depth", s.queue.Depth(), "retry_after", ra.String())
 			return
 		}
 		h(sw, r)
@@ -276,6 +343,8 @@ func (s *server) routes() http.Handler {
 	s.route(mux, "/v1/report", true, map[string]http.HandlerFunc{http.MethodGet: s.report})
 	s.route(mux, "/v1/sweeps", true, map[string]http.HandlerFunc{http.MethodGet: s.sweeps})
 	s.route(mux, "/v1/specs", true, map[string]http.HandlerFunc{http.MethodGet: s.specs})
+	s.route(mux, "/v1/traces", false, map[string]http.HandlerFunc{http.MethodGet: s.listTraces})
+	s.route(mux, "/v1/traces/{id}", false, map[string]http.HandlerFunc{http.MethodGet: s.getTrace})
 	s.route(mux, "/healthz", false, map[string]http.HandlerFunc{http.MethodGet: s.health})
 	s.route(mux, "/readyz", false, map[string]http.HandlerFunc{http.MethodGet: s.readyz})
 	s.route(mux, "/metrics", false, map[string]http.HandlerFunc{http.MethodGet: s.metricsHandler})
@@ -284,19 +353,27 @@ func (s *server) routes() http.Handler {
 
 // admit acquires one admission slot for heavy work, translating
 // admission failures into their HTTP shapes: full → 429 with
-// Retry-After, draining → 503. The returned release must be called
-// when the work finishes; ok=false means the response has been
-// written.
-func (s *server) admit(w http.ResponseWriter) (release func(), ok bool) {
+// Retry-After, draining → 503. Both rejections leave a structured log
+// record with the client, route, and queue depth — without it an
+// operator sees only the aggregate 429/503 counters and cannot tell
+// who is being shed. The returned release must be called when the work
+// finishes; ok=false means the response has been written.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	release, err := s.queue.Acquire()
 	switch {
 	case errors.Is(err, serving.ErrFull):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.retryAfter.Seconds())))
 		writeError(w, http.StatusTooManyRequests, "server at capacity (%d units in flight); retry after %s",
 			s.queue.Capacity(), s.cfg.retryAfter)
+		s.log.Warn("request rejected",
+			"reason", "queue_full", "client", clientKey(r), "route", r.URL.Path,
+			"queue_depth", s.queue.Depth(), "queue_capacity", s.queue.Capacity())
 		return nil, false
 	case errors.Is(err, serving.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "server is draining; submit to another instance")
+		s.log.Warn("request rejected",
+			"reason", "draining", "client", clientKey(r), "route", r.URL.Path,
+			"queue_depth", s.queue.Depth())
 		return nil, false
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -429,7 +506,7 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 	// The job holds its admission slot until it finishes, so queued +
 	// running jobs plus synchronous computations can never exceed the
 	// queue capacity.
-	release, ok := s.admit(w)
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
@@ -437,6 +514,11 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 	// 202 below ends this request, and an accepted job must survive its
 	// submitter hanging up.
 	job := s.eng.Submit(s.jobCtx, engine.Config{Quick: req.Quick, Seed: seed}, req.Only)
+	if s.eng.Tracer() != nil {
+		// A job's trace ID is its job ID, so the submitter can watch the
+		// span tree grow at /v1/traces/{id} while the job runs.
+		w.Header().Set("X-Trace-Id", job.ID)
+	}
 	go func() {
 		defer release()
 		s.eng.WaitJob(context.Background(), job.ID)
@@ -497,13 +579,14 @@ func (s *server) report(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, ok := s.admit(w)
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
 	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ctx, span := s.rootSpan(ctx, w, "http /v1/report")
 
 	meta := report.Meta{
 		Title: "Experiments: paper vs. measured",
@@ -511,12 +594,31 @@ func (s *server) report(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", contentType)
 	cw := &countingWriter{w: w}
-	if _, err := s.eng.Stream(ctx, cw, renderer, meta, cfg, only, nil); err != nil {
+	_, err = s.eng.Stream(ctx, cw, renderer, meta, cfg, only, nil)
+	span.EndErr(err)
+	if err != nil {
 		// A failure before the first flushed byte is still a clean JSON
 		// error; mid-stream, the truncated body plus the trailer line is
 		// all we can signal.
 		streamError(w, cw, err)
 	}
+}
+
+// rootSpan begins a synchronous request's trace: a fresh "req-<n>-…"
+// trace rooted at the endpoint name, with the trace ID handed back in
+// the X-Trace-Id response header so clients (bccload's -trace-sample)
+// can fetch the finished tree from /v1/traces/{id}. A tracerless engine
+// makes this a no-op returning (ctx, nil).
+func (s *server) rootSpan(ctx context.Context, w http.ResponseWriter, name string) (context.Context, *obs.Span) {
+	tr := s.eng.Tracer()
+	if tr == nil {
+		return ctx, nil
+	}
+	route := strings.TrimPrefix(name, "http /v1/")
+	traceID := fmt.Sprintf("req-%d-%s", s.reqSeq.Add(1), route)
+	ctx, span := tr.Root(ctx, name, traceID)
+	w.Header().Set("X-Trace-Id", traceID)
+	return ctx, span
 }
 
 // parseConfig reads the shared seed/quick query parameters.
@@ -624,13 +726,17 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, ok := s.admit(w)
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
 	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ctx, span := s.rootSpan(ctx, w, "http /v1/sweeps")
+	span.SetStr("grid", gridID)
+	var reqErr error
+	defer func() { span.EndErr(reqErr) }()
 
 	switch format {
 	case "", "md":
@@ -638,6 +744,7 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 		// a failed run answers as a JSON 500, not a markdown-typed error.
 		res, err := s.eng.RunGrid(ctx, grid, cfg, nil, nil)
 		if err != nil {
+			reqErr = err
 			writeError(w, errorStatus(err), "%v", err)
 			return
 		}
@@ -648,6 +755,7 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 	case "json":
 		res, err := s.eng.RunGrid(ctx, grid, cfg, nil, nil)
 		if err != nil {
+			reqErr = err
 			writeError(w, errorStatus(err), "%v", err)
 			return
 		}
@@ -659,6 +767,7 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		cw := &countingWriter{w: w}
 		if _, err := s.eng.RunGrid(ctx, grid, cfg, nil, flushingSink(w, grid.JSONLSink(cw))); err != nil {
+			reqErr = err
 			streamError(w, cw, err)
 		}
 	case "csv":
@@ -668,6 +777,7 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// The header record never left the csv buffer: answer a real
 			// 500 instead of a silently empty 200.
+			reqErr = err
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
@@ -681,6 +791,7 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 			flush()
 		}
 		if runErr != nil {
+			reqErr = runErr
 			streamError(w, cw, runErr)
 		}
 	}

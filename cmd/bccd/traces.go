@@ -1,0 +1,52 @@
+package main
+
+import (
+	"net/http"
+
+	"bcclique/internal/obs"
+)
+
+// listTraces serves GET /v1/traces: the traces currently retained in
+// the tracer's ring, most recent first. With tracing off (no
+// -trace-buffer) the trace endpoints answer 404 so a client can tell
+// "tracing disabled" apart from "no traces yet" (an empty array).
+func (s *server) listTraces(w http.ResponseWriter, r *http.Request) {
+	tr := s.eng.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "tracing is disabled (start bccd with -trace-buffer > 0)")
+		return
+	}
+	sums := tr.Traces()
+	if sums == nil {
+		sums = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, sums)
+}
+
+// getTrace serves GET /v1/traces/{id}: one trace's spans, as JSON
+// (default) or as a Chrome trace_event array (?format=chrome) loadable
+// in Perfetto or about:tracing. The id is a trace ID — a job ID for
+// submitted jobs, the X-Trace-Id of a synchronous request otherwise.
+func (s *server) getTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.eng.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "tracing is disabled (start bccd with -trace-buffer > 0)")
+		return
+	}
+	id := r.PathValue("id")
+	recs := tr.Trace(id)
+	if len(recs) == 0 {
+		writeError(w, http.StatusNotFound, "no trace %q (evicted from the ring, or never recorded)", id)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, obs.ToJSON(recs))
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace-`+id+`.json"`)
+		obs.WriteChrome(w, recs)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or chrome)", format)
+	}
+}

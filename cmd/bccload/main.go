@@ -8,12 +8,18 @@
 //
 //	bccload [-url http://localhost:8371] [-rps 20] [-duration 10s]
 //	        [-mix report=4,sweep=1] [-only E13] [-grid E17] [-quick]
-//	        [-seed 1] [-timeout 30s] [-format text|json]
+//	        [-seed 1] [-timeout 30s] [-format text|json] [-trace-sample N]
 //
 // -mix weights the request types: "report" hits GET /v1/report and
 // "sweep" hits GET /v1/sweeps?grid=... . Each launched request is
 // sampled from the weights with the deterministic -seed, so two runs
 // against equally warm servers issue the identical request sequence.
+//
+// -trace-sample N records the server-side trace ID (the X-Trace-Id
+// response header) of every Nth launched request; the report then names
+// the slowest sampled request's /v1/traces URL, so "p99 looks bad" goes
+// straight to a span tree showing where that request spent its time.
+// Requires bccd running with tracing on (the default).
 //
 // The exit status is 0 when every launched request completed with a
 // 2xx, and 1 otherwise — so a smoke invocation doubles as a CI check.
@@ -58,6 +64,7 @@ type shot struct {
 	code    int           // 0 on transport error
 	latency time.Duration // request start to body fully read
 	err     error
+	traceID string // X-Trace-Id of a -trace-sample'd request, else ""
 }
 
 // mixEntry is one weighted request kind.
@@ -154,6 +161,12 @@ type loadReport struct {
 	AchievedRPS float64               `json:"achieved_rps"`
 	Interrupted bool                  `json:"interrupted,omitempty"`
 	Kinds       map[string]*kindStats `json:"kinds"`
+
+	// Populated by -trace-sample: how many completed requests carried a
+	// sampled trace ID, and the slowest of them as a fetchable URL.
+	TraceSampled   int     `json:"trace_sampled,omitempty"`
+	SlowestTrace   string  `json:"slowest_trace,omitempty"`
+	SlowestTraceMs float64 `json:"slowest_trace_ms,omitempty"`
 }
 
 func classify(rep *loadReport, s shot) {
@@ -187,6 +200,21 @@ func classify(rep *loadReport, s shot) {
 	}
 }
 
+// noteSample folds one -trace-sample'd shot into the report, keeping
+// the slowest successfully-traced request as a fetchable URL. Failed
+// requests are excluded: their trace (if any) describes an aborted
+// computation, not the latency the percentiles measure.
+func noteSample(rep *loadReport, baseURL string, s shot) {
+	if s.traceID == "" || s.code/100 != 2 {
+		return
+	}
+	rep.TraceSampled++
+	if ms := s.latency.Seconds() * 1000; ms > rep.SlowestTraceMs {
+		rep.SlowestTraceMs = ms
+		rep.SlowestTrace = baseURL + "/v1/traces/" + s.traceID
+	}
+}
+
 // errClass collapses transport errors into stable buckets so the
 // report does not explode into one line per ephemeral port.
 func errClass(err error) string {
@@ -214,6 +242,7 @@ func run(ctx context.Context, out io.Writer) (bool, error) {
 		seed     = flag.Int64("seed", 1, "experiment seed and mix-sampling seed")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		format   = flag.String("format", "text", "report format: text or json")
+		sampleN  = flag.Int("trace-sample", 0, "record the server trace ID (X-Trace-Id) of every Nth launched request (0 disables)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "json" {
@@ -248,7 +277,10 @@ func run(ctx context.Context, out io.Writer) (bool, error) {
 	start := time.Now()
 	interrupted := false
 
+	launchCount := 0 // fire is only called from the launch loop goroutine
 	fire := func(kind string) {
+		launchCount++
+		sampled := *sampleN > 0 && (launchCount-1)%*sampleN == 0
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -259,6 +291,9 @@ func run(ctx context.Context, out io.Writer) (bool, error) {
 				_, err = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				s.code = resp.StatusCode
+				if sampled {
+					s.traceID = resp.Header.Get("X-Trace-Id")
+				}
 			}
 			s.err = err
 			s.latency = time.Since(t0)
@@ -292,6 +327,7 @@ loop:
 	}
 	for s := range shots {
 		classify(rep, s)
+		noteSample(rep, *baseURL, s)
 	}
 	rep.Interrupted = interrupted
 	if secs := elapsed.Seconds(); secs > 0 {
@@ -347,5 +383,9 @@ func writeText(w io.Writer, rep *loadReport) {
 		for msg, n := range ks.Errors {
 			fmt.Fprintf(w, "          %s ×%d\n", msg, n)
 		}
+	}
+	if rep.TraceSampled > 0 {
+		fmt.Fprintf(w, "  sampled %d traces; slowest %.1fms: %s\n",
+			rep.TraceSampled, rep.SlowestTraceMs, rep.SlowestTrace)
 	}
 }

@@ -39,6 +39,25 @@ func TestPickRespectsWeights(t *testing.T) {
 	}
 }
 
+func TestNoteSampleKeepsSlowestTrace(t *testing.T) {
+	rep := &loadReport{}
+	noteSample(rep, "http://bccd", shot{traceID: "req-1-report", code: 200, latency: 40 * time.Millisecond})
+	noteSample(rep, "http://bccd", shot{traceID: "req-3-report", code: 200, latency: 250 * time.Millisecond})
+	noteSample(rep, "http://bccd", shot{traceID: "req-5-report", code: 200, latency: 90 * time.Millisecond})
+	// Unsampled and failed shots must not count.
+	noteSample(rep, "http://bccd", shot{code: 200, latency: time.Second})
+	noteSample(rep, "http://bccd", shot{traceID: "req-7-report", code: 429, latency: time.Second})
+	if rep.TraceSampled != 3 {
+		t.Errorf("TraceSampled = %d, want 3", rep.TraceSampled)
+	}
+	if rep.SlowestTrace != "http://bccd/v1/traces/req-3-report" {
+		t.Errorf("SlowestTrace = %q", rep.SlowestTrace)
+	}
+	if rep.SlowestTraceMs != 250 {
+		t.Errorf("SlowestTraceMs = %v, want 250", rep.SlowestTraceMs)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	durs := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} // already sorted
 	if got := percentile(durs, 50); got != 5 {

@@ -49,6 +49,7 @@ import (
 	"bcclique/internal/engine"
 	"bcclique/internal/family"
 	"bcclique/internal/graph"
+	"bcclique/internal/obs"
 	"bcclique/internal/parallel"
 	"bcclique/internal/protocol"
 	"bcclique/internal/report"
@@ -63,11 +64,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx); err != nil {
+		logger := obs.NewLogger(os.Stderr, "bccsim")
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "bccsim: interrupted — run abandoned mid-simulation; completed sweep results remain cached")
+			logger.Warn("interrupted — run abandoned mid-simulation; completed sweep results remain cached")
 			os.Exit(130)
 		}
-		fmt.Fprintln(os.Stderr, "bccsim:", err)
+		logger.Error("run failed", "error", err.Error())
 		os.Exit(1)
 	}
 }

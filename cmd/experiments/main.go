@@ -5,8 +5,17 @@
 //
 //	experiments [-quick] [-seed N] [-out FILE] [-only E05,E07] [-parallel N]
 //	            [-date D|none] [-format md|json|jsonl] [-cache-dir DIR|none]
+//	            [-trace-out FILE]
 //	experiments -sweep E17 [-protocols a,b] [-families x,y] [-sizes 8,16]
 //	            [-format md|json|jsonl|csv] [-quick] [-seed N] [-out FILE]
+//	            [-trace-out FILE]
+//
+// -trace-out traces the whole run (report or sweep, down to each cell's
+// generate/run/bind/rounds/assemble phases) and writes a Chrome
+// trace_event file to FILE on exit — load it in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing to see where the wall
+// time went. The trace is written even on error or interrupt, covering
+// the completed prefix.
 //
 // With -out it writes the EXPERIMENTS.md-style report to FILE instead of
 // stdout. -parallel sets the worker count of the experiment engine
@@ -42,6 +51,7 @@ import (
 
 	"bcclique/internal/engine"
 	"bcclique/internal/harness"
+	"bcclique/internal/obs"
 	"bcclique/internal/parallel"
 	"bcclique/internal/report"
 	"bcclique/internal/results"
@@ -56,11 +66,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx); err != nil {
+		logger := obs.NewLogger(os.Stderr, "experiments")
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "experiments: interrupted — output written so far is a partial report; completed results remain cached, rerun to resume")
+			logger.Warn("interrupted — output written so far is a partial report; completed results remain cached, rerun to resume")
 			os.Exit(130)
 		}
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+		logger.Error("run failed", "error", err.Error())
 		os.Exit(1)
 	}
 }
@@ -79,6 +90,7 @@ func run(ctx context.Context) error {
 		protos   = flag.String("protocols", "", "comma-separated protocol subset for -sweep (default: all of the grid's)")
 		fams     = flag.String("families", "", "comma-separated family subset for -sweep (default: all of the grid's)")
 		sizes    = flag.String("sizes", "", "comma-separated size override for -sweep (default: the grid's sizes)")
+		traceOut = flag.String("trace-out", "", "trace the run and write a Chrome trace_event file here (Perfetto/about:tracing)")
 	)
 	flag.Parse()
 	parallel.SetLimit(*par)
@@ -96,7 +108,29 @@ func run(ctx context.Context) error {
 	if store != nil {
 		opts = append(opts, engine.WithStore(store))
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		// A full E17+E18 run records a few thousand spans (~18 per cell);
+		// 32768 keeps even a traced full report un-evicted.
+		tracer = obs.New(1 << 15)
+		opts = append(opts, engine.WithTracer(tracer))
+	}
 	eng := harness.NewEngine(opts...)
+	if tracer != nil {
+		rctx, root := tracer.Root(ctx, "experiments", "experiments")
+		ctx = rctx
+		// Written on every exit path — an interrupted or failed run still
+		// leaves a trace of the prefix that did execute.
+		logger := obs.NewLogger(os.Stderr, "experiments")
+		defer func() {
+			root.End()
+			if err := writeChromeTrace(*traceOut, tracer); err != nil {
+				logger.Error("writing -trace-out failed", "path", *traceOut, "error", err.Error())
+				return
+			}
+			logger.Info("trace written", "path", *traceOut, "traces", len(tracer.Traces()))
+		}()
+	}
 
 	// Every flag is validated before -out is opened: os.Create truncates,
 	// so a typo'd invocation must never destroy an existing report.
@@ -179,6 +213,20 @@ func run(ctx context.Context) error {
 	cfg := harness.Config{Quick: *quick, Seed: *seed}
 	_, err = eng.Stream(ctx, w, renderer, meta, cfg, ids, nil)
 	return err
+}
+
+// writeChromeTrace exports everything the tracer retained as one
+// Chrome trace_event file.
+func writeChromeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeAll(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // resolveSweep looks up a sweep grid and applies the axis restrictions,

@@ -1,0 +1,93 @@
+// Command tracecheck validates a Chrome trace_event file produced by
+// the obs subsystem (experiments -trace-out, or GET
+// /v1/traces/{id}?format=chrome from bccd). It is the assertion half of
+// `make trace-smoke`: a traced sweep must leave a non-empty, well-formed
+// trace whose events carry the fields Perfetto needs, including at
+// least one "cell" event — otherwise the instrumentation silently
+// stopped covering the grid.
+//
+// Usage:
+//
+//	tracecheck FILE
+//
+// Exit status 0 when the trace is well-formed; 1 with a diagnosis
+// otherwise. On success it prints a one-line summary (event count,
+// cell count, total traced microseconds).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// event mirrors the subset of the trace_event schema tracecheck
+// asserts on. Pointers distinguish "absent" from zero values.
+type event struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	TS   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	PID  *int     `json:"pid"`
+	TID  *int     `json:"tid"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) != 2 {
+		return fmt.Errorf("usage: tracecheck FILE")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		return err
+	}
+	n, cells, totalUS, err := check(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", os.Args[1], err)
+	}
+	fmt.Printf("tracecheck: %s ok — %d events (%d cell), %.0fµs traced\n", os.Args[1], n, cells, totalUS)
+	return nil
+}
+
+// check validates one trace_event JSON document, returning the event
+// count, the number of "cell" events, and the summed durations.
+func check(data []byte) (n, cells int, totalUS float64, err error) {
+	var events []event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return 0, 0, 0, fmt.Errorf("not a JSON array of trace events: %w", err)
+	}
+	if len(events) == 0 {
+		return 0, 0, 0, fmt.Errorf("trace is empty")
+	}
+	for i, ev := range events {
+		switch {
+		case ev.Name == "":
+			err = fmt.Errorf("event %d has no name", i)
+		case ev.Ph != "X":
+			err = fmt.Errorf("event %d (%s): ph %q, want complete event \"X\"", i, ev.Name, ev.Ph)
+		case ev.TS == nil || ev.Dur == nil:
+			err = fmt.Errorf("event %d (%s): missing ts or dur", i, ev.Name)
+		case *ev.TS < 0 || *ev.Dur < 0:
+			err = fmt.Errorf("event %d (%s): negative ts or dur", i, ev.Name)
+		case ev.PID == nil || ev.TID == nil:
+			err = fmt.Errorf("event %d (%s): missing pid or tid", i, ev.Name)
+		}
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		totalUS += *events[i].Dur
+		if ev.Name == "cell" {
+			cells++
+		}
+	}
+	if cells == 0 {
+		return 0, 0, 0, fmt.Errorf("no \"cell\" events — the trace does not cover the sweep grid")
+	}
+	return len(events), cells, totalUS, nil
+}

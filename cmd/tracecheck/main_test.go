@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bcclique/internal/obs"
+)
+
+// TestCheckAcceptsRealExport round-trips the real exporter: whatever
+// obs.WriteChrome emits for a span tree containing a cell must pass.
+func TestCheckAcceptsRealExport(t *testing.T) {
+	tr := obs.New(64)
+	ctx, root := tr.Root(t.Context(), "sweep", "t1")
+	cctx, cell := obs.StartDet(ctx, "cell", "seed")
+	_, run := obs.Start(cctx, "run")
+	run.End()
+	cell.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, cells, _, err := check(buf.Bytes())
+	if err != nil {
+		t.Fatalf("real export rejected: %v\n%s", err, buf.String())
+	}
+	if n != 3 || cells != 1 {
+		t.Errorf("n=%d cells=%d, want 3 events with 1 cell", n, cells)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"not JSON", "nonsense", "not a JSON array"},
+		{"empty", "[]", "empty"},
+		{"no name", `[{"ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]`, "no name"},
+		{"wrong phase", `[{"name":"cell","ph":"B","ts":0,"dur":1,"pid":1,"tid":1}]`, `ph "B"`},
+		{"missing dur", `[{"name":"cell","ph":"X","ts":0,"pid":1,"tid":1}]`, "missing ts or dur"},
+		{"negative ts", `[{"name":"cell","ph":"X","ts":-5,"dur":1,"pid":1,"tid":1}]`, "negative"},
+		{"missing tid", `[{"name":"cell","ph":"X","ts":0,"dur":1,"pid":1}]`, "missing pid or tid"},
+		{"no cells", `[{"name":"grid","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]`, `no "cell" events`},
+	}
+	for _, tc := range cases {
+		_, _, _, err := check([]byte(tc.doc))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}

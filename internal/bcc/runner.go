@@ -3,8 +3,11 @@ package bcc
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
+	"bcclique/internal/obs"
 	"bcclique/internal/parallel"
 )
 
@@ -311,9 +314,16 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 		return nil, fmt.Errorf("bcc: WithoutTranscripts conflicts with WithReceivedTranscripts")
 	}
 
+	// span is the enclosing per-run span ("run" in the sweep tree) when
+	// the caller traces; with tracing off it is nil and every phase hook
+	// below degrades to a nil check. Phase spans are created per run —
+	// never per round — so the hot loop stays allocation-free.
+	span := obs.FromContext(ctx)
+
 	// Shared-substrate algorithms bind once per run; the bound algorithm
 	// owns the run's shared state and is what nodes are built from.
 	// Binding also opts the run into intra-cell sharding at large n.
+	bindSpan := span.Child("bind")
 	runAlgo := algo
 	bound := false
 	if rb, ok := algo.(RunBinder); ok {
@@ -327,6 +337,14 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 	nodes := make([]Node, n)
 	for v := 0; v < n; v++ {
 		nodes[v] = runAlgo.NewNode(in.View(v), o.coin)
+	}
+	if bindSpan != nil {
+		bindSpan.SetStr("algorithm", runAlgo.Name())
+		bindSpan.SetNum("n", float64(n))
+		if bound {
+			bindSpan.SetNum("bound", 1)
+		}
+		bindSpan.End()
 	}
 
 	// sg is the intra-cell shard pool: run-bound algorithms at large n
@@ -350,10 +368,15 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 	if b == 1 && !o.noBitPlane && !o.recordReceived {
 		if ba, ok := runAlgo.(BitAlgorithm); ok && ba.BitPlane() {
 			if bnodes, ok := bindBitPlane(in, nodes); ok {
+				roundsSpan := span.Child("rounds")
 				if err := runBitPlane(res, bnodes, o, sg); err != nil {
+					roundsSpan.EndErr(err)
 					return nil, err
 				}
+				annotateRounds(roundsSpan, res, sg, true)
+				assembleSpan := span.Child("assemble")
 				finishOutputs(res, nodes)
+				assembleSpan.End()
 				return res, nil
 			}
 		}
@@ -396,6 +419,7 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 		}
 	}
 
+	roundsSpan := span.Child("rounds")
 	if sg != nil {
 		// Sharded round loop: replicas compute their round-t sends in
 		// parallel shards, barrier, then deliver. The two phase closures
@@ -431,10 +455,12 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 		for t := 1; t <= rounds; t++ {
 			if err := o.ctx.Err(); err != nil {
 				recycleInts(res.RoundBits)
+				roundsSpan.EndErr(err)
 				return nil, err
 			}
 			curRound = t
 			if err := sg.phase(sendPhase); err != nil {
+				roundsSpan.EndErr(err)
 				return nil, err
 			}
 			roundBits := 0
@@ -445,26 +471,33 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 			res.TotalBits += roundBits
 			if allSR {
 				if err := sg.phase(recvPhase); err != nil {
+					roundsSpan.EndErr(err)
 					return nil, err
 				}
 			} else {
 				deliverRound(in, nodes, srNodes, sends, inbox, t)
 			}
 		}
+		annotateRounds(roundsSpan, res, sg, false)
+		assembleSpan := span.Child("assemble")
 		finishOutputs(res, nodes)
+		assembleSpan.End()
 		return res, nil
 	}
 
 	for t := 1; t <= rounds; t++ {
 		if err := o.ctx.Err(); err != nil {
 			recycleInts(res.RoundBits)
+			roundsSpan.EndErr(err)
 			return nil, err
 		}
 		roundBits := 0
 		for v := 0; v < n; v++ {
 			m := nodes[v].Send(t)
 			if int(m.Len) > b {
-				return nil, fmt.Errorf("bcc: vertex %d broadcast %d bits in round %d, bandwidth is %d", v, m.Len, t, b)
+				err := fmt.Errorf("bcc: vertex %d broadcast %d bits in round %d, bandwidth is %d", v, m.Len, t, b)
+				roundsSpan.EndErr(err)
+				return nil, err
 			}
 			sends[v] = m
 			roundBits += int(m.Len)
@@ -507,8 +540,59 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 		}
 	}
 
+	annotateRounds(roundsSpan, res, nil, false)
+	assembleSpan := span.Child("assemble")
 	finishOutputs(res, nodes)
+	assembleSpan.End()
 	return res, nil
+}
+
+// annotateRounds summarizes a finished round loop onto its span and
+// ends it: round/bit totals, which simulator path served the run, the
+// shard count, and a coarse per-round-window bit profile derived from
+// the already-recorded RoundBits series — all computed after the loop,
+// so the hot path never touches the tracer.
+func annotateRounds(s *obs.Span, res *Result, sg *shardGroup, bitPlane bool) {
+	if s == nil {
+		return
+	}
+	s.SetNum("rounds", float64(res.Rounds))
+	s.SetNum("total_bits", float64(res.TotalBits))
+	if bitPlane {
+		s.SetNum("bit_plane", 1)
+	}
+	if sg != nil {
+		s.SetNum("shards", float64(sg.numShards))
+	}
+	s.SetStr("round_windows", roundWindows(res.RoundBits))
+	s.End()
+}
+
+// roundWindows compresses the per-round bit series into at most eight
+// equal windows of summed bits ("4096/4096/2048/…"): enough to see
+// where in the run the bits went without per-round spans.
+func roundWindows(bits []int) string {
+	if len(bits) == 0 {
+		return ""
+	}
+	windows := 8
+	if len(bits) < windows {
+		windows = len(bits)
+	}
+	var sb strings.Builder
+	for w := 0; w < windows; w++ {
+		lo := w * len(bits) / windows
+		hi := (w + 1) * len(bits) / windows
+		sum := 0
+		for _, v := range bits[lo:hi] {
+			sum += v
+		}
+		if w > 0 {
+			sb.WriteByte('/')
+		}
+		sb.WriteString(strconv.Itoa(sum))
+	}
+	return sb.String()
 }
 
 // deliverRound assembles per-port inboxes sequentially for the nodes

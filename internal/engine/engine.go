@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bcclique/internal/obs"
 	"bcclique/internal/parallel"
 	"bcclique/internal/report"
 	"bcclique/internal/results"
@@ -57,10 +58,11 @@ type Event struct {
 // store. An Engine is safe for concurrent use; every Run call shares the
 // process-wide worker budget and the store's single-flight table.
 type Engine struct {
-	specs []Spec
-	grids []GridSpec
-	store *results.Store
-	build string
+	specs  []Spec
+	grids  []GridSpec
+	store  *results.Store
+	build  string
+	tracer *obs.Tracer
 
 	executions     atomic.Int64
 	cellExecutions atomic.Int64
@@ -75,6 +77,15 @@ type Option func(*Engine)
 // Without it the engine always computes.
 func WithStore(s *results.Store) Option {
 	return func(e *Engine) { e.store = s }
+}
+
+// WithTracer attaches a span tracer: background jobs get a root span
+// per job (trace ID = job ID), and every run whose context carries a
+// span — job or frontend-rooted — records the spec → grid → cell →
+// phase tree into the tracer's ring. A nil tracer (the default)
+// disables tracing at the cost of one nil check per phase.
+func WithTracer(t *obs.Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
 }
 
 // WithGrids registers sweep grids (see GridSpec). Each grid is also
@@ -146,6 +157,10 @@ func (e *Engine) Lookup(id string) (Spec, bool) {
 // Store returns the engine's result store (nil when uncached).
 func (e *Engine) Store() *results.Store { return e.store }
 
+// Tracer returns the engine's span tracer (nil when tracing is off) —
+// the handle frontends use to serve /v1/traces and root request spans.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
 // Executions returns how many spec executions this engine has actually
 // performed (cache hits excluded) — the counter cache tests assert on.
 func (e *Engine) Executions() int64 { return e.executions.Load() }
@@ -182,7 +197,12 @@ func (e *Engine) selectSpecs(only []string) []Spec {
 }
 
 // runOne executes (or serves from cache) a single spec.
-func (e *Engine) runOne(ctx context.Context, spec Spec, cfg Config, emit func(Event)) (*Result, error) {
+func (e *Engine) runOne(ctx context.Context, spec Spec, cfg Config, emit func(Event)) (result *Result, rerr error) {
+	ctx, span := obs.Start(ctx, "spec")
+	if span != nil {
+		span.SetStr("spec", spec.ID)
+		defer func() { span.EndErr(rerr) }()
+	}
 	compute := func() (*Result, error) {
 		emit(Event{Kind: EventStarted, SpecID: spec.ID})
 		e.executions.Add(1)
@@ -202,6 +222,7 @@ func (e *Engine) runOne(ctx context.Context, spec Spec, cfg Config, emit func(Ev
 			return nil, err
 		}
 		emit(Event{Kind: EventDone, SpecID: spec.ID, Elapsed: res.Elapsed})
+		span.SetStr("cache", "miss")
 		return res, nil
 	}
 	res, cached, err := e.store.Do(ctx, e.CacheKey(spec, cfg), compute)
@@ -211,8 +232,10 @@ func (e *Engine) runOne(ctx context.Context, spec Spec, cfg Config, emit func(Ev
 		return nil, err
 	case cached:
 		emit(Event{Kind: EventCached, SpecID: spec.ID, Elapsed: res.Elapsed})
+		span.SetStr("cache", "hit")
 	default:
 		emit(Event{Kind: EventDone, SpecID: spec.ID, Elapsed: res.Elapsed})
+		span.SetStr("cache", "miss")
 	}
 	return res, nil
 }

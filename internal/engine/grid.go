@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bcclique/internal/obs"
 	"bcclique/internal/parallel"
 	"bcclique/internal/report"
 	"bcclique/internal/results"
@@ -366,7 +367,36 @@ func (e *Engine) cellKey(g GridSpec, cfg Config, c GridCell) (string, error) {
 }
 
 // runCell computes (or serves from cache) one cell's table row.
-func (e *Engine) runCell(ctx context.Context, g GridSpec, cfg Config, c GridCell, emit func(Event)) ([]string, error) {
+//
+// When the context carries a span, the whole cell — cache lookup
+// included — runs under a "cell" span whose ID is derived from the
+// cell's content address (not the parent chain), so the same cell has
+// the same span ID in every run, job, and request: traces are
+// comparable across runs.
+func (e *Engine) runCell(ctx context.Context, g GridSpec, cfg Config, c GridCell, emit func(Event)) (row []string, rerr error) {
+	var key string
+	if e.store != nil || obs.FromContext(ctx) != nil {
+		k, err := e.cellKey(g, cfg, c)
+		switch {
+		case err == nil:
+			key = k
+		case e.store != nil:
+			emit(Event{Kind: EventFailed, SpecID: g.ID, Cell: c.String(), Err: err.Error()})
+			return nil, err
+		default:
+			// Tracing only wanted the key for its deterministic span ID;
+			// fall back to a derived ID rather than failing a run the
+			// cache-less path would not have failed.
+		}
+	}
+	ctx, span := obs.StartDet(ctx, "cell", key)
+	if span != nil {
+		span.SetStr("protocol", c.Protocol)
+		span.SetStr("family", c.Family)
+		span.SetNum("n", float64(c.N))
+		span.SetNum("seeds", float64(c.Seeds))
+		defer func() { span.EndErr(rerr) }()
+	}
 	compute := func() (*report.Result, error) {
 		emit(Event{Kind: EventStarted, SpecID: g.ID, Cell: c.String()})
 		e.cellExecutions.Add(1)
@@ -403,12 +433,8 @@ func (e *Engine) runCell(ctx context.Context, g GridSpec, cfg Config, c GridCell
 			return nil, err
 		}
 		emit(Event{Kind: EventDone, SpecID: g.ID, Cell: c.String(), Elapsed: res.Elapsed})
+		span.SetStr("cache", "miss")
 		return unwrap(res)
-	}
-	key, err := e.cellKey(g, cfg, c)
-	if err != nil {
-		emit(Event{Kind: EventFailed, SpecID: g.ID, Cell: c.String(), Err: err.Error()})
-		return nil, err
 	}
 	res, cached, err := e.store.Do(ctx, key, compute)
 	switch {
@@ -417,8 +443,10 @@ func (e *Engine) runCell(ctx context.Context, g GridSpec, cfg Config, c GridCell
 		return nil, err
 	case cached:
 		emit(Event{Kind: EventCached, SpecID: g.ID, Cell: c.String(), Elapsed: res.Elapsed})
+		span.SetStr("cache", "hit")
 	default:
 		emit(Event{Kind: EventDone, SpecID: g.ID, Cell: c.String(), Elapsed: res.Elapsed})
+		span.SetStr("cache", "miss")
 	}
 	return unwrap(res)
 }
@@ -462,12 +490,18 @@ func dispatchOrder(cells []GridCell) []int {
 // before the cancellation remain in the cache (a cancelled sweep never
 // stores a partial or failed cell), so a retried sweep resumes instead
 // of recomputing.
-func (e *Engine) RunGrid(ctx context.Context, g GridSpec, cfg Config, onEvent func(Event), sink func(cell GridCell, row []string) error) (*Result, error) {
+func (e *Engine) RunGrid(ctx context.Context, g GridSpec, cfg Config, onEvent func(Event), sink func(cell GridCell, row []string) error) (result *Result, rerr error) {
+	ctx, gspan := obs.Start(ctx, "grid")
+	if gspan != nil {
+		gspan.SetStr("grid", g.ID)
+		defer func() { gspan.EndErr(rerr) }()
+	}
 	emit := func(Event) {}
 	if onEvent != nil {
 		emit = onEvent
 	}
 	cells := g.Cells(cfg)
+	gspan.SetNum("cells", float64(len(cells)))
 	if len(cells) == 0 {
 		// A restriction can intersect the declared feasibility ceilings
 		// down to nothing; an empty 200/table would read as "ran, no

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -166,7 +167,14 @@ func (e *Engine) Submit(ctx context.Context, cfg Config, only []string) Job {
 			j.Events = append(j.Events, ev)
 			t.mu.Unlock()
 		}
-		res, err := e.Run(ctx, cfg, only, onEvent)
+		// The job's trace ID is its job ID, so GET /v1/traces/{job}
+		// resolves directly from a submission response.
+		runCtx, span := e.tracer.Root(ctx, "job", j.ID)
+		if span != nil && len(only) > 0 {
+			span.SetStr("only", strings.Join(only, ","))
+		}
+		res, err := e.Run(runCtx, cfg, only, onEvent)
+		span.EndErr(err)
 
 		t.mu.Lock()
 		j.Finished = time.Now()

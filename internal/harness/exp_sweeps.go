@@ -10,6 +10,7 @@ import (
 	"bcclique/internal/bcc"
 	"bcclique/internal/engine"
 	"bcclique/internal/family"
+	"bcclique/internal/obs"
 	"bcclique/internal/protocol"
 	"bcclique/internal/report"
 )
@@ -42,6 +43,11 @@ func cellIdentity(protoName, famName string) (string, error) {
 
 // runCellOutcomes builds the cell's family instance once per seed and
 // runs its protocol on each: the shared measurement loop of both grids.
+// Under tracing each seed contributes a "generate" span (family build)
+// and a "run" span (protocol execution, whose bind/rounds/assemble
+// children come from bcc.RunContext), and the mean rounds/bits land as
+// attributes on the enclosing cell span — the values the server's
+// per-cell histograms observe.
 func runCellOutcomes(ctx context.Context, cell engine.GridCell, seeds []int64) ([]*protocol.Outcome, error) {
 	p, ok := protocol.Lookup(cell.Protocol)
 	if !ok {
@@ -53,15 +59,33 @@ func runCellOutcomes(ctx context.Context, cell engine.GridCell, seeds []int64) (
 	}
 	outs := make([]*protocol.Outcome, len(seeds))
 	for i, seed := range seeds {
+		_, gen := obs.Start(ctx, "generate")
+		gen.SetNum("seed", float64(seed))
 		g, err := f.Build(cell.N, seed)
+		gen.EndErr(err)
 		if err != nil {
 			return nil, err
 		}
-		out, err := p.Run(ctx, g, seed)
+		rctx, run := obs.Start(ctx, "run")
+		run.SetNum("seed", float64(seed))
+		out, err := p.Run(rctx, g, seed)
 		if err != nil {
+			run.EndErr(err)
 			return nil, err
 		}
+		run.SetNum("rounds", float64(out.Rounds))
+		run.SetNum("total_bits", float64(out.TotalBits))
+		run.End()
 		outs[i] = out
+	}
+	if cellSpan := obs.FromContext(ctx); cellSpan != nil && len(outs) > 0 {
+		var rounds, bits float64
+		for _, o := range outs {
+			rounds += float64(o.Rounds)
+			bits += float64(o.TotalBits)
+		}
+		cellSpan.SetNum("mean_rounds", rounds/float64(len(outs)))
+		cellSpan.SetNum("mean_bits", bits/float64(len(outs)))
 	}
 	return outs, nil
 }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SpanJSON is one span in the /v1/traces JSON export.
+type SpanJSON struct {
+	TraceID    string         `json:"trace_id"`
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationUS float64        `json:"duration_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// ToJSON converts records to their JSON export form.
+func ToJSON(recs []Record) []SpanJSON {
+	out := make([]SpanJSON, 0, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		s := SpanJSON{
+			TraceID:    r.TraceID,
+			SpanID:     r.SpanID,
+			ParentID:   r.ParentID,
+			Name:       r.Name,
+			Start:      r.Start,
+			DurationUS: float64(r.Duration) / float64(time.Microsecond),
+		}
+		if r.NAttrs > 0 {
+			s.Attrs = make(map[string]any, r.NAttrs)
+			for j := 0; j < r.NAttrs; j++ {
+				s.Attrs[r.Attrs[j].Key] = r.Attrs[j].Value()
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace_event "complete" event (ph "X").
+// Timestamps and durations are microseconds; ts is relative to the
+// trace's earliest span so the Perfetto timeline starts at zero.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the records as a Chrome trace_event JSON array
+// loadable in Perfetto or about:tracing. Spans are assigned to lanes
+// ("threads" in the viewer) greedily: a span goes on the first lane
+// whose open spans all contain it, so a parent and its children stack
+// in one lane while concurrent siblings (grid cells) fan out across
+// lanes.
+func WriteChrome(w io.Writer, recs []Record) error {
+	recs = append([]Record(nil), recs...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].StartSeq < recs[j].StartSeq })
+	var t0 time.Time
+	for i := range recs {
+		if i == 0 || recs[i].Start.Before(t0) {
+			t0 = recs[i].Start
+		}
+	}
+	type open struct {
+		start time.Time
+		end   time.Time
+	}
+	var lanes [][]open
+	events := make([]chromeEvent, 0, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		end := r.End()
+		tid := -1
+		for li := range lanes {
+			// Pop spans that ended before this one starts.
+			st := lanes[li]
+			for len(st) > 0 && st[len(st)-1].end.Before(r.Start) {
+				st = st[:len(st)-1]
+			}
+			lanes[li] = st
+			if len(st) == 0 || (!r.Start.Before(st[len(st)-1].start) && !end.After(st[len(st)-1].end)) {
+				tid = li
+				break
+			}
+		}
+		if tid < 0 {
+			lanes = append(lanes, nil)
+			tid = len(lanes) - 1
+		}
+		lanes[tid] = append(lanes[tid], open{start: r.Start, end: end})
+		ev := chromeEvent{
+			Name: r.Name,
+			Cat:  "bcc",
+			Ph:   "X",
+			TS:   float64(r.Start.Sub(t0)) / float64(time.Microsecond),
+			Dur:  float64(r.Duration) / float64(time.Microsecond),
+			PID:  1,
+			TID:  tid,
+		}
+		ev.Args = map[string]any{
+			"trace_id": r.TraceID,
+			"span_id":  r.SpanID,
+		}
+		if r.ParentID != "" {
+			ev.Args["parent_id"] = r.ParentID
+		}
+		for j := 0; j < r.NAttrs; j++ {
+			ev.Args[r.Attrs[j].Key] = r.Attrs[j].Value()
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// WriteChromeAll writes every retained trace as one Chrome trace_event
+// array — the form `experiments -trace-out` emits at exit.
+func (t *Tracer) WriteChromeAll(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer")
+	}
+	t.mu.Lock()
+	recs := t.snapshotLocked()
+	t.mu.Unlock()
+	return WriteChrome(w, recs)
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeWellFormed(t *testing.T) {
+	tr := New(64)
+	ctx, root := tr.Root(context.Background(), "grid", "chrome")
+	cctx, cell := Start(ctx, "cell")
+	cell.SetStr("protocol", "flood-b1")
+	_, run := Start(cctx, "run")
+	run.End()
+	cell.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeAll(&buf); err != nil {
+		t.Fatalf("WriteChromeAll: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for _, ev := range events {
+		for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, ev)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Fatalf("event phase %v, want X", ev["ph"])
+		}
+	}
+	// Parent/child spans must share a lane (tid); the exporter sorts by
+	// start order, so events[0] is the grid root.
+	if events[0]["name"] != "grid" {
+		t.Fatalf("first event %v, want grid root", events[0]["name"])
+	}
+	if events[0]["tid"] != events[1]["tid"] {
+		t.Fatalf("nested cell not stacked in the root lane: %v vs %v", events[0]["tid"], events[1]["tid"])
+	}
+	args, ok := events[1]["args"].(map[string]any)
+	if !ok || args["protocol"] != "flood-b1" {
+		t.Fatalf("cell args missing attrs: %v", events[1]["args"])
+	}
+}
+
+func TestWriteChromeAllNilTracer(t *testing.T) {
+	var tr *Tracer
+	if err := tr.WriteChromeAll(&bytes.Buffer{}); err == nil {
+		t.Fatalf("nil tracer export must error")
+	}
+}
+
+func TestToJSON(t *testing.T) {
+	tr := New(16)
+	_, root := tr.Root(context.Background(), "job", "tojson")
+	root.SetNum("n", 64)
+	root.SetStr("protocol", "boruvka")
+	root.End()
+	spans := ToJSON(tr.Trace("tojson"))
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	s := spans[0]
+	if s.TraceID != "tojson" || s.Name != "job" || s.ParentID != "" {
+		t.Fatalf("bad span: %+v", s)
+	}
+	if s.Attrs["n"] != float64(64) || s.Attrs["protocol"] != "boruvka" {
+		t.Fatalf("attrs not exported: %+v", s.Attrs)
+	}
+	if _, err := json.Marshal(spans); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// ctxHandler decorates a slog.Handler with the trace and span IDs of
+// the context's active span, so every log record emitted inside an
+// instrumented operation is joinable against /v1/traces.
+type ctxHandler struct {
+	slog.Handler
+}
+
+func (h ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if s := FromContext(ctx); s != nil {
+		rec.AddAttrs(
+			slog.String("trace_id", s.TraceID()),
+			slog.String("span_id", s.ID()),
+		)
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{Handler: h.Handler.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{Handler: h.Handler.WithGroup(name)}
+}
+
+// NewLogger builds the repo's standard structured logger: JSON lines on
+// w, a fixed "component" attribute, and trace_id/span_id stamped from
+// the context on every record logged with a ctx-aware method.
+func NewLogger(w io.Writer, component string) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	return slog.New(ctxHandler{Handler: h}).With(slog.String("component", component))
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for tests and library callers that do not configure logging.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

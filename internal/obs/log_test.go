@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestLoggerSchema pins the structured-log record shape: JSON lines
+// with time/level/msg/component, plus trace_id/span_id when the
+// context carries an active span.
+func TestLoggerSchema(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "bccd")
+
+	tr := New(16)
+	ctx, root := tr.Root(context.Background(), "http /v1/report", "req-1")
+	logger.InfoContext(ctx, "request rejected", "route", "/v1/report", "queue_depth", 3)
+	root.End()
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{"time", "level", "msg", "component", "trace_id", "span_id", "route", "queue_depth"} {
+		if _, ok := rec[key]; !ok {
+			t.Fatalf("log record missing %q: %v", key, rec)
+		}
+	}
+	if rec["component"] != "bccd" || rec["msg"] != "request rejected" {
+		t.Fatalf("bad record: %v", rec)
+	}
+	if rec["trace_id"] != "req-1" {
+		t.Fatalf("trace_id %v, want req-1", rec["trace_id"])
+	}
+	if rec["span_id"] != root.ID() && rec["span_id"] == "" {
+		t.Fatalf("span_id missing: %v", rec)
+	}
+}
+
+// TestLoggerWithoutSpan: records logged outside any span omit the
+// trace fields but keep the schema.
+func TestLoggerWithoutSpan(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "experiments")
+	logger.InfoContext(context.Background(), "sweep interrupted")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v", err)
+	}
+	if _, ok := rec["trace_id"]; ok {
+		t.Fatalf("trace_id present without a span: %v", rec)
+	}
+	if rec["component"] != "experiments" {
+		t.Fatalf("component missing: %v", rec)
+	}
+}
+
+func TestLoggerWithGroupKeepsTraceIDs(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "bccd").WithGroup("req")
+	tr := New(16)
+	ctx, root := tr.Root(context.Background(), "http", "req-7")
+	logger.InfoContext(ctx, "admitted", "route", "/v1/sweeps")
+	root.End()
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v", err)
+	}
+	grp, ok := rec["req"].(map[string]any)
+	if !ok {
+		t.Fatalf("group missing: %v", rec)
+	}
+	if grp["trace_id"] != "req-7" {
+		t.Fatalf("trace_id lost through WithGroup: %v", rec)
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic and must log nothing observable.
+	NopLogger().Info("dropped", "k", "v")
+}

@@ -1,0 +1,451 @@
+// Package obs is the zero-dependency observability substrate of the
+// repository: context-propagated spans with deterministic IDs, a
+// ring-buffered in-process trace store, a Chrome trace_event exporter
+// viewable in Perfetto/about:tracing, and a log/slog JSON handler that
+// stamps every record with the active trace and span IDs.
+//
+// The design follows three hard constraints from the hot paths it
+// instruments (DESIGN.md §7.3):
+//
+//   - A disabled tracer costs one nil check. Everything hangs off the
+//     *Span in the context; with no span there, Start returns (ctx, nil)
+//     after one context lookup, and every Span method is safe on a nil
+//     receiver, so instrumented code is written straight-line with no
+//     "if tracing" branches.
+//   - Spans are pooled. A live Span holds its attributes in a fixed
+//     array; End copies the span into a fixed ring of Records and
+//     returns the object to a sync.Pool, so steady-state tracing of a
+//     sweep allocates only the derived ID strings.
+//   - Span IDs are deterministic. A span's ID is derived by hashing its
+//     parent's ID, its name, and its sibling index — and a span seeded
+//     from a content address (engine grid cells pass their cache key)
+//     hashes that instead, so the same cell produces the same span IDs
+//     in every run and traces are diffable across runs.
+package obs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxAttrs bounds the attributes one span can carry. The bound keeps a
+// Span (and its ring Record) a fixed-size value — copying on End cannot
+// allocate. Attributes set beyond the bound are dropped silently.
+const maxAttrs = 12
+
+// Attr is one span attribute: a key with either a string or a numeric
+// value.
+type Attr struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// Value returns the attribute's value as an interface for rendering.
+func (a Attr) Value() interface{} {
+	if a.IsNum {
+		return a.Num
+	}
+	return a.Str
+}
+
+// Record is one completed span as stored in the tracer's ring buffer.
+// It is a plain value: copying it allocates nothing.
+type Record struct {
+	TraceID  string
+	SpanID   string
+	ParentID string
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    [maxAttrs]Attr
+	NAttrs   int
+	// StartSeq is the process-wide span start order: a parent always has
+	// a smaller StartSeq than its children, so sorting by it yields a
+	// valid pre-order for tree assembly and Chrome export.
+	StartSeq uint64
+}
+
+// End returns the span's end time.
+func (r *Record) End() time.Time { return r.Start.Add(r.Duration) }
+
+// Attr returns the named attribute and whether it is set.
+func (r *Record) Attr(key string) (Attr, bool) {
+	for i := 0; i < r.NAttrs; i++ {
+		if r.Attrs[i].Key == key {
+			return r.Attrs[i], true
+		}
+	}
+	return Attr{}, false
+}
+
+// Span is one in-flight operation. Spans are created by Tracer.Root,
+// Start, StartDet, or Span.Child, and must be finished with exactly one
+// End (or EndErr) call, after which the object is recycled and must not
+// be touched. All methods are safe on a nil receiver — nil is the
+// disabled-tracing span.
+type Span struct {
+	tracer   *Tracer
+	traceID  string
+	id       string
+	parent   string
+	name     string
+	start    time.Time
+	startSeq uint64
+	attrs    [maxAttrs]Attr
+	nattrs   int
+	// children counts started children; the sibling index feeds the
+	// deterministic child-ID derivation. Atomic: grid cells start
+	// concurrently under one grid span.
+	children atomic.Int64
+}
+
+// ID returns the span's derived ID ("" on nil).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// TraceID returns the ID of the trace the span belongs to ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SetStr sets a string attribute (no-op on nil or when the span's
+// attribute array is full).
+func (s *Span) SetStr(key, val string) {
+	if s == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Str: val}
+	s.nattrs++
+}
+
+// SetNum sets a numeric attribute (no-op on nil or when full).
+func (s *Span) SetNum(key string, val float64) {
+	if s == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Num: val, IsNum: true}
+	s.nattrs++
+}
+
+// Child starts a child span without threading a context — the shape the
+// simulator's phase instrumentation uses (bind / rounds / assemble are
+// straight-line within one function). Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	idx := s.children.Add(1)
+	return s.tracer.start(s.traceID, DeriveID(s.id, name, strconv.FormatInt(idx, 10)), s.id, name)
+}
+
+// childDet starts a child whose ID is derived from seed alone (not the
+// parent chain) — see StartDet.
+func (s *Span) childDet(name, seed string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.children.Add(1)
+	return s.tracer.start(s.traceID, DeriveID(name, seed), s.id, name)
+}
+
+// End finishes the span: its Record is appended to the tracer's ring
+// (evicting the oldest span once the ring is full) and the object is
+// recycled. Exactly one End per span; the span must not be used after.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := Record{
+		TraceID:  s.traceID,
+		SpanID:   s.id,
+		ParentID: s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    s.attrs,
+		NAttrs:   s.nattrs,
+		StartSeq: s.startSeq,
+	}
+	t := s.tracer
+	t.record(rec)
+	s.tracer = nil
+	t.pool.Put(s)
+	if fn := t.onEnd.Load(); fn != nil {
+		(*fn)(rec)
+	}
+}
+
+// EndErr is End plus an "error" attribute when err is non-nil, so
+// aborted phases (cancellation, bandwidth violations) stay attributed
+// in the trace instead of vanishing.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.SetStr("error", err.Error())
+	}
+	s.End()
+}
+
+// Tracer owns the span pool and the ring buffer of completed spans. A
+// nil *Tracer is the disabled tracer: Root returns (ctx, nil) and costs
+// nothing downstream.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Record
+	next  int
+	count int
+
+	seq   atomic.Uint64 // trace-ID counter for Root("" ) callers
+	spans atomic.Uint64 // StartSeq counter
+	onEnd atomic.Pointer[func(Record)]
+	pool  sync.Pool
+}
+
+// DefaultCapacity is the span-ring capacity used when New is given a
+// non-positive one.
+const DefaultCapacity = 8192
+
+// New builds a tracer retaining up to capacity completed spans (oldest
+// evicted first; a long-retained trace may therefore be missing its
+// earliest spans).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	t := &Tracer{ring: make([]Record, capacity)}
+	t.pool.New = func() interface{} { return new(Span) }
+	return t
+}
+
+// OnEnd registers fn to observe every completed span — the hook the
+// server uses to feed per-cell histograms from cell-span attributes.
+// fn runs on the goroutine calling End and must be fast and
+// concurrency-safe. Passing nil clears the hook.
+func (t *Tracer) OnEnd(fn func(Record)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.onEnd.Store(nil)
+		return
+	}
+	t.onEnd.Store(&fn)
+}
+
+// Capacity returns the span-ring capacity (0 on nil).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+func (t *Tracer) start(traceID, id, parent, name string) *Span {
+	s := t.pool.Get().(*Span)
+	s.tracer = t
+	s.traceID = traceID
+	s.id = id
+	s.parent = parent
+	s.name = name
+	s.start = time.Now()
+	s.startSeq = t.spans.Add(1)
+	s.nattrs = 0
+	s.children.Store(0)
+	return s
+}
+
+func (t *Tracer) record(rec Record) {
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// Root starts a new trace: a root span with the given trace ID (one is
+// generated when empty) placed into the returned context, so Start and
+// FromContext see it downstream. On a nil tracer it returns (ctx, nil).
+func (t *Tracer) Root(ctx context.Context, name, traceID string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if traceID == "" {
+		traceID = "t-" + strconv.FormatUint(t.seq.Add(1), 10)
+	}
+	s := t.start(traceID, DeriveID(traceID, name), "", name)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// spanKey is the context key the active span travels under.
+type spanKey struct{}
+
+// FromContext returns the active span, or nil when tracing is off.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Start begins a child of the context's active span and returns a
+// context carrying it. With no active span it returns (ctx, nil) — the
+// one nil check disabled tracing costs.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.Child(name)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// StartDet is Start with a deterministic span ID derived from seed
+// alone (not the parent chain): spans seeded from a content address —
+// grid cells pass their cache key — keep the same ID in every run and
+// under every request, which is what makes traces comparable across
+// runs. With an empty seed it degrades to Start.
+func StartDet(ctx context.Context, name, seed string) (context.Context, *Span) {
+	if seed == "" {
+		return Start(ctx, name)
+	}
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.childDet(name, seed)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// DeriveID hashes the parts into a 16-hex-character span ID. Equal
+// parts yield equal IDs — the determinism the trace tests pin.
+func DeriveID(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		var lenBuf [4]byte
+		n := len(p)
+		lenBuf[0], lenBuf[1], lenBuf[2], lenBuf[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}
+
+// TraceSummary is one trace as listed by Traces.
+type TraceSummary struct {
+	TraceID  string        `json:"trace_id"`
+	Root     string        `json:"root"`
+	Spans    int           `json:"spans"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Traces lists the traces currently retained in the ring, most recent
+// first (by latest span start). Root is the name of the trace's root
+// span ("" when the root has been evicted from the ring).
+func (t *Tracer) Traces() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	recs := t.snapshotLocked()
+	t.mu.Unlock()
+	byTrace := make(map[string]*TraceSummary)
+	latest := make(map[string]uint64)
+	var order []string
+	for i := range recs {
+		r := &recs[i]
+		sum, ok := byTrace[r.TraceID]
+		if !ok {
+			sum = &TraceSummary{TraceID: r.TraceID, Start: r.Start}
+			byTrace[r.TraceID] = sum
+			order = append(order, r.TraceID)
+		}
+		sum.Spans++
+		if r.Start.Before(sum.Start) {
+			sum.Start = r.Start
+		}
+		if end := r.End(); end.After(sum.Start.Add(sum.Duration)) {
+			sum.Duration = end.Sub(sum.Start)
+		}
+		if r.ParentID == "" {
+			sum.Root = r.Name
+		}
+		if r.StartSeq > latest[r.TraceID] {
+			latest[r.TraceID] = r.StartSeq
+		}
+	}
+	out := make([]TraceSummary, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byTrace[id])
+	}
+	// Most recent activity first; the map iteration above was unordered,
+	// so sort by the latest span-start sequence.
+	sortByLatestDesc(out, latest)
+	return out
+}
+
+func sortByLatestDesc(sums []TraceSummary, latest map[string]uint64) {
+	// Insertion sort: trace counts are ring-bounded and tiny.
+	for i := 1; i < len(sums); i++ {
+		for j := i; j > 0 && latest[sums[j].TraceID] > latest[sums[j-1].TraceID]; j-- {
+			sums[j], sums[j-1] = sums[j-1], sums[j]
+		}
+	}
+}
+
+// Trace returns the retained spans of one trace in start order (a valid
+// pre-order: parents before children), or nil when the ring holds none.
+func (t *Tracer) Trace(id string) []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	recs := t.snapshotLocked()
+	t.mu.Unlock()
+	var out []Record
+	for i := range recs {
+		if recs[i].TraceID == id {
+			out = append(out, recs[i])
+		}
+	}
+	sortRecords(out)
+	return out
+}
+
+// snapshotLocked copies the live ring contents (oldest first).
+func (t *Tracer) snapshotLocked() []Record {
+	out := make([]Record, 0, t.count)
+	start := t.next - t.count
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+func sortRecords(recs []Record) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].StartSeq < recs[j-1].StartSeq; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}

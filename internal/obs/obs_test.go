@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	ctx, root := tr.Root(context.Background(), "job", "j1")
+	if root != nil {
+		t.Fatalf("nil tracer returned non-nil root span")
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("nil tracer leaked a span into the context: %v", got)
+	}
+	ctx2, s := Start(ctx, "cell")
+	if s != nil || ctx2 != ctx {
+		t.Fatalf("Start without a span must be identity: span=%v", s)
+	}
+	if _, s := StartDet(ctx, "cell", "seed"); s != nil {
+		t.Fatalf("StartDet without a span must return nil")
+	}
+	// All span methods no-op on nil.
+	var nilSpan *Span
+	nilSpan.SetStr("k", "v")
+	nilSpan.SetNum("n", 1)
+	if c := nilSpan.Child("x"); c != nil {
+		t.Fatalf("nil span Child must be nil")
+	}
+	nilSpan.End()
+	nilSpan.EndErr(nil)
+	if nilSpan.ID() != "" || nilSpan.TraceID() != "" {
+		t.Fatalf("nil span IDs must be empty")
+	}
+	if tr.Traces() != nil || tr.Trace("x") != nil || tr.Capacity() != 0 {
+		t.Fatalf("nil tracer accessors must be empty")
+	}
+}
+
+func TestDeriveIDDeterministicAndDistinct(t *testing.T) {
+	a := DeriveID("cell", "key-1")
+	b := DeriveID("cell", "key-1")
+	if a != b {
+		t.Fatalf("DeriveID not deterministic: %q vs %q", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("DeriveID length = %d, want 16 hex chars", len(a))
+	}
+	if DeriveID("cell", "key-2") == a {
+		t.Fatalf("distinct seeds collided")
+	}
+	// Length-prefixed hashing: ("ab","c") must differ from ("a","bc").
+	if DeriveID("ab", "c") == DeriveID("a", "bc") {
+		t.Fatalf("part boundaries not separated in hash")
+	}
+}
+
+func TestSpanTreeDeterministicIDs(t *testing.T) {
+	build := func() (cellID, genID, runID string) {
+		tr := New(64)
+		ctx, root := tr.Root(context.Background(), "job", "job-42")
+		cctx, cell := StartDet(ctx, "cell", "results-key-abc")
+		_, gen := Start(cctx, "generate")
+		genID = gen.ID() // capture before End recycles the span
+		gen.End()
+		_, run := Start(cctx, "run")
+		runID = run.ID()
+		run.End()
+		cellID = cell.ID()
+		cell.End()
+		root.End()
+		return
+	}
+	c1, g1, r1 := build()
+	c2, g2, r2 := build()
+	if c1 != c2 || g1 != g2 || r1 != r2 {
+		t.Fatalf("span IDs not stable across runs: (%s,%s,%s) vs (%s,%s,%s)", c1, g1, r1, c2, g2, r2)
+	}
+	if want := DeriveID("cell", "results-key-abc"); c1 != want {
+		t.Fatalf("cell ID %s, want content-derived %s", c1, want)
+	}
+	if g1 == r1 {
+		t.Fatalf("sibling spans share an ID")
+	}
+}
+
+func TestTraceRecordsAndOrder(t *testing.T) {
+	tr := New(64)
+	ctx, root := tr.Root(context.Background(), "job", "j9")
+	_, cell := Start(ctx, "cell")
+	cell.SetStr("protocol", "flood-b1")
+	cell.SetNum("n", 128)
+	bind := cell.Child("bind")
+	bind.End()
+	rounds := cell.Child("rounds")
+	rounds.SetNum("rounds", 7)
+	rounds.End()
+	cell.End()
+	root.End()
+
+	recs := tr.Trace("j9")
+	if len(recs) != 4 {
+		t.Fatalf("got %d spans, want 4", len(recs))
+	}
+	// Start order: parents before children.
+	names := make([]string, len(recs))
+	for i, r := range recs {
+		names[i] = r.Name
+	}
+	want := []string{"job", "cell", "bind", "rounds"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("span order %v, want %v", names, want)
+		}
+	}
+	if recs[1].ParentID != recs[0].SpanID {
+		t.Fatalf("cell parent %q != job span %q", recs[1].ParentID, recs[0].SpanID)
+	}
+	if a, ok := recs[1].Attr("protocol"); !ok || a.Str != "flood-b1" {
+		t.Fatalf("protocol attr missing: %+v", recs[1])
+	}
+	if a, ok := recs[3].Attr("rounds"); !ok || a.Num != 7 {
+		t.Fatalf("rounds attr missing: %+v", recs[3])
+	}
+
+	sums := tr.Traces()
+	if len(sums) != 1 || sums[0].TraceID != "j9" || sums[0].Spans != 4 || sums[0].Root != "job" {
+		t.Fatalf("bad summary: %+v", sums)
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	tr := New(4)
+	ctx, root := tr.Root(context.Background(), "job", "ring")
+	for i := 0; i < 10; i++ {
+		_, s := Start(ctx, "cell")
+		s.End()
+	}
+	root.End()
+	recs := tr.Trace("ring")
+	if len(recs) != 4 {
+		t.Fatalf("ring retained %d spans, want capacity 4", len(recs))
+	}
+	// The root ended last, so it must be retained.
+	if recs[len(recs)-1].Name != "job" {
+		// root has the lowest StartSeq, so after sorting it is first.
+		if recs[0].Name != "job" {
+			t.Fatalf("root span evicted unexpectedly: %+v", recs)
+		}
+	}
+}
+
+func TestAttrOverflowDropped(t *testing.T) {
+	tr := New(8)
+	_, root := tr.Root(context.Background(), "job", "ov")
+	for i := 0; i < maxAttrs+5; i++ {
+		root.SetNum("k", float64(i))
+	}
+	root.End()
+	recs := tr.Trace("ov")
+	if len(recs) != 1 || recs[0].NAttrs != maxAttrs {
+		t.Fatalf("attr overflow not bounded: %+v", recs)
+	}
+}
+
+func TestOnEndHook(t *testing.T) {
+	tr := New(8)
+	var mu sync.Mutex
+	var seen []string
+	tr.OnEnd(func(r Record) {
+		mu.Lock()
+		seen = append(seen, r.Name)
+		mu.Unlock()
+	})
+	ctx, root := tr.Root(context.Background(), "job", "hook")
+	_, cell := Start(ctx, "cell")
+	cell.End()
+	root.End()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != "cell" || seen[1] != "job" {
+		t.Fatalf("OnEnd saw %v", seen)
+	}
+}
+
+func TestConcurrentTracingHammer(t *testing.T) {
+	tr := New(512)
+	ctx, root := tr.Root(context.Background(), "grid", "hammer")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cctx, cell := Start(ctx, "cell")
+				cell.SetNum("worker", float64(g))
+				_, run := Start(cctx, "run")
+				run.SetNum("i", float64(i))
+				run.End()
+				cell.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+	recs := tr.Trace("hammer")
+	if len(recs) != 512 {
+		t.Fatalf("retained %d spans, want full ring 512", len(recs))
+	}
+	sums := tr.Traces()
+	if len(sums) != 1 || sums[0].TraceID != "hammer" {
+		t.Fatalf("bad summaries under concurrency: %+v", sums)
+	}
+}
+
+func TestSpanPoolReuse(t *testing.T) {
+	tr := New(16)
+	ctx, root := tr.Root(context.Background(), "job", "pool")
+	_, a := Start(ctx, "cell")
+	a.SetStr("k", "v")
+	a.End()
+	// A recycled span must come back clean.
+	_, b := Start(ctx, "cell")
+	if b.nattrs != 0 || b.children.Load() != 0 {
+		t.Fatalf("recycled span not reset: nattrs=%d children=%d", b.nattrs, b.children.Load())
+	}
+	b.End()
+	root.End()
+}
+
+func TestTraceSummaryDuration(t *testing.T) {
+	tr := New(16)
+	_, root := tr.Root(context.Background(), "job", "dur")
+	time.Sleep(2 * time.Millisecond)
+	root.End()
+	sums := tr.Traces()
+	if len(sums) != 1 || sums[0].Duration < time.Millisecond {
+		t.Fatalf("summary duration too small: %+v", sums)
+	}
+}
+
+func TestEndErrAttachesError(t *testing.T) {
+	tr := New(8)
+	_, root := tr.Root(context.Background(), "job", "err")
+	root.EndErr(context.Canceled)
+	recs := tr.Trace("err")
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if a, ok := recs[0].Attr("error"); !ok || !strings.Contains(a.Str, "canceled") {
+		t.Fatalf("error attr missing: %+v", recs[0])
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"bcclique/internal/algorithms"
 	"bcclique/internal/bcc"
 	"bcclique/internal/graph"
+	"bcclique/internal/obs"
 	"bcclique/internal/sketch"
 )
 
@@ -242,6 +243,17 @@ func finish(ctx context.Context, name string, g *graph.Graph, in *bcc.Instance, 
 			}
 		}
 		out.Refused = refused
+	}
+	// Under tracing the enclosing "run" span carries the verdict quality
+	// alongside the cost attrs the caller sets: a trace of a stress grid
+	// shows at a glance which runs refused or answered wrong.
+	if span := obs.FromContext(ctx); span != nil {
+		if out.Refused {
+			span.SetNum("refused", 1)
+		}
+		if !out.Correct {
+			span.SetNum("incorrect", 1)
+		}
 	}
 	return out, nil
 }

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bcclique/internal/obs"
 	"bcclique/internal/report"
 )
 
@@ -224,7 +225,14 @@ func (s *Store) Do(ctx context.Context, key string, compute func() (*report.Resu
 
 		// An unreadable cache (broken volume, bad permissions) degrades to
 		// a miss: cache trouble must never fail a run that can compute.
-		if got, ok, err2 := s.Get(key); err2 == nil && ok {
+		// Under tracing the disk probe and the eventual write get their
+		// own child spans, so cache IO on a slow volume is attributed
+		// instead of disappearing into the cell's wall time.
+		span := obs.FromContext(ctx)
+		probe := span.Child("store.get")
+		got, ok, err2 := s.Get(key)
+		probe.End()
+		if err2 == nil && ok {
 			s.hits.Add(1)
 			return got, true, nil
 		}
@@ -236,8 +244,12 @@ func (s *Store) Do(ctx context.Context, key string, compute func() (*report.Resu
 		// A result that computed fine but cannot be stored (full or
 		// read-only cache volume) is still the answer: serve it uncached
 		// and count the failure instead of failing the run.
+		write := span.Child("store.put")
 		if err := s.Put(key, res); err != nil {
 			s.putErrs.Add(1)
+			write.EndErr(err)
+		} else {
+			write.End()
 		}
 		return res, false, nil
 	}
