@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race check bench bench-json bench-sweeps bench-scale bench-bitplane bench-serving bench-memory bench-compare report serve serve-race load-smoke trace-smoke smoke-examples sweep sweep-smoke sweep-large sweep-xl sweep-xxl fmt vet lint staticcheck
+.PHONY: build test race check bench bench-json bench-sweeps bench-scale bench-bitplane bench-serving bench-memory bench-compare report serve serve-race load-smoke trace-smoke smoke-examples sweep sweep-smoke sweep-large sweep-xl sweep-xxl fmt vet lint staticcheck govulncheck
 
 build:
 	$(GO) build ./...
@@ -19,15 +19,19 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Stdlib-only shadowing lint: declarations must not take over builtin
-# function names (the `cap := grid.SizeCaps[k]` class of bug).
+# bccvet is the repo's own stdlib-only analysis suite (cmd/bccvet): the
+# determinism lint (detpath), context-flow lint (ctxflow), resource
+# pairing (pairwise), frozen-type writes (frozenwrite), and the builtin
+# shadowing lint (shadow, formerly cmd/lintshadow). Run one analyzer
+# with `go run ./cmd/bccvet -run detpath ./...`; suppress a finding with
+# `//bccvet:ignore <analyzer> -- <reason>` (the reason is mandatory).
 lint:
-	$(GO) run ./cmd/lintshadow .
+	$(GO) run ./cmd/bccvet ./...
 
-# staticcheck covers the wider shadowing/correctness class. The binary
-# is not vendored; where it is absent (offline dev containers) the
-# target degrades to a notice, and CI installs it so regressions fail
-# the build there.
+# staticcheck covers the wider correctness class. The binary is not
+# vendored; where it is absent (offline dev containers) the target
+# degrades to a notice, and CI installs a pinned version so regressions
+# fail the build there.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
@@ -35,7 +39,16 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-check: fmt vet lint staticcheck build test
+# govulncheck scans for known-vulnerable reachable stdlib symbols. Same
+# degrade-to-notice pattern: CI installs a pinned version.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
+check: fmt vet lint staticcheck govulncheck build test
 
 # Build and run every example binary; examples must not silently rot.
 smoke-examples:

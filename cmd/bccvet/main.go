@@ -1,0 +1,212 @@
+// Command bccvet is the repo's multichecker: it loads every package of
+// the module (tests included), runs the five repo-specific analyzers,
+// and exits non-zero on any finding. The analyzers mechanically enforce
+// the invariants the compiler cannot see — the ones the reproduction's
+// acceptance bars rest on:
+//
+//	detpath      bit-identical tables: no global math/rand, no
+//	             unannotated wall-clock reads, no map-order-dependent
+//	             output in the simulation packages
+//	ctxflow      socket-to-round cancellation: thread the in-scope ctx,
+//	             never mint Background/TODO under it, ctx-first
+//	             signatures
+//	pairwise     exactly-once resource pairing: obs spans End, queue
+//	             slots release, bcc pool buffers recycle
+//	frozenwrite  //bccvet:frozen types are only written at declared
+//	             //bccvet:thaws sites
+//	shadow       declarations must not take over builtin function
+//	             names (the former cmd/lintshadow)
+//
+// Findings that are deliberate carry an inline escape hatch with a
+// mandatory reason:
+//
+//	start := time.Now() //bccvet:ignore detpath -- elapsed is reported, never keyed on
+//
+// Usage:
+//
+//	bccvet [-run regexp] [-list] [moduleroot]
+//
+// -run selects analyzers by name (e.g. -run detpath for one, -run
+// 'detpath|ctxflow' for two); -list prints the analyzers and exits.
+// The module root defaults to "." and a trailing /... is accepted (and
+// ignored — the whole module is always loaded, scoping is per
+// analyzer).
+package main
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+
+	"bcclique/internal/analysis"
+	"bcclique/internal/analysis/passes/ctxflow"
+	"bcclique/internal/analysis/passes/detpath"
+	"bcclique/internal/analysis/passes/frozenwrite"
+	"bcclique/internal/analysis/passes/pairwise"
+	"bcclique/internal/analysis/passes/shadow"
+)
+
+// detpathScope lists the package-path prefixes (under the module path)
+// on the deterministic simulation path. ISSUE/DESIGN §8 name these; a
+// new simulation package joins by being added here.
+var detpathScope = []string{
+	"internal/bcc", "internal/algorithms", "internal/protocol",
+	"internal/family", "internal/graph", "internal/dsu",
+	"internal/engine", "internal/harness",
+}
+
+// checker binds an analyzer to its package scope.
+type checker struct {
+	analyzer *analysis.Analyzer
+	// tests: run over test units too (only the shadow lint wants
+	// that; determinism/ctx/pairing rules exempt test code).
+	tests bool
+	// scope restricts to packages under these module-relative prefixes
+	// (nil = everywhere).
+	scope []string
+}
+
+var checkers = []checker{
+	{analyzer: detpath.Analyzer, scope: detpathScope},
+	{analyzer: ctxflow.Analyzer},
+	{analyzer: pairwise.Analyzer},
+	{analyzer: frozenwrite.Analyzer},
+	{analyzer: shadow.Analyzer, tests: true},
+}
+
+func main() {
+	runFlag := ""
+	list := false
+	args := os.Args[1:]
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch {
+		case args[0] == "-list" || args[0] == "--list":
+			list = true
+			args = args[1:]
+		case args[0] == "-run" || args[0] == "--run":
+			if len(args) < 2 {
+				fatal("missing argument for -run")
+			}
+			runFlag = args[1]
+			args = args[2:]
+		case strings.HasPrefix(args[0], "-run="):
+			runFlag = strings.TrimPrefix(args[0], "-run=")
+			args = args[1:]
+		case args[0] == "-h" || args[0] == "-help" || args[0] == "--help":
+			usage(os.Stdout)
+			return
+		default:
+			fatal("unknown flag %s", args[0])
+		}
+	}
+	if list {
+		for _, c := range checkers {
+			fmt.Printf("%-12s %s\n", c.analyzer.Name, firstLine(c.analyzer.Doc))
+		}
+		return
+	}
+	selected := checkers
+	if runFlag != "" {
+		re, err := regexp.Compile(runFlag)
+		if err != nil {
+			fatal("bad -run regexp: %v", err)
+		}
+		selected = nil
+		for _, c := range checkers {
+			if re.MatchString(c.analyzer.Name) {
+				selected = append(selected, c)
+			}
+		}
+		if len(selected) == 0 {
+			fatal("-run %q matches no analyzer (have: %s)", runFlag, names())
+		}
+	}
+	root := "."
+	if len(args) > 0 {
+		root = strings.TrimSuffix(args[0], "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadModule(root, true)
+	if err != nil {
+		fatal("load: %v", err)
+	}
+
+	known := map[string]bool{"bccvet": true}
+	for _, c := range checkers {
+		known[c.analyzer.Name] = true
+	}
+
+	bad := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, c := range selected {
+			if pkg.Test && !c.tests {
+				continue
+			}
+			if !inScope(pkg.Path, c.scope) {
+				continue
+			}
+			ds, err := analysis.RunPackage(c.analyzer, pkg)
+			if err != nil {
+				fatal("%v", err)
+			}
+			diags = append(diags, ds...)
+		}
+		kept, problems := analysis.Filter(pkg, diags, known)
+		kept = append(kept, problems...)
+		analysis.SortDiagnostics(pkg.Fset, kept)
+		for _, d := range kept {
+			fmt.Println(analysis.Format(pkg.Fset, d))
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "bccvet: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// inScope reports whether a package path (which may carry a test
+// suffix) falls under one of the module-relative prefixes.
+func inScope(path string, scope []string) bool {
+	if scope == nil {
+		return true
+	}
+	path = strings.TrimSuffix(strings.TrimSuffix(path, " [test]"), "_test")
+	for _, p := range scope {
+		if strings.HasSuffix(path, "/"+p) || strings.Contains(path, "/"+p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func names() string {
+	var out []string
+	for _, c := range checkers {
+		out = append(out, c.analyzer.Name)
+	}
+	return strings.Join(out, ", ")
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func usage(w *os.File) {
+	fmt.Fprintf(w, "usage: bccvet [-run regexp] [-list] [moduleroot]\nanalyzers: %s\n", names())
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -36,11 +36,14 @@ func bitsFor(m int) int {
 
 // indexer maps IDs to their rank in the sorted ID list (the canonical
 // vertex indexing every KT-1 algorithm shares).
+//
+//bccvet:frozen
 type indexer struct {
 	sorted   []int
 	identity bool // sorted[i] == i: rank and id are the identity map
 }
 
+//bccvet:thaws indexer
 func newIndexer(allIDs []int) *indexer {
 	if sort.IntsAreSorted(allIDs) {
 		// Already sorted — alias instead of copying. View.AllIDs is the

@@ -1,0 +1,71 @@
+// Package analysis is a stdlib-only skeleton of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named
+// check, a Pass hands it one type-checked package, and Diagnostics come
+// back positioned. The repo's invariants (bit-identical tables at any
+// worker count, ctx-first cancellation, exactly-once pool recycling,
+// frozen substrates) are not visible to the compiler, so cmd/bccvet
+// runs the analyzers in passes/ over every package on each `make
+// check`.
+//
+// The API is deliberately shaped like x/tools go/analysis so the
+// analyzers port mechanically if the real framework is ever vendored;
+// it is reimplemented here because the module has no dependencies and
+// the offline build must stay that way. Loading (parse + type-check of
+// the whole module, stdlib resolved from GOROOT source) lives in
+// load.go; diagnostic filtering through the `//bccvet:ignore` escape
+// hatch lives in run.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named, self-contained check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -run filters and
+	// //bccvet:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by bccvet -list. The
+	// first line is the summary.
+	Doc string
+	// Run executes the check over one package. Diagnostics go through
+	// pass.Report; the result value is unused (kept for x/tools API
+	// parity).
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset positions every file in Files (and every dependency).
+	Fset *token.FileSet
+	// Files is the syntax to analyze. For augmented test packages this
+	// is only the _test.go files — the non-test sources were already
+	// analyzed as their own package — but TypesInfo covers both.
+	Files []*ast.File
+	// Pkg is the type-checked package; PkgPath its import path (test
+	// variants carry a " [test]"/"_test" suffix, see load.go).
+	Pkg     *types.Package
+	PkgPath string
+	// TypesInfo maps syntax in Files (and the rest of the package) to
+	// types, objects and selections.
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos token.Pos
+	// Analyzer is filled in by the runner, not by analyzers.
+	Analyzer string
+	Message  string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's stdlib-only
+// analysis skeleton.
+//
+// Fixtures live GOPATH-style under <testdata>/src/<pkg>/. A line that
+// should be flagged carries a trailing comment of one or more quoted
+// regexps:
+//
+//	rand.Intn(10) // want `global math/rand`
+//	a, b := f()   // want "first" "second"
+//
+// Every diagnostic must match a want on its line (in order) and every
+// want must be consumed, or the test fails. Ignore directives
+// (//bccvet:ignore) are applied before matching, so fixtures can pin
+// the escape hatch too.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"bcclique/internal/analysis"
+)
+
+// Run loads each fixture package from dir/src and applies a to it.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	loaded, err := loader.LoadDirs(dir+"/src", pkgs)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	known := map[string]bool{a.Name: true, "bccvet": true}
+	for _, pkg := range loaded {
+		diags, err := analysis.RunPackage(a, pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		kept, problems := analysis.Filter(pkg, diags, known)
+		kept = append(kept, problems...)
+		analysis.SortDiagnostics(pkg.Fset, kept)
+		checkWants(t, pkg, kept)
+	}
+}
+
+// wantRe is one expectation: a compiled regexp at a file:line.
+type wantRe struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantQuoted = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// checkWants matches diagnostics against the fixture's want comments.
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*wantRe
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, m := range wantQuoted.FindAllStringSubmatch(text, -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					} else if pat != "" {
+						if unq, err := unquote(pat); err == nil {
+							pat = unq
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &wantRe{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// unquote interprets the escape sequences of a double-quoted want
+// pattern (only \" and \\ need care; everything else passes through).
+func unquote(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// Fprint is a debugging helper: dump diagnostics with positions.
+func Fprint(fset *token.FileSet, diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintln(&b, analysis.Format(fset, d))
+	}
+	return b.String()
+}

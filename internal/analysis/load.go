@@ -1,0 +1,404 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Package is one type-checked unit ready for analysis.
+type Package struct {
+	// Path is the import path ("bcclique/internal/bcc"). Augmented
+	// in-package test units carry a " [test]" suffix, external test
+	// packages their real "_test" suffix.
+	Path string
+	Dir  string
+	Name string
+	// Files is the syntax handed to analyzers. For the " [test]" unit
+	// this is only the _test.go files (the sources were analyzed under
+	// the plain unit), though the type information spans both.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Fset positions everything in Files; shared across the load.
+	Fset *token.FileSet
+	// Test marks units whose Files are test files — analyzers that
+	// exempt tests key off this (and off the file names).
+	Test bool
+}
+
+// A Loader parses and type-checks module packages with no toolchain
+// dependencies beyond GOROOT: stdlib imports are compiled from source
+// via importer.ForCompiler(..., "source", ...), module-local imports
+// are resolved from the tree in dependency order. One Loader owns one
+// FileSet; every Package it returns shares it.
+type Loader struct {
+	Fset  *token.FileSet
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+// NewLoader returns a ready Loader.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		local: make(map[string]*types.Package),
+	}
+}
+
+// Import implements types.Importer: module-local paths resolve to
+// already-checked packages (LoadModule checks in dependency order),
+// everything else falls through to the GOROOT source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.local[path]; ok {
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirUnit is one directory's worth of files, split the way go/build
+// splits them (build constraints already applied).
+type dirUnit struct {
+	path    string // import path of the base package
+	dir     string
+	name    string
+	sources []string // non-test .go files
+	inTest  []string // _test.go files in the base package
+	extTest []string // _test.go files in the "_test" external package
+	imports []string // module-local imports of sources (for topo order)
+}
+
+// LoadModule parses and type-checks every package under root (a module
+// root containing go.mod). With tests set, each directory additionally
+// yields an augmented unit for its in-package _test.go files and a
+// separate unit for its external "_test" package. testdata, vendor and
+// hidden directories are skipped.
+func (l *Loader) LoadModule(root string, tests bool) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	units, err := scanModule(root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoOrder(units)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	// Pass 1: base packages, dependency order, registered for import.
+	for _, u := range order {
+		if len(u.sources) == 0 {
+			continue
+		}
+		p, err := l.check(u.path, u.dir, u.sources, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.local[u.path] = p.Types
+		pkgs = append(pkgs, p)
+	}
+	if !tests {
+		return pkgs, nil
+	}
+	// Pass 2: test units. Every base package is importable now, so
+	// order no longer matters (an import cycle through a test file
+	// would not compile under go test either).
+	for _, u := range order {
+		if len(u.inTest) > 0 {
+			p, err := l.check(u.path+" [test]", u.dir, u.sources, u.inTest)
+			if err != nil {
+				return nil, err
+			}
+			p.Test = true
+			pkgs = append(pkgs, p)
+		}
+		if len(u.extTest) > 0 {
+			p, err := l.check(u.path+"_test", u.dir, u.extTest, nil)
+			if err != nil {
+				return nil, err
+			}
+			p.Test = true
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDirs type-checks a set of GOPATH-style package directories rooted
+// at srcRoot (import path = path relative to srcRoot), used by
+// analysistest fixtures. Every .go file in a fixture directory is part
+// of its package; fixture-local imports resolve against srcRoot.
+func (l *Loader) LoadDirs(srcRoot string, paths []string) ([]*Package, error) {
+	units := make(map[string]*dirUnit)
+	var collect func(path string) error
+	collect = func(path string) error {
+		if _, ok := units[path]; ok {
+			return nil
+		}
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		u := &dirUnit{path: path, dir: dir}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				u.sources = append(u.sources, e.Name())
+			}
+		}
+		sort.Strings(u.sources)
+		units[path] = u
+		for _, imp := range fileImports(l.Fset, dir, u.sources) {
+			if _, err := os.Stat(filepath.Join(srcRoot, filepath.FromSlash(imp))); err == nil {
+				u.imports = append(u.imports, imp)
+				if err := collect(imp); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range paths {
+		if err := collect(p); err != nil {
+			return nil, err
+		}
+	}
+	order, err := topoOrder(units)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		want[p] = true
+	}
+	var pkgs []*Package
+	for _, u := range order {
+		p, err := l.check(u.path, u.dir, u.sources, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.local[u.path] = p.Types
+		if want[u.path] {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one unit. extra (in-package test files)
+// is appended to files; when extra is non-nil only the extra files are
+// exposed as Package.Files.
+func (l *Loader) check(path, dir string, files, extra []string) (*Package, error) {
+	parse := func(names []string) ([]*ast.File, error) {
+		var out []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	}
+	srcs, err := parse(files)
+	if err != nil {
+		return nil, err
+	}
+	extras, err := parse(extra)
+	if err != nil {
+		return nil, err
+	}
+	all := append(append([]*ast.File{}, srcs...), extras...)
+	if len(all) == 0 {
+		return nil, fmt.Errorf("%s: no files", path)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(strings.TrimSuffix(path, " [test]"), l.Fset, all, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for i, e := range typeErrs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("%s: type errors:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	analyzed := all
+	if extra != nil {
+		analyzed = extras
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Name:  tpkg.Name(),
+		Files: analyzed,
+		Types: tpkg,
+		Info:  info,
+		Fset:  l.Fset,
+	}, nil
+}
+
+// scanModule walks the tree and returns one dirUnit per directory that
+// holds Go files, with build constraints applied by go/build.
+func scanModule(root, modPath string) (map[string]*dirUnit, error) {
+	units := make(map[string]*dirUnit)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		bp, err := build.Default.ImportDir(path, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		impPath := modPath
+		if rel != "." {
+			impPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		u := &dirUnit{
+			path:    impPath,
+			dir:     path,
+			name:    bp.Name,
+			sources: append([]string{}, bp.GoFiles...),
+			inTest:  append([]string{}, bp.TestGoFiles...),
+			extTest: append([]string{}, bp.XTestGoFiles...),
+		}
+		for _, imp := range bp.Imports {
+			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+				u.imports = append(u.imports, imp)
+			}
+		}
+		units[impPath] = u
+		return nil
+	})
+	return units, err
+}
+
+// topoOrder sorts units so every unit follows its module-local source
+// imports, with a deterministic tie-break on import path.
+func topoOrder(units map[string]*dirUnit) ([]*dirUnit, error) {
+	paths := make([]string, 0, len(units))
+	for p := range units {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(units))
+	var order []*dirUnit
+	var visit func(p string) error
+	visit = func(p string) error {
+		u, ok := units[p]
+		if !ok {
+			return nil
+		}
+		switch state[p] {
+		case grey:
+			return fmt.Errorf("import cycle through %s", p)
+		case black:
+			return nil
+		}
+		state[p] = grey
+		deps := append([]string{}, u.imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[p] = black
+		order = append(order, u)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// fileImports parses just the import clauses of the named files.
+func fileImports(fset *token.FileSet, dir string, names []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			continue
+		}
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}

@@ -1,0 +1,234 @@
+// Package ctxflow enforces the PR 6 cancellation contract: a
+// context.Context flows from the HTTP socket down to the simulated
+// round, so library code must thread the ctx it was handed rather than
+// minting fresh roots. Three rules, all scoped to non-main, non-test
+// code (main packages own process lifetime and mint roots legitimately;
+// tests drive APIs from scratch):
+//
+//  1. no context.Background()/context.TODO() while a context.Context
+//     is already in scope (a parameter of the enclosing function or of
+//     an enclosing closure) — detaching from the incoming ctx severs
+//     cancellation; if the detach is deliberate (a job outliving its
+//     submitter), annotate it with //bccvet:ignore ctxflow -- reason;
+//  2. no calling the ctx-less variant of a function when its package
+//     also exports a Context/Ctx-suffixed variant and a ctx is in
+//     scope (bcc.Run vs bcc.RunContext, parallel.ForEach vs
+//     parallel.ForEachCtx);
+//  3. functions that accept a context.Context take it as the first
+//     parameter.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bcclique/internal/analysis"
+)
+
+// Analyzer is the bccvet entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "thread the in-scope context.Context: no fresh Background/TODO roots, no ctx-less variants, ctx-first signatures",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" || strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkSignature(pass, fd)
+			if fd.Body != nil {
+				walkBody(pass, fd.Body, hasCtxParam(pass, fd.Type))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if t := pass.TypesInfo.Types[f.Type].Type; t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkBody inspects a function body. ctxAvail records whether any
+// enclosing function (declaration or closure) has a ctx parameter —
+// closures capture their enclosing ctx.
+func walkBody(pass *analysis.Pass, body *ast.BlockStmt, ctxAvail bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			walkBody(pass, n.Body, ctxAvail || hasCtxParam(pass, n.Type))
+			return false
+		case *ast.CallExpr:
+			if ctxAvail {
+				checkCall(pass, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall applies rules 1 and 2 to one call made while a ctx is in
+// scope.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+		pass.Reportf(call.Pos(),
+			"context.%s with a context.Context in scope severs cancellation; thread the incoming ctx (or annotate a deliberate detach with //bccvet:ignore ctxflow -- <reason>)",
+			fn.Name())
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || signatureTakesCtx(sig) {
+		return
+	}
+	if variant := ctxVariant(fn); variant != "" {
+		pass.Reportf(call.Pos(),
+			"%s ignores the in-scope ctx; call %s instead", fn.Name(), variant)
+	}
+}
+
+// calleeFunc resolves the called function or method, if static.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// signatureTakesCtx reports whether any parameter is a context.Context.
+func signatureTakesCtx(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxVariant looks for a Context/Ctx-suffixed sibling of fn (same
+// package for functions, same receiver type for methods) whose
+// signature takes a context.Context. Returns its display name or "".
+func ctxVariant(fn *types.Func) string {
+	lookup := func(name string) types.Object {
+		sig := fn.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return nil
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				if m := named.Method(i); m.Name() == name {
+					return m
+				}
+			}
+			return nil
+		}
+		return fn.Pkg().Scope().Lookup(name)
+	}
+	for _, suffix := range []string{"Context", "Ctx"} {
+		obj := lookup(fn.Name() + suffix)
+		v, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if sig, ok := v.Type().(*types.Signature); ok && signatureTakesCtx(sig) {
+			return v.Name()
+		}
+	}
+	return ""
+}
+
+// checkSignature applies rule 3: a declared ctx parameter must come
+// first (after a *testing.T/B/F, which test helpers put first by
+// convention).
+func checkSignature(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, f := range fd.Type.Params.List {
+		t := pass.TypesInfo.Types[f.Type].Type
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t != nil && isContextType(t) {
+			if pos > 0 {
+				pass.Reportf(f.Pos(),
+					"context.Context must be the first parameter of %s (PR 6 cancellation contract)", fd.Name.Name)
+			}
+			return
+		}
+		if t != nil && isTestingHelperParam(t) {
+			continue // does not advance pos: t *testing.T may precede ctx
+		}
+		pos += n
+	}
+}
+
+// isTestingHelperParam reports whether t is *testing.T/B/F.
+func isTestingHelperParam(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "testing" {
+		return false
+	}
+	switch obj.Name() {
+	case "T", "B", "F":
+		return true
+	}
+	return false
+}

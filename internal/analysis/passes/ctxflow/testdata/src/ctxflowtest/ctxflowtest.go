@@ -1,0 +1,64 @@
+// Package ctxflowtest is the ctxflow fixture: fresh roots under an
+// in-scope ctx, ctx-less variants with Context siblings, and non-first
+// ctx parameters, each with a clean counterpart.
+package ctxflowtest
+
+import "context"
+
+// --- rule 1: Background/TODO while a ctx is in scope ---
+
+func freshRoot(ctx context.Context) {
+	c, cancel := context.WithCancel(context.Background()) // want `context\.Background with a context\.Context in scope`
+	defer cancel()
+	_ = c
+}
+
+func todoUnderCtx(ctx context.Context) context.Context {
+	return context.TODO() // want `context\.TODO with a context\.Context in scope`
+}
+
+func closureCapture(ctx context.Context) func() context.Context {
+	return func() context.Context {
+		return context.Background() // want `context\.Background with a context\.Context in scope`
+	}
+}
+
+func rootNoCtx() context.Context {
+	return context.Background() // no ctx in scope: minting a root is fine
+}
+
+func deliberateDetach(ctx context.Context) context.Context {
+	return context.Background() //bccvet:ignore ctxflow -- fixture: detached on purpose, with a reason
+}
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx) // threading the incoming ctx: clean
+}
+
+// --- rule 2: ctx-less variant when a Context sibling exists ---
+
+func sweep() {}
+
+func sweepContext(ctx context.Context) {}
+
+func callsVariant(ctx context.Context) {
+	sweep() // want `sweep ignores the in-scope ctx; call sweepContext instead`
+}
+
+func callsVariantNoCtx() {
+	sweep() // no ctx to thread: clean
+}
+
+func callsCtxDirectly(ctx context.Context) {
+	sweepContext(ctx) // already threading: clean
+}
+
+// --- rule 3: ctx-first signatures ---
+
+func ctxSecond(n int, ctx context.Context) { // want `context\.Context must be the first parameter of ctxSecond`
+	_ = n
+}
+
+func ctxFirst(ctx context.Context, n int) { // clean
+	_ = n
+}

@@ -1,0 +1,318 @@
+// Package detpath enforces deterministic-path purity in the simulation
+// packages: every table the engine emits must be bit-identical at any
+// worker count and on every re-run (DESIGN.md §4), so code on the path
+// from instance generation to rendered row must not consult ambient
+// nondeterminism. Three rules:
+//
+//  1. no global math/rand state — rand.Intn and friends draw from a
+//     process-global source; all randomness must flow from explicit
+//     *rand.Rand values seeded via parallel.DeriveSeed (constructors
+//     like rand.New/NewSource are fine);
+//  2. no time.Now/time.Since outside explicitly-annotated measurement
+//     sites — wall-clock readings are fine for reporting elapsed time,
+//     but each such site must carry a //bccvet:ignore detpath -- reason
+//     annotation so new ones are a deliberate decision;
+//  3. no map iteration order leaking into an ordered output — a
+//     `range` over a map whose key/value flows into an append (without
+//     a subsequent sort of the accumulator) or directly into a
+//     print/write call is the classic silent-ordering bug.
+package detpath
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"bcclique/internal/analysis"
+)
+
+// Analyzer is the bccvet entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "detpath",
+	Doc:  "simulation-path code must stay deterministic: no global math/rand, no unannotated time.Now/Since, no map-order-dependent output",
+	Run:  run,
+}
+
+// randConstructors are the math/rand(/v2) functions that build an
+// explicitly-seeded source rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkStmts(pass, fd.Body.List)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				checkStmts(pass, n.Body.List)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall applies the global-rand and wall-clock rules to one call.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Methods ((*rand.Rand).Intn, (time.Time).Sub, ...) are explicit
+	// state and deterministic inputs — only package-level functions of
+	// math/rand and time carry ambient state.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s draws from process-global state; seed a local source via parallel.DeriveSeed instead",
+				fn.Name())
+		}
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s on the deterministic path; if this is a measurement site, annotate it with //bccvet:ignore detpath -- <reason>",
+				fn.Name())
+		}
+	}
+}
+
+// checkStmts walks one statement list looking for range-over-map
+// statements, keeping the list so the statements after the loop are in
+// reach for the sorted-accumulator check. Nested blocks recurse;
+// nested function literals are walked by run.
+func checkStmts(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.RangeStmt:
+			checkMapRange(pass, s, stmts[i+1:])
+			checkStmts(pass, s.Body.List)
+		case *ast.BlockStmt:
+			checkStmts(pass, s.List)
+		case *ast.IfStmt:
+			checkStmts(pass, s.Body.List)
+			if alt, ok := s.Else.(*ast.BlockStmt); ok {
+				checkStmts(pass, alt.List)
+			} else if alt, ok := s.Else.(*ast.IfStmt); ok {
+				checkStmts(pass, []ast.Stmt{alt})
+			}
+		case *ast.ForStmt:
+			checkStmts(pass, s.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkStmts(pass, cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkStmts(pass, cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					checkStmts(pass, cc.Body)
+				}
+			}
+		case *ast.LabeledStmt:
+			checkStmts(pass, []ast.Stmt{s.Stmt})
+		}
+	}
+}
+
+// sortCallee matches the functions accepted as "an intervening sort":
+// anything from sort/slices, or a helper whose own name says sort.
+var sortCallee = regexp.MustCompile(`(?i)sort`)
+
+// checkMapRange flags a range over a map whose iteration order can
+// reach an ordered output. tail is the statement list following the
+// loop in the same block (where a redeeming sort may live).
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, tail []ast.Stmt) {
+	t := pass.TypesInfo.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			loopVars[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			loopVars[obj] = true
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[pass.TypesInfo.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Accumulators appended to inside the body, in map order.
+	accs := make(map[types.Object]ast.Expr)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				ordered := false
+				for _, arg := range call.Args {
+					if mentions(arg) {
+						ordered = true
+					}
+				}
+				if !ordered {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := objOf(pass, id); obj != nil {
+						accs[obj] = rhs
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if emitsOutput(pass, n) {
+				for _, arg := range n.Args {
+					if mentions(arg) {
+						pass.Reportf(n.Pos(),
+							"map iteration order reaches the output directly; iterate sorted keys instead (bit-identical tables contract)")
+						return true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// An accumulator is fine if something sorts it after the loop.
+	for obj := range accs {
+		if sortedAfter(pass, tail, obj) {
+			continue
+		}
+		pass.Reportf(rng.Pos(),
+			"values appended to %q in map order with no intervening sort; collect and sort keys first (bit-identical tables contract)",
+			obj.Name())
+	}
+}
+
+// objOf resolves an identifier to its object (use or definition).
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// isBuiltinAppend reports whether call is the predeclared append.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// emitsOutput reports whether call writes somewhere ordered: fmt
+// printing, or a Write*/String-building method.
+func emitsOutput(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return false
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			name := fn.Name()
+			return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+		}
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return fn.Type().(*types.Signature).Recv() != nil
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether any statement after the loop passes obj
+// to a sorting call.
+func sortedAfter(pass *analysis.Pass, tail []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range tail {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && objOf(pass, id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognizes sort.*/slices.Sort* calls and local helpers
+// whose name mentions sort.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			p := fn.Pkg().Path()
+			if p == "sort" || p == "slices" {
+				return true
+			}
+		}
+		return sortCallee.MatchString(fun.Sel.Name)
+	case *ast.Ident:
+		return sortCallee.MatchString(fun.Name)
+	}
+	return false
+}

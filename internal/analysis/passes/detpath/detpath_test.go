@@ -1,0 +1,12 @@
+package detpath_test
+
+import (
+	"testing"
+
+	"bcclique/internal/analysis/analysistest"
+	"bcclique/internal/analysis/passes/detpath"
+)
+
+func TestDetpath(t *testing.T) {
+	analysistest.Run(t, "testdata", detpath.Analyzer, "detpathtest")
+}

@@ -1,0 +1,89 @@
+// Package detpathtest is the detpath fixture: each rule with a
+// positive (flagged) and negative (clean) shape, including the
+// map-range-ordering bug the rule exists for and the annotated
+// measurement-site escape hatch.
+package detpathtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- rule 1: global math/rand ---
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn draws from process-global state`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors build explicit sources: clean
+	return rng.Intn(10)
+}
+
+// --- rule 2: wall-clock reads ---
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now on the deterministic path`
+	return time.Since(start) // want `time\.Since on the deterministic path`
+}
+
+func annotatedMeasurement() time.Time {
+	return time.Now() //bccvet:ignore detpath -- fixture: declared measurement site
+}
+
+func explicitClock(t time.Time) time.Time {
+	return t.Add(time.Second) // operating on a passed-in time: clean
+}
+
+// --- rule 3: map iteration order reaching ordered output ---
+
+// mapOrderBug is the classic silent-ordering shape: rows accumulate in
+// map iteration order and nothing re-sorts them.
+func mapOrderBug(m map[string]int) []string {
+	var rows []string
+	for k, v := range m { // want `values appended to "rows" in map order with no intervening sort`
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	return rows
+}
+
+// mapOrderSorted collects then sorts: clean.
+func mapOrderSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapOrderEmit leaks iteration order straight into the output stream.
+func mapOrderEmit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration order reaches the output directly`
+	}
+}
+
+// mapAggregate is order-insensitive: clean.
+func mapAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange is not a map: clean.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

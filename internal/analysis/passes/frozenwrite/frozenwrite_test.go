@@ -1,0 +1,12 @@
+package frozenwrite_test
+
+import (
+	"testing"
+
+	"bcclique/internal/analysis/analysistest"
+	"bcclique/internal/analysis/passes/frozenwrite"
+)
+
+func TestFrozenwrite(t *testing.T) {
+	analysistest.Run(t, "testdata", frozenwrite.Analyzer, "frozenwritetest")
+}

@@ -1,0 +1,61 @@
+// Package frozenwritetest is the frozenwrite fixture: a frozen
+// CSR-style graph mirroring bcclique/internal/graph, a thaw site, and
+// writers that are (and are not) allowed to touch it.
+package frozenwritetest
+
+// Graph is immutable once built: its adjacency rows alias one shared
+// arena, so a post-freeze write is visible to every concurrent reader.
+//
+//bccvet:frozen
+type Graph struct {
+	n   int
+	adj [][]int32
+}
+
+// Loose carries no directive; writes to it are nobody's business.
+type Loose struct {
+	n   int
+	adj [][]int32
+}
+
+// build assembles a Graph before publication.
+//
+//bccvet:thaws Graph
+func build(n int) *Graph {
+	g := &Graph{n: n}
+	g.adj = make([][]int32, n)
+	for v := range g.adj {
+		g.adj[v] = []int32{}
+	}
+	return g
+}
+
+// mutate pokes a frozen Graph without a thaw annotation.
+func mutate(g *Graph, v int) {
+	g.n++                          // want `write to field n of frozen type Graph outside a //bccvet:thaws Graph site`
+	g.adj[v] = nil                 // want `write to field adj of frozen type Graph outside a //bccvet:thaws Graph site`
+	g.adj[v][0] = 3                // want `write to field adj of frozen type Graph outside a //bccvet:thaws Graph site`
+	g.adj[v] = append(g.adj[v], 4) // want `write to field adj of frozen type Graph outside a //bccvet:thaws Graph site`
+}
+
+// read only looks: clean.
+func read(g *Graph, v int) int {
+	total := g.n
+	for _, w := range g.adj[v] {
+		total += int(w)
+	}
+	return total
+}
+
+// mutateLoose writes an unannotated type: clean.
+func mutateLoose(l *Loose, v int) {
+	l.n++
+	l.adj[v] = nil
+}
+
+// localWrite writes a non-field variable: clean.
+func localWrite(g *Graph) int {
+	n := g.n
+	n++
+	return n
+}

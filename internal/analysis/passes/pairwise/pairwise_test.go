@@ -1,0 +1,12 @@
+package pairwise_test
+
+import (
+	"testing"
+
+	"bcclique/internal/analysis/analysistest"
+	"bcclique/internal/analysis/passes/pairwise"
+)
+
+func TestPairwise(t *testing.T) {
+	analysistest.Run(t, "testdata", pairwise.Analyzer, "pairwisetest", "bcc")
+}

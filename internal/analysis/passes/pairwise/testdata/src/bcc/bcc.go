@@ -1,0 +1,62 @@
+// Package bcc mirrors the pool surface of bcclique/internal/bcc: the
+// get/put pairs are package-private there, so the fixture carries both
+// the pair and its callers in one package.
+package bcc
+
+type runBuffers struct{ sends []int }
+
+var pool []*runBuffers
+
+func getRunBuffers(n int) *runBuffers { return &runBuffers{sends: make([]int, n)} }
+
+func putRunBuffers(buf *runBuffers) { pool = append(pool, buf) }
+
+func takeInts(n int) []int { return make([]int, n) }
+
+func recycleInts(s []int) {}
+
+// leak acquires and never recycles: the pool starves.
+func leak(n int) {
+	buf := getRunBuffers(n) // want `pooled run buffers from getRunBuffers does not reach putRunBuffers on every path`
+	if buf == nil {
+		return
+	}
+}
+
+// branchLeak recycles on one arm only.
+func branchLeak(n int, keep bool) {
+	s := takeInts(n) // want `pooled \[\]int from takeInts does not reach recycleInts on every path`
+	if keep {
+		recycleInts(s)
+	} else if s == nil {
+		return
+	}
+}
+
+// deferred recycles on every exit: clean.
+func deferred(n int) int {
+	buf := getRunBuffers(n)
+	defer putRunBuffers(buf)
+	return len(buf.sends)
+}
+
+// straightLine releases before the only exit: clean.
+func straightLine(n int) {
+	s := takeInts(n)
+	recycleInts(s)
+}
+
+// handoff transfers ownership to the caller: clean (the caller is now
+// accountable).
+func handoff(n int) *runBuffers {
+	buf := getRunBuffers(n)
+	return buf
+}
+
+// stored transfers ownership into a structure: clean.
+func stored(n int) {
+	s := takeInts(n)
+	sink.ints = s
+}
+
+var sink struct{ ints []int }

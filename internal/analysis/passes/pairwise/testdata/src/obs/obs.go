@@ -1,0 +1,29 @@
+// Package obs mirrors the span surface of bcclique/internal/obs for
+// the pairwise fixtures (the pair table matches by package-path tail,
+// so a fixture package named obs exercises the real specs).
+package obs
+
+import "context"
+
+type Span struct{ ended bool }
+
+func (s *Span) End()                     { s.ended = true }
+func (s *Span) EndErr(err error)         { s.ended = true }
+func (s *Span) SetStr(key, val string)   {}
+func (s *Span) SetNum(key string, v int) {}
+
+func (s *Span) Child(name string) *Span { return &Span{} }
+
+type Tracer struct{}
+
+func (t *Tracer) Root(ctx context.Context, name, id string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+func StartDet(ctx context.Context, name, seed string) (context.Context, *Span) {
+	return ctx, &Span{}
+}

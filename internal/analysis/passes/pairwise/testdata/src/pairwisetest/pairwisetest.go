@@ -1,0 +1,120 @@
+// Package pairwisetest is the pairwise fixture for the cross-package
+// pairs: obs spans must End, serving queue slots must release. The
+// span-leak shape is the one PR 8's tracing made expensive: a span
+// that never Ends never records, so the trace tree silently loses a
+// subtree.
+package pairwisetest
+
+import (
+	"context"
+
+	"obs"
+	"serving"
+)
+
+func work() {}
+
+// spanLeak starts a span and falls off the end of the function: the
+// span never records.
+func spanLeak(ctx context.Context) {
+	_, span := obs.Start(ctx, "phase") // want `span from Start does not reach End/EndErr on every path`
+	span.SetStr("k", "v")
+	work()
+}
+
+// spanBranchLeak ends the span on one branch only.
+func spanBranchLeak(ctx context.Context, cond bool) {
+	_, span := obs.Start(ctx, "phase") // want `span from Start does not reach End/EndErr on every path`
+	if cond {
+		span.End()
+	}
+}
+
+// spanDiscard drops the span on the floor at the call site.
+func spanDiscard(ctx context.Context) {
+	obs.Start(ctx, "phase") // want `span from Start is discarded`
+}
+
+// spanOK is the straight-line shape the simulator uses.
+func spanOK(ctx context.Context) {
+	_, span := obs.Start(ctx, "phase")
+	work()
+	span.End()
+}
+
+// spanDeferOK covers every exit with a defer.
+func spanDeferOK(ctx context.Context, cond bool) {
+	_, span := obs.StartDet(ctx, "phase", "seed")
+	defer span.End()
+	if cond {
+		return
+	}
+	work()
+}
+
+// spanBothBranches ends on both arms: clean.
+func spanBothBranches(ctx context.Context, err error) {
+	_, span := obs.Start(ctx, "phase")
+	if err != nil {
+		span.EndErr(err)
+	} else {
+		span.End()
+	}
+}
+
+// childLeak loses a child span.
+func childLeak(parent *obs.Span) {
+	c := parent.Child("bind") // want `child span from Child does not reach End/EndErr on every path`
+	c.SetStr("k", "v")
+}
+
+// childOK pairs the child.
+func childOK(parent *obs.Span) {
+	c := parent.Child("bind")
+	c.End()
+}
+
+// rootHandoff returns the span to the caller: ownership transfers,
+// clean.
+func rootHandoff(t *obs.Tracer, ctx context.Context) (context.Context, *obs.Span) {
+	return t.Root(ctx, "job", "id")
+}
+
+// queueLeak admits work and loses the release func: that admission
+// slot is gone for the life of the process.
+func queueLeak(q *serving.Queue) error {
+	release, err := q.Acquire() // want `queue slot from Acquire does not reach a call of the returned func on every path`
+	if err != nil {
+		return err
+	}
+	if release == nil {
+		return serving.ErrFull
+	}
+	work()
+	return nil
+}
+
+// queueDeferOK is the serving idiom: acquire, defer release.
+func queueDeferOK(q *serving.Queue) error {
+	release, err := q.Acquire()
+	if err != nil {
+		return err
+	}
+	defer release()
+	work()
+	return nil
+}
+
+// queueGoroutineOK hands the release func to a goroutine that calls
+// it: ownership transfers, clean.
+func queueGoroutineOK(q *serving.Queue) error {
+	release, err := q.Acquire()
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer release()
+		work()
+	}()
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package serving mirrors the admission-queue surface of
+// bcclique/internal/serving for the pairwise fixtures.
+package serving
+
+import "errors"
+
+var ErrFull = errors.New("queue full")
+
+type Queue struct{ depth int }
+
+func (q *Queue) Acquire() (func(), error) {
+	q.depth++
+	return func() { q.depth-- }, nil
+}

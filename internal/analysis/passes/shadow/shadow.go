@@ -1,0 +1,96 @@
+// Package shadow flags declarations that take over Go's builtin
+// function names (min, max, cap, len, copy, ...). Shadowing one inside
+// a scope that also wants the builtin is a whole class of silent bugs —
+// `cap := grid.SizeCaps[k]` turning a later `cap(buf)` into a compile
+// error at best, a miscomputation after a refactor at worst. This is
+// the former cmd/lintshadow walker rehosted as a bccvet analyzer; the
+// diagnostics are unchanged and its cases live on as analysistest
+// fixtures.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+
+	"bcclique/internal/analysis"
+)
+
+// Analyzer is the bccvet entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "declarations must not shadow builtin functions (cap, len, min, max, ...)",
+	Run:  run,
+}
+
+// builtinFuncs are the predeclared functions whose names a declaration
+// must not take over. Predeclared types (string, int, ...) are left
+// alone: shadowing those is unidiomatic but does not silently change
+// call sites.
+var builtinFuncs = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"complex": true, "copy": true, "delete": true, "imag": true,
+	"len": true, "make": true, "max": true, "min": true, "new": true,
+	"panic": true, "print": true, "println": true, "real": true,
+	"recover": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	flag := func(id *ast.Ident) {
+		if id != nil && builtinFuncs[id.Name] {
+			pass.Reportf(id.Pos(), "%q shadows the builtin function", id.Name)
+		}
+	}
+	flagFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				flag(name)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							flag(id)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					flag(name)
+				}
+			case *ast.RangeStmt:
+				if n.Tok == token.DEFINE {
+					if id, ok := n.Key.(*ast.Ident); ok {
+						flag(id)
+					}
+					if id, ok := n.Value.(*ast.Ident); ok {
+						flag(id)
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Recv == nil {
+					// Methods are exempt: sg.close() is a selector, not
+					// a shadowed call site.
+					flag(n.Name)
+				}
+				flagFields(n.Recv)
+				flagFields(n.Type.Params)
+				flagFields(n.Type.Results)
+			case *ast.FuncLit:
+				flagFields(n.Type.Params)
+				flagFields(n.Type.Results)
+			case *ast.TypeSpec:
+				flag(n.Name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

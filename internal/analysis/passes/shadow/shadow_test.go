@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"bcclique/internal/analysis/analysistest"
+	"bcclique/internal/analysis/passes/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "testdata", shadow.Analyzer, "shadowtest")
+}

@@ -1,0 +1,60 @@
+// Package shadowtest carries the cases from the former cmd/lintshadow
+// walker as analysistest fixtures.
+package shadowtest
+
+// Shadowing in short variable declarations: the grid.SizeCaps bug class.
+func shortDecl(caps []int) int {
+	cap := caps[0] // want `"cap" shadows the builtin function`
+	return cap
+}
+
+// Shadowing in var declarations.
+var copy = 3 // want `"copy" shadows the builtin function`
+
+// Shadowing a builtin with a function name.
+func min(a, b int) int { // want `"min" shadows the builtin function`
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Shadowing via parameter names.
+func param(len int) int { // want `"len" shadows the builtin function`
+	return len
+}
+
+// Shadowing via named results.
+func result() (new int) { // want `"new" shadows the builtin function`
+	return 0
+}
+
+// Shadowing in range clauses.
+func rangeClause(xs []int) int {
+	total := 0
+	for _, max := range xs { // want `"max" shadows the builtin function`
+		total += max
+	}
+	return total
+}
+
+// Shadowing in func literal parameters.
+var fn = func(make int) int { return make } // want `"make" shadows the builtin function`
+
+// Shadowing via type declarations.
+type delete struct{} // want `"delete" shadows the builtin function`
+
+type group struct{ done bool }
+
+// Methods are exempt: g.close() is a selector, never a shadowed call
+// site.
+func (g *group) close() { g.done = true }
+
+// Ordinary names are clean.
+func clean(values []int) int {
+	total := 0
+	for _, v := range values {
+		total += v
+	}
+	return total
+}

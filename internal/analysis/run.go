@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// IgnorePrefix is the escape-hatch comment directive. Form:
+//
+//	//bccvet:ignore analyzer[,analyzer...] -- reason
+//
+// On a code line it suppresses that line's matching diagnostics; a
+// directive on a line of its own also covers the next line. The reason
+// is mandatory — an annotation that cannot say why it exists is a bug
+// report — and Filter turns a reasonless or unknown-analyzer directive
+// into a diagnostic of its own (analyzer name "bccvet").
+const IgnorePrefix = "bccvet:ignore"
+
+// RunPackage applies one analyzer to one package, returning raw
+// (unfiltered) diagnostics tagged with the analyzer name, sorted by
+// position.
+func RunPackage(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		PkgPath:   pkg.Path,
+		TypesInfo: pkg.Info,
+		Report: func(d Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	SortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+// A directive is one parsed //bccvet:ignore comment.
+type directive struct {
+	pos       token.Pos
+	line      int
+	analyzers []string
+	reason    string
+	hasReason bool
+}
+
+// parseDirectives extracts every ignore directive from the package's
+// analyzed files.
+func parseDirectives(pkg *Package) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+IgnorePrefix)
+				if !ok {
+					continue
+				}
+				spec, reason, hasReason := strings.Cut(text, "--")
+				d := directive{
+					pos:       c.Slash,
+					line:      pkg.Fset.Position(c.Slash).Line,
+					reason:    strings.TrimSpace(reason),
+					hasReason: hasReason,
+				}
+				sep := func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }
+				d.analyzers = strings.FieldsFunc(strings.TrimSpace(spec), sep)
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Filter applies the package's ignore directives to diags. Suppressed
+// diagnostics are dropped; malformed directives (no analyzer list, no
+// " -- reason", or a name outside known when known is non-nil) come
+// back as problems so the escape hatch cannot rot silently.
+func Filter(pkg *Package, diags []Diagnostic, known map[string]bool) (kept, problems []Diagnostic) {
+	dirs := parseDirectives(pkg)
+	covers := make(map[int][]directive)
+	for _, d := range dirs {
+		bad := false
+		if len(d.analyzers) == 0 {
+			problems = append(problems, Diagnostic{
+				Pos: d.pos, Analyzer: "bccvet",
+				Message: "bccvet:ignore names no analyzer (want //bccvet:ignore analyzer -- reason)",
+			})
+			bad = true
+		}
+		if !d.hasReason || d.reason == "" {
+			problems = append(problems, Diagnostic{
+				Pos: d.pos, Analyzer: "bccvet",
+				Message: "bccvet:ignore without a reason (want //bccvet:ignore analyzer -- reason)",
+			})
+			bad = true
+		}
+		if known != nil {
+			for _, name := range d.analyzers {
+				if !known[name] {
+					problems = append(problems, Diagnostic{
+						Pos: d.pos, Analyzer: "bccvet",
+						Message: fmt.Sprintf("bccvet:ignore names unknown analyzer %q", name),
+					})
+					bad = true
+				}
+			}
+		}
+		if bad {
+			continue
+		}
+		covers[d.line] = append(covers[d.line], d)
+		covers[d.line+1] = append(covers[d.line+1], d)
+	}
+	for _, diag := range diags {
+		line := pkg.Fset.Position(diag.Pos).Line
+		suppressed := false
+		for _, d := range covers[line] {
+			for _, name := range d.analyzers {
+				if name == diag.Analyzer {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	return kept, problems
+}
+
+// SortDiagnostics orders diags by file, line, column, analyzer,
+// message — the deterministic output order of the driver.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}
+
+// Format renders one diagnostic the way the driver prints it.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s [%s]", fset.Position(d.Pos), d.Message, d.Analyzer)
+}

@@ -47,6 +47,8 @@ func (k Knowledge) String() string {
 // p+1 (p ≥ v), so no O(n²) port tables are materialized. This is what
 // lets large-n sweep cells build instances in O(n) memory; the tables
 // appear lazily only if a caller rewires ports (SwapPortTargets).
+//
+//bccvet:frozen
 type Instance struct {
 	knowledge Knowledge
 	ids       []int
@@ -158,6 +160,7 @@ func validateIDs(ids []int, input *graph.Graph) error {
 	return nil
 }
 
+//bccvet:thaws Instance
 func newInstance(k Knowledge, ids []int, input *graph.Graph, wiring [][]int) (*Instance, error) {
 	n := len(ids)
 	if len(wiring) != n {
@@ -292,6 +295,8 @@ func (in *Instance) InputPorts(v int) []int {
 
 // materialize expands an implicit canonical wiring into explicit port
 // tables, so rewiring primitives can mutate them.
+//
+//bccvet:thaws Instance
 func (in *Instance) materialize() {
 	if !in.canonical {
 		return
@@ -318,6 +323,8 @@ func (in *Instance) materialize() {
 // SwapPortTargets exchanges the far endpoints of ports pA and pB at vertex
 // v, keeping port numbers fixed. This is the rewiring primitive underlying
 // port-preserving crossings (Definition 3.3).
+//
+//bccvet:thaws Instance
 func (in *Instance) SwapPortTargets(v, pA, pB int) error {
 	if v < 0 || v >= in.N() {
 		return fmt.Errorf("bcc: vertex %d out of range", v)
@@ -340,6 +347,8 @@ func (in *Instance) RemoveInputEdge(u, v int) error { return in.input.RemoveEdge
 
 // Clone returns a deep copy of the instance. Implicit canonical wirings
 // stay implicit.
+//
+//bccvet:thaws Instance
 func (in *Instance) Clone() *Instance {
 	n := in.N()
 	c := &Instance{

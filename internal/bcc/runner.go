@@ -338,14 +338,12 @@ func RunContext(ctx context.Context, in *Instance, algo Algorithm, opts ...Optio
 	for v := 0; v < n; v++ {
 		nodes[v] = runAlgo.NewNode(in.View(v), o.coin)
 	}
-	if bindSpan != nil {
-		bindSpan.SetStr("algorithm", runAlgo.Name())
-		bindSpan.SetNum("n", float64(n))
-		if bound {
-			bindSpan.SetNum("bound", 1)
-		}
-		bindSpan.End()
+	bindSpan.SetStr("algorithm", runAlgo.Name())
+	bindSpan.SetNum("n", float64(n))
+	if bound {
+		bindSpan.SetNum("bound", 1)
 	}
+	bindSpan.End()
 
 	// sg is the intra-cell shard pool: run-bound algorithms at large n
 	// split each phase into fixed replica shards over helpers drawn from

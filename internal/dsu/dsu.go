@@ -7,6 +7,8 @@
 // Borůvka-style component-merge algorithm in the algorithm library.
 package dsu
 
+import "sort"
+
 // DSU is a disjoint-set union over the elements 0..n-1.
 // The zero value is an empty structure; use New to create a usable one.
 type DSU struct {
@@ -98,12 +100,10 @@ func (d *DSU) Groups() [][]int {
 		groups = append(groups, g)
 	}
 	// Order groups by minimum element; each group is already sorted
-	// because elements were appended in increasing order of x.
-	for i := 1; i < len(groups); i++ {
-		for j := i; j > 0 && groups[j][0] < groups[j-1][0]; j-- {
-			groups[j], groups[j-1] = groups[j-1], groups[j]
-		}
-	}
+	// because elements were appended in increasing order of x, and the
+	// minimum elements are distinct across groups, so the order is
+	// total and independent of map iteration.
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
 	return groups
 }
 

@@ -33,7 +33,7 @@ func TestJobTableConcurrentAccess(t *testing.T) {
 		go func(seed int64) {
 			defer submitWg.Done()
 			for k := 0; k < perSubmitter; k++ {
-				job := eng.Submit(context.Background(), engine.Config{Seed: seed}, []string{"J01"})
+				job := eng.Submit(t.Context(), engine.Config{Seed: seed}, []string{"J01"})
 				ids <- job.ID
 			}
 		}(int64(i))
@@ -49,7 +49,7 @@ func TestJobTableConcurrentAccess(t *testing.T) {
 				case <-stop:
 					return
 				case id := <-ids:
-					if _, err := eng.WaitJob(context.Background(), id); err != nil {
+					if _, err := eng.WaitJob(t.Context(), id); err != nil {
 						t.Error(err)
 					} else if _, ok := eng.Job(id); !ok {
 						t.Errorf("job %s vanished while table below retention", id)
@@ -114,11 +114,11 @@ func TestCancelledJobCellsDoNotPoisonCache(t *testing.T) {
 	}
 	eng := engine.New(nil, engine.WithStore(store), engine.WithGrids(grid))
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(t.Context())
 	job := eng.Submit(ctx, engine.Config{Seed: 1}, []string{"GP"})
 	<-firstCellDone
 	cancel()
-	final, err := eng.WaitJob(context.Background(), job.ID)
+	final, err := eng.WaitJob(t.Context(), job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestCancelledJobCellsDoNotPoisonCache(t *testing.T) {
 	// Rerun: the completed n=16 cell must come from cache, the aborted
 	// n=8 cell must recompute (its failed attempt was never stored).
 	execsBefore := executions.Load()
-	res, err := eng.RunGrid(context.Background(), grid, engine.Config{Seed: 1}, nil, nil)
+	res, err := eng.RunGrid(t.Context(), grid, engine.Config{Seed: 1}, nil, nil)
 	if err != nil {
 		t.Fatalf("rerun after cancellation: %v", err)
 	}
@@ -143,7 +143,7 @@ func TestCancelledJobCellsDoNotPoisonCache(t *testing.T) {
 
 	// Third run: fully cached.
 	execsBefore = executions.Load()
-	if _, err := eng.RunGrid(context.Background(), grid, engine.Config{Seed: 1}, nil, nil); err != nil {
+	if _, err := eng.RunGrid(t.Context(), grid, engine.Config{Seed: 1}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := executions.Load() - execsBefore; got != 0 {
@@ -177,7 +177,7 @@ func TestRunGridCancelledReturnsContextError(t *testing.T) {
 	}
 	eng := engine.New(nil, engine.WithGrids(grid))
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(t.Context())
 	errCh := make(chan error, 1)
 	go func() {
 		_, err := eng.RunGrid(ctx, grid, engine.Config{Seed: 1}, nil, nil)

@@ -206,13 +206,13 @@ func (e *Engine) runOne(ctx context.Context, spec Spec, cfg Config, emit func(Ev
 	compute := func() (*Result, error) {
 		emit(Event{Kind: EventStarted, SpecID: spec.ID})
 		e.executions.Add(1)
-		start := time.Now()
+		start := time.Now() //bccvet:ignore detpath -- measurement site: elapsed is reported, never part of a table key
 		res, err := spec.Run(ctx, cfg, spec.Params)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", spec.ID, err)
 		}
 		res.ID, res.Title, res.PaperRef = spec.ID, spec.Title, spec.PaperRef
-		res.Elapsed = time.Since(start)
+		res.Elapsed = time.Since(start) //bccvet:ignore detpath -- measurement site: elapsed is reported, never part of a table key
 		return res, nil
 	}
 	if e.store == nil {

@@ -45,7 +45,7 @@ func TestMarkdownGolden(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	eng := harness.NewEngine()
-	if _, err := eng.Stream(context.Background(), &buf, report.Markdown{}, report.Meta{}, engine.Config{Quick: true, Seed: 1}, scalar, nil); err != nil {
+	if _, err := eng.Stream(t.Context(), &buf, report.Markdown{}, report.Meta{}, engine.Config{Quick: true, Seed: 1}, scalar, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := normalize(buf.Bytes()); got != string(want) {
@@ -71,7 +71,7 @@ func TestRunAllShimMatchesEngine(t *testing.T) {
 	if _, err := harness.RunAll(&shim, cfg, ids...); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := harness.NewEngine().Stream(context.Background(), &direct, report.Markdown{}, report.Meta{}, cfg, ids, nil); err != nil {
+	if _, err := harness.NewEngine().Stream(t.Context(), &direct, report.Markdown{}, report.Meta{}, cfg, ids, nil); err != nil {
 		t.Fatal(err)
 	}
 	if normalize(shim.Bytes()) != normalize(direct.Bytes()) {
@@ -93,7 +93,7 @@ func TestSecondRunZeroExecutions(t *testing.T) {
 
 	cold := harness.NewEngine(engine.WithStore(store))
 	var coldBuf bytes.Buffer
-	first, err := cold.Stream(context.Background(), &coldBuf, report.Markdown{}, report.Meta{}, cfg, ids, nil)
+	first, err := cold.Stream(t.Context(), &coldBuf, report.Markdown{}, report.Meta{}, cfg, ids, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestSecondRunZeroExecutions(t *testing.T) {
 	warm := harness.NewEngine(engine.WithStore(store))
 	var events []engine.EventKind
 	var warmBuf bytes.Buffer
-	second, err := warm.Stream(context.Background(), &warmBuf, report.Markdown{}, report.Meta{}, cfg, ids, func(ev engine.Event) {
+	second, err := warm.Stream(t.Context(), &warmBuf, report.Markdown{}, report.Meta{}, cfg, ids, func(ev engine.Event) {
 		events = append(events, ev.Kind)
 	})
 	if err != nil {
@@ -129,7 +129,7 @@ func TestSecondRunZeroExecutions(t *testing.T) {
 	}
 
 	// A different seed is a different key: the warm engine computes.
-	if _, err := warm.Run(context.Background(), engine.Config{Quick: true, Seed: 2}, ids, nil); err != nil {
+	if _, err := warm.Run(t.Context(), engine.Config{Quick: true, Seed: 2}, ids, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := warm.Executions(); got != int64(len(ids)) {
@@ -152,7 +152,7 @@ func TestEngineFailurePropagates(t *testing.T) {
 			}}
 	}
 	eng := engine.New([]engine.Spec{mk("E01", false), mk("E02", true), mk("E03", false)})
-	res, err := eng.Run(context.Background(), engine.Config{}, nil, nil)
+	res, err := eng.Run(t.Context(), engine.Config{}, nil, nil)
 	if !errors.Is(err, boom) {
 		t.Fatalf("want the spec error, got %v", err)
 	}
@@ -178,10 +178,10 @@ func TestCachedErrorIsNotStored(t *testing.T) {
 			return &engine.Result{Claim: "c", Finding: "f"}, nil
 		}}
 	eng := engine.New([]engine.Spec{spec}, engine.WithStore(store))
-	if _, err := eng.Run(context.Background(), engine.Config{}, nil, nil); err == nil {
+	if _, err := eng.Run(t.Context(), engine.Config{}, nil, nil); err == nil {
 		t.Fatal("first run should fail")
 	}
-	res, err := eng.Run(context.Background(), engine.Config{}, nil, nil)
+	res, err := eng.Run(t.Context(), engine.Config{}, nil, nil)
 	if err != nil || len(res) != 1 {
 		t.Fatalf("second run should succeed, got %v, %v", res, err)
 	}

@@ -37,7 +37,7 @@ func TestGridBitIdenticalAtAnyParallel(t *testing.T) {
 	var runs []*engine.Result
 	for _, workers := range []int{1, 8} {
 		parallel.SetLimit(workers)
-		res, err := eng.RunGrid(context.Background(), grid, cfg, nil, nil)
+		res, err := eng.RunGrid(t.Context(), grid, cfg, nil, nil)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -64,7 +64,7 @@ func TestGridIncrementalRecompute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := eng1.RunGrid(context.Background(), small, cfg, nil, nil)
+	first, err := eng1.RunGrid(t.Context(), small, cfg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestGridIncrementalRecompute(t *testing.T) {
 
 	// Same grid again: zero recomputed cells, identical rows.
 	eng2 := harness.NewEngine(engine.WithStore(store))
-	again, err := eng2.RunGrid(context.Background(), small, cfg, nil, nil)
+	again, err := eng2.RunGrid(t.Context(), small, cfg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestGridIncrementalRecompute(t *testing.T) {
 		t.Fatal(err)
 	}
 	var events []engine.Event
-	full, err := eng3.RunGrid(context.Background(), grown, cfg, func(ev engine.Event) { events = append(events, ev) }, nil)
+	full, err := eng3.RunGrid(t.Context(), grown, cfg, func(ev engine.Event) { events = append(events, ev) }, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestGridStreamsRowsInOrder(t *testing.T) {
 	cells := grid.Cells(cfg)
 
 	var seen []int
-	res, err := eng.RunGrid(context.Background(), grid, cfg, nil, func(c engine.GridCell, row []string) error {
+	res, err := eng.RunGrid(t.Context(), grid, cfg, nil, func(c engine.GridCell, row []string) error {
 		seen = append(seen, c.Index)
 		if row[0] != c.Family || row[1] != c.Protocol || row[2] != fmt.Sprint(c.N) {
 			t.Errorf("row %v does not match cell %v", row[:3], c)
@@ -180,7 +180,7 @@ func TestGridAsRegistrySpec(t *testing.T) {
 		t.Fatal("E18 spec not in registry")
 	}
 	var buf bytes.Buffer
-	if _, err := cold.Stream(context.Background(), &buf, report.Markdown{}, report.Meta{}, cfg, []string{"E18"}, nil); err != nil {
+	if _, err := cold.Stream(t.Context(), &buf, report.Markdown{}, report.Meta{}, cfg, []string{"E18"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -195,7 +195,7 @@ func TestGridAsRegistrySpec(t *testing.T) {
 	}
 
 	warm := harness.NewEngine(engine.WithStore(store))
-	if _, err := warm.Run(context.Background(), cfg, []string{"E18"}, nil); err != nil {
+	if _, err := warm.Run(t.Context(), cfg, []string{"E18"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if warm.Executions() != 0 || warm.CellExecutions() != 0 {
@@ -239,7 +239,7 @@ func TestGridSizeCapValidation(t *testing.T) {
 	if cells := ok.Cells(engine.Config{}); len(cells) != 1 {
 		t.Errorf("capped grid has %d cells, want 1", len(cells))
 	}
-	res, err := eng.RunGrid(context.Background(), ok, engine.Config{}, nil, nil)
+	res, err := eng.RunGrid(t.Context(), ok, engine.Config{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestCellResidencyGauges(t *testing.T) {
 	before := engine.PeakCellResidentBytes()
 	eng := harness.NewEngine()
 	grid := lookupE17(t, eng)
-	if _, err := eng.RunGrid(context.Background(), grid, engine.Config{Quick: true, Seed: 1}, nil, nil); err != nil {
+	if _, err := eng.RunGrid(t.Context(), grid, engine.Config{Quick: true, Seed: 1}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := engine.RunningCells(); got != 0 {

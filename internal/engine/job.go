@@ -146,7 +146,7 @@ func (e *Engine) Submit(ctx context.Context, cfg Config, only []string) Job {
 		Status:  JobQueued,
 		Config:  cfg,
 		Only:    append([]string(nil), only...),
-		Created: time.Now(),
+		Created: time.Now(), //bccvet:ignore detpath -- job-lifecycle timestamp: API metadata, not simulation state
 		seq:     t.seq,
 		done:    make(chan struct{}),
 	}
@@ -159,7 +159,7 @@ func (e *Engine) Submit(ctx context.Context, cfg Config, only []string) Job {
 	go func() {
 		t.mu.Lock()
 		j.Status = JobRunning
-		j.Started = time.Now()
+		j.Started = time.Now() //bccvet:ignore detpath -- job-lifecycle timestamp: API metadata, not simulation state
 		t.mu.Unlock()
 
 		onEvent := func(ev Event) {
@@ -177,7 +177,7 @@ func (e *Engine) Submit(ctx context.Context, cfg Config, only []string) Job {
 		span.EndErr(err)
 
 		t.mu.Lock()
-		j.Finished = time.Now()
+		j.Finished = time.Now() //bccvet:ignore detpath -- job-lifecycle timestamp: API metadata, not simulation state
 		j.Results = res
 		switch {
 		case err == nil:

@@ -34,7 +34,7 @@ func TestJobLifecycle(t *testing.T) {
 		}}
 	eng := engine.New([]engine.Spec{spec})
 
-	job := eng.Submit(context.Background(), engine.Config{Seed: 3}, []string{"J01"})
+	job := eng.Submit(t.Context(), engine.Config{Seed: 3}, []string{"J01"})
 	if job.ID == "" || job.Config.Seed != 3 {
 		t.Fatalf("bad submit snapshot: %+v", job)
 	}
@@ -74,7 +74,7 @@ func TestJobFailure(t *testing.T) {
 			return nil, errTest
 		}}
 	eng := engine.New([]engine.Spec{spec})
-	job := eng.Submit(context.Background(), engine.Config{}, nil)
+	job := eng.Submit(t.Context(), engine.Config{}, nil)
 	final := waitJob(t, eng, job.ID)
 	if final.Status != engine.JobFailed || final.Error == "" {
 		t.Errorf("want failed job with error, got %+v", final)

@@ -48,7 +48,7 @@ func TestGridDispatchLargestFirst(t *testing.T) {
 	eng := engine.New(nil, engine.WithGrids(grid))
 
 	var sunk []int
-	res, err := eng.RunGrid(context.Background(), grid, engine.Config{Seed: 1}, nil, func(c engine.GridCell, row []string) error {
+	res, err := eng.RunGrid(t.Context(), grid, engine.Config{Seed: 1}, nil, func(c engine.GridCell, row []string) error {
 		sunk = append(sunk, c.Index)
 		return nil
 	})
@@ -89,7 +89,7 @@ func TestGridDispatchFailureSurfacesLowestIndexedError(t *testing.T) {
 		return []string{c.Family, c.Protocol, fmt.Sprint(c.N)}, nil
 	})
 	eng := engine.New(nil, engine.WithGrids(grid))
-	_, err := eng.RunGrid(context.Background(), grid, engine.Config{Seed: 1}, nil, nil)
+	_, err := eng.RunGrid(t.Context(), grid, engine.Config{Seed: 1}, nil, nil)
 	if err == nil {
 		t.Fatal("failing grid returned no error")
 	}

@@ -98,7 +98,7 @@ func TestJobTableEviction(t *testing.T) {
 	const extra = 10
 	var last string
 	for i := 0; i < maxRetainedJobs+extra; i++ {
-		last = e.Submit(context.Background(), Config{Seed: int64(i)}, nil).ID
+		last = e.Submit(t.Context(), Config{Seed: int64(i)}, nil).ID
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {

@@ -92,6 +92,8 @@ func (b *Builder) Has(u, v int) bool {
 // shared adjacency arena with per-vertex rows sorted ascending. It
 // errors on duplicate edges. The builder may be reused afterwards (the
 // graph owns its own storage).
+//
+//bccvet:thaws Graph
 func (b *Builder) Freeze() (*Graph, error) {
 	m := len(b.us)
 	// Degree count, then prefix sums into row offsets.

@@ -25,6 +25,8 @@ import (
 // dense. Mutating a frozen graph (AddEdge/RemoveEdge) transparently
 // thaws it first — each row is copied out of the arena — so the two
 // modes expose one identical API.
+//
+//bccvet:frozen
 type Graph struct {
 	n      int
 	m      int
@@ -47,6 +49,8 @@ func (g *Graph) M() int { return g.m }
 // edge is a self loop, out of range, or already present. The duplicate
 // check shares the binary search that locates the insertion point, so
 // each endpoint's row is searched exactly once.
+//
+//bccvet:thaws Graph
 func (g *Graph) AddEdge(u, v int) error {
 	if u == v {
 		return fmt.Errorf("graph: self loop at %d", u)
@@ -75,6 +79,8 @@ func (g *Graph) MustAddEdge(u, v int) {
 
 // RemoveEdge deletes the undirected edge {u, v}.
 // It returns an error if the edge is not present.
+//
+//bccvet:thaws Graph
 func (g *Graph) RemoveEdge(u, v int) error {
 	if !g.HasEdge(u, v) {
 		return fmt.Errorf("graph: edge {%d,%d} not present", u, v)
@@ -88,6 +94,8 @@ func (g *Graph) RemoveEdge(u, v int) error {
 
 // thaw copies every adjacency row out of a frozen graph's shared arena
 // so rows can grow and shrink independently. A no-op on mutable graphs.
+//
+//bccvet:thaws Graph
 func (g *Graph) thaw() {
 	if !g.frozen {
 		return
@@ -164,6 +172,8 @@ func (g *Graph) Edges() []Edge {
 
 // Clone returns a deep copy of the graph. Cloning a frozen graph copies
 // the shared arena in one allocation and the clone stays frozen.
+//
+//bccvet:thaws Graph
 func (g *Graph) Clone() *Graph {
 	c := &Graph{n: g.n, m: g.m, adj: make([][]int, g.n), frozen: g.frozen}
 	if g.frozen {
