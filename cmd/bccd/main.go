@@ -8,6 +8,7 @@
 //	bccd [-addr :8371] [-cache-dir DIR|none] [-parallel N]
 //	     [-queue N] [-request-timeout D] [-rate-limit RPS] [-rate-burst N]
 //	     [-max-body BYTES] [-drain-timeout D] [-trace-buffer N] [-debug-addr ADDR]
+//	     [-fault-profile PROFILE]
 //
 // Endpoints:
 //
@@ -45,6 +46,15 @@
 // drains gracefully: /readyz flips to 503, new heavy work is rejected,
 // in-flight jobs get -drain-timeout to finish (then are cancelled), and
 // the HTTP listener shuts down.
+//
+// Fault tolerance: the result store verifies every entry against a
+// checksummed envelope (corrupt entries are quarantined and recomputed),
+// retries transient backend errors with jittered backoff, and degrades
+// to compute-through when a circuit breaker over the backend's rolling
+// error rate opens — responses then carry X-Cache-State: bypass and stay
+// correct, just uncached. -fault-profile wires a deterministic
+// fault-injecting layer under the retry decorator for chaos testing:
+// 'error=RATE,latency=RATE:DUR,torn=RATE,enospc=RATE,hang=RATE,seed=N'.
 package main
 
 import (
@@ -60,6 +70,7 @@ import (
 	"time"
 
 	"bcclique/internal/engine"
+	"bcclique/internal/fault"
 	"bcclique/internal/harness"
 	"bcclique/internal/obs"
 	"bcclique/internal/parallel"
@@ -89,15 +100,34 @@ func run() error {
 
 		traceBuf  = flag.Int("trace-buffer", obs.DefaultCapacity, "completed spans retained for /v1/traces (0 disables tracing)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables; never exposed on -addr)")
+
+		faultProfile = flag.String("fault-profile", "", "inject deterministic store faults, e.g. 'error=0.05,latency=0.05:2ms,torn=0.05,seed=7' (chaos testing; empty disables)")
 	)
 	flag.Parse()
 	parallel.SetLimit(*par)
 
 	logger := obs.NewLogger(os.Stderr, "bccd")
 
-	store, err := results.OpenFlag(*cacheDir)
+	profile, err := fault.ParseProfile(*faultProfile)
 	if err != nil {
 		return err
+	}
+	backend, err := results.OpenFlagBackend(*cacheDir)
+	if err != nil {
+		return err
+	}
+	var store *results.Store
+	if backend != nil {
+		// Decoration order matters: faults inject below the retry layer so
+		// retries absorb injected transients, exactly as they would absorb
+		// real ones.
+		var b results.Backend = backend
+		if *faultProfile != "" {
+			logger.Warn("fault injection enabled", "profile", *faultProfile)
+			b = fault.Wrap(b, profile)
+		}
+		b = results.WithRetry(b, results.DefaultRetryPolicy(), profile.Seed+1)
+		store = results.New(b, results.WithLogger(logger))
 	}
 	var opts []engine.Option
 	if store != nil {

@@ -189,6 +189,28 @@ func (s *server) initMetrics() {
 		func() float64 { return float64(s.storeStats().Shared) })
 	m.CounterFunc("bccd_cache_misses_total", "Result-store misses (computations).",
 		func() float64 { return float64(s.storeStats().Misses) })
+	m.GaugeFunc("bccd_store_breaker_state", "Store circuit breaker: 0 closed, 0.5 half-open, 1 open.",
+		func() float64 {
+			st := s.eng.Store()
+			if st == nil {
+				return 0
+			}
+			switch st.Health().State() {
+			case results.StateOpen:
+				return 1
+			case results.StateHalfOpen:
+				return 0.5
+			}
+			return 0
+		})
+	m.CounterFunc("bccd_store_quarantined_total", "Corrupt store entries moved to quarantine and recomputed.",
+		func() float64 { return float64(s.storeStats().Quarantined) })
+	m.CounterFunc("bccd_store_bypass_total", "Computations that skipped the store because the breaker was open.",
+		func() float64 { return float64(s.storeStats().Bypassed) })
+	m.CounterFunc("bccd_store_retries_total", "Backend operation retries absorbed by the retry decorator.",
+		func() float64 { return float64(s.storeStats().Retries) })
+	m.CounterFunc("bccd_store_get_errors_total", "Store reads that failed with a backend error (corruption excluded).",
+		func() float64 { return float64(s.storeStats().GetErrors) })
 	// Per-cell cost histograms by protocol×family. Populated only while
 	// tracing is on (they are fed from completed cell spans); registered
 	// unconditionally so dashboards see stable series either way.
@@ -461,6 +483,102 @@ func flushingSink(w http.ResponseWriter, sink func(engine.GridCell, []string) er
 	}
 }
 
+// cacheTracker classifies one synchronous request's cache behaviour
+// from the engine events it observes (events arrive from worker
+// goroutines, hence the atomics). The request-level verdict is the most
+// degraded state any unit reported: bypass > miss > hit.
+type cacheTracker struct {
+	computed atomic.Int64
+	bypassed atomic.Int64
+}
+
+func (t *cacheTracker) observe(ev engine.Event) {
+	if ev.Kind != engine.EventDone {
+		return
+	}
+	if ev.Cache == "bypass" {
+		t.bypassed.Add(1)
+	} else {
+		t.computed.Add(1)
+	}
+}
+
+// state returns the X-Cache-State verdict from what has been observed
+// so far. For buffered responses (md/json sweeps) that is exact; for
+// streamed responses the header is committed with the first body byte,
+// so it reflects the units known by then — the stream itself stays
+// correct either way.
+func (t *cacheTracker) state() string {
+	switch {
+	case t.bypassed.Load() > 0:
+		return "bypass"
+	case t.computed.Load() > 0:
+		return "miss"
+	default:
+		return "hit"
+	}
+}
+
+// lazyRenderer defers the wrapped renderer's Begin until the first
+// delivered section (or End, for empty runs), invoking onBegin just
+// before — the hook that lets /v1/report set X-Cache-State, which is
+// unknowable until work completes, while response headers are still
+// unsent. It also upgrades the error contract: a run that fails before
+// any section now answers a clean JSON error for every format instead
+// of markdown front matter followed by a trailer. Stream delivers
+// sections and End on one goroutine, so no locking is needed.
+type lazyRenderer struct {
+	inner   report.Renderer
+	meta    report.Meta
+	onBegin func()
+	began   bool
+}
+
+func (l *lazyRenderer) Begin(w io.Writer, m report.Meta) error {
+	l.meta = m
+	return nil
+}
+
+func (l *lazyRenderer) begin(w io.Writer) error {
+	if l.began {
+		return nil
+	}
+	l.began = true
+	if l.onBegin != nil {
+		l.onBegin()
+	}
+	return l.inner.Begin(w, l.meta)
+}
+
+func (l *lazyRenderer) Section(w io.Writer, index int, r *report.Result) error {
+	if err := l.begin(w); err != nil {
+		return err
+	}
+	return l.inner.Section(w, index, r)
+}
+
+func (l *lazyRenderer) End(w io.Writer, results []*report.Result) error {
+	if err := l.begin(w); err != nil {
+		return err
+	}
+	return l.inner.End(w, results)
+}
+
+// headerSink wraps a row sink so the X-Cache-State header is committed
+// just before the first row leaves — the last moment it can still be
+// set on a streamed sweep. Rows are delivered in cell order on one
+// assembly goroutine.
+func headerSink(w http.ResponseWriter, t *cacheTracker, sink func(engine.GridCell, []string) error) func(engine.GridCell, []string) error {
+	first := true
+	return func(c engine.GridCell, row []string) error {
+		if first {
+			first = false
+			w.Header().Set("X-Cache-State", t.state())
+		}
+		return sink(c, row)
+	}
+}
+
 // validateOnly rejects unknown spec IDs up front so a typo is a 400, not
 // a silently empty report.
 func (s *server) validateOnly(only []string) error {
@@ -594,7 +712,15 @@ func (s *server) report(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", contentType)
 	cw := &countingWriter{w: w}
-	_, err = s.eng.Stream(ctx, cw, renderer, meta, cfg, only, nil)
+	// The renderer's Begin is deferred to the first completed section so
+	// that (a) X-Cache-State can be stamped once the first result's cache
+	// verdict is known, and (b) a run that fails before producing anything
+	// answers a clean JSON error instead of front matter plus a trailer.
+	var tracker cacheTracker
+	lazy := &lazyRenderer{inner: renderer, onBegin: func() {
+		w.Header().Set("X-Cache-State", tracker.state())
+	}}
+	_, err = s.eng.Stream(ctx, cw, lazy, meta, cfg, only, tracker.observe)
 	span.EndErr(err)
 	if err != nil {
 		// A failure before the first flushed byte is still a clean JSON
@@ -738,27 +864,32 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 	var reqErr error
 	defer func() { span.EndErr(reqErr) }()
 
+	var tracker cacheTracker
 	switch format {
 	case "", "md":
 		// Run first, set the content type only once the result is known:
 		// a failed run answers as a JSON 500, not a markdown-typed error.
-		res, err := s.eng.RunGrid(ctx, grid, cfg, nil, nil)
+		// Buffered formats get an exact X-Cache-State — every cell has
+		// reported by the time the header is stamped.
+		res, err := s.eng.RunGrid(ctx, grid, cfg, tracker.observe, nil)
 		if err != nil {
 			reqErr = err
 			writeError(w, errorStatus(err), "%v", err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		w.Header().Set("X-Cache-State", tracker.state())
 		if err := res.WriteMarkdown(w); err != nil {
 			return
 		}
 	case "json":
-		res, err := s.eng.RunGrid(ctx, grid, cfg, nil, nil)
+		res, err := s.eng.RunGrid(ctx, grid, cfg, tracker.observe, nil)
 		if err != nil {
 			reqErr = err
 			writeError(w, errorStatus(err), "%v", err)
 			return
 		}
+		w.Header().Set("X-Cache-State", tracker.state())
 		writeJSON(w, http.StatusOK, res)
 	case "jsonl":
 		// Streaming: the content type is set optimistically, but rows
@@ -766,7 +897,8 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 		// row still downgrades to a clean JSON 500 (headers unsent).
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		cw := &countingWriter{w: w}
-		if _, err := s.eng.RunGrid(ctx, grid, cfg, nil, flushingSink(w, grid.JSONLSink(cw))); err != nil {
+		sink := headerSink(w, &tracker, flushingSink(w, grid.JSONLSink(cw)))
+		if _, err := s.eng.RunGrid(ctx, grid, cfg, tracker.observe, sink); err != nil {
 			reqErr = err
 			streamError(w, cw, err)
 		}
@@ -781,7 +913,7 @@ func (s *server) sweeps(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		_, runErr := s.eng.RunGrid(ctx, grid, cfg, nil, flushingSink(w, sink))
+		_, runErr := s.eng.RunGrid(ctx, grid, cfg, tracker.observe, headerSink(w, &tracker, flushingSink(w, sink)))
 		if runErr == nil {
 			runErr = flush()
 		} else if cw.n > 0 {
@@ -811,17 +943,30 @@ func (s *server) specs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// breakerSnapshot returns the store circuit breaker's state for the
+// health endpoints, or nil when the server runs uncached.
+func (s *server) breakerSnapshot() *results.HealthSnapshot {
+	st := s.eng.Store()
+	if st == nil {
+		return nil
+	}
+	snap := st.Health().Snapshot()
+	return &snap
+}
+
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	resp := struct {
-		Status     string         `json:"status"`
-		Executions int64          `json:"executions"`
-		Cache      *results.Stats `json:"cache,omitempty"`
-		CacheDir   string         `json:"cache_dir,omitempty"`
+		Status     string                  `json:"status"`
+		Executions int64                   `json:"executions"`
+		Cache      *results.Stats          `json:"cache,omitempty"`
+		CacheDir   string                  `json:"cache_dir,omitempty"`
+		Breaker    *results.HealthSnapshot `json:"breaker,omitempty"`
 	}{Status: "ok", Executions: s.eng.Executions()}
 	if st := s.eng.Store(); st != nil {
 		stats := st.Stats()
 		resp.Cache = &stats
 		resp.CacheDir = st.Dir()
+		resp.Breaker = s.breakerSnapshot()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -829,13 +974,22 @@ func (s *server) health(w http.ResponseWriter, r *http.Request) {
 // readyz is the load-balancer signal: 200 while accepting work, 503
 // once draining — distinct from /healthz, which keeps answering 200
 // during drain so the process is not killed mid-drain by a liveness
-// probe.
+// probe. The store breaker's state rides along as detail: an open
+// breaker means degraded (compute-through) service, not unreadiness —
+// bccd still answers correctly, just slower, so it must keep its
+// place in the rotation.
 func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		Status string                  `json:"status"`
+		Store  *results.HealthSnapshot `json:"store,omitempty"`
+	}{Store: s.breakerSnapshot()}
 	if s.ready.Load() {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		resp.Status = "ready"
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	resp.Status = "draining"
+	writeJSON(w, http.StatusServiceUnavailable, resp)
 }
 
 func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {

@@ -163,28 +163,19 @@ func TestSweepsMidStreamTrailer(t *testing.T) {
 	}
 }
 
-// TestReportErrorPaths pins the same guard on /v1/report: a failure
-// before the renderer has flushed anything (jsonl has no front matter)
-// is a JSON 500; md/json have already streamed their front matter, so
-// they keep the 200 + trailer contract.
+// TestReportErrorPaths pins the same guard on /v1/report, for every
+// format: the renderer's front matter is deferred until the first
+// completed section, so a run that fails before producing anything
+// answers a clean JSON 500 — no markdown header followed by a trailer.
 func TestReportErrorPaths(t *testing.T) {
 	ts := errorTestServer(t)
-
-	code, ct, body := get(t, ts.URL+"/v1/report?only=EBAD&format=jsonl")
-	if code != http.StatusInternalServerError || !strings.HasPrefix(ct, "application/json") {
-		t.Errorf("jsonl: status %d content type %q, want JSON 500 (body %q)", code, ct, body)
-	}
-	if !strings.Contains(body, "synthetic spec failure") {
-		t.Errorf("jsonl body %q does not name the failure", body)
-	}
-
-	for _, format := range []string{"md", "json"} {
-		code, _, body := get(t, ts.URL+"/v1/report?only=EBAD&format="+format)
-		if code != http.StatusOK {
-			t.Errorf("%s: status = %d, want 200 (front matter already streamed)", format, code)
+	for _, format := range []string{"md", "json", "jsonl"} {
+		code, ct, body := get(t, ts.URL+"/v1/report?only=EBAD&format="+format)
+		if code != http.StatusInternalServerError || !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s: status %d content type %q, want JSON 500 (body %q)", format, code, ct, body)
 		}
-		if !strings.Contains(body, "error: ") || !strings.Contains(body, "synthetic spec failure") {
-			t.Errorf("%s body lacks the error trailer:\n%s", format, body)
+		if !strings.Contains(body, "synthetic spec failure") {
+			t.Errorf("%s body %q does not name the failure", format, body)
 		}
 	}
 }

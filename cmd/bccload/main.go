@@ -9,6 +9,7 @@
 //	bccload [-url http://localhost:8371] [-rps 20] [-duration 10s]
 //	        [-mix report=4,sweep=1] [-only E13] [-grid E17] [-quick]
 //	        [-seed 1] [-timeout 30s] [-format text|json] [-trace-sample N]
+//	        [-capture FILE]
 //
 // -mix weights the request types: "report" hits GET /v1/report and
 // "sweep" hits GET /v1/sweeps?grid=... . Each launched request is
@@ -20,6 +21,14 @@
 // the slowest sampled request's /v1/traces URL, so "p99 looks bad" goes
 // straight to a span tree showing where that request spent its time.
 // Requires bccd running with tracing on (the default).
+//
+// The report classifies successful requests by their X-Cache-State
+// response header (hit, miss, or bypass — the last means the server's
+// store breaker was open and the result was computed uncached), and
+// reports the bypass rate. -capture FILE fetches the sweep grid once
+// more after the load loop and writes the raw CSV body to FILE; a
+// chaos harness compares captures of a fault-free and a fault-injected
+// run byte for byte.
 //
 // The exit status is 0 when every launched request completed with a
 // 2xx, and 1 otherwise — so a smoke invocation doubles as a CI check.
@@ -60,11 +69,12 @@ func main() {
 
 // shot is the outcome of one launched request.
 type shot struct {
-	kind    string
-	code    int           // 0 on transport error
-	latency time.Duration // request start to body fully read
-	err     error
-	traceID string // X-Trace-Id of a -trace-sample'd request, else ""
+	kind       string
+	code       int           // 0 on transport error
+	latency    time.Duration // request start to body fully read
+	err        error
+	traceID    string // X-Trace-Id of a -trace-sample'd request, else ""
+	cacheState string // X-Cache-State response header: hit, miss, or bypass
 }
 
 // mixEntry is one weighted request kind.
@@ -137,15 +147,18 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 // kindStats is the per-request-kind slice of the report.
 type kindStats struct {
-	Launched int             `json:"launched"`
-	OK       int             `json:"ok"`
-	P50Ms    float64         `json:"p50_ms"`
-	P95Ms    float64         `json:"p95_ms"`
-	P99Ms    float64         `json:"p99_ms"`
-	MaxMs    float64         `json:"max_ms"`
-	Codes    map[string]int  `json:"codes"`
-	Errors   map[string]int  `json:"errors,omitempty"`
-	durs     []time.Duration `json:"-"`
+	Launched    int             `json:"launched"`
+	OK          int             `json:"ok"`
+	P50Ms       float64         `json:"p50_ms"`
+	P95Ms       float64         `json:"p95_ms"`
+	P99Ms       float64         `json:"p99_ms"`
+	MaxMs       float64         `json:"max_ms"`
+	Codes       map[string]int  `json:"codes"`
+	Errors      map[string]int  `json:"errors,omitempty"`
+	CacheHits   int             `json:"cache_hits"`
+	CacheMisses int             `json:"cache_misses"`
+	CacheBypass int             `json:"cache_bypass"`
+	durs        []time.Duration `json:"-"`
 }
 
 // loadReport is the final summary, printable as text or JSON.
@@ -161,6 +174,14 @@ type loadReport struct {
 	AchievedRPS float64               `json:"achieved_rps"`
 	Interrupted bool                  `json:"interrupted,omitempty"`
 	Kinds       map[string]*kindStats `json:"kinds"`
+
+	// Cache-state breakdown from the X-Cache-State response header on
+	// successful requests. BypassRate over all classified requests is the
+	// degraded-mode signal a chaos run watches.
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	CacheBypass int     `json:"cache_bypass"`
+	BypassRate  float64 `json:"bypass_rate"`
 
 	// Populated by -trace-sample: how many completed requests carried a
 	// sampled trace ID, and the slowest of them as a fetchable URL.
@@ -187,6 +208,17 @@ func classify(rep *loadReport, s shot) {
 		ks.OK++
 		ks.Codes[strconv.Itoa(s.code)]++
 		ks.durs = append(ks.durs, s.latency)
+		switch s.cacheState {
+		case "hit":
+			rep.CacheHits++
+			ks.CacheHits++
+		case "miss":
+			rep.CacheMisses++
+			ks.CacheMisses++
+		case "bypass":
+			rep.CacheBypass++
+			ks.CacheBypass++
+		}
 	default:
 		ks.Codes[strconv.Itoa(s.code)]++
 		switch s.code {
@@ -243,6 +275,7 @@ func run(ctx context.Context, out io.Writer) (bool, error) {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		format   = flag.String("format", "text", "report format: text or json")
 		sampleN  = flag.Int("trace-sample", 0, "record the server trace ID (X-Trace-Id) of every Nth launched request (0 disables)")
+		capture  = flag.String("capture", "", "after the load loop, fetch the sweep grid once more and write the CSV body to FILE (chaos byte-identity probe)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "json" {
@@ -291,6 +324,7 @@ func run(ctx context.Context, out io.Writer) (bool, error) {
 				_, err = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				s.code = resp.StatusCode
+				s.cacheState = resp.Header.Get("X-Cache-State")
 				if sampled {
 					s.traceID = resp.Header.Get("X-Trace-Id")
 				}
@@ -333,6 +367,9 @@ loop:
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.AchievedRPS = float64(rep.Completed) / secs
 	}
+	if classified := rep.CacheHits + rep.CacheMisses + rep.CacheBypass; classified > 0 {
+		rep.BypassRate = float64(rep.CacheBypass) / float64(classified)
+	}
 	for _, ks := range rep.Kinds {
 		sort.Slice(ks.durs, func(i, j int) bool { return ks.durs[i] < ks.durs[j] })
 		ks.P50Ms = percentile(ks.durs, 50).Seconds() * 1000
@@ -355,7 +392,35 @@ loop:
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "bccload: interrupted — report covers the requests launched so far")
 	}
+	if *capture != "" {
+		if err := captureSweep(client, urlFor("sweep"), *capture); err != nil {
+			return false, err
+		}
+	}
 	return rep.OK == rep.Launched && rep.Launched > 0, nil
+}
+
+// captureSweep fetches the sweep grid once more and writes the raw CSV
+// body to file. The chaos harness compares the captures of a fault-free
+// and a fault-injected run byte for byte: whatever the faults did to
+// the store, the rows a client reads must be identical.
+func captureSweep(client *http.Client, url, file string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("capture: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("capture: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("capture: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if err := os.WriteFile(file, body, 0o644); err != nil {
+		return fmt.Errorf("capture: %w", err)
+	}
+	return nil
 }
 
 func writeText(w io.Writer, rep *loadReport) {
@@ -383,6 +448,10 @@ func writeText(w io.Writer, rep *loadReport) {
 		for msg, n := range ks.Errors {
 			fmt.Fprintf(w, "          %s ×%d\n", msg, n)
 		}
+	}
+	if classified := rep.CacheHits + rep.CacheMisses + rep.CacheBypass; classified > 0 {
+		fmt.Fprintf(w, "  cache: hit %d  miss %d  bypass %d (bypass rate %.1f%%)\n",
+			rep.CacheHits, rep.CacheMisses, rep.CacheBypass, rep.BypassRate*100)
 	}
 	if rep.TraceSampled > 0 {
 		fmt.Fprintf(w, "  sampled %d traces; slowest %.1fms: %s\n",

@@ -58,6 +58,40 @@ func TestNoteSampleKeepsSlowestTrace(t *testing.T) {
 	}
 }
 
+// TestClassifyCacheStates pins the X-Cache-State accounting: hit,
+// miss, and bypass counted per kind and in total, bypass rate over the
+// classified set, non-2xx and headerless shots excluded.
+func TestClassifyCacheStates(t *testing.T) {
+	rep := &loadReport{Kinds: map[string]*kindStats{
+		"report": {Codes: map[string]int{}},
+		"sweep":  {Codes: map[string]int{}},
+	}}
+	for _, s := range []shot{
+		{kind: "report", code: 200, cacheState: "hit"},
+		{kind: "report", code: 200, cacheState: "miss"},
+		{kind: "report", code: 200, cacheState: "bypass"},
+		{kind: "sweep", code: 200, cacheState: "bypass"},
+		{kind: "sweep", code: 429, cacheState: "hit"}, // non-2xx: unclassified
+		{kind: "sweep", code: 200},                    // pre-header server: unclassified
+	} {
+		classify(rep, s)
+	}
+	if rep.CacheHits != 1 || rep.CacheMisses != 1 || rep.CacheBypass != 2 {
+		t.Errorf("totals hit/miss/bypass = %d/%d/%d, want 1/1/2",
+			rep.CacheHits, rep.CacheMisses, rep.CacheBypass)
+	}
+	if ks := rep.Kinds["report"]; ks.CacheHits != 1 || ks.CacheMisses != 1 || ks.CacheBypass != 1 {
+		t.Errorf("report kind hit/miss/bypass = %d/%d/%d, want 1/1/1",
+			ks.CacheHits, ks.CacheMisses, ks.CacheBypass)
+	}
+	if ks := rep.Kinds["sweep"]; ks.CacheBypass != 1 || ks.CacheHits != 0 {
+		t.Errorf("sweep kind = %+v, want exactly one bypass", ks)
+	}
+	if classified := rep.CacheHits + rep.CacheMisses + rep.CacheBypass; classified != 4 {
+		t.Errorf("classified = %d, want 4", classified)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	durs := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} // already sorted
 	if got := percentile(durs, 50); got != 5 {

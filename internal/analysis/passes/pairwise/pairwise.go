@@ -8,6 +8,10 @@
 //     every trace assembled from the ring buffer;
 //   - a serving queue slot ((*Queue).Acquire's release func) must be
 //     called — a leaked slot is permanently lost admission capacity;
+//   - a results breaker probe ((*Health).Allow) must reach Done — an
+//     unreported probe starves the rolling error window, and in the
+//     half-open state it wedges the breaker: the lone trial slot never
+//     reports, so the breaker can never close again;
 //   - a bcc pool acquisition (getRunBuffers/getBitBuffers/takeInts)
 //     must flow back through its put/recycle or escape into an owner
 //     that recycles later.
@@ -66,6 +70,7 @@ var pairs = []pairSpec{
 	{pkg: "obs", recv: "Tracer", fn: "Root", result: 1, resource: "root span", methods: []string{"End", "EndErr"}},
 	{pkg: "obs", recv: "Span", fn: "Child", result: 0, resource: "child span", methods: []string{"End", "EndErr"}},
 	{pkg: "serving", recv: "Queue", fn: "Acquire", result: 0, resource: "queue slot", selfCall: true},
+	{pkg: "results", recv: "Health", fn: "Allow", result: 0, resource: "breaker probe", methods: []string{"Done"}},
 	{pkg: "bcc", fn: "getRunBuffers", result: 0, resource: "pooled run buffers", funcs: []string{"putRunBuffers"}},
 	{pkg: "bcc", fn: "getBitBuffers", result: 0, resource: "pooled bit-plane buffers", funcs: []string{"putBitBuffers"}},
 	{pkg: "bcc", fn: "takeInts", result: 0, resource: "pooled []int", funcs: []string{"recycleInts"}},

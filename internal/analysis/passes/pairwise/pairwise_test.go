@@ -8,5 +8,5 @@ import (
 )
 
 func TestPairwise(t *testing.T) {
-	analysistest.Run(t, "testdata", pairwise.Analyzer, "pairwisetest", "bcc")
+	analysistest.Run(t, "testdata", pairwise.Analyzer, "pairwisetest", "bcc", "results")
 }

@@ -9,6 +9,7 @@ import (
 	"context"
 
 	"obs"
+	"results"
 	"serving"
 )
 
@@ -117,4 +118,59 @@ func queueGoroutineOK(q *serving.Queue) error {
 		work()
 	}()
 	return nil
+}
+
+// probeLeak takes a breaker probe and never reports: the error window
+// starves, and in the half-open state the breaker wedges open forever.
+func probeLeak(h *results.Health) {
+	probe := h.Allow() // want `breaker probe from Allow does not reach Done on every path`
+	if probe == nil {
+		return
+	}
+	work()
+}
+
+// probeBranchLeak reports on the success arm only: failures (the
+// samples the breaker exists to count) never land.
+func probeBranchLeak(h *results.Health, err error) {
+	probe := h.Allow() // want `breaker probe from Allow does not reach Done on every path`
+	if err == nil {
+		probe.Done(true)
+	}
+}
+
+// probeDiscard drops the probe at the call site.
+func probeDiscard(h *results.Health) {
+	h.Allow() // want `breaker probe from Allow is discarded`
+}
+
+// probeOK is the store's get-phase shape: Done(true) on the hit
+// return, Done(healthy) on the fallthrough.
+func probeOK(h *results.Health, found, healthy bool) {
+	probe := h.Allow()
+	if found {
+		probe.Done(true)
+		return
+	}
+	probe.Done(healthy)
+	work()
+}
+
+// probeNilSafeOK is the store's put-phase shape: Done is nil-safe, so
+// the unconditional report covers both the bypass (nil probe) and the
+// counted path.
+func probeNilSafeOK(h *results.Health, storePut func() bool) {
+	probe := h.Allow()
+	ok := true
+	if probe != nil {
+		ok = storePut()
+	}
+	probe.Done(ok)
+}
+
+// probeDeferOK covers every exit with a defer.
+func probeDeferOK(h *results.Health) {
+	probe := h.Allow()
+	defer probe.Done(true)
+	work()
 }

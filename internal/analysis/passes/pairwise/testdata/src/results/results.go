@@ -1,0 +1,18 @@
+// Package results mirrors the circuit-breaker probe surface of
+// bcclique/internal/results for the pairwise fixtures (the pair table
+// matches by package-path tail, so a fixture package named results
+// exercises the real spec).
+package results
+
+type Health struct{ errs int }
+
+type Probe struct{ done bool }
+
+func (h *Health) Allow() *Probe { return &Probe{} }
+
+func (p *Probe) Done(ok bool) {
+	if p == nil {
+		return
+	}
+	p.done = true
+}

@@ -49,7 +49,11 @@ type Event struct {
 	SpecID string    `json:"spec_id"`
 	// Cell identifies the grid cell for sweep-grid events (empty for
 	// scalar spec events).
-	Cell    string        `json:"cell,omitempty"`
+	Cell string `json:"cell,omitempty"`
+	// Cache is the store's verdict for cached/done events: "hit",
+	// "miss" or "bypass" (computed without touching an unhealthy
+	// backend). Empty for started/failed events.
+	Cache   string        `json:"cache,omitempty"`
 	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 	Err     string        `json:"error,omitempty"`
 }
@@ -221,21 +225,21 @@ func (e *Engine) runOne(ctx context.Context, spec Spec, cfg Config, emit func(Ev
 			emit(Event{Kind: EventFailed, SpecID: spec.ID, Err: err.Error()})
 			return nil, err
 		}
-		emit(Event{Kind: EventDone, SpecID: spec.ID, Elapsed: res.Elapsed})
+		emit(Event{Kind: EventDone, SpecID: spec.ID, Cache: "miss", Elapsed: res.Elapsed})
 		span.SetStr("cache", "miss")
 		return res, nil
 	}
-	res, cached, err := e.store.Do(ctx, e.CacheKey(spec, cfg), compute)
+	res, state, err := e.store.Do(ctx, e.CacheKey(spec, cfg), compute)
 	switch {
 	case err != nil:
 		emit(Event{Kind: EventFailed, SpecID: spec.ID, Err: err.Error()})
 		return nil, err
-	case cached:
-		emit(Event{Kind: EventCached, SpecID: spec.ID, Elapsed: res.Elapsed})
-		span.SetStr("cache", "hit")
+	case state.Cached():
+		emit(Event{Kind: EventCached, SpecID: spec.ID, Cache: state.String(), Elapsed: res.Elapsed})
+		span.SetStr("cache", state.String())
 	default:
-		emit(Event{Kind: EventDone, SpecID: spec.ID, Elapsed: res.Elapsed})
-		span.SetStr("cache", "miss")
+		emit(Event{Kind: EventDone, SpecID: spec.ID, Cache: state.String(), Elapsed: res.Elapsed})
+		span.SetStr("cache", state.String())
 	}
 	return res, nil
 }

@@ -432,21 +432,21 @@ func (e *Engine) runCell(ctx context.Context, g GridSpec, cfg Config, c GridCell
 			emit(Event{Kind: EventFailed, SpecID: g.ID, Cell: c.String(), Err: err.Error()})
 			return nil, err
 		}
-		emit(Event{Kind: EventDone, SpecID: g.ID, Cell: c.String(), Elapsed: res.Elapsed})
+		emit(Event{Kind: EventDone, SpecID: g.ID, Cell: c.String(), Cache: "miss", Elapsed: res.Elapsed})
 		span.SetStr("cache", "miss")
 		return unwrap(res)
 	}
-	res, cached, err := e.store.Do(ctx, key, compute)
+	res, state, err := e.store.Do(ctx, key, compute)
 	switch {
 	case err != nil:
 		emit(Event{Kind: EventFailed, SpecID: g.ID, Cell: c.String(), Err: err.Error()})
 		return nil, err
-	case cached:
-		emit(Event{Kind: EventCached, SpecID: g.ID, Cell: c.String(), Elapsed: res.Elapsed})
-		span.SetStr("cache", "hit")
+	case state.Cached():
+		emit(Event{Kind: EventCached, SpecID: g.ID, Cell: c.String(), Cache: state.String(), Elapsed: res.Elapsed})
+		span.SetStr("cache", state.String())
 	default:
-		emit(Event{Kind: EventDone, SpecID: g.ID, Cell: c.String(), Elapsed: res.Elapsed})
-		span.SetStr("cache", "miss")
+		emit(Event{Kind: EventDone, SpecID: g.ID, Cell: c.String(), Cache: state.String(), Elapsed: res.Elapsed})
+		span.SetStr("cache", state.String())
 	}
 	return unwrap(res)
 }

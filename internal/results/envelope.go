@@ -1,0 +1,94 @@
+package results
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Every stored entry is wrapped in a self-describing envelope: one JSON
+// header line followed by the raw payload bytes. The header carries the
+// envelope schema version, the checksum algorithm, the payload's
+// SHA-256 and its exact length, so a read can prove the payload is the
+// same bytes the writer produced. Anything that fails verification —
+// truncation, a flipped bit, a foreign or pre-envelope file — decodes
+// to a CorruptError and is quarantined by the store, never served.
+//
+//	{"v":1,"alg":"sha256","sum":"<hex>","len":N}\n<payload bytes>
+const envelopeVersion = 1
+
+type envelopeHeader struct {
+	V   int    `json:"v"`
+	Alg string `json:"alg"`
+	Sum string `json:"sum"`
+	Len int    `json:"len"`
+}
+
+// ErrCorrupt marks entries that failed envelope verification. Match
+// with errors.Is; the concrete *CorruptError carries the reason.
+var ErrCorrupt = errors.New("results: corrupt entry")
+
+// CorruptError describes why an entry failed verification. Reason is
+// one of "header" (no or unparseable header line), "schema" (envelope
+// version from the future), "length" (payload truncated or padded),
+// "checksum" (bytes differ from the recorded SHA-256) or "payload"
+// (checksum fine but the payload does not decode).
+type CorruptError struct {
+	Reason string
+	Err    error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("results: corrupt entry (%s): %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("results: corrupt entry (%s)", e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrCorrupt) true for every CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// EncodeEnvelope wraps payload in a verification envelope.
+func EncodeEnvelope(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	hdr, _ := json.Marshal(envelopeHeader{
+		V:   envelopeVersion,
+		Alg: "sha256",
+		Sum: hex.EncodeToString(sum[:]),
+		Len: len(payload),
+	})
+	out := make([]byte, 0, len(hdr)+1+len(payload))
+	out = append(out, hdr...)
+	out = append(out, '\n')
+	return append(out, payload...)
+}
+
+// DecodeEnvelope verifies data and returns the payload bytes. Any
+// verification failure returns a *CorruptError (errors.Is ErrCorrupt).
+func DecodeEnvelope(data []byte) ([]byte, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, &CorruptError{Reason: "header", Err: errors.New("no header line")}
+	}
+	var hdr envelopeHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return nil, &CorruptError{Reason: "header", Err: err}
+	}
+	if hdr.V != envelopeVersion || hdr.Alg != "sha256" {
+		return nil, &CorruptError{Reason: "schema", Err: fmt.Errorf("envelope v%d alg %q", hdr.V, hdr.Alg)}
+	}
+	payload := data[nl+1:]
+	if len(payload) != hdr.Len {
+		return nil, &CorruptError{Reason: "length", Err: fmt.Errorf("payload %d bytes, header says %d", len(payload), hdr.Len)}
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != hdr.Sum {
+		return nil, &CorruptError{Reason: "checksum", Err: errors.New("payload checksum mismatch")}
+	}
+	return payload, nil
+}

@@ -1,0 +1,204 @@
+package results
+
+import (
+	"sync"
+	"time"
+)
+
+// HealthConfig tunes the store's circuit breaker. Zero values select
+// the defaults noted on each field.
+type HealthConfig struct {
+	// Window is the number of recent backend operations the rolling
+	// error rate is computed over (default 64).
+	Window int
+	// MinSamples is how many samples the window must hold before the
+	// breaker may trip (default 8) — one early failure must not open it.
+	MinSamples int
+	// Threshold is the error rate at which the breaker opens
+	// (default 0.5).
+	Threshold float64
+	// Cooldown is how long an open breaker waits before letting one
+	// trial operation probe the backend (default 2s).
+	Cooldown time.Duration
+	// Now overrides the clock; tests inject a fake. Default time.Now.
+	Now func() time.Time
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker states. String values are what /readyz and /metrics expose.
+const (
+	StateClosed   = "closed"
+	StateOpen     = "open"
+	StateHalfOpen = "half-open"
+)
+
+// Health is the store's backend circuit breaker: a rolling window of
+// operation outcomes drives a closed → open → half-open state machine.
+// Closed is normal operation, every op sampled. When the windowed error
+// rate crosses Threshold the breaker opens: Allow returns nil and the
+// store serves in compute-through bypass — correct, freshly computed
+// results at reduced cache efficiency, never an error. After Cooldown
+// one trial op is let through (half-open); its success closes the
+// breaker, its failure re-opens it.
+//
+// All methods are safe for concurrent use.
+type Health struct {
+	cfg HealthConfig
+
+	mu       sync.Mutex
+	state    string
+	window   []bool // ring buffer of outcomes, true = ok
+	idx      int    // next write position
+	count    int    // samples held (≤ len(window))
+	errs     int    // failures currently in the window
+	openedAt time.Time
+	opened   int64 // open transitions since construction
+	trial    bool  // a half-open trial op is in flight
+}
+
+// NewHealth builds a breaker with the given configuration.
+func NewHealth(cfg HealthConfig) *Health {
+	cfg = cfg.withDefaults()
+	return &Health{cfg: cfg, state: StateClosed, window: make([]bool, cfg.Window)}
+}
+
+// Probe is one permitted backend operation. Exactly one Done call must
+// follow on every path (the bccvet pairwise analyzer enforces this);
+// Done on a nil Probe is a no-op, so a bypassing caller can release
+// unconditionally.
+type Probe struct {
+	h     *Health
+	trial bool
+	done  bool
+	mu    sync.Mutex
+}
+
+// Allow asks whether the next backend operation may run. A nil return
+// means the breaker is open: skip the backend and compute through. A
+// non-nil Probe must be completed with Done(ok) once the operation's
+// outcome is known.
+func (h *Health) Allow() *Probe {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case StateClosed:
+		return &Probe{h: h}
+	case StateOpen:
+		if h.cfg.Now().Sub(h.openedAt) < h.cfg.Cooldown {
+			return nil
+		}
+		h.state = StateHalfOpen
+		h.trial = true
+		return &Probe{h: h, trial: true}
+	default: // half-open
+		if h.trial {
+			return nil
+		}
+		h.trial = true
+		return &Probe{h: h, trial: true}
+	}
+}
+
+// Done reports the operation's outcome. ok means the backend behaved —
+// a cache miss is ok; an IO error is not. Nil-safe and idempotent.
+func (p *Probe) Done(ok bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return
+	}
+	p.done = true
+	p.mu.Unlock()
+	p.h.report(ok, p.trial)
+}
+
+func (h *Health) report(ok, trial bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if trial {
+		h.trial = false
+		if h.state != StateHalfOpen {
+			return
+		}
+		if ok {
+			// The backend answered: close and start a fresh window.
+			h.state = StateClosed
+			h.count, h.errs, h.idx = 0, 0, 0
+			return
+		}
+		h.state = StateOpen
+		h.openedAt = h.cfg.Now()
+		h.opened++
+		return
+	}
+	if h.state != StateClosed {
+		// A pre-trip op completing after the breaker opened: its sample
+		// would dilute the fresh start the trial earns.
+		return
+	}
+	if h.count == len(h.window) {
+		if !h.window[h.idx] {
+			h.errs--
+		}
+	} else {
+		h.count++
+	}
+	h.window[h.idx] = ok
+	if !ok {
+		h.errs++
+	}
+	h.idx = (h.idx + 1) % len(h.window)
+	if h.count >= h.cfg.MinSamples && float64(h.errs)/float64(h.count) >= h.cfg.Threshold {
+		h.state = StateOpen
+		h.openedAt = h.cfg.Now()
+		h.opened++
+	}
+}
+
+// HealthSnapshot is a point-in-time view of the breaker for /readyz and
+// /metrics.
+type HealthSnapshot struct {
+	State     string  `json:"state"`
+	ErrorRate float64 `json:"error_rate"`
+	Samples   int     `json:"samples"`
+	Opened    int64   `json:"opened"`
+}
+
+// Snapshot returns the breaker's current state and windowed error rate.
+func (h *Health) Snapshot() HealthSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rate := 0.0
+	if h.count > 0 {
+		rate = float64(h.errs) / float64(h.count)
+	}
+	return HealthSnapshot{State: h.state, ErrorRate: rate, Samples: h.count, Opened: h.opened}
+}
+
+// State returns the breaker's current state string.
+func (h *Health) State() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}

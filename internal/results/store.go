@@ -1,10 +1,19 @@
 // Package results is the durability layer of the experiment pipeline: a
-// content-addressed, disk-backed store of report.Result values keyed by
-// the canonical encoding of (spec key, run config, build version). A
-// result computed once for a key is never recomputed — concurrent
-// requests for the same key are deduplicated in-process (single-flight)
-// and later requests, including ones from other processes sharing the
-// cache directory, are served from disk.
+// content-addressed store of report.Result values keyed by the
+// canonical encoding of (spec key, run config, build version), layered
+// over a pluggable blob Backend (disk today; ROADMAP item 1's remote
+// store next). A result computed once for a key is never recomputed —
+// concurrent requests for the same key are deduplicated in-process
+// (single-flight) and later requests, including ones from other
+// processes sharing the cache directory, are served from the backend.
+//
+// The store is built to survive a faulty backend without ever serving a
+// wrong row. Every entry is wrapped in a checksummed envelope; an entry
+// that fails verification is quarantined and transparently recomputed.
+// Transient IO errors are retried by the RetryBackend decorator, and a
+// backend that stays sick trips the Health circuit breaker, flipping Do
+// into compute-through bypass: correct, freshly computed results at
+// reduced cache efficiency instead of request failures.
 package results
 
 import (
@@ -14,7 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -25,7 +34,10 @@ import (
 )
 
 // SchemaVersion is folded into every cache key; bump it when the stored
-// encoding of report.Result changes incompatibly.
+// encoding of report.Result changes incompatibly. (The envelope carries
+// its own version, so envelope changes do not bump this: pre-envelope
+// entries under the same key fail verification, quarantine, and heal by
+// recomputation.)
 const SchemaVersion = 1
 
 // Key derives the content address for an ordered list of canonical key
@@ -39,33 +51,114 @@ func Key(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Stats are the store's hit/miss counters since Open. Shared counts
-// requests that piggybacked on an identical in-flight computation;
-// PutErrors counts results that computed fine but could not be stored
-// (full or read-only cache volume) and were served uncached.
-type Stats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Shared    int64 `json:"shared"`
-	Puts      int64 `json:"puts"`
-	PutErrors int64 `json:"put_errors,omitempty"`
+// CacheState says how Do obtained a result: from the backend (hit), by
+// piggybacking on an identical in-flight computation (shared), by
+// computing and storing it (miss), or by computing without touching an
+// unhealthy backend (bypass).
+type CacheState int
+
+const (
+	StateMiss CacheState = iota
+	StateHit
+	StateShared
+	StateBypass
+)
+
+// Cached reports whether compute was avoided.
+func (s CacheState) Cached() bool { return s == StateHit || s == StateShared }
+
+// String returns the wire form used by the X-Cache-State header and
+// span attributes. Shared folds into "hit": the caller's compute was
+// avoided; which process-local mechanism avoided it is a Stats detail.
+func (s CacheState) String() string {
+	switch s {
+	case StateHit, StateShared:
+		return "hit"
+	case StateBypass:
+		return "bypass"
+	default:
+		return "miss"
+	}
 }
 
-// Store is a content-addressed result cache rooted at one directory.
-// All methods are safe for concurrent use.
+// Stats are the store's counters since Open. Shared counts requests
+// that piggybacked on an identical in-flight computation; PutErrors
+// counts results that computed fine but could not be stored (full or
+// read-only cache volume) and were served uncached; Quarantined counts
+// entries that failed envelope verification and were moved aside;
+// Bypassed counts requests served compute-through while the breaker was
+// open; Attempts/Retries mirror the retry decorator when one is in the
+// backend chain.
+type Stats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Shared      int64 `json:"shared"`
+	Puts        int64 `json:"puts"`
+	PutErrors   int64 `json:"put_errors,omitempty"`
+	GetErrors   int64 `json:"get_errors,omitempty"`
+	Quarantined int64 `json:"quarantined,omitempty"`
+	Bypassed    int64 `json:"bypassed,omitempty"`
+	Attempts    int64 `json:"attempts,omitempty"`
+	Retries     int64 `json:"retries,omitempty"`
+}
+
+// Store is a content-addressed result cache over a Backend. All
+// methods are safe for concurrent use.
 type Store struct {
-	dir string
+	backend Backend
+	health  *Health
+	log     *slog.Logger
 
 	mu       sync.Mutex
 	inflight map[string]*call
 
-	hits, misses, shared, puts, putErrs atomic.Int64
+	hits, misses, shared, puts, putErrs     atomic.Int64
+	getErrs, quarantined, bypassed, deletes atomic.Int64
 }
 
 type call struct {
-	done chan struct{}
-	res  *report.Result
-	err  error
+	done  chan struct{}
+	res   *report.Result
+	state CacheState
+	err   error
+}
+
+// Option configures a Store built with New.
+type Option func(*Store)
+
+// WithLogger routes the store's structured warnings (quarantines,
+// backend failures) to l instead of discarding them.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Store) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// WithHealth installs a configured circuit breaker in place of the
+// default one.
+func WithHealth(h *Health) Option {
+	return func(s *Store) {
+		if h != nil {
+			s.health = h
+		}
+	}
+}
+
+// New builds a Store over any Backend. Decorate the backend (retry,
+// fault injection) before passing it in.
+func New(b Backend, opts ...Option) *Store {
+	s := &Store{
+		backend:  b,
+		health:   NewHealth(HealthConfig{}),
+		log:      obs.NopLogger(),
+		inflight: make(map[string]*call),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // DefaultDir is the cache root used when Open is given an empty path:
@@ -78,25 +171,48 @@ func DefaultDir() (string, error) {
 	return filepath.Join(base, "bcclique"), nil
 }
 
-// OpenFlag interprets a -cache-dir flag value, the one policy shared by
-// every entry point: "none" or "off" disables the cache (nil store, nil
-// error), "" opens DefaultDir, anything else opens that directory. When
-// the *default* directory cannot be opened (read-only HOME, …) the
-// cache is disabled rather than failing the run; an explicitly given
-// directory that cannot be opened is an error.
-func OpenFlag(dir string) (*Store, error) {
+// OpenFlagBackend interprets a -cache-dir flag value, the one policy
+// shared by every entry point: "none" or "off" disables the cache (nil
+// backend, nil error), "" opens DefaultDir, anything else opens that
+// directory. When the *default* directory cannot be opened (read-only
+// HOME, …) the cache is disabled rather than failing the run; an
+// explicitly given directory that cannot be opened is an error. Callers
+// that decorate the backend before building the Store use this;
+// OpenFlag wraps it for the rest.
+func OpenFlagBackend(dir string) (*DiskBackend, error) {
 	if dir == "none" || dir == "off" {
 		return nil, nil
 	}
-	s, err := Open(dir)
-	if err != nil && dir == "" {
+	explicit := dir != ""
+	if dir == "" {
+		d, err := DefaultDir()
+		if err != nil {
+			return nil, nil
+		}
+		dir = d
+	}
+	b, err := NewDiskBackend(dir)
+	if err != nil && !explicit {
 		return nil, nil
 	}
-	return s, err
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
 }
 
-// Open opens (creating if needed) the store rooted at dir; an empty dir
-// selects DefaultDir.
+// OpenFlag is OpenFlagBackend plus Store construction — the
+// undecorated fast path used by the CLI tools.
+func OpenFlag(dir string) (*Store, error) {
+	b, err := OpenFlagBackend(dir)
+	if b == nil || err != nil {
+		return nil, err
+	}
+	return New(b), nil
+}
+
+// Open opens (creating if needed) a disk-backed store rooted at dir; an
+// empty dir selects DefaultDir.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		d, err := DefaultDir()
@@ -105,80 +221,169 @@ func Open(dir string) (*Store, error) {
 		}
 		dir = d
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("results: %w", err)
+	b, err := NewDiskBackend(dir)
+	if err != nil {
+		return nil, err
 	}
-	return &Store{dir: dir, inflight: make(map[string]*call)}, nil
+	return New(b), nil
 }
 
-// Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
-
-// path shards entries by the first byte of the key so one directory
-// never accumulates every entry.
-func (s *Store) path(key string) string {
-	shard := "xx"
-	if len(key) >= 2 {
-		shard = key[:2]
+// Dir returns the root directory of the disk backend at the bottom of
+// the decorator chain, or "" for a store over a dirless backend.
+func (s *Store) Dir() string {
+	b := s.backend
+	for b != nil {
+		if d, ok := b.(*DiskBackend); ok {
+			return d.Dir()
+		}
+		u, ok := b.(Unwrapper)
+		if !ok {
+			return ""
+		}
+		b = u.Unwrap()
 	}
-	return filepath.Join(s.dir, shard, key+".json")
+	return ""
 }
+
+// Health returns the store's circuit breaker.
+func (s *Store) Health() *Health { return s.health }
 
 // Get loads the result stored under key, reporting whether it exists.
-func (s *Store) Get(key string) (*report.Result, bool, error) {
-	data, err := os.ReadFile(s.path(key))
-	if errors.Is(err, fs.ErrNotExist) {
+// A corrupt entry is quarantined and reported as a miss; a backend
+// failure is an error.
+func (s *Store) Get(ctx context.Context, key string) (*report.Result, bool, error) {
+	data, err := s.backend.Get(ctx, key)
+	if errors.Is(err, ErrNotFound) {
 		return nil, false, nil
 	}
 	if err != nil {
-		return nil, false, fmt.Errorf("results: get %s: %w", key, err)
+		s.getErrs.Add(1)
+		return nil, false, err
 	}
-	var res report.Result
-	if err := json.Unmarshal(data, &res); err != nil {
-		// A torn or foreign file is a miss, not a fatal error: the
-		// caller recomputes and overwrites it.
+	res, verr := decodeEntry(data)
+	if verr != nil {
+		s.quarantine(ctx, key, data, verr)
 		return nil, false, nil
 	}
-	return &res, true, nil
+	return res, true, nil
 }
 
-// Put stores res under key atomically (write to a temp file, then
-// rename), so a concurrent reader never observes a torn entry.
-func (s *Store) Put(key string, res *report.Result) error {
-	data, err := json.Marshal(res)
+// decodeEntry verifies and decodes one stored blob.
+func decodeEntry(data []byte) (*report.Result, error) {
+	payload, err := DecodeEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	var res report.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, &CorruptError{Reason: "payload", Err: err}
+	}
+	return &res, nil
+}
+
+// Put stores res under key inside a checksummed envelope.
+func (s *Store) Put(ctx context.Context, key string, res *report.Result) error {
+	payload, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("results: encode %s: %w", key, err)
 	}
-	p := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return fmt.Errorf("results: %w", err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), "put-*")
-	if err != nil {
-		return fmt.Errorf("results: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("results: write %s: %w", key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("results: write %s: %w", key, err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("results: write %s: %w", key, err)
+	if err := s.backend.Put(ctx, key, EncodeEnvelope(payload)); err != nil {
+		s.putErrs.Add(1)
+		return err
 	}
 	s.puts.Add(1)
 	return nil
 }
 
+// Delete removes the entry stored under key, if any.
+func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := s.backend.Delete(ctx, key); err != nil {
+		return err
+	}
+	s.deletes.Add(1)
+	return nil
+}
+
+// Ping reports whether the backend is reachable.
+func (s *Store) Ping(ctx context.Context) error { return s.backend.Ping(ctx) }
+
+// quarantine moves a corrupt entry aside — preserving the bytes under
+// quarantine/ for post-mortem, deleting the live entry so the
+// recomputed result takes its place — and emits the structured record
+// operators alert on. Best-effort: quarantine trouble must never fail
+// the read that found the corruption.
+func (s *Store) quarantine(ctx context.Context, key string, raw []byte, cause error) {
+	s.quarantined.Add(1)
+	reason := "corrupt"
+	var ce *CorruptError
+	if errors.As(cause, &ce) {
+		reason = ce.Reason
+	}
+	if sp := obs.FromContext(ctx); sp != nil {
+		sp.SetStr("quarantined", reason)
+	}
+	if err := s.backend.Put(ctx, "quarantine/"+key, raw); err != nil {
+		s.log.WarnContext(ctx, "results: quarantine write failed", "key", key, "err", err)
+	}
+	if err := s.backend.Delete(ctx, key); err != nil {
+		s.log.WarnContext(ctx, "results: quarantine delete failed", "key", key, "err", err)
+	}
+	s.log.WarnContext(ctx, "results: quarantined corrupt entry",
+		"key", key, "reason", reason, "bytes", len(raw), "err", cause.Error())
+}
+
+// load probes the backend for key. found reports a verified entry;
+// healthy reports whether the backend behaved — an absent key, a
+// cancelled context and even a corrupt entry are healthy (corruption is
+// data rot to heal by recomputing, not backend sickness to bypass), an
+// IO error is not.
+func (s *Store) load(ctx context.Context, key string) (res *report.Result, found, healthy bool) {
+	gctx, span := obs.Start(ctx, "store.get")
+	data, err := s.backend.Get(gctx, key)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrNotFound):
+		span.End()
+		return nil, false, true
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		span.EndErr(err)
+		return nil, false, true
+	default:
+		s.getErrs.Add(1)
+		span.EndErr(err)
+		s.log.WarnContext(ctx, "results: backend get failed", "key", key, "err", err)
+		return nil, false, false
+	}
+	res, verr := decodeEntry(data)
+	if verr != nil {
+		s.quarantine(gctx, key, data, verr)
+		span.EndErr(verr)
+		return nil, false, true
+	}
+	span.End()
+	return res, true, true
+}
+
+// storePut writes the computed result through the envelope, counting
+// the outcome. healthy reports whether the backend behaved (a context
+// error is the request's fault, not the backend's).
+func (s *Store) storePut(ctx context.Context, key string, res *report.Result) (healthy bool) {
+	pctx, span := obs.Start(ctx, "store.put")
+	err := s.Put(pctx, key, res)
+	if err != nil {
+		span.EndErr(err)
+		s.log.WarnContext(ctx, "results: backend put failed", "key", key, "err", err)
+		return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	}
+	span.End()
+	return true
+}
+
 // Do returns the result for key, computing and storing it on a miss.
 // Concurrent Do calls for the same key share one computation: exactly
 // one caller runs compute, the rest block and receive its result. The
-// cached return reports whether compute was avoided (disk hit or shared
-// in-flight computation).
+// CacheState reports how the result was obtained; state.Cached() is
+// true when compute was avoided.
 //
 // The context governs this caller's wait, not the shared computation: a
 // waiter whose ctx expires stops waiting and returns ctx's error while
@@ -186,82 +391,114 @@ func (s *Store) Put(key string, res *report.Result) error {
 // piggybacked caller whose leader was cancelled does not inherit the
 // leader's context error — it retries the lookup itself, so one client's
 // disconnect can never poison another client's identical request.
-// Cancelled or failed computations are never written to disk: the cache
-// only ever holds successfully computed results.
-func (s *Store) Do(ctx context.Context, key string, compute func() (*report.Result, error)) (res *report.Result, cached bool, err error) {
+// Cancelled or failed computations are never stored: the cache only
+// ever holds successfully computed results.
+//
+// Backend trouble never fails Do: an unreadable entry degrades to a
+// miss, an unwritable result is served uncached, and a backend sick
+// enough to trip the breaker flips Do into compute-through bypass until
+// a half-open trial succeeds.
+func (s *Store) Do(ctx context.Context, key string, compute func() (*report.Result, error)) (res *report.Result, state CacheState, err error) {
 	for {
 		s.mu.Lock()
 		if c, ok := s.inflight[key]; ok {
 			s.mu.Unlock()
 			select {
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				return nil, StateMiss, ctx.Err()
 			case <-c.done:
 			}
 			if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
 				// The leader was cancelled, but this caller was not:
-				// retry (the disk may even have the entry by now from
+				// retry (the backend may even have the entry by now from
 				// another process). Without this, a cancelled leader
 				// would fail every piggybacked request behind it.
 				if ctx.Err() == nil {
 					continue
 				}
-				return nil, false, ctx.Err()
+				return nil, StateMiss, ctx.Err()
 			}
 			s.shared.Add(1)
-			return c.res, true, c.err
+			return c.res, StateShared, c.err
 		}
 		c := &call{done: make(chan struct{})}
 		s.inflight[key] = c
 		s.mu.Unlock()
 
 		defer func() {
-			c.res, c.err = res, err
+			c.res, c.state, c.err = res, state, err
 			s.mu.Lock()
 			delete(s.inflight, key)
 			s.mu.Unlock()
 			close(c.done)
 		}()
 
-		// An unreadable cache (broken volume, bad permissions) degrades to
-		// a miss: cache trouble must never fail a run that can compute.
-		// Under tracing the disk probe and the eventual write get their
-		// own child spans, so cache IO on a slow volume is attributed
-		// instead of disappearing into the cell's wall time.
-		span := obs.FromContext(ctx)
-		probe := span.Child("store.get")
-		got, ok, err2 := s.Get(key)
-		probe.End()
-		if err2 == nil && ok {
-			s.hits.Add(1)
-			return got, true, nil
+		probe := s.health.Allow()
+		if probe == nil {
+			// Breaker open: the backend has been failing; computing
+			// fresh is cheaper and safer than queueing behind sick IO.
+			s.bypassed.Add(1)
+			res, err = compute()
+			if err != nil {
+				return nil, StateBypass, err
+			}
+			return res, StateBypass, nil
 		}
+
+		// An unreadable cache (broken volume, bad permissions) degrades
+		// to a miss: cache trouble must never fail a run that can
+		// compute. Under tracing the backend probe and the eventual
+		// write get their own child spans, so cache IO on a slow volume
+		// is attributed instead of disappearing into the cell's wall
+		// time.
+		got, found, healthy := s.load(ctx, key)
+		if found {
+			probe.Done(true)
+			s.hits.Add(1)
+			return got, StateHit, nil
+		}
+		probe.Done(healthy)
 		s.misses.Add(1)
 		res, err = compute()
 		if err != nil {
-			return nil, false, err
+			return nil, StateMiss, err
 		}
 		// A result that computed fine but cannot be stored (full or
 		// read-only cache volume) is still the answer: serve it uncached
 		// and count the failure instead of failing the run.
-		write := span.Child("store.put")
-		if err := s.Put(key, res); err != nil {
-			s.putErrs.Add(1)
-			write.EndErr(err)
-		} else {
-			write.End()
+		put := s.health.Allow()
+		ok := true
+		if put != nil {
+			ok = s.storePut(ctx, key, res)
 		}
-		return res, false, nil
+		put.Done(ok)
+		return res, StateMiss, nil
 	}
 }
 
-// Stats returns the counters accumulated since Open.
+// Stats returns the counters accumulated since Open, including the
+// attempt counters of any retry decorator in the backend chain.
 func (s *Store) Stats() Stats {
-	return Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Shared:    s.shared.Load(),
-		Puts:      s.puts.Load(),
-		PutErrors: s.putErrs.Load(),
+	st := Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Shared:      s.shared.Load(),
+		Puts:        s.puts.Load(),
+		PutErrors:   s.putErrs.Load(),
+		GetErrors:   s.getErrs.Load(),
+		Quarantined: s.quarantined.Load(),
+		Bypassed:    s.bypassed.Load(),
 	}
+	for b := s.backend; b != nil; {
+		if a, ok := b.(AttemptStats); ok {
+			st.Attempts += a.Attempts()
+			st.Retries += a.Retries()
+		}
+		u, ok := b.(Unwrapper)
+		if !ok {
+			break
+		}
+		b = u.Unwrap()
+	}
+	return st
 }

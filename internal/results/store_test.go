@@ -36,14 +36,14 @@ func TestPutGetRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := Key("spec", "cfg")
-	if _, ok, err := s.Get(key); err != nil || ok {
+	if _, ok, err := s.Get(context.Background(), key); err != nil || ok {
 		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
 	}
 	want := sample()
-	if err := s.Put(key, want); err != nil {
+	if err := s.Put(context.Background(), key, want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, err := s.Get(key)
+	got, ok, err := s.Get(context.Background(), key)
 	if err != nil || !ok {
 		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
 	}
@@ -59,22 +59,22 @@ func TestCorruptEntryIsAMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := Key("torn")
-	p := s.path(key)
+	p := s.backend.(*DiskBackend).path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(p, []byte(`{"id": tor`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := s.Get(key); err != nil || ok {
+	if _, ok, err := s.Get(context.Background(), key); err != nil || ok {
 		t.Fatalf("corrupt entry should read as a miss, got ok=%v err=%v", ok, err)
 	}
 	// Do recomputes and heals the entry.
-	res, cached, err := s.Do(context.Background(), key, func() (*report.Result, error) { return sample(), nil })
-	if err != nil || cached || res == nil {
-		t.Fatalf("Do over corrupt entry: cached=%v err=%v", cached, err)
+	res, state, err := s.Do(context.Background(), key, func() (*report.Result, error) { return sample(), nil })
+	if err != nil || state.Cached() || res == nil {
+		t.Fatalf("Do over corrupt entry: state=%v err=%v", state, err)
 	}
-	if _, ok, _ := s.Get(key); !ok {
+	if _, ok, _ := s.Get(context.Background(), key); !ok {
 		t.Error("Do should overwrite the corrupt entry")
 	}
 }
@@ -136,9 +136,9 @@ func TestDoErrorNotCached(t *testing.T) {
 	if _, _, err := s.Do(context.Background(), key, func() (*report.Result, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("want compute error, got %v", err)
 	}
-	res, cached, err := s.Do(context.Background(), key, func() (*report.Result, error) { return sample(), nil })
-	if err != nil || cached || res == nil {
-		t.Fatalf("retry after error: cached=%v err=%v", cached, err)
+	res, state, err := s.Do(context.Background(), key, func() (*report.Result, error) { return sample(), nil })
+	if err != nil || state.Cached() || res == nil {
+		t.Fatalf("retry after error: state=%v err=%v", state, err)
 	}
 }
 
@@ -158,9 +158,9 @@ func TestDoToleratesPutFailure(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, key[:2]), []byte("in the way"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	res, cached, err := s.Do(context.Background(), key, func() (*report.Result, error) { return sample(), nil })
-	if err != nil || cached || res == nil || res.ID != "E01" {
-		t.Fatalf("Do with failing Put: res=%+v cached=%v err=%v", res, cached, err)
+	res, state, err := s.Do(context.Background(), key, func() (*report.Result, error) { return sample(), nil })
+	if err != nil || state.Cached() || res == nil || res.ID != "E01" {
+		t.Fatalf("Do with failing Put: res=%+v state=%v err=%v", res, state, err)
 	}
 	if st := s.Stats(); st.PutErrors != 1 {
 		t.Errorf("stats = %+v, want 1 put error", st)
@@ -183,12 +183,12 @@ func TestDoDiskHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, cached, err := s2.Do(context.Background(), key, func() (*report.Result, error) {
+	res, state, err := s2.Do(context.Background(), key, func() (*report.Result, error) {
 		t.Error("compute must not run on a warm disk cache")
 		return nil, nil
 	})
-	if err != nil || !cached || res == nil || res.ID != "E01" {
-		t.Fatalf("disk hit: res=%+v cached=%v err=%v", res, cached, err)
+	if err != nil || state != StateHit || res == nil || res.ID != "E01" {
+		t.Fatalf("disk hit: res=%+v state=%v err=%v", res, state, err)
 	}
 	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
 		t.Errorf("stats = %+v, want exactly one hit", st)
@@ -253,12 +253,12 @@ func TestDoWaiterRetriesAfterCancelledLeader(t *testing.T) {
 		t.Fatalf("waiter ran %d computations, want 1", got)
 	}
 	// The good result must now be cached for everyone else.
-	res, cached, err := s.Do(context.Background(), key, func() (*report.Result, error) {
+	res, state, err := s.Do(context.Background(), key, func() (*report.Result, error) {
 		t.Error("third caller recomputed a cached result")
 		return sample(), nil
 	})
-	if err != nil || !cached || res == nil {
-		t.Fatalf("post-retry lookup: res=%v cached=%v err=%v", res, cached, err)
+	if err != nil || !state.Cached() || res == nil {
+		t.Fatalf("post-retry lookup: res=%v state=%v err=%v", res, state, err)
 	}
 }
 
